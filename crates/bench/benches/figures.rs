@@ -1,0 +1,41 @@
+//! Criterion bench that regenerates every figure of the paper's evaluation,
+//! so `cargo bench --workspace` exercises the full experiment suite
+//! (Fig. 5 through Fig. 9, the EDP summary and the validation tables).
+
+use bench::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("figures/fig5_depth_sweeps", |b| {
+        b.iter(|| experiments::fig5().unwrap())
+    });
+    c.bench_function("figures/fig6_area", |b| {
+        b.iter(|| experiments::fig6_area(black_box(8)).unwrap())
+    });
+    c.bench_function("figures/fig7_convnext_per_layer", |b| {
+        b.iter(|| experiments::fig7().unwrap())
+    });
+    c.bench_function("figures/fig8_fig9_evaluation_sweep", |b| {
+        b.iter(|| experiments::evaluation_sweep().unwrap())
+    });
+    c.bench_function("figures/freq_table", |b| {
+        b.iter(experiments::frequency_table)
+    });
+}
+
+fn bench_validation(c: &mut Criterion) {
+    c.bench_function("validation/khat_all_layers_128", |b| {
+        b.iter(|| experiments::khat_validation(black_box(128)).unwrap())
+    });
+    c.bench_function("validation/simulator_cross_check", |b| {
+        b.iter(|| experiments::sim_validation(black_box(2023)).unwrap())
+    });
+    c.bench_function("ablation/global_k_128", |b| {
+        b.iter(|| experiments::ablation_global_k(black_box(128)).unwrap())
+    });
+    c.bench_function("ablation/carry_save", |b| b.iter(experiments::ablation_csa));
+}
+
+criterion_group!(benches, bench_figures, bench_validation);
+criterion_main!(benches);

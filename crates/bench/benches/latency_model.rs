@@ -1,0 +1,44 @@
+//! Criterion bench of the analytical latency/time/power model (the code
+//! behind Fig. 5): per-layer execution estimation and optimal-depth search.
+
+use arrayflex::ArrayFlexModel;
+use cnn::models::resnet34;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gemm::GemmDims;
+use std::hint::black_box;
+
+fn bench_layer_execution(c: &mut Criterion) {
+    let model = ArrayFlexModel::new(128, 128).expect("valid model");
+    let layer20 = GemmDims::new(256, 2304, 196);
+    let layer28 = GemmDims::new(512, 2304, 49);
+
+    c.bench_function("model/execute_conventional_layer20", |b| {
+        b.iter(|| model.execute_conventional(black_box(layer20)).unwrap())
+    });
+    c.bench_function("model/execute_arrayflex_k4_layer28", |b| {
+        b.iter(|| model.execute_arrayflex(black_box(layer28), 4).unwrap())
+    });
+    c.bench_function("model/optimal_depth_layer20", |b| {
+        b.iter(|| model.optimal_depth(black_box(layer20)).unwrap())
+    });
+    c.bench_function("model/depth_sweep_fig5_layer28", |b| {
+        b.iter(|| model.depth_sweep(black_box(layer28)).unwrap())
+    });
+}
+
+fn bench_network_totals(c: &mut Criterion) {
+    let model = ArrayFlexModel::new(128, 128).expect("valid model");
+    let network = resnet34();
+    c.bench_function("model/resnet34_total_cycles_all_layers", |b| {
+        b.iter(|| {
+            network
+                .gemms(cnn::DepthwiseMapping::default())
+                .iter()
+                .map(|g| model.total_cycles(black_box(g.dims), 2).unwrap())
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_layer_execution, bench_network_totals);
+criterion_main!(benches);

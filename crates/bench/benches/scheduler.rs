@@ -1,0 +1,41 @@
+//! Criterion bench of whole-network planning: per-layer mode selection and
+//! the conventional-vs-ArrayFlex comparison for the three evaluated CNNs.
+
+use arrayflex::{compare_network, ArrayFlexModel};
+use cnn::models::{convnext_tiny, mobilenet_v1, resnet34};
+use cnn::DepthwiseMapping;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_planning(c: &mut Criterion) {
+    let model = ArrayFlexModel::new(128, 128).expect("valid model");
+    let networks = [resnet34(), mobilenet_v1(), convnext_tiny()];
+    let mut group = c.benchmark_group("scheduler/plan_arrayflex_128");
+    for network in &networks {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(network.name()),
+            network,
+            |bench, net| {
+                bench.iter(|| {
+                    model
+                        .plan_arrayflex(black_box(net), DepthwiseMapping::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_comparison(c: &mut Criterion) {
+    let model = ArrayFlexModel::new(256, 256).expect("valid model");
+    let network = convnext_tiny();
+    c.bench_function("scheduler/compare_convnext_256", |bench| {
+        bench.iter(|| {
+            compare_network(&model, black_box(&network), DepthwiseMapping::default()).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_planning, bench_comparison);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench of the cycle-accurate systolic-array simulator: tile and
+//! whole-GEMM execution in normal and shallow pipeline modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemm::{rng::SplitMix64, Matrix};
+use sa_sim::{ArrayConfig, Simulator};
+use std::hint::black_box;
+
+fn operands(t: usize, n: usize, m: usize) -> (Matrix<i32>, Matrix<i32>) {
+    let mut rng = SplitMix64::new(2023);
+    (
+        Matrix::random(t, n, &mut rng, -100, 100),
+        Matrix::random(n, m, &mut rng, -100, 100),
+    )
+}
+
+fn bench_tile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/tile_16x16");
+    let (a, b) = operands(16, 16, 16);
+    for k in [1u32, 2, 4] {
+        let sim = Simulator::new(ArrayConfig::new(16, 16).with_collapse_depth(k)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| sim.run_tile(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tiled_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/tiled_gemm_32x48x24_on_16x16");
+    let (a, b) = operands(32, 48, 24);
+    for k in [1u32, 4] {
+        let sim = Simulator::new(ArrayConfig::new(16, 16).with_collapse_depth(k)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| sim.run_gemm(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let (a, b) = operands(8, 24, 12);
+    let sim = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(2)).unwrap();
+    c.bench_function("simulator/run_gemm_verified_8x24x12", |bench| {
+        bench.iter(|| sim.run_gemm_verified(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_tile, bench_tiled_gemm, bench_verification);
+criterion_main!(benches);

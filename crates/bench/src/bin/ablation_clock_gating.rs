@@ -1,0 +1,15 @@
+//! Ablation of clock gating: ArrayFlex average power with and without
+//! gating the transparent registers, versus the conventional array.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rendered = String::new();
+    let mut all = Vec::new();
+    for array in bench::experiments::EVALUATION_SIZES {
+        let rows = bench::experiments::ablation_clock_gating(array)?;
+        rendered.push_str(&bench::experiments::ablation_clock_gating_text(&rows));
+        rendered.push('\n');
+        all.extend(rows);
+    }
+    bench::emit(&rendered, &all);
+    Ok(())
+}

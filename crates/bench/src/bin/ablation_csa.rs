@@ -1,0 +1,9 @@
+//! Ablation of the carry-save reduction (Section III-B): the clock period
+//! of a k-collapsed pipeline with the paper's 3:2 carry-save stages versus a
+//! naive chain of k carry-propagate adders.
+
+fn main() {
+    let rows = bench::experiments::ablation_csa();
+    let rendered = bench::experiments::ablation_csa_text(&rows);
+    bench::emit(&rendered, &rows);
+}

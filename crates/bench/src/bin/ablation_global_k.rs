@@ -1,0 +1,16 @@
+//! Ablation of per-layer pipeline configuration: total execution time when
+//! the collapsing depth is chosen per layer versus fixed globally for the
+//! whole network.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rendered = String::new();
+    let mut all = Vec::new();
+    for array in bench::experiments::EVALUATION_SIZES {
+        let rows = bench::experiments::ablation_global_k(array)?;
+        rendered.push_str(&bench::experiments::ablation_global_k_text(&rows));
+        rendered.push('\n');
+        all.extend(rows);
+    }
+    bench::emit(&rendered, &all);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Ablation of the optimization objective: per-layer mode selection that
+//! minimizes latency (the paper's policy), energy, or energy-delay product.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = bench::experiments::ablation_objective(128)?;
+    let rendered = bench::experiments::ablation_objective_text(&rows);
+    bench::emit(&rendered, &rows);
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Batch-size sweep: how the optimal pipeline depth and the per-image
+//! latency advantage of ArrayFlex change as batching grows the streaming
+//! dimension T (the paper's small-batch / real-time motivation).
+
+use gemm::GemmDims;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ResNet-34 layer 28 (the Fig. 5(b) GEMM) batched 1x to 64x.
+    let base = GemmDims::new(512, 2304, 49);
+    let rows = bench::experiments::batch_sweep(base, 128, &[1, 2, 4, 8, 16, 32, 64])?;
+    let rendered = format!(
+        "ResNet-34 layer 28 {base} on a 128x128 SA, batched\n{}",
+        bench::experiments::batch_sweep_text(&rows)
+    );
+    bench::emit(&rendered, &rows);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates the Section IV-B summary: time saving, power saving and
+//! energy-delay-product gain of ArrayFlex for every network and array size.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entries = bench::experiments::evaluation_sweep()?;
+    let rendered = bench::experiments::edp_text(&entries);
+    bench::emit(&rendered, &entries);
+    Ok(())
+}

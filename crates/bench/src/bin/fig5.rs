@@ -1,0 +1,14 @@
+//! Regenerates Fig. 5 of the paper: execution time of ResNet-34 layers 20
+//! and 28 on a 132x132 SA as a function of the pipeline collapsing depth,
+//! with the conventional fixed-pipeline SA as the reference line.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sweeps = bench::experiments::fig5()?;
+    let rendered = sweeps
+        .iter()
+        .map(|s| format!("{}\nbest depth: k = {}\n", s.table(), s.best_depth()))
+        .collect::<Vec<_>>()
+        .join("\n");
+    bench::emit(&rendered, &sweeps);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates the Fig. 6 comparison: area of 8x8-PE conventional and
+//! ArrayFlex arrays and the per-PE overhead of reconfigurability.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cmp = bench::experiments::fig6_area(8)?;
+    let rendered = bench::experiments::fig6_text(&cmp);
+    bench::emit(&rendered, &cmp);
+    Ok(())
+}

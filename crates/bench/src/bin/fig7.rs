@@ -1,0 +1,9 @@
+//! Regenerates Fig. 7 of the paper: per-layer execution time of ConvNeXt on
+//! 128x128-PE conventional and ArrayFlex arrays, with the pipeline mode
+//! ArrayFlex selects for every layer.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = bench::experiments::fig7()?;
+    bench::emit(&report.table(), &report);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8 of the paper: normalized total execution time of
+//! ResNet-34, MobileNetV1 and ConvNeXt on 128x128 and 256x256 arrays.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entries = bench::experiments::evaluation_sweep()?;
+    let rendered = bench::experiments::fig8_text(&entries);
+    bench::emit(&rendered, &entries);
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 9 of the paper: average power of the two arrays for
+//! complete inference runs, including the per-mode power breakdown of
+//! ArrayFlex.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entries = bench::experiments::evaluation_sweep()?;
+    let rendered = bench::experiments::fig9_text(&entries);
+    bench::emit(&rendered, &entries);
+    Ok(())
+}

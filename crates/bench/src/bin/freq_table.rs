@@ -1,0 +1,9 @@
+//! Regenerates the Section IV clock-frequency table: 2.0 GHz for the
+//! conventional SA, 1.8 / 1.7 / 1.4 GHz for ArrayFlex with k = 1 / 2 / 4,
+//! plus the analytical Equation (5) estimate for unsynthesized depths.
+
+fn main() {
+    let rows = bench::experiments::frequency_table();
+    let rendered = bench::experiments::frequency_table_text(&rows);
+    bench::emit(&rendered, &rows);
+}

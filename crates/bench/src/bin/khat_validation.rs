@@ -1,0 +1,10 @@
+//! Validates the closed-form optimal depth of Equation (7): for every layer
+//! of the three evaluated CNNs, compares the continuous estimate `k_hat`
+//! with the discrete mode chosen by exhaustive search (Section III-C).
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = bench::experiments::khat_validation(128)?;
+    let rendered = bench::experiments::khat_text(&rows);
+    bench::emit(&rendered, &rows);
+    Ok(())
+}

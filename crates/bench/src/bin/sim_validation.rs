@@ -1,0 +1,10 @@
+//! Cross-checks the analytical latency model (Equations 1-4) against the
+//! cycle-accurate register-level simulator on a set of random GEMMs, and
+//! verifies the simulated products against the reference GEMM.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = bench::experiments::sim_validation(2023)?;
+    let rendered = bench::experiments::sim_validation_text(&rows);
+    bench::emit(&rendered, &rows);
+    Ok(())
+}

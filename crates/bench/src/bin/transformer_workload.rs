@@ -1,0 +1,12 @@
+//! Beyond-the-paper workload: BERT-base encoder inference at several
+//! sequence lengths on a 128x128 array, with per-mode layer counts.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = bench::experiments::transformer_study(128, &[32, 64, 128, 256, 512])?;
+    let rendered = format!(
+        "BERT-base encoder, single batch, 128x128 SA\n{}",
+        bench::experiments::transformer_study_text(&rows)
+    );
+    bench::emit(&rendered, &rows);
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Benchmark harness for the ArrayFlex reproduction.
+//!
+//! * [`experiments`] — one function per table/figure of the paper's
+//!   evaluation, returning plain data structures;
+//! * [`tables`] — minimal text-table rendering used by the
+//!   figure-regeneration binaries in `src/bin/`.
+//!
+//! Run `cargo run -p bench --bin fig7` (or `fig5`, `fig6_area`, `fig8`,
+//! `fig9`, `edp_table`, `freq_table`, `khat_validation`, `sim_validation`,
+//! `ablation_csa`, `ablation_global_k`) to regenerate the corresponding
+//! figure, and `cargo bench --workspace` to time the underlying models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod tables;
+
+pub use tables::TextTable;
+
+/// Prints a figure both as a text table and, when `--json` is passed on the
+/// command line, as JSON (for plotting scripts).
+///
+/// # Panics
+///
+/// Panics if JSON serialization fails, which cannot happen for the plain
+/// data structures produced by [`experiments`].
+pub fn emit<T: serde::Serialize>(rendered: &str, data: &T) {
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(data).expect("experiment data serializes to JSON")
+        );
+    } else {
+        println!("{rendered}");
+    }
+}

@@ -1,0 +1,48 @@
+//! CNN workload substrate for the ArrayFlex reproduction.
+//!
+//! The paper evaluates ArrayFlex by executing single-batch inference of
+//! ResNet-34, MobileNetV1 and ConvNeXt(-Tiny), lowering every layer to a
+//! matrix multiplication. This crate provides:
+//!
+//! * [`layer`] — layer descriptors ([`Layer`], [`LayerOp`]) and their
+//!   lowering to GEMM dimensions, including the depthwise-mapping policy;
+//! * [`network`] — ordered layer tables ([`Network`]);
+//! * [`models`] — the three networks of the paper's evaluation plus a
+//!   synthetic-network generator for tests and examples.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cnn::models::resnet34;
+//! use cnn::DepthwiseMapping;
+//!
+//! let net = resnet34();
+//! let gemms = net.gemms(DepthwiseMapping::default());
+//! assert_eq!(gemms.len(), 34);
+//! // Layer 28 is the Fig. 5(b) GEMM of the paper.
+//! assert_eq!(gemms[27].dims.m, 512);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod models;
+pub mod network;
+
+pub use layer::{DepthwiseMapping, Layer, LayerGemm, LayerOp};
+pub use network::Network;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Layer>();
+        assert_send_sync::<Network>();
+        assert_send_sync::<LayerGemm>();
+        assert_send_sync::<DepthwiseMapping>();
+    }
+}

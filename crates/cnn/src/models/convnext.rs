@@ -1,0 +1,135 @@
+//! ConvNeXt-Tiny layer table (Liu et al., CVPR 2022) for 224x224 inputs.
+
+use crate::layer::Layer;
+use crate::network::Network;
+use gemm::ConvShape;
+
+/// Stage configuration: (number of blocks, channel dimension, spatial size).
+const STAGES: [(u32, usize, usize); 4] = [(3, 96, 56), (3, 192, 28), (9, 384, 14), (3, 768, 7)];
+
+/// Expansion ratio of the inverted-bottleneck MLP inside every block.
+const EXPANSION: usize = 4;
+
+/// Builds the ConvNeXt-Tiny layer table used by the paper's evaluation
+/// (Fig. 7): the 4x4 stride-4 patchify stem followed by 18 blocks of three
+/// convolutions each (7x7 depthwise, 1x1 expansion, 1x1 projection), i.e.
+/// 55 layers in total. Stage-transition downsampling convolutions and the
+/// classifier head are not part of the paper's 55-layer numbering.
+///
+/// With this numbering the layers the paper says prefer each pipeline mode
+/// line up with the stages: layers 1–10 are the stem plus stage 1 (large
+/// `T = 56x56`), layers 11–19 stage 2, 20–46 stage 3 and 47–55 stage 4
+/// (small `T = 7x7`).
+#[must_use]
+pub fn convnext_tiny() -> Network {
+    let mut layers = Vec::with_capacity(55);
+    let mut index = 1u32;
+
+    // Patchify stem: 4x4 convolution with stride 4.
+    layers.push(Layer::conv(
+        index,
+        "stem",
+        ConvShape::dense(3, 96, 4, 4, 0, 224),
+    ));
+    index += 1;
+
+    for (stage_idx, (blocks, dim, size)) in STAGES.into_iter().enumerate() {
+        let stage = stage_idx + 1;
+        for block in 1..=blocks {
+            layers.push(Layer::conv(
+                index,
+                format!("s{stage}b{block}.dw"),
+                ConvShape::depthwise(dim, 7, 1, 3, size),
+            ));
+            index += 1;
+            layers.push(Layer::conv(
+                index,
+                format!("s{stage}b{block}.pw1"),
+                ConvShape::dense(dim, dim * EXPANSION, 1, 1, 0, size),
+            ));
+            index += 1;
+            layers.push(Layer::conv(
+                index,
+                format!("s{stage}b{block}.pw2"),
+                ConvShape::dense(dim * EXPANSION, dim, 1, 1, 0, size),
+            ));
+            index += 1;
+        }
+    }
+
+    let net = Network::new("convnext_tiny", layers);
+    net.assert_valid();
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm::GemmDims;
+
+    #[test]
+    fn has_55_layers_matching_fig7() {
+        let net = convnext_tiny();
+        assert_eq!(net.len(), 55);
+        assert_eq!(net.layer(1).unwrap().name, "stem");
+        assert_eq!(net.layer(55).unwrap().name, "s4b3.pw2");
+    }
+
+    #[test]
+    fn stage_boundaries_match_the_paper_mode_regions() {
+        let net = convnext_tiny();
+        // Layers 2-10: stage 1 at 56x56 (T = 3136).
+        assert_eq!(net.layer(2).unwrap().gemm_dims().t, 3136);
+        assert_eq!(net.layer(10).unwrap().gemm_dims().t, 3136);
+        // Layer 11 starts stage 2 at 28x28 (T = 784).
+        assert_eq!(net.layer(11).unwrap().gemm_dims().t, 784);
+        assert_eq!(net.layer(19).unwrap().gemm_dims().t, 784);
+        // Layer 20 starts stage 3 at 14x14 (T = 196).
+        assert_eq!(net.layer(20).unwrap().gemm_dims().t, 196);
+        assert_eq!(net.layer(46).unwrap().gemm_dims().t, 196);
+        // Layer 47 starts stage 4 at 7x7 (T = 49).
+        assert_eq!(net.layer(47).unwrap().gemm_dims().t, 49);
+        assert_eq!(net.layer(55).unwrap().gemm_dims().t, 49);
+    }
+
+    #[test]
+    fn stem_shape_is_patchify() {
+        assert_eq!(
+            convnext_tiny().layer(1).unwrap().gemm_dims(),
+            GemmDims::new(96, 48, 3136)
+        );
+    }
+
+    #[test]
+    fn expansion_layers_quadruple_the_channel_count() {
+        let net = convnext_tiny();
+        let pw1 = net.layer(3).unwrap().gemm_dims();
+        let pw2 = net.layer(4).unwrap().gemm_dims();
+        assert_eq!(pw1.m, 384);
+        assert_eq!(pw1.n, 96);
+        assert_eq!(pw2.m, 96);
+        assert_eq!(pw2.n, 384);
+    }
+
+    #[test]
+    fn total_macs_are_in_the_published_ballpark() {
+        // ConvNeXt-T is quoted at ~4.5 GMACs for 224x224 inputs; the 55-layer
+        // table (without downsampling layers and the head) is slightly below.
+        let gmacs = convnext_tiny().total_macs() as f64 / 1e9;
+        assert!(
+            (3.9..=4.6).contains(&gmacs),
+            "ConvNeXt-T MACs {gmacs} GMACs out of expected range"
+        );
+    }
+
+    #[test]
+    fn convnext_is_much_heavier_than_the_other_networks() {
+        // The paper normalizes Fig. 8 because ConvNeXt's execution time is
+        // significantly higher than ResNet-34's and MobileNet's.
+        let convnext = convnext_tiny().total_macs();
+        let resnet = super::super::resnet34().total_macs();
+        let mobilenet = super::super::mobilenet_v1().total_macs();
+        assert!(convnext > resnet);
+        assert!(resnet > mobilenet);
+    }
+}

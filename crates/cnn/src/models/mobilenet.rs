@@ -1,0 +1,130 @@
+//! MobileNetV1 layer table (Howard et al., 2017) for 224x224 inputs, width
+//! multiplier 1.0.
+
+use crate::layer::Layer;
+use crate::network::Network;
+use gemm::ConvShape;
+
+/// Configuration of the 13 depthwise-separable blocks: (input channels,
+/// output channels of the pointwise convolution, stride of the depthwise
+/// convolution, spatial input size of the block).
+const BLOCKS: [(usize, usize, usize, usize); 13] = [
+    (32, 64, 1, 112),
+    (64, 128, 2, 112),
+    (128, 128, 1, 56),
+    (128, 256, 2, 56),
+    (256, 256, 1, 28),
+    (256, 512, 2, 28),
+    (512, 512, 1, 14),
+    (512, 512, 1, 14),
+    (512, 512, 1, 14),
+    (512, 512, 1, 14),
+    (512, 512, 1, 14),
+    (512, 1024, 2, 14),
+    (1024, 1024, 1, 7),
+];
+
+/// Builds the MobileNetV1 layer table: the full-convolution stem, 13
+/// depthwise-separable blocks (a 3x3 depthwise convolution followed by a 1x1
+/// pointwise convolution each) and the classifier — 28 layers in total.
+#[must_use]
+pub fn mobilenet_v1() -> Network {
+    let mut layers = Vec::with_capacity(28);
+    let mut index = 1u32;
+
+    layers.push(Layer::conv(
+        index,
+        "conv1",
+        ConvShape::dense(3, 32, 3, 2, 1, 224),
+    ));
+    index += 1;
+
+    for (block, (in_ch, out_ch, stride, input)) in BLOCKS.into_iter().enumerate() {
+        let block = block + 1;
+        layers.push(Layer::conv(
+            index,
+            format!("dw{block}"),
+            ConvShape::depthwise(in_ch, 3, stride, 1, input),
+        ));
+        index += 1;
+        let pw_input = input / stride;
+        layers.push(Layer::conv(
+            index,
+            format!("pw{block}"),
+            ConvShape::dense(in_ch, out_ch, 1, 1, 0, pw_input),
+        ));
+        index += 1;
+    }
+
+    layers.push(Layer::fully_connected(index, "fc", 1024, 1000));
+
+    let net = Network::new("mobilenet_v1", layers);
+    net.assert_valid();
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::DepthwiseMapping;
+    use gemm::GemmDims;
+
+    #[test]
+    fn has_28_layers() {
+        let net = mobilenet_v1();
+        assert_eq!(net.len(), 28);
+        assert_eq!(net.layer(1).unwrap().name, "conv1");
+        assert_eq!(net.layer(28).unwrap().name, "fc");
+    }
+
+    #[test]
+    fn alternates_depthwise_and_pointwise_layers() {
+        let net = mobilenet_v1();
+        for i in 0..13u32 {
+            let dw = net.layer(2 + 2 * i).unwrap();
+            let pw = net.layer(3 + 2 * i).unwrap();
+            assert!(dw.is_depthwise(), "layer {} should be depthwise", dw.index);
+            assert!(pw.is_pointwise(), "layer {} should be pointwise", pw.index);
+        }
+    }
+
+    #[test]
+    fn final_pointwise_layer_shape() {
+        let net = mobilenet_v1();
+        // pw13: 1024 -> 1024 at 7x7.
+        assert_eq!(
+            net.layer(27).unwrap().gemm_dims(),
+            GemmDims::new(1024, 1024, 49)
+        );
+    }
+
+    #[test]
+    fn total_macs_match_the_published_count() {
+        // The MobileNet paper quotes ~569 million mult-adds at 224x224.
+        let mmacs = mobilenet_v1().total_macs() as f64 / 1e6;
+        assert!(
+            (520.0..=620.0).contains(&mmacs),
+            "MobileNetV1 MACs {mmacs} MMACs out of expected range"
+        );
+    }
+
+    #[test]
+    fn per_group_mapping_preserves_mac_count() {
+        let net = mobilenet_v1();
+        let block: u64 = net
+            .gemms(DepthwiseMapping::PerGroup)
+            .iter()
+            .map(|g| g.macs())
+            .sum();
+        assert_eq!(block, net.total_macs());
+    }
+
+    #[test]
+    fn spatial_resolution_shrinks_from_112_to_7() {
+        let net = mobilenet_v1();
+        let first_dw_t = net.layer(2).unwrap().gemm_dims().t;
+        let last_pw_t = net.layer(27).unwrap().gemm_dims().t;
+        assert_eq!(first_dw_t, 112 * 112);
+        assert_eq!(last_pw_t, 49);
+    }
+}

@@ -1,0 +1,58 @@
+//! Built-in layer tables of the CNNs evaluated in the paper.
+//!
+//! The paper's evaluation runs single-batch inference of three networks:
+//! ResNet-34, MobileNetV1 and ConvNeXt(-Tiny). The tables here list, for
+//! every layer, the convolution shape from which the GEMM dimensions
+//! `(M, N, T)` follow. Layer indices match the numbering the paper uses in
+//! Fig. 5 (ResNet-34 layers 20 and 28) and Fig. 7 (ConvNeXt layers 1–55):
+//! projection/downsample convolutions and pooling are not counted.
+
+mod convnext;
+mod mobilenet;
+mod resnet;
+mod synthetic;
+mod transformer;
+mod vgg;
+
+pub use convnext::convnext_tiny;
+pub use mobilenet::mobilenet_v1;
+pub use resnet::{resnet18, resnet34, resnet34_with_projections, resnet50};
+pub use synthetic::synthetic_cnn;
+pub use transformer::{bert_base, transformer_encoder, TransformerConfig};
+pub use vgg::vgg16;
+
+use crate::network::Network;
+
+/// All networks used in the paper's evaluation (Figs. 8 and 9), in the order
+/// the paper lists them.
+#[must_use]
+pub fn paper_evaluation_networks() -> Vec<Network> {
+    vec![resnet34(), mobilenet_v1(), convnext_tiny()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtin_networks_are_structurally_valid() {
+        for net in paper_evaluation_networks() {
+            net.assert_valid();
+        }
+        resnet18().assert_valid();
+        resnet50().assert_valid();
+        resnet34_with_projections().assert_valid();
+        vgg16().assert_valid();
+        bert_base(128).assert_valid();
+        synthetic_cnn(6, 32, 64).assert_valid();
+    }
+
+    #[test]
+    fn evaluation_set_has_three_networks() {
+        let nets = paper_evaluation_networks();
+        assert_eq!(nets.len(), 3);
+        assert_eq!(nets[0].name(), "resnet34");
+        assert_eq!(nets[1].name(), "mobilenet_v1");
+        assert_eq!(nets[2].name(), "convnext_tiny");
+    }
+}

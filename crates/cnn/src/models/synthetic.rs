@@ -1,0 +1,101 @@
+//! Small synthetic CNNs for tests, examples and property-based exploration.
+
+use crate::layer::Layer;
+use crate::network::Network;
+use gemm::ConvShape;
+
+/// Builds a small synthetic CNN with `depth` convolution stages, starting at
+/// `base_channels` channels and `input_size` spatial resolution. Every stage
+/// doubles the channel count and halves the spatial size (down to a minimum
+/// of 4x4), mirroring the "later layers have small `T` and large `N`"
+/// structure that makes shallow pipelining attractive in real networks.
+///
+/// The network ends with a small classifier so that it exercises the same
+/// layer kinds as the built-in tables. This generator is deterministic.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero or `input_size < 8`.
+#[must_use]
+pub fn synthetic_cnn(depth: u32, base_channels: usize, input_size: usize) -> Network {
+    assert!(depth > 0, "synthetic CNN needs at least one stage");
+    assert!(input_size >= 8, "synthetic CNN input must be at least 8x8");
+    let mut layers = Vec::new();
+    let mut index = 1u32;
+    let mut channels = base_channels;
+    let mut size = input_size;
+
+    layers.push(Layer::conv(
+        index,
+        "stem",
+        ConvShape::dense(3, channels, 3, 1, 1, size),
+    ));
+    index += 1;
+
+    for stage in 1..=depth {
+        let next_channels = channels * 2;
+        let stride = if size > 4 { 2 } else { 1 };
+        layers.push(Layer::conv(
+            index,
+            format!("stage{stage}.reduce"),
+            ConvShape::dense(channels, next_channels, 3, stride, 1, size),
+        ));
+        index += 1;
+        size = if stride == 2 { size / 2 } else { size };
+        layers.push(Layer::conv(
+            index,
+            format!("stage{stage}.conv"),
+            ConvShape::dense(next_channels, next_channels, 3, 1, 1, size),
+        ));
+        index += 1;
+        channels = next_channels;
+    }
+
+    layers.push(Layer::fully_connected(index, "fc", channels as u64, 10));
+
+    let net = Network::new(format!("synthetic_d{depth}_c{base_channels}"), layers);
+    net.assert_valid();
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_grows_with_depth() {
+        assert_eq!(synthetic_cnn(1, 8, 32).len(), 4);
+        assert_eq!(synthetic_cnn(3, 8, 32).len(), 8);
+    }
+
+    #[test]
+    fn channels_double_and_resolution_halves() {
+        let net = synthetic_cnn(2, 16, 64);
+        let first = net.layer(2).unwrap().gemm_dims();
+        let second = net.layer(4).unwrap().gemm_dims();
+        assert_eq!(first.m * 2, second.m);
+        assert!(first.t > second.t);
+    }
+
+    #[test]
+    fn deep_networks_clamp_the_spatial_size() {
+        // Depth deliberately larger than log2(input) to hit the clamp path.
+        let net = synthetic_cnn(6, 4, 16);
+        net.assert_valid();
+        for layer in net.layers() {
+            assert!(layer.gemm_dims().t >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_depth_panics() {
+        let _ = synthetic_cnn(0, 8, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x8")]
+    fn tiny_input_panics() {
+        let _ = synthetic_cnn(1, 8, 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! VGG-16 layer table (Simonyan & Zisserman, 2015) for 224x224 inputs.
+//!
+//! VGG-16 is not part of the paper's evaluation; it is included as an
+//! additional workload because its layers are uniformly 3x3 convolutions
+//! with large spatial extents, i.e. almost every layer has a very large `T`
+//! and Equation (7) predicts normal pipeline mode nearly everywhere — a
+//! useful contrast to ConvNeXt.
+
+use crate::layer::Layer;
+use crate::network::Network;
+use gemm::ConvShape;
+
+/// Per-stage configuration: (number of 3x3 convolutions, channels, input
+/// spatial size of the stage).
+const STAGES: [(u32, usize, usize); 5] = [
+    (2, 64, 224),
+    (2, 128, 112),
+    (3, 256, 56),
+    (3, 512, 28),
+    (3, 512, 14),
+];
+
+/// Builds the VGG-16 layer table: 13 convolutions plus the three
+/// fully-connected classifier layers.
+#[must_use]
+pub fn vgg16() -> Network {
+    let mut layers = Vec::new();
+    let mut index = 1u32;
+    let mut in_channels = 3;
+    for (stage_idx, (convs, channels, size)) in STAGES.into_iter().enumerate() {
+        let stage = stage_idx + 1;
+        for conv in 1..=convs {
+            layers.push(Layer::conv(
+                index,
+                format!("conv{stage}_{conv}"),
+                ConvShape::dense(in_channels, channels, 3, 1, 1, size),
+            ));
+            index += 1;
+            in_channels = channels;
+        }
+    }
+    layers.push(Layer::fully_connected(index, "fc6", 512 * 7 * 7, 4096));
+    index += 1;
+    layers.push(Layer::fully_connected(index, "fc7", 4096, 4096));
+    index += 1;
+    layers.push(Layer::fully_connected(index, "fc8", 4096, 1000));
+    let net = Network::new("vgg16", layers);
+    net.assert_valid();
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm::GemmDims;
+
+    #[test]
+    fn has_16_layers() {
+        let net = vgg16();
+        assert_eq!(net.len(), 16);
+        assert_eq!(net.layer(1).unwrap().name, "conv1_1");
+        assert_eq!(net.layer(16).unwrap().name, "fc8");
+    }
+
+    #[test]
+    fn first_and_last_conv_shapes() {
+        let net = vgg16();
+        assert_eq!(
+            net.layer(1).unwrap().gemm_dims(),
+            GemmDims::new(64, 27, 224 * 224)
+        );
+        assert_eq!(
+            net.layer(13).unwrap().gemm_dims(),
+            GemmDims::new(512, 4608, 196)
+        );
+        assert_eq!(
+            net.layer(14).unwrap().gemm_dims(),
+            GemmDims::new(4096, 25088, 1)
+        );
+    }
+
+    #[test]
+    fn total_macs_match_the_published_count() {
+        // VGG-16 is commonly quoted at ~15.5 GMACs for 224x224 inputs.
+        let gmacs = vgg16().total_macs() as f64 / 1e9;
+        assert!((14.0..=16.5).contains(&gmacs), "VGG-16 {gmacs} GMACs");
+    }
+
+    #[test]
+    fn spatial_extent_stays_large_until_the_classifier() {
+        let net = vgg16();
+        for layer in net.layers().iter().take(13) {
+            assert!(layer.gemm_dims().t >= 196);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Conventional-vs-ArrayFlex comparisons and evaluation sweeps.
+//!
+//! The paper's evaluation (Figs. 7–9 and the energy-delay-product summary)
+//! always contrasts the proposed ArrayFlex array, configuring its pipeline
+//! per layer, against a conventional fixed-pipeline array running at its
+//! higher clock frequency. [`NetworkComparison`] packages one such contrast
+//! for one network and one array size; [`EvaluationSweep`] runs the full
+//! cross product of networks and array sizes used in the paper.
+
+use crate::error::ArrayFlexError;
+use crate::model::ArrayFlexModel;
+use crate::plan::NetworkPlan;
+use cnn::{DepthwiseMapping, Network};
+use hw_model::EdpComparison;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two plans (baseline and proposed) for one network on one array size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkComparison {
+    /// Name of the network.
+    pub network_name: String,
+    /// Array rows.
+    pub rows: u32,
+    /// Array columns.
+    pub cols: u32,
+    /// Execution plan on the conventional fixed-pipeline array.
+    pub conventional: NetworkPlan,
+    /// Execution plan on ArrayFlex with per-layer pipeline configuration.
+    pub arrayflex: NetworkPlan,
+}
+
+impl NetworkComparison {
+    /// The energy/time comparison of the two plans.
+    #[must_use]
+    pub fn edp(&self) -> EdpComparison {
+        EdpComparison {
+            baseline: self.conventional.energy_report(),
+            proposed: self.arrayflex.energy_report(),
+        }
+    }
+
+    /// Fractional execution-time saving of ArrayFlex (the paper reports
+    /// 9 %–11 %).
+    #[must_use]
+    pub fn time_saving(&self) -> f64 {
+        self.edp().time_saving()
+    }
+
+    /// Fractional average-power saving of ArrayFlex (the paper reports
+    /// 13 %–23 % depending on array size).
+    #[must_use]
+    pub fn power_saving(&self) -> f64 {
+        self.edp().power_saving()
+    }
+
+    /// Energy-delay-product gain of ArrayFlex (the paper reports 1.4x–1.8x).
+    #[must_use]
+    pub fn edp_gain(&self) -> f64 {
+        self.edp().edp_gain()
+    }
+
+    /// Per-layer execution-time saving of ArrayFlex over the conventional
+    /// array, in layer order (the data behind Fig. 7). Negative values mean
+    /// the conventional array finished that particular layer earlier.
+    #[must_use]
+    pub fn per_layer_time_saving(&self) -> Vec<(u32, f64)> {
+        self.conventional
+            .layers
+            .iter()
+            .zip(&self.arrayflex.layers)
+            .map(|(base, prop)| {
+                let saving = 1.0 - prop.time().value() / base.time().value();
+                (base.layer_index, saving)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for NetworkComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}x{}: time saving {:.1}%, power saving {:.1}%, EDP gain {:.2}x",
+            self.network_name,
+            self.rows,
+            self.cols,
+            self.time_saving() * 100.0,
+            self.power_saving() * 100.0,
+            self.edp_gain()
+        )
+    }
+}
+
+/// Compares the two designs for one network on one array model.
+///
+/// # Errors
+///
+/// Returns an error if any layer lowers to an invalid GEMM.
+pub fn compare_network(
+    model: &ArrayFlexModel,
+    network: &Network,
+    mapping: DepthwiseMapping,
+) -> Result<NetworkComparison, ArrayFlexError> {
+    Ok(NetworkComparison {
+        network_name: network.name().to_owned(),
+        rows: model.rows(),
+        cols: model.cols(),
+        conventional: model.plan_conventional(network, mapping)?,
+        arrayflex: model.plan_arrayflex(network, mapping)?,
+    })
+}
+
+/// The cross product of networks and array sizes evaluated in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvaluationSweep {
+    /// Square array sizes to evaluate (the paper uses 128 and 256).
+    pub array_sizes: Vec<u32>,
+    /// Depthwise mapping policy for the CNN layer tables.
+    pub mapping: DepthwiseMapping,
+}
+
+impl EvaluationSweep {
+    /// The sweep used in Figs. 8 and 9 of the paper: 128x128 and 256x256
+    /// arrays, block-diagonal depthwise mapping.
+    #[must_use]
+    pub fn date23() -> Self {
+        Self {
+            array_sizes: vec![128, 256],
+            mapping: DepthwiseMapping::BlockDiagonal,
+        }
+    }
+
+    /// Runs the sweep over the given networks, returning one comparison per
+    /// (array size, network) pair, grouped by array size in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a model cannot be constructed or a network cannot
+    /// be planned.
+    pub fn run(&self, networks: &[Network]) -> Result<Vec<NetworkComparison>, ArrayFlexError> {
+        let mut results = Vec::with_capacity(self.array_sizes.len() * networks.len());
+        for &size in &self.array_sizes {
+            let model = ArrayFlexModel::new(size, size)?;
+            for network in networks {
+                results.push(compare_network(&model, network, self.mapping)?);
+            }
+        }
+        Ok(results)
+    }
+}
+
+impl Default for EvaluationSweep {
+    fn default() -> Self {
+        Self::date23()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn::models::{convnext_tiny, mobilenet_v1, paper_evaluation_networks, resnet34};
+
+    fn compare(rows: u32, network: &Network) -> NetworkComparison {
+        let model = ArrayFlexModel::new(rows, rows).unwrap();
+        compare_network(&model, network, DepthwiseMapping::default()).unwrap()
+    }
+
+    #[test]
+    fn convnext_on_128_matches_the_fig7_story() {
+        let cmp = compare(128, &convnext_tiny());
+        // Total time saving of about 11% (Fig. 7); allow a generous band
+        // since our clock calibration is analytical.
+        let saving = cmp.time_saving();
+        assert!(
+            (0.05..=0.20).contains(&saving),
+            "ConvNeXt time saving {saving} outside the expected band"
+        );
+        // Early layers are faster on the conventional array, later layers on
+        // ArrayFlex.
+        let per_layer = cmp.per_layer_time_saving();
+        assert!(per_layer[1].1 < 0.0, "layer 2 should favour the conventional SA");
+        assert!(per_layer[50].1 > 0.0, "layer 51 should favour ArrayFlex");
+    }
+
+    #[test]
+    fn every_paper_network_sees_a_positive_time_saving() {
+        for network in paper_evaluation_networks() {
+            for size in [128u32, 256] {
+                let cmp = compare(size, &network);
+                assert!(
+                    cmp.time_saving() > 0.0,
+                    "{} on {size}: expected ArrayFlex to be faster",
+                    network.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_saving_and_edp_gain_are_positive() {
+        let cmp = compare(128, &resnet34());
+        assert!(cmp.power_saving() > 0.0);
+        assert!(cmp.edp_gain() > 1.0);
+        assert!(cmp.to_string().contains("EDP gain"));
+    }
+
+    #[test]
+    fn larger_arrays_save_more_power_for_mobilenet() {
+        // The paper reports 13-15% power savings on 128x128 arrays and
+        // 17-23% on 256x256 arrays.
+        let small = compare(128, &mobilenet_v1());
+        let large = compare(256, &mobilenet_v1());
+        assert!(large.power_saving() > small.power_saving());
+    }
+
+    #[test]
+    fn sweep_covers_every_network_and_size() {
+        let sweep = EvaluationSweep::date23();
+        let networks = paper_evaluation_networks();
+        let results = sweep.run(&networks).unwrap();
+        assert_eq!(results.len(), 6);
+        assert_eq!(results[0].rows, 128);
+        assert_eq!(results[5].rows, 256);
+        assert_eq!(EvaluationSweep::default(), sweep);
+    }
+
+    #[test]
+    fn per_layer_savings_align_with_layer_indices() {
+        let cmp = compare(128, &resnet34());
+        let per_layer = cmp.per_layer_time_saving();
+        assert_eq!(per_layer.len(), 34);
+        assert_eq!(per_layer[0].0, 1);
+        assert_eq!(per_layer[33].0, 34);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type of the ArrayFlex core crate.
+
+use gemm::GemmError;
+use hw_model::HwModelError;
+use sa_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ArrayFlex analytical models, optimizer and
+/// scheduler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArrayFlexError {
+    /// An error propagated from the hardware (timing/power/area) models.
+    HwModel(HwModelError),
+    /// An error propagated from the matrix/GEMM substrate.
+    Gemm(GemmError),
+    /// An error propagated from the cycle-accurate simulator.
+    Sim(SimError),
+    /// The requested configuration is inconsistent (for example an empty
+    /// set of selectable pipeline depths).
+    InvalidConfiguration {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArrayFlexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::HwModel(e) => write!(f, "hardware model error: {e}"),
+            Self::Gemm(e) => write!(f, "matrix error: {e}"),
+            Self::Sim(e) => write!(f, "simulator error: {e}"),
+            Self::InvalidConfiguration { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ArrayFlexError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::HwModel(e) => Some(e),
+            Self::Gemm(e) => Some(e),
+            Self::Sim(e) => Some(e),
+            Self::InvalidConfiguration { .. } => None,
+        }
+    }
+}
+
+impl From<HwModelError> for ArrayFlexError {
+    fn from(e: HwModelError) -> Self {
+        Self::HwModel(e)
+    }
+}
+
+impl From<GemmError> for ArrayFlexError {
+    fn from(e: GemmError) -> Self {
+        Self::Gemm(e)
+    }
+}
+
+impl From<SimError> for ArrayFlexError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: ArrayFlexError = HwModelError::ZeroCollapseDepth.into();
+        assert!(e.to_string().contains("hardware model"));
+        assert!(e.source().is_some());
+        let e: ArrayFlexError = GemmError::EmptyMatrix.into();
+        assert!(e.source().is_some());
+        let e: ArrayFlexError = SimError::InvalidConfig {
+            reason: "x".to_owned(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        let e = ArrayFlexError::InvalidConfiguration {
+            reason: "no depths".to_owned(),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("no depths"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ArrayFlexError>();
+    }
+}

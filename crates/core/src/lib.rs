@@ -1,0 +1,81 @@
+//! ArrayFlex: a systolic array architecture with configurable transparent
+//! pipelining — the paper's primary contribution, reproduced as a Rust
+//! library.
+//!
+//! ArrayFlex merges `k` adjacent pipeline stages of a weight-stationary
+//! systolic array by making the intermediate pipeline registers transparent,
+//! trading clock frequency for cycle count; the best `k` is chosen
+//! independently for every CNN layer so that the absolute execution time is
+//! minimized, and the lower clock frequency plus the clock gating of the
+//! transparent registers simultaneously reduce power.
+//!
+//! The crate exposes, layer by layer of the paper:
+//!
+//! * [`model`] — the analytical latency/time/power/energy model of one array
+//!   instance (Equations 1–6), for the conventional baseline and ArrayFlex;
+//! * [`optimizer`] — the continuous-relaxation optimum `k_hat` of Equation
+//!   (7) and the discrete per-layer mode selection;
+//! * [`plan`] — whole-network scheduling (which mode every layer runs in,
+//!   and the resulting per-layer/total time, power and energy);
+//! * [`comparison`] — conventional-vs-ArrayFlex comparisons and the full
+//!   evaluation sweep of the paper (three CNNs, two array sizes);
+//! * [`executor`] — cycle-accurate validation of the analytical model on the
+//!   register-level simulator from [`sa_sim`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use arrayflex::{compare_network, ArrayFlexModel};
+//! use cnn::models::resnet34;
+//! use cnn::DepthwiseMapping;
+//!
+//! let model = ArrayFlexModel::new(128, 128)?;
+//! let comparison = compare_network(&model, &resnet34(), DepthwiseMapping::default())?;
+//! // ArrayFlex finishes the inference faster than the fixed-pipeline array
+//! // while drawing less average power.
+//! assert!(comparison.time_saving() > 0.0);
+//! assert!(comparison.power_saving() > 0.0);
+//! assert!(comparison.edp_gain() > 1.0);
+//! # Ok::<(), arrayflex::ArrayFlexError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod error;
+pub mod executor;
+pub mod model;
+pub mod objective;
+pub mod optimizer;
+pub mod plan;
+
+pub use comparison::{compare_network, EvaluationSweep, NetworkComparison};
+pub use error::ArrayFlexError;
+pub use executor::SimulatedExecution;
+pub use model::{ArrayFlexModel, LayerExecution};
+pub use objective::Objective;
+pub use optimizer::PipelineChoice;
+pub use plan::{LayerPlan, ModeShare, NetworkPlan};
+
+// Re-export the substrate crates so downstream users (examples, benches)
+// need only depend on `arrayflex`.
+pub use cnn;
+pub use gemm;
+pub use hw_model;
+pub use sa_sim;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArrayFlexModel>();
+        assert_send_sync::<NetworkPlan>();
+        assert_send_sync::<NetworkComparison>();
+        assert_send_sync::<ArrayFlexError>();
+        assert_send_sync::<PipelineChoice>();
+    }
+}

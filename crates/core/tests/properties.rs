@@ -1,0 +1,122 @@
+//! Property-based tests of the ArrayFlex analytical model, optimizer and
+//! scheduler.
+
+use arrayflex::ArrayFlexModel;
+use cnn::models::synthetic_cnn;
+use cnn::DepthwiseMapping;
+use gemm::GemmDims;
+use proptest::prelude::*;
+
+fn dims_strategy() -> impl Strategy<Value = GemmDims> {
+    (1u64..=4096, 1u64..=8192, 1u64..=8192).prop_map(|(m, n, t)| GemmDims::new(m, n, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equation (4): the total cycle count scales exactly with the number of
+    /// tiles, and collapsing can never increase it.
+    #[test]
+    fn cycle_counts_scale_with_tiles(dims in dims_strategy(), k in 1u32..=4) {
+        let model = ArrayFlexModel::new(128, 128).unwrap();
+        let cycles = model.total_cycles(dims, k).unwrap();
+        let tiles = model.tiles(dims).unwrap();
+        prop_assert_eq!(cycles % tiles, 0);
+        let per_tile = cycles / tiles;
+        // Per-tile latency: R + ceil(R/k) + ceil(C/k) + T - 2.
+        let expected = 128 + u64::from(128u32.div_ceil(k)) * 2 + dims.t - 2;
+        prop_assert_eq!(per_tile, expected);
+        prop_assert!(model.total_cycles(dims, 4).unwrap() <= model.total_cycles(dims, 1).unwrap());
+    }
+
+    /// The closed-form estimate of Equation (7) is monotone: it decreases
+    /// with the streaming dimension T and increases with the array size.
+    #[test]
+    fn continuous_optimum_is_monotone(m in 1u64..=2048, n in 1u64..=4096, t in 2u64..=4096) {
+        let small = ArrayFlexModel::new(64, 64).unwrap();
+        let large = ArrayFlexModel::new(256, 256).unwrap();
+        let dims = GemmDims::new(m, n, t);
+        let shorter_stream = GemmDims::new(m, n, t / 2 + 1);
+        prop_assert!(small.continuous_optimal_depth(dims) <= small.continuous_optimal_depth(shorter_stream) + 1e-12);
+        prop_assert!(large.continuous_optimal_depth(dims) >= small.continuous_optimal_depth(dims));
+    }
+
+    /// The optimizer's discrete choice minimizes the absolute execution
+    /// time over the supported modes and never selects an unsupported one.
+    #[test]
+    fn optimal_depth_is_argmin(dims in dims_strategy()) {
+        let model = ArrayFlexModel::new(128, 128).unwrap();
+        let choice = model.optimal_depth(dims).unwrap();
+        prop_assert!([1u32, 2, 4].contains(&choice.collapse_depth));
+        for k in [1u32, 2, 4] {
+            let execution = model.execute_arrayflex(dims, k).unwrap();
+            prop_assert!(choice.execution.time <= execution.time);
+        }
+    }
+
+    /// Utilization never exceeds one and grows (or stays equal) when the
+    /// GEMM fills the array better.
+    #[test]
+    fn utilization_is_bounded(dims in dims_strategy(), k in 1u32..=4) {
+        let model = ArrayFlexModel::new(128, 128).unwrap();
+        let utilization = model.utilization(dims, k).unwrap();
+        prop_assert!((0.0..=1.0).contains(&utilization));
+        let bigger = GemmDims::new(dims.m * 2, dims.n, dims.t);
+        let u_bigger = model.utilization(bigger, k).unwrap();
+        // Doubling M can only improve or keep the spatial fill of columns.
+        prop_assert!(u_bigger + 1e-12 >= utilization * 0.5);
+    }
+
+    /// Planning a synthetic network always yields totals equal to the sum
+    /// of its layers and never makes ArrayFlex slower than the best single
+    /// fixed depth.
+    #[test]
+    fn planning_invariants_hold_for_synthetic_networks(
+        depth in 1u32..=4,
+        base_channels in 4usize..=32,
+        seed_size in 0usize..3,
+    ) {
+        let input_size = [32usize, 56, 64][seed_size];
+        let network = synthetic_cnn(depth, base_channels, input_size);
+        let model = ArrayFlexModel::new(64, 64).unwrap();
+        let plan = model.plan_arrayflex(&network, DepthwiseMapping::default()).unwrap();
+        let sum: f64 = plan.layers.iter().map(|l| l.time().value()).sum();
+        prop_assert!((plan.total_time().value() - sum).abs() < 1e-9);
+        for k in [1u32, 2, 4] {
+            let fixed = model
+                .plan_arrayflex_fixed(&network, DepthwiseMapping::default(), k)
+                .unwrap();
+            prop_assert!(plan.total_time() <= fixed.total_time());
+        }
+        // Every layer's chosen depth is one of the supported modes.
+        for layer in &plan.layers {
+            prop_assert!([1u32, 2, 4].contains(&layer.execution.collapse_depth));
+        }
+    }
+
+    /// Energy-delay product comparisons are scale invariant: multiplying
+    /// both designs' power by the same factor leaves the EDP gain unchanged
+    /// (sanity of the comparison arithmetic).
+    #[test]
+    fn edp_gain_is_power_scale_invariant(dims in dims_strategy(), scale in 0.5f64..4.0) {
+        use hw_model::{EdpComparison, EnergyReport, Microseconds, Milliwatts};
+        let model = ArrayFlexModel::new(128, 128).unwrap();
+        let conv = model.execute_conventional(dims).unwrap();
+        let af = model.execute_arrayflex(dims, 2).unwrap();
+        let base = EdpComparison {
+            baseline: conv.energy_report(),
+            proposed: af.energy_report(),
+        };
+        let scaled = EdpComparison {
+            baseline: EnergyReport::from_power(
+                Milliwatts::new(conv.power.value() * scale),
+                Microseconds::new(conv.time.value()),
+            ),
+            proposed: EnergyReport::from_power(
+                Milliwatts::new(af.power.value() * scale),
+                Microseconds::new(af.time.value()),
+            ),
+        };
+        prop_assert!((base.edp_gain() - scaled.edp_gain()).abs() < 1e-6 * base.edp_gain());
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the matrix/GEMM substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix construction and GEMM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GemmError {
+    /// A matrix was constructed from a data vector whose length does not
+    /// match `rows * cols`.
+    ShapeMismatch {
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+        /// Actual number of elements supplied.
+        elements: usize,
+    },
+    /// Two matrices with incompatible inner dimensions were multiplied.
+    IncompatibleDimensions {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// A matrix with a zero dimension was requested where it is not allowed.
+    EmptyMatrix,
+    /// A tile or submatrix request exceeded the bounds of the source matrix.
+    OutOfBounds {
+        /// Human-readable description of the violated bound.
+        what: &'static str,
+    },
+    /// A convolution layer shape was inconsistent (for example the kernel is
+    /// larger than the padded input).
+    InvalidConvolution {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch {
+                rows,
+                cols,
+                elements,
+            } => write!(
+                f,
+                "cannot build a {rows}x{cols} matrix from {elements} elements"
+            ),
+            Self::IncompatibleDimensions {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "cannot multiply: left operand has {left_cols} columns but right operand has {right_rows} rows"
+            ),
+            Self::EmptyMatrix => write!(f, "matrix dimensions must be non-zero"),
+            Self::OutOfBounds { what } => write!(f, "index out of bounds: {what}"),
+            Self::InvalidConvolution { reason } => {
+                write!(f, "invalid convolution shape: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GemmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offending_values() {
+        let e = GemmError::ShapeMismatch {
+            rows: 2,
+            cols: 3,
+            elements: 5,
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains('5'));
+        let e = GemmError::IncompatibleDimensions {
+            left_cols: 4,
+            right_rows: 7,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('7'));
+        assert!(!GemmError::EmptyMatrix.to_string().is_empty());
+        assert!(GemmError::OutOfBounds { what: "tile row" }
+            .to_string()
+            .contains("tile row"));
+        assert!(GemmError::InvalidConvolution {
+            reason: "kernel larger than input".to_owned()
+        }
+        .to_string()
+        .contains("kernel"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GemmError>();
+    }
+}

@@ -1,0 +1,141 @@
+//! Deterministic generation of GEMM workloads for tests and benchmarks.
+
+use crate::matrix::Matrix;
+use crate::problem::GemmDims;
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Inclusive bounds for randomly generated GEMM dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimBounds {
+    /// Minimum value of every dimension.
+    pub min: u64,
+    /// Maximum value of every dimension.
+    pub max: u64,
+}
+
+impl Default for DimBounds {
+    fn default() -> Self {
+        Self { min: 1, max: 512 }
+    }
+}
+
+/// A generated GEMM workload: the problem dimensions plus concrete operand
+/// matrices filled with small signed values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GemmWorkload {
+    /// The GEMM dimensions of this workload.
+    pub dims: GemmDims,
+    /// The streamed operand `A` (`T x N`).
+    pub a: Matrix<i32>,
+    /// The stationary operand `B` (`N x M`).
+    pub b: Matrix<i32>,
+}
+
+/// Deterministic workload generator.
+///
+/// # Examples
+///
+/// ```
+/// use gemm::workload::{DimBounds, WorkloadGenerator};
+///
+/// let mut generator = WorkloadGenerator::new(7);
+/// let w = generator.random_workload(DimBounds { min: 2, max: 16 });
+/// assert_eq!(w.a.rows() as u64, w.dims.t);
+/// assert_eq!(w.b.cols() as u64, w.dims.m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadGenerator {
+    rng: SplitMix64,
+    value_range: (i32, i32),
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with the given seed and the default value range
+    /// of `[-128, 127]` (8-bit-like magnitudes inside the 32-bit container).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+            value_range: (-128, 127),
+        }
+    }
+
+    /// Overrides the range of generated operand values.
+    #[must_use]
+    pub fn with_value_range(mut self, low: i32, high: i32) -> Self {
+        self.value_range = (low.min(high), high.max(low));
+        self
+    }
+
+    /// Generates random GEMM dimensions within the given bounds.
+    pub fn random_dims(&mut self, bounds: DimBounds) -> GemmDims {
+        let lo = bounds.min.max(1);
+        let hi = bounds.max.max(lo);
+        let pick = |rng: &mut SplitMix64| lo + rng.next_u64() % (hi - lo + 1);
+        GemmDims::new(
+            pick(&mut self.rng),
+            pick(&mut self.rng),
+            pick(&mut self.rng),
+        )
+    }
+
+    /// Generates concrete operand matrices for the given dimensions.
+    pub fn matrices_for(&mut self, dims: GemmDims) -> GemmWorkload {
+        let (lo, hi) = self.value_range;
+        let a = Matrix::random(dims.t as usize, dims.n as usize, &mut self.rng, lo, hi);
+        let b = Matrix::random(dims.n as usize, dims.m as usize, &mut self.rng, lo, hi);
+        GemmWorkload { dims, a, b }
+    }
+
+    /// Generates a complete random workload within the given bounds.
+    pub fn random_workload(&mut self, bounds: DimBounds) -> GemmWorkload {
+        let dims = self.random_dims(bounds);
+        self.matrices_for(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_shapes_match_dims() {
+        let mut generator = WorkloadGenerator::new(1);
+        for _ in 0..20 {
+            let w = generator.random_workload(DimBounds { min: 1, max: 32 });
+            assert_eq!(w.a.rows() as u64, w.dims.t);
+            assert_eq!(w.a.cols() as u64, w.dims.n);
+            assert_eq!(w.b.rows() as u64, w.dims.n);
+            assert_eq!(w.b.cols() as u64, w.dims.m);
+            w.dims.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let bounds = DimBounds { min: 2, max: 20 };
+        let w1 = WorkloadGenerator::new(99).random_workload(bounds);
+        let w2 = WorkloadGenerator::new(99).random_workload(bounds);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn value_range_is_respected() {
+        let mut generator = WorkloadGenerator::new(3).with_value_range(-3, 3);
+        let w = generator.random_workload(DimBounds { min: 8, max: 8 });
+        for &v in w.a.as_slice().iter().chain(w.b.as_slice()) {
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bounds_are_inclusive_and_clamped() {
+        let mut generator = WorkloadGenerator::new(4);
+        let dims = generator.random_dims(DimBounds { min: 5, max: 5 });
+        assert_eq!(dims, GemmDims::new(5, 5, 5));
+        // min of 0 is clamped up to 1 so dimensions stay valid.
+        let dims = generator.random_dims(DimBounds { min: 0, max: 1 });
+        assert!(dims.m >= 1 && dims.n >= 1 && dims.t >= 1);
+    }
+}

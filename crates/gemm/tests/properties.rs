@@ -1,0 +1,121 @@
+//! Property-based tests of the matrix/GEMM substrate.
+
+use gemm::im2col::{direct_convolution, im2col, weights_to_matrix, ConvWeights};
+use gemm::rng::SplitMix64;
+use gemm::{accumulate, multiply, tiled_multiply, ConvShape, Matrix, QuantParams, Tensor3};
+use proptest::prelude::*;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64, bound: i32) -> Matrix<i32> {
+    let mut rng = SplitMix64::new(seed);
+    Matrix::random(rows, cols, &mut rng, -bound, bound)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transposition is an involution and preserves every element.
+    #[test]
+    fn transpose_is_an_involution(rows in 1usize..20, cols in 1usize..20, seed in any::<u64>()) {
+        let m = random_matrix(rows, cols, seed, 1000);
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(tt, m);
+    }
+
+    /// Multiplying by the identity matrix changes nothing.
+    #[test]
+    fn identity_is_neutral(n in 1usize..12, t in 1usize..12, seed in any::<u64>()) {
+        let a = random_matrix(t, n, seed, 500);
+        let identity = Matrix::from_fn(n, n, |r, c| i32::from(r == c));
+        let product = multiply(&a, &identity).unwrap();
+        prop_assert_eq!(product, a.map(i64::from));
+    }
+
+    /// GEMM distributes over element-wise accumulation of the stationary
+    /// operand: A*(B1 + B2) == A*B1 + A*B2.
+    #[test]
+    fn multiplication_distributes_over_addition(
+        t in 1usize..8, n in 1usize..10, m in 1usize..8, seed in any::<u64>()
+    ) {
+        let a = random_matrix(t, n, seed, 100);
+        let b1 = random_matrix(n, m, seed.wrapping_add(1), 100);
+        let b2 = random_matrix(n, m, seed.wrapping_add(2), 100);
+        let b_sum = Matrix::from_fn(n, m, |r, c| b1[(r, c)] + b2[(r, c)]);
+        let lhs = multiply(&a, &b_sum).unwrap();
+        let mut rhs = multiply(&a, &b1).unwrap();
+        accumulate(&mut rhs, &multiply(&a, &b2).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Tiling never changes the product, for any tile size.
+    #[test]
+    fn tiling_is_transparent(
+        t in 1usize..10, n in 1usize..30, m in 1usize..20,
+        rows in 1u32..12, cols in 1u32..12, seed in any::<u64>()
+    ) {
+        let a = random_matrix(t, n, seed, 127);
+        let b = random_matrix(n, m, seed.wrapping_add(7), 127);
+        prop_assert_eq!(
+            tiled_multiply(&a, &b, rows, cols).unwrap(),
+            multiply(&a, &b).unwrap()
+        );
+    }
+
+    /// The im2col lowering of any (dense or depthwise) convolution matches
+    /// the direct nested-loop convolution for every group.
+    #[test]
+    fn im2col_matches_direct_convolution(
+        in_channels in 1usize..5,
+        out_per_group in 1usize..4,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        input in 5usize..10,
+        depthwise in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let shape = if depthwise {
+            ConvShape::depthwise(in_channels, kernel, stride, kernel / 2, input)
+        } else {
+            ConvShape::dense(in_channels, out_per_group, kernel, stride, kernel / 2, input)
+        };
+        prop_assume!(shape.validate().is_ok());
+        let mut rng = SplitMix64::new(seed);
+        let tensor = Tensor3::random(in_channels, input, input, &mut rng, -50, 50);
+        let weights = ConvWeights::random(shape, &mut rng, -50, 50);
+        let direct = direct_convolution(&tensor, &weights).unwrap();
+        for group in 0..shape.groups {
+            let a = im2col(&tensor, shape, group).unwrap();
+            let b = weights_to_matrix(&weights, group).unwrap();
+            prop_assert_eq!(&multiply(&a, &b).unwrap(), &direct[group]);
+        }
+    }
+
+    /// Symmetric quantization round-trips within half a quantization step
+    /// for in-range values, for any bit width from 4 to 24.
+    #[test]
+    fn quantization_round_trip_error_is_bounded(
+        bits in 4u32..24,
+        value in -0.999f64..0.999,
+    ) {
+        let params = QuantParams::symmetric(1.0, bits).unwrap();
+        let error = (params.dequantize(params.quantize(value)) - value).abs();
+        prop_assert!(error <= params.scale / 2.0 + 1e-12);
+    }
+
+    /// Padded block extraction agrees with direct indexing inside the
+    /// matrix and is zero outside.
+    #[test]
+    fn padded_blocks_zero_fill(
+        rows in 1usize..10, cols in 1usize..10,
+        row_start in 0usize..12, col_start in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        let m = random_matrix(rows, cols, seed, 99);
+        let block = m.padded_block(row_start, col_start, 6, 6);
+        for r in 0..6 {
+            for c in 0..6 {
+                let expected = m.get(row_start + r, col_start + c).unwrap_or(0);
+                prop_assert_eq!(block[(r, c)], expected);
+            }
+        }
+    }
+}

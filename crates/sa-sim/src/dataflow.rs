@@ -1,0 +1,235 @@
+//! Input skewing and output collection for the weight-stationary dataflow.
+//!
+//! With pipeline collapsing depth `k`, the first (and every) element of a
+//! row of `A` arrives in batches of `k` words (Section III of the paper):
+//! SA row `n` receives `A[t][n]` at compute cycle `t + floor(n / k)`. The
+//! results of column `m` emerge at the south edge starting at cycle
+//! `ceil(R/k) - 1 + floor(m / k)`, one per cycle. [`InputFeeder`] and
+//! [`OutputCollector`] implement those two schedules; the collector also
+//! cross-checks that the register-level validity produced by the array
+//! matches the analytical schedule, which is a strong internal consistency
+//! check of the simulator.
+
+use crate::config::ArrayConfig;
+use crate::error::SimError;
+use gemm::Matrix;
+
+/// Produces the skewed west-edge input stream for one tile.
+#[derive(Debug, Clone)]
+pub struct InputFeeder<'a> {
+    a: &'a Matrix<i32>,
+    config: ArrayConfig,
+}
+
+impl<'a> InputFeeder<'a> {
+    /// Creates a feeder for the streamed operand `A` (`T x R`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if `A` does not have exactly
+    /// one column per array row.
+    pub fn new(a: &'a Matrix<i32>, config: ArrayConfig) -> Result<Self, SimError> {
+        if a.cols() != config.rows as usize {
+            return Err(SimError::DimensionMismatch {
+                reason: format!(
+                    "streamed operand has {} columns but the array has {} rows",
+                    a.cols(),
+                    config.rows
+                ),
+            });
+        }
+        Ok(Self { a, config })
+    }
+
+    /// Number of `A` rows that will be streamed.
+    #[must_use]
+    pub fn stream_length(&self) -> u64 {
+        self.a.rows() as u64
+    }
+
+    /// The west-edge operands for the given compute cycle: for SA row `n`
+    /// the element `A[t][n]` with `t = cycle - floor(n / k)`, or `None` if
+    /// that row's stream has not started or is already finished.
+    #[must_use]
+    pub fn west_inputs(&self, cycle: u64) -> Vec<Option<i32>> {
+        let k = u64::from(self.config.collapse_depth);
+        (0..self.config.rows as usize)
+            .map(|n| {
+                let skew = n as u64 / k;
+                if cycle < skew {
+                    return None;
+                }
+                let t = (cycle - skew) as usize;
+                self.a.get(t, n)
+            })
+            .collect()
+    }
+}
+
+/// Collects the south-edge outputs of one tile into the `T x C` result.
+#[derive(Debug, Clone)]
+pub struct OutputCollector {
+    config: ArrayConfig,
+    t: usize,
+    output: Matrix<i64>,
+    collected: usize,
+}
+
+impl OutputCollector {
+    /// Creates a collector for a stream of `t` rows of `A`.
+    #[must_use]
+    pub fn new(config: ArrayConfig, t: usize) -> Self {
+        Self {
+            config,
+            t,
+            output: Matrix::zeros(t, config.cols as usize),
+            collected: 0,
+        }
+    }
+
+    /// Records the south-edge values registered at the end of `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the schedule expects a
+    /// valid result for some column this cycle but the array produced none
+    /// (or vice versa); this indicates a dataflow bug and never happens for
+    /// a correctly configured simulation.
+    pub fn collect(&mut self, cycle: u64, south_outputs: &[Option<i64>]) -> Result<(), SimError> {
+        let k = u64::from(self.config.collapse_depth);
+        let fill_latency = u64::from(self.config.row_blocks()) - 1;
+        if south_outputs.len() != self.config.cols as usize {
+            return Err(SimError::DimensionMismatch {
+                reason: format!(
+                    "expected {} south outputs, got {}",
+                    self.config.cols,
+                    south_outputs.len()
+                ),
+            });
+        }
+        for (m, value) in south_outputs.iter().enumerate() {
+            let column_skew = m as u64 / k;
+            let start = fill_latency + column_skew;
+            let expected = cycle >= start && ((cycle - start) as usize) < self.t;
+            match (expected, value) {
+                (true, Some(v)) => {
+                    let t = (cycle - start) as usize;
+                    self.output[(t, m)] = *v;
+                    self.collected += 1;
+                }
+                (false, None) => {}
+                (true, None) => {
+                    return Err(SimError::DimensionMismatch {
+                        reason: format!(
+                            "column {m} produced no result at cycle {cycle} although one was due"
+                        ),
+                    })
+                }
+                (false, Some(_)) => {
+                    return Err(SimError::DimensionMismatch {
+                        reason: format!(
+                            "column {m} produced an unexpected result at cycle {cycle}"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` once every output element has been collected.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.collected == self.t * self.config.cols as usize
+    }
+
+    /// Consumes the collector and returns the collected `T x C` result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the collection is not yet
+    /// complete.
+    pub fn into_output(self) -> Result<Matrix<i64>, SimError> {
+        if !self.is_complete() {
+            return Err(SimError::DimensionMismatch {
+                reason: format!(
+                    "only {} of {} output elements were collected",
+                    self.collected,
+                    self.t * self.config.cols as usize
+                ),
+            });
+        }
+        Ok(self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feeder_applies_the_batched_skew() {
+        // 4 SA rows, k = 2: rows 0 and 1 start at cycle 0, rows 2 and 3 at
+        // cycle 1.
+        let a = Matrix::from_rows(vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]).unwrap();
+        let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        let feeder = InputFeeder::new(&a, config).unwrap();
+        assert_eq!(feeder.stream_length(), 2);
+        assert_eq!(feeder.west_inputs(0), vec![Some(1), Some(2), None, None]);
+        assert_eq!(feeder.west_inputs(1), vec![Some(5), Some(6), Some(3), Some(4)]);
+        assert_eq!(feeder.west_inputs(2), vec![None, None, Some(7), Some(8)]);
+        assert_eq!(feeder.west_inputs(3), vec![None, None, None, None]);
+    }
+
+    #[test]
+    fn feeder_normal_mode_uses_unit_skew() {
+        let a = Matrix::from_rows(vec![vec![9, 8, 7]]).unwrap();
+        let config = ArrayConfig::new(3, 3);
+        let feeder = InputFeeder::new(&a, config).unwrap();
+        assert_eq!(feeder.west_inputs(0), vec![Some(9), None, None]);
+        assert_eq!(feeder.west_inputs(1), vec![None, Some(8), None]);
+        assert_eq!(feeder.west_inputs(2), vec![None, None, Some(7)]);
+    }
+
+    #[test]
+    fn feeder_rejects_mismatched_operand() {
+        let a = Matrix::<i32>::zeros(2, 3);
+        assert!(InputFeeder::new(&a, ArrayConfig::new(4, 4)).is_err());
+    }
+
+    #[test]
+    fn collector_enforces_the_schedule() {
+        let config = ArrayConfig::new(2, 2);
+        let mut collector = OutputCollector::new(config, 1);
+        // Row blocks = 2, so nothing is due at cycle 0.
+        collector.collect(0, &[None, None]).unwrap();
+        assert!(!collector.is_complete());
+        // Column 0 is due at cycle 1, column 1 at cycle 2.
+        collector.collect(1, &[Some(23), None]).unwrap();
+        collector.collect(2, &[None, Some(34)]).unwrap();
+        assert!(collector.is_complete());
+        let out = collector.into_output().unwrap();
+        assert_eq!(out[(0, 0)], 23);
+        assert_eq!(out[(0, 1)], 34);
+    }
+
+    #[test]
+    fn collector_rejects_schedule_violations() {
+        let config = ArrayConfig::new(2, 2);
+        let mut collector = OutputCollector::new(config, 1);
+        // A result where none is due.
+        assert!(collector.collect(0, &[Some(1), None]).is_err());
+        // A missing result where one is due.
+        let mut collector = OutputCollector::new(config, 1);
+        assert!(collector.collect(1, &[None, None]).is_err());
+        // Wrong width.
+        let mut collector = OutputCollector::new(config, 1);
+        assert!(collector.collect(0, &[None]).is_err());
+    }
+
+    #[test]
+    fn incomplete_collection_cannot_be_finalized() {
+        let collector = OutputCollector::new(ArrayConfig::new(2, 2), 3);
+        assert!(collector.into_output().is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for the systolic-array simulator.
+
+use gemm::GemmError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by configuring or running the systolic-array simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The array configuration is invalid (zero dimensions or zero collapse
+    /// depth).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The operands handed to the simulator do not match the array or each
+    /// other.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// An underlying matrix/GEMM error.
+    Gemm(GemmError),
+    /// The simulated output did not match the reference GEMM (only produced
+    /// when verification is enabled).
+    VerificationFailed {
+        /// Row of the first mismatching element.
+        row: usize,
+        /// Column of the first mismatching element.
+        col: usize,
+        /// Value produced by the simulator.
+        simulated: i64,
+        /// Value produced by the reference GEMM.
+        expected: i64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid array configuration: {reason}"),
+            Self::DimensionMismatch { reason } => write!(f, "dimension mismatch: {reason}"),
+            Self::Gemm(e) => write!(f, "matrix error: {e}"),
+            Self::VerificationFailed {
+                row,
+                col,
+                simulated,
+                expected,
+            } => write!(
+                f,
+                "simulation does not match the reference GEMM at ({row}, {col}): got {simulated}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Gemm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GemmError> for SimError {
+    fn from(e: GemmError) -> Self {
+        Self::Gemm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::InvalidConfig {
+            reason: "zero rows".to_owned(),
+        };
+        assert!(e.to_string().contains("zero rows"));
+        let e = SimError::VerificationFailed {
+            row: 1,
+            col: 2,
+            simulated: 3,
+            expected: 4,
+        };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e: SimError = GemmError::EmptyMatrix.into();
+        assert!(e.to_string().contains("matrix error"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Edge-memory traffic and bandwidth model.
+//!
+//! The systolic array is fed by local SRAM banks on its west edge (input
+//! features) and north edge (weights), and drains into output accumulators
+//! on its south edge (Fig. 1(a) of the paper). The paper's power analysis
+//! explicitly excludes these memories, but their traffic still matters for
+//! two claims made in the text:
+//!
+//! * shallow pipeline mode does **not** change the required input/output
+//!   bandwidth — it stays at `R` and `C` words per cycle — because inputs
+//!   simply arrive in batches of `k` words; and
+//! * tiled execution re-streams the input features once per column tile and
+//!   accumulates partial sums in the output accumulators once per reduction
+//!   tile.
+//!
+//! [`traffic_for_gemm`] computes those word counts so that examples and
+//! benches can reason about memory pressure alongside latency and power.
+
+use crate::config::ArrayConfig;
+use crate::error::SimError;
+use gemm::{GemmDims, TileGrid};
+use serde::{Deserialize, Serialize};
+
+/// Word-level traffic of one GEMM executed on the array.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Words of the stationary operand loaded from the north-edge SRAM
+    /// (every tile reloads its `R x C` weights).
+    pub weight_words: u64,
+    /// Words of the streamed operand read from the west-edge SRAM (the
+    /// `T x R` slice of `A` is re-streamed for every column tile).
+    pub input_words: u64,
+    /// Partial-sum updates performed by the south-edge accumulators (one
+    /// per output element per reduction tile).
+    pub accumulator_updates: u64,
+    /// Final output words written back once per output element.
+    pub output_words: u64,
+    /// Peak west-edge bandwidth in words per cycle (equals `R`).
+    pub input_bandwidth: u32,
+    /// Peak south-edge bandwidth in words per cycle (equals `C`).
+    pub output_bandwidth: u32,
+}
+
+impl TrafficReport {
+    /// Total words moved between the array and its edge memories.
+    #[must_use]
+    pub fn total_words(&self) -> u64 {
+        self.weight_words + self.input_words + self.accumulator_updates + self.output_words
+    }
+
+    /// Ratio of MACs to words moved (higher is better reuse).
+    #[must_use]
+    pub fn arithmetic_intensity(&self, dims: GemmDims) -> f64 {
+        dims.macs() as f64 / self.total_words() as f64
+    }
+}
+
+/// Computes the edge-memory traffic of executing one GEMM on the given
+/// array configuration.
+///
+/// The traffic depends only on the tiling, not on the pipeline collapsing
+/// depth — which is exactly the paper's bandwidth-neutrality argument and is
+/// asserted by the tests.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an invalid array configuration or
+/// a degenerate GEMM.
+pub fn traffic_for_gemm(config: ArrayConfig, dims: GemmDims) -> Result<TrafficReport, SimError> {
+    config.validate()?;
+    let grid = TileGrid::new(dims, config.rows, config.cols).map_err(SimError::from)?;
+    let tiles_n = grid.tiles_along_n();
+    let tiles_m = grid.tiles_along_m();
+    let tiles = grid.tile_count();
+    Ok(TrafficReport {
+        weight_words: tiles * u64::from(config.rows) * u64::from(config.cols),
+        input_words: dims.t * u64::from(config.rows) * tiles_n * tiles_m,
+        accumulator_updates: dims.t * u64::from(config.cols) * tiles,
+        output_words: dims.output_elements(),
+        input_bandwidth: config.rows,
+        output_bandwidth: config.cols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tile_traffic_matches_operand_sizes() {
+        let config = ArrayConfig::new(8, 8);
+        let dims = GemmDims::new(8, 8, 5);
+        let traffic = traffic_for_gemm(config, dims).unwrap();
+        assert_eq!(traffic.weight_words, 64);
+        assert_eq!(traffic.input_words, 40);
+        assert_eq!(traffic.accumulator_updates, 40);
+        assert_eq!(traffic.output_words, 40);
+        assert_eq!(traffic.total_words(), 184);
+    }
+
+    #[test]
+    fn tiled_traffic_restreams_inputs_per_column_tile() {
+        let config = ArrayConfig::new(8, 8);
+        // Two reduction tiles and three column tiles.
+        let dims = GemmDims::new(24, 16, 10);
+        let traffic = traffic_for_gemm(config, dims).unwrap();
+        assert_eq!(traffic.weight_words, 6 * 64);
+        assert_eq!(traffic.input_words, 10 * 8 * 2 * 3);
+        assert_eq!(traffic.accumulator_updates, 10 * 8 * 6);
+        assert_eq!(traffic.output_words, 240);
+    }
+
+    #[test]
+    fn bandwidth_and_traffic_are_independent_of_the_collapse_depth() {
+        // The paper: shallow pipelining changes the arrival skew, not the
+        // bandwidth; and the tiling (hence traffic) is untouched.
+        let dims = GemmDims::new(100, 200, 50);
+        let baseline = traffic_for_gemm(ArrayConfig::new(16, 16), dims).unwrap();
+        for k in [2u32, 4, 8] {
+            let shallow =
+                traffic_for_gemm(ArrayConfig::new(16, 16).with_collapse_depth(k), dims).unwrap();
+            assert_eq!(shallow, baseline, "k = {k}");
+        }
+        assert_eq!(baseline.input_bandwidth, 16);
+        assert_eq!(baseline.output_bandwidth, 16);
+    }
+
+    #[test]
+    fn arithmetic_intensity_grows_with_reuse() {
+        let config = ArrayConfig::new(32, 32);
+        let small = GemmDims::new(32, 32, 4);
+        let large = GemmDims::new(32, 32, 512);
+        let small_traffic = traffic_for_gemm(config, small).unwrap();
+        let large_traffic = traffic_for_gemm(config, large).unwrap();
+        assert!(
+            large_traffic.arithmetic_intensity(large) > small_traffic.arithmetic_intensity(small)
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(traffic_for_gemm(ArrayConfig::new(0, 8), GemmDims::new(1, 1, 1)).is_err());
+        assert!(traffic_for_gemm(ArrayConfig::new(8, 8), GemmDims::new(0, 1, 1)).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Whole-GEMM simulation: tiles, verification and statistics aggregation.
+
+use crate::array::SystolicArray;
+use crate::config::ArrayConfig;
+use crate::dataflow::{InputFeeder, OutputCollector};
+use crate::error::SimError;
+use crate::stats::RunStats;
+use gemm::{multiply, tiled_multiply_with, GemmDims, Matrix, TileGrid};
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating a single array-sized tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileResult {
+    /// The `T x C` partial product produced at the south edge.
+    pub output: Matrix<i64>,
+    /// Cycle-level statistics of this tile.
+    pub stats: RunStats,
+}
+
+/// Result of simulating a complete (possibly tiled) GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmResult {
+    /// The full `T x M` product.
+    pub output: Matrix<i64>,
+    /// Aggregated statistics over all tiles.
+    pub stats: RunStats,
+    /// The tile grid the GEMM was decomposed into.
+    pub grid_dims: GemmDims,
+}
+
+/// Summary of a latency cross-check between the simulator and the analytical
+/// model (Equations 1–4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyCheck {
+    /// Cycles measured by the cycle-accurate simulation.
+    pub simulated_cycles: u64,
+    /// Cycles predicted by the analytical model.
+    pub analytical_cycles: u64,
+}
+
+impl LatencyCheck {
+    /// Returns `true` if the simulation matched the model exactly.
+    #[must_use]
+    pub fn matches(&self) -> bool {
+        self.simulated_cycles == self.analytical_cycles
+    }
+}
+
+/// Cycle-accurate simulator of one systolic-array configuration.
+///
+/// # Examples
+///
+/// ```
+/// use gemm::{multiply, Matrix};
+/// use gemm::rng::SplitMix64;
+/// use sa_sim::{ArrayConfig, Simulator};
+///
+/// let mut rng = SplitMix64::new(9);
+/// let a = Matrix::random(5, 12, &mut rng, -9, 9);
+/// let b = Matrix::random(12, 10, &mut rng, -9, 9);
+/// let simulator = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(2))?;
+/// let result = simulator.run_gemm(&a, &b)?;
+/// assert_eq!(result.output, multiply(&a, &b)?);
+/// # Ok::<(), sa_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Simulator {
+    config: ArrayConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given array configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: ArrayConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The array configuration being simulated.
+    #[must_use]
+    pub fn config(&self) -> ArrayConfig {
+        self.config
+    }
+
+    /// Simulates one tile: `A_sub` (`T x R`) times `B_sub` (`R x C`), both
+    /// already padded to the array size.
+    ///
+    /// # Errors
+    ///
+    /// Returns dimension errors if the operands do not match the array, or
+    /// an internal schedule violation (which would indicate a simulator
+    /// bug).
+    pub fn run_tile(&self, a_sub: &Matrix<i32>, b_sub: &Matrix<i32>) -> Result<TileResult, SimError> {
+        let mut array = SystolicArray::new(self.config)?;
+        array.load_weights(b_sub)?;
+        let feeder = InputFeeder::new(a_sub, self.config)?;
+        let t = a_sub.rows();
+        let mut collector = OutputCollector::new(self.config, t);
+        let compute_cycles = self.config.compute_cycles(t as u64);
+        for cycle in 0..compute_cycles {
+            let west = feeder.west_inputs(cycle);
+            let south = array.step(&west)?;
+            collector.collect(cycle, &south)?;
+        }
+        let output = collector.into_output()?;
+        let mut stats = array.stats();
+        stats.tiles = 1;
+        Ok(TileResult { output, stats })
+    }
+
+    /// Simulates a complete GEMM `A (T x N)` times `B (N x M)`, tiling it
+    /// over the array and accumulating the partial sums of vertically
+    /// adjacent tiles in the output accumulators, exactly as in Fig. 1 of
+    /// the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns dimension errors if `A` and `B` are incompatible.
+    pub fn run_gemm(&self, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<GemmResult, SimError> {
+        let mut stats = RunStats::default();
+        let output = tiled_multiply_with::<SimError, _>(
+            a,
+            b,
+            self.config.rows,
+            self.config.cols,
+            |_, a_sub, b_sub| {
+                let tile = self.run_tile(a_sub, b_sub)?;
+                stats += tile.stats;
+                Ok(tile.output)
+            },
+        )?;
+        Ok(GemmResult {
+            output,
+            stats,
+            grid_dims: GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64),
+        })
+    }
+
+    /// Simulates a complete GEMM and verifies the result against the
+    /// reference multiplication, element by element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::VerificationFailed`] on the first mismatching
+    /// element, or any simulation error.
+    pub fn run_gemm_verified(
+        &self,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+    ) -> Result<GemmResult, SimError> {
+        let result = self.run_gemm(a, b)?;
+        let expected = multiply(a, b)?;
+        for row in 0..expected.rows() {
+            for col in 0..expected.cols() {
+                if result.output[(row, col)] != expected[(row, col)] {
+                    return Err(SimError::VerificationFailed {
+                        row,
+                        col,
+                        simulated: result.output[(row, col)],
+                        expected: expected[(row, col)],
+                    });
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Cross-checks the simulated cycle count of a whole GEMM against the
+    /// analytical tiled-latency model `L(k) * ceil(N/R) * ceil(M/C)`
+    /// (Equations 2 and 4 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn latency_check(&self, dims: GemmDims, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<LatencyCheck, SimError> {
+        let result = self.run_gemm(a, b)?;
+        let grid = TileGrid::new(dims, self.config.rows, self.config.cols)?;
+        let analytical = self.config.tile_latency(dims.t) * grid.tile_count();
+        Ok(LatencyCheck {
+            simulated_cycles: result.stats.total_cycles(),
+            analytical_cycles: analytical,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm::rng::SplitMix64;
+
+    fn random_pair(t: usize, n: usize, m: usize, seed: u64) -> (Matrix<i32>, Matrix<i32>) {
+        let mut rng = SplitMix64::new(seed);
+        (
+            Matrix::random(t, n, &mut rng, -20, 20),
+            Matrix::random(n, m, &mut rng, -20, 20),
+        )
+    }
+
+    #[test]
+    fn single_tile_matches_reference_in_normal_mode() {
+        let (a, b) = random_pair(6, 4, 4, 1);
+        let sim = Simulator::new(ArrayConfig::new(4, 4)).unwrap();
+        let tile = sim.run_tile(&a, &b).unwrap();
+        assert_eq!(tile.output, multiply(&a, &b).unwrap());
+        // L(1) = 2R + C + T - 2 cycles.
+        assert_eq!(tile.stats.total_cycles(), 2 * 4 + 4 + 6 - 2);
+        assert_eq!(tile.stats.macs, 6 * 4 * 4);
+    }
+
+    #[test]
+    fn single_tile_matches_reference_in_shallow_modes() {
+        for k in [2, 4] {
+            let (a, b) = random_pair(5, 8, 8, u64::from(k));
+            let sim = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(k)).unwrap();
+            let tile = sim.run_tile(&a, &b).unwrap();
+            assert_eq!(tile.output, multiply(&a, &b).unwrap(), "k = {k}");
+            // L(k) = R + R/k + C/k + T - 2 cycles.
+            let expected = 8 + 8 / u64::from(k) + 8 / u64::from(k) + 5 - 2;
+            assert_eq!(tile.stats.total_cycles(), expected, "k = {k}");
+            assert_eq!(tile.stats.macs, 5 * 8 * 8);
+        }
+    }
+
+    #[test]
+    fn collapse_depth_that_does_not_divide_the_array_still_works() {
+        let (a, b) = random_pair(4, 6, 6, 5);
+        let sim = Simulator::new(ArrayConfig::new(6, 6).with_collapse_depth(4)).unwrap();
+        let tile = sim.run_tile(&a, &b).unwrap();
+        assert_eq!(tile.output, multiply(&a, &b).unwrap());
+        // ceil(6/4) = 2 blocks in each direction.
+        assert_eq!(tile.stats.total_cycles(), 6 + 2 + 2 + 4 - 2);
+    }
+
+    #[test]
+    fn tiled_gemm_matches_reference_for_every_mode() {
+        let (a, b) = random_pair(7, 20, 13, 9);
+        for k in [1, 2, 4] {
+            let sim = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(k)).unwrap();
+            let result = sim.run_gemm_verified(&a, &b).unwrap();
+            assert_eq!(result.stats.tiles, 3 * 2, "k = {k}");
+            assert!(result.stats.utilization() > 0.0);
+        }
+    }
+
+    #[test]
+    fn gemm_cycle_count_matches_the_analytical_model() {
+        let dims = GemmDims::new(13, 20, 7);
+        let (a, b) = random_pair(7, 20, 13, 11);
+        for k in [1, 2, 4] {
+            let sim = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(k)).unwrap();
+            let check = sim.latency_check(dims, &a, &b).unwrap();
+            assert!(
+                check.matches(),
+                "k = {k}: simulated {} != analytical {}",
+                check.simulated_cycles,
+                check.analytical_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn shallow_mode_needs_fewer_cycles_than_normal_mode() {
+        let (a, b) = random_pair(10, 16, 16, 3);
+        let normal = Simulator::new(ArrayConfig::new(16, 16)).unwrap();
+        let shallow = Simulator::new(ArrayConfig::new(16, 16).with_collapse_depth(4)).unwrap();
+        let normal_cycles = normal.run_gemm(&a, &b).unwrap().stats.total_cycles();
+        let shallow_cycles = shallow.run_gemm(&a, &b).unwrap().stats.total_cycles();
+        assert!(shallow_cycles < normal_cycles);
+        // Both perform exactly the same number of useful MACs.
+        assert_eq!(
+            normal.run_gemm(&a, &b).unwrap().stats.macs,
+            shallow.run_gemm(&a, &b).unwrap().stats.macs
+        );
+    }
+
+    #[test]
+    fn verification_detects_wrong_results() {
+        // Simulate with mismatched operands to trigger an error path.
+        let a = Matrix::<i32>::zeros(2, 5);
+        let b = Matrix::<i32>::zeros(4, 3);
+        let sim = Simulator::new(ArrayConfig::new(4, 4)).unwrap();
+        assert!(sim.run_gemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn tile_requires_operands_matching_the_array() {
+        let sim = Simulator::new(ArrayConfig::new(4, 4)).unwrap();
+        let a = Matrix::<i32>::zeros(3, 4);
+        let bad_b = Matrix::<i32>::zeros(5, 4);
+        assert!(sim.run_tile(&a, &bad_b).is_err());
+        let bad_a = Matrix::<i32>::zeros(3, 5);
+        let b = Matrix::<i32>::zeros(4, 4);
+        assert!(sim.run_tile(&bad_a, &b).is_err());
+    }
+
+    #[test]
+    fn gating_statistics_differ_between_modes() {
+        let (a, b) = random_pair(6, 8, 8, 21);
+        let normal = Simulator::new(ArrayConfig::new(8, 8)).unwrap();
+        let shallow = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(4)).unwrap();
+        let n = normal.run_gemm(&a, &b).unwrap().stats;
+        let s = shallow.run_gemm(&a, &b).unwrap().stats;
+        assert_eq!(n.clock_gating_fraction(), 0.0);
+        assert!((s.clock_gating_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Run statistics collected by the cycle-accurate simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Cycle-level statistics of one or more simulated tile executions.
+///
+/// Besides the cycle counts (which the analytical latency model predicts and
+/// the tests cross-check), the simulator records how many pipeline-register
+/// clock events actually happened versus how many were suppressed by clock
+/// gating of transparent registers — the activity numbers that feed the
+/// power model's calibration.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Cycles spent preloading weights into the array.
+    pub load_cycles: u64,
+    /// Cycles spent streaming inputs and draining results.
+    pub compute_cycles: u64,
+    /// Useful multiply-accumulate operations performed.
+    pub macs: u64,
+    /// PE-cycles available during the compute phase (`compute_cycles x R x C`).
+    pub pe_cycles: u64,
+    /// Pipeline-register clock events that actually happened.
+    pub clocked_register_events: u64,
+    /// Pipeline-register clock events suppressed because the register was
+    /// transparent (bypassed) and therefore clock-gated.
+    pub gated_register_events: u64,
+    /// Number of array-sized tiles executed.
+    pub tiles: u64,
+}
+
+impl RunStats {
+    /// Total elapsed cycles (weight load plus compute).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.load_cycles + self.compute_cycles
+    }
+
+    /// Fraction of PE-cycles that performed a useful MAC during the compute
+    /// phase (0 when nothing was simulated).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.pe_cycles == 0 {
+            0.0
+        } else {
+            self.macs as f64 / self.pe_cycles as f64
+        }
+    }
+
+    /// Fraction of pipeline-register clock events that were suppressed by
+    /// clock gating (0 when nothing was simulated).
+    #[must_use]
+    pub fn clock_gating_fraction(&self) -> f64 {
+        let total = self.clocked_register_events + self.gated_register_events;
+        if total == 0 {
+            0.0
+        } else {
+            self.gated_register_events as f64 / total as f64
+        }
+    }
+}
+
+impl Add for RunStats {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            load_cycles: self.load_cycles + rhs.load_cycles,
+            compute_cycles: self.compute_cycles + rhs.compute_cycles,
+            macs: self.macs + rhs.macs,
+            pe_cycles: self.pe_cycles + rhs.pe_cycles,
+            clocked_register_events: self.clocked_register_events + rhs.clocked_register_events,
+            gated_register_events: self.gated_register_events + rhs.gated_register_events,
+            tiles: self.tiles + rhs.tiles,
+        }
+    }
+}
+
+impl AddAssign for RunStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles ({} load + {} compute), {} MACs, {:.1}% utilization, {:.1}% registers clock-gated, {} tiles",
+            self.total_cycles(),
+            self.load_cycles,
+            self.compute_cycles,
+            self.macs,
+            self.utilization() * 100.0,
+            self.clock_gating_fraction() * 100.0,
+            self.tiles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStats {
+        RunStats {
+            load_cycles: 8,
+            compute_cycles: 20,
+            macs: 160,
+            pe_cycles: 320,
+            clocked_register_events: 100,
+            gated_register_events: 300,
+            tiles: 1,
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let s = sample();
+        assert_eq!(s.total_cycles(), 28);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+        assert!((s.clock_gating_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = RunStats::default();
+        assert_eq!(s.total_cycles(), 0);
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.clock_gating_fraction(), 0.0);
+    }
+
+    #[test]
+    fn addition_accumulates_every_field() {
+        let mut s = sample();
+        s += sample();
+        assert_eq!(s.load_cycles, 16);
+        assert_eq!(s.macs, 320);
+        assert_eq!(s.tiles, 2);
+        assert_eq!(s, sample() + sample());
+    }
+
+    #[test]
+    fn display_mentions_cycles_and_macs() {
+        let text = sample().to_string();
+        assert!(text.contains("28 cycles"));
+        assert!(text.contains("160 MACs"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the cycle-accurate simulator.
+
+use gemm::rng::SplitMix64;
+use gemm::{multiply, Matrix};
+use proptest::prelude::*;
+use sa_sim::{ArrayConfig, CarrySaveValue, Simulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chained carry-save additions always resolve to the same value as
+    /// plain wrapping addition, independent of the chaining order depth.
+    #[test]
+    fn carry_save_chains_resolve_exactly(
+        start in any::<i64>(),
+        operands in prop::collection::vec(any::<i32>(), 0..12),
+        factors in prop::collection::vec(-1000i64..1000, 0..12),
+    ) {
+        let mut cs = CarrySaveValue::from_binary(start);
+        let mut reference = start;
+        for (i, op) in operands.iter().enumerate() {
+            let factor = factors.get(i).copied().unwrap_or(1);
+            let product = i64::from(*op).wrapping_mul(factor);
+            cs = cs.add(product);
+            reference = reference.wrapping_add(product);
+        }
+        prop_assert_eq!(cs.resolve(), reference);
+    }
+
+    /// A single tile simulation is exact and meets the per-tile latency
+    /// L(k) = R + ceil(R/k) + ceil(C/k) + T - 2 for any geometry, including
+    /// collapse depths that do not divide the array.
+    #[test]
+    fn tile_simulation_is_exact_for_any_geometry(
+        rows in 1u32..=10,
+        cols in 1u32..=10,
+        k in 1u32..=5,
+        t in 1usize..=12,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::random(t, rows as usize, &mut rng, -100, 100);
+        let b = Matrix::random(rows as usize, cols as usize, &mut rng, -100, 100);
+        let simulator = Simulator::new(config).unwrap();
+        let tile = simulator.run_tile(&a, &b).unwrap();
+        prop_assert_eq!(&tile.output, &multiply(&a, &b).unwrap());
+        let expected = u64::from(rows)
+            + u64::from(rows.div_ceil(k))
+            + u64::from(cols.div_ceil(k))
+            + t as u64
+            - 2;
+        prop_assert_eq!(tile.stats.total_cycles(), expected);
+        prop_assert_eq!(tile.stats.macs, t as u64 * u64::from(rows) * u64::from(cols));
+    }
+
+    /// The clock-gated register fraction depends only on the configuration,
+    /// never on the data: it equals 1 - (1/k_effective) averaged over the
+    /// two directions, and is zero in normal mode.
+    #[test]
+    fn gating_fraction_is_data_independent(
+        rows in 2u32..=8,
+        k in 1u32..=4,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows);
+        let config = ArrayConfig::new(rows, rows).with_collapse_depth(k);
+        let simulator = Simulator::new(config).unwrap();
+        let run = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            let a = Matrix::random(4, rows as usize, &mut rng, -50, 50);
+            let b = Matrix::random(rows as usize, rows as usize, &mut rng, -50, 50);
+            simulator.run_gemm(&a, &b).unwrap().stats.clock_gating_fraction()
+        };
+        let f1 = run(seed_a);
+        let f2 = run(seed_b);
+        prop_assert!((f1 - f2).abs() < 1e-12);
+        if k == 1 {
+            prop_assert!(f1.abs() < 1e-12);
+        }
+        let expected = 1.0 - f64::from(rows.div_ceil(k)) / f64::from(rows);
+        prop_assert!((f1 - expected).abs() < 1e-12);
+    }
+
+    /// Simulating the same operands twice produces identical results and
+    /// statistics (the simulator is fully deterministic).
+    #[test]
+    fn simulation_is_deterministic(
+        t in 1usize..=8,
+        n in 1usize..=16,
+        m in 1usize..=12,
+        k in 1u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::random(t, n, &mut rng, -100, 100);
+        let b = Matrix::random(n, m, &mut rng, -100, 100);
+        let simulator = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(k)).unwrap();
+        let first = simulator.run_gemm(&a, &b).unwrap();
+        let second = simulator.run_gemm(&a, &b).unwrap();
+        prop_assert_eq!(first.output, second.output);
+        prop_assert_eq!(first.stats, second.stats);
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compare ArrayFlex against a conventional fixed-pipeline
+//! systolic array on a single CNN layer and on a whole network.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use arrayflex::{compare_network, ArrayFlexModel};
+use cnn::models::resnet34;
+use cnn::DepthwiseMapping;
+use gemm::GemmDims;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 128x128-PE array with the paper's 28 nm calibration.
+    let model = ArrayFlexModel::new(128, 128)?;
+
+    // --- One layer: ResNet-34 layer 28, the Fig. 5(b) GEMM. -------------
+    let dims = GemmDims::new(512, 2304, 49);
+    let conventional = model.execute_conventional(dims)?;
+    println!("conventional SA : {conventional}");
+    for k in [1, 2, 4] {
+        let execution = model.execute_arrayflex(dims, k)?;
+        println!("arrayflex k = {k}: {execution}");
+    }
+    let best = model.optimal_depth(dims)?;
+    println!(
+        "optimal pipeline depth: k = {} (continuous estimate k_hat = {:.2})\n",
+        best.collapse_depth, best.continuous_estimate
+    );
+
+    // --- A whole network: ResNet-34 single-batch inference. -------------
+    let comparison = compare_network(&model, &resnet34(), DepthwiseMapping::default())?;
+    println!("{comparison}");
+    println!(
+        "conventional: {:.1} us at {:.1} W",
+        comparison.conventional.total_time().value(),
+        comparison.conventional.average_power().value() / 1000.0
+    );
+    println!(
+        "arrayflex   : {:.1} us at {:.1} W ({} of {} layers in shallow mode)",
+        comparison.arrayflex.total_time().value(),
+        comparison.arrayflex.average_power().value() / 1000.0,
+        (comparison.arrayflex.shallow_layer_fraction() * comparison.arrayflex.layers.len() as f64)
+            .round(),
+        comparison.arrayflex.layers.len()
+    );
+    Ok(())
+}

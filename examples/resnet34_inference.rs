@@ -1,0 +1,53 @@
+//! Full single-batch inference study of ResNet-34: per-layer pipeline-mode
+//! selection, execution time, power and energy on 128x128 and 256x256
+//! arrays (the workload behind Figs. 8 and 9 of the paper).
+//!
+//! Run with `cargo run --example resnet34_inference`.
+
+use arrayflex::{compare_network, ArrayFlexModel};
+use cnn::models::resnet34;
+use cnn::DepthwiseMapping;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = resnet34();
+    println!(
+        "{}: {} layers, {:.2} GMACs per inference\n",
+        network.name(),
+        network.len(),
+        network.total_macs() as f64 / 1e9
+    );
+
+    for size in [128u32, 256] {
+        let model = ArrayFlexModel::new(size, size)?;
+        let cmp = compare_network(&model, &network, DepthwiseMapping::default())?;
+
+        println!("=== {size}x{size} PEs ===");
+        println!("{}", cmp);
+        println!("per-mode breakdown of the ArrayFlex run:");
+        for (k, share) in cmp.arrayflex.mode_breakdown() {
+            println!(
+                "  k = {k}: {:>2} layers, {:>8.1} us, {:>7.0} mW",
+                share.layers,
+                share.time.value(),
+                share.average_power().value()
+            );
+        }
+
+        // The five layers where ArrayFlex helps the most.
+        let mut savings = cmp.per_layer_time_saving();
+        savings.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("largest per-layer savings:");
+        for (index, saving) in savings.iter().take(5) {
+            let layer = cmp.arrayflex.layer(*index).expect("layer exists");
+            println!(
+                "  layer {:>2} ({:<12}) k = {}: {:+.1}%",
+                index,
+                layer.layer_name,
+                layer.execution.collapse_depth,
+                saving * 100.0
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

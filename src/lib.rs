@@ -1,0 +1,49 @@
+//! Workspace umbrella crate for the ArrayFlex reproduction.
+//!
+//! This crate exists so that the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) have a single dependency root.
+//! It re-exports the individual crates of the workspace:
+//!
+//! * [`arrayflex`] — the paper's contribution: analytical models, per-layer
+//!   pipeline-depth optimizer, scheduler and comparison framework;
+//! * [`sa_sim`] — the cycle-accurate weight-stationary systolic-array
+//!   simulator with configurable transparent pipelining;
+//! * [`hw_model`] — technology, timing, power, area and energy models;
+//! * [`cnn`] — the CNN layer tables (ResNet-34, MobileNetV1, ConvNeXt-T);
+//! * [`gemm`] — matrices, tiling, im2col and workload generation.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use arrayflex;
+pub use cnn;
+pub use gemm;
+pub use hw_model;
+pub use sa_sim;
+
+/// Convenience prelude importing the types most examples need.
+pub mod prelude {
+    pub use arrayflex::{
+        compare_network, ArrayFlexError, ArrayFlexModel, EvaluationSweep, LayerExecution,
+        NetworkComparison, NetworkPlan, PipelineChoice,
+    };
+    pub use cnn::{models, DepthwiseMapping, Layer, Network};
+    pub use gemm::{ConvShape, GemmDims, Matrix};
+    pub use hw_model::{ClockPlan, Design, PowerModel};
+    pub use sa_sim::{ArrayConfig, Simulator};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let model = ArrayFlexModel::new(16, 16).expect("valid model");
+        assert_eq!(model.rows(), 16);
+        let config = ArrayConfig::new(16, 16).with_collapse_depth(2);
+        assert_eq!(config.row_blocks(), 8);
+    }
+}

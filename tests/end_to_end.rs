@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: from CNN layer tables through the
+//! analytical models down to the cycle-accurate simulator.
+
+use arrayflex::{compare_network, ArrayFlexModel};
+use cnn::models::{convnext_tiny, mobilenet_v1, resnet34, synthetic_cnn};
+use cnn::DepthwiseMapping;
+use gemm::im2col::{direct_convolution, im2col, weights_to_matrix, ConvWeights};
+use gemm::rng::SplitMix64;
+use gemm::{multiply, ConvShape, GemmDims, Matrix, Tensor3};
+use hw_model::Design;
+use sa_sim::{ArrayConfig, Simulator};
+
+#[test]
+fn a_real_convolution_runs_bit_exactly_on_the_simulated_array() {
+    // conv 6 -> 10 channels, 3x3, on 9x9 activations, quantized operands.
+    let shape = ConvShape::dense(6, 10, 3, 1, 1, 9);
+    let mut rng = SplitMix64::new(99);
+    let input = Tensor3::random(6, 9, 9, &mut rng, -100, 100);
+    let weights = ConvWeights::random(shape, &mut rng, -100, 100);
+    let a = im2col(&input, shape, 0).unwrap();
+    let b = weights_to_matrix(&weights, 0).unwrap();
+    let reference = direct_convolution(&input, &weights).unwrap().remove(0);
+
+    for k in [1u32, 2, 4] {
+        let simulator = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(k)).unwrap();
+        let run = simulator.run_gemm(&a, &b).unwrap();
+        assert_eq!(run.output, reference, "k = {k}");
+    }
+}
+
+#[test]
+fn analytical_cycles_match_the_simulator_for_a_small_resnet_like_layer() {
+    // A scaled-down late-network layer: N and M larger than the array so
+    // tiling is exercised, T small so shallow pipelining pays off.
+    let dims = GemmDims::new(24, 40, 6);
+    let mut rng = SplitMix64::new(123);
+    let a = Matrix::random(6, 40, &mut rng, -20, 20);
+    let b = Matrix::random(40, 24, &mut rng, -20, 20);
+    let model = ArrayFlexModel::new(16, 16).unwrap();
+    for k in [1u32, 2, 4] {
+        let result = model.simulate_gemm(&a, &b, k).unwrap();
+        assert!(result.functionally_correct);
+        assert_eq!(
+            result.stats.total_cycles(),
+            model.total_cycles(dims, k).unwrap(),
+            "k = {k}"
+        );
+        assert!(result.cycles_match());
+    }
+}
+
+#[test]
+fn clock_gating_statistics_are_consistent_with_the_pipeline_mode() {
+    let mut rng = SplitMix64::new(5);
+    let a = Matrix::random(5, 16, &mut rng, -9, 9);
+    let b = Matrix::random(16, 16, &mut rng, -9, 9);
+    for (k, expected_fraction) in [(1u32, 0.0), (2, 0.5), (4, 0.75)] {
+        let simulator = Simulator::new(ArrayConfig::new(16, 16).with_collapse_depth(k)).unwrap();
+        let run = simulator.run_gemm(&a, &b).unwrap();
+        assert!(
+            (run.stats.clock_gating_fraction() - expected_fraction).abs() < 1e-9,
+            "k = {k}"
+        );
+    }
+}
+
+#[test]
+fn whole_network_planning_is_deterministic() {
+    let model = ArrayFlexModel::new(128, 128).unwrap();
+    let first = model
+        .plan_arrayflex(&mobilenet_v1(), DepthwiseMapping::default())
+        .unwrap();
+    let second = model
+        .plan_arrayflex(&mobilenet_v1(), DepthwiseMapping::default())
+        .unwrap();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn every_paper_network_prefers_arrayflex_overall_but_not_on_every_layer() {
+    let model = ArrayFlexModel::new(128, 128).unwrap();
+    for network in [resnet34(), mobilenet_v1(), convnext_tiny()] {
+        let cmp = compare_network(&model, &network, DepthwiseMapping::default()).unwrap();
+        assert!(cmp.time_saving() > 0.0, "{}", network.name());
+        let savings = cmp.per_layer_time_saving();
+        assert!(
+            savings.iter().any(|(_, s)| *s < 0.0),
+            "{}: the conventional SA should win the early, large-T layers",
+            network.name()
+        );
+        assert!(
+            savings.iter().any(|(_, s)| *s > 0.10),
+            "{}: some layers should benefit substantially",
+            network.name()
+        );
+    }
+}
+
+#[test]
+fn synthetic_networks_flow_through_the_whole_stack() {
+    let network = synthetic_cnn(4, 16, 64);
+    let model = ArrayFlexModel::new(32, 32).unwrap();
+    let cmp = compare_network(&model, &network, DepthwiseMapping::default()).unwrap();
+    assert_eq!(cmp.conventional.layers.len(), network.len());
+    assert!(cmp.conventional.total_time().value() > 0.0);
+    assert!(cmp.arrayflex.total_time() <= cmp.conventional.total_time() * 1.2);
+    // Later layers of the synthetic CNN shrink spatially, so at least one
+    // layer should pick a shallow mode.
+    assert!(cmp.arrayflex.shallow_layer_fraction() > 0.0);
+}
+
+#[test]
+fn area_and_power_models_agree_on_the_relative_cost_of_configurability() {
+    let model = ArrayFlexModel::new(64, 64).unwrap();
+    let area = model.power_model().area_model();
+    let overhead = area.overhead_fraction();
+    assert!(overhead > 0.10 && overhead < 0.25);
+    // Leakage inherits exactly the area overhead.
+    let conv_leak = model
+        .power_model()
+        .array_leakage_power(Design::Conventional, 64, 64)
+        .unwrap();
+    let af_leak = model
+        .power_model()
+        .array_leakage_power(Design::ArrayFlex, 64, 64)
+        .unwrap();
+    assert!((af_leak.value() / conv_leak.value() - (1.0 + overhead)).abs() < 1e-9);
+}
+
+#[test]
+fn fully_connected_layers_are_planned_like_single_row_gemms() {
+    let model = ArrayFlexModel::new(128, 128).unwrap();
+    let plan = model
+        .plan_arrayflex(&resnet34(), DepthwiseMapping::default())
+        .unwrap();
+    let fc = plan.layer(34).unwrap();
+    assert_eq!(fc.execution.dims, GemmDims::new(1000, 512, 1));
+    // With T = 1 the reduction/broadcast latency dominates, so the deepest
+    // mode is optimal for the classifier.
+    assert_eq!(fc.execution.collapse_depth, 4);
+}
+
+#[test]
+fn simulator_reference_and_tiled_reference_agree_with_each_other() {
+    // Redundant triple-check across crates: direct GEMM, tiled GEMM and the
+    // simulator all produce identical results.
+    let mut rng = SplitMix64::new(77);
+    let a = Matrix::random(9, 30, &mut rng, -40, 40);
+    let b = Matrix::random(30, 21, &mut rng, -40, 40);
+    let expected = multiply(&a, &b).unwrap();
+    assert_eq!(gemm::tiled_multiply(&a, &b, 8, 8).unwrap(), expected);
+    let simulator = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(2)).unwrap();
+    assert_eq!(simulator.run_gemm(&a, &b).unwrap().output, expected);
+}

@@ -1,0 +1,120 @@
+//! Workspace-level property-based tests: randomized invariants that span
+//! the substrate crates and the core model.
+
+use arrayflex::ArrayFlexModel;
+use gemm::rng::SplitMix64;
+use gemm::{multiply, tiled_multiply, GemmDims, Matrix};
+use proptest::prelude::*;
+use sa_sim::{ArrayConfig, Simulator};
+
+/// Strategy for small GEMM dimensions that keep the cycle-accurate
+/// simulator fast while still exercising tiling and skew.
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=10, 1usize..=24, 1usize..=20)
+}
+
+/// Strategy for small array geometries and collapse depths.
+fn small_array() -> impl Strategy<Value = (u32, u32, u32)> {
+    (1u32..=12, 1u32..=12, 1u32..=4)
+        .prop_filter("collapse depth must fit the array", |(r, c, k)| {
+            k <= r && k <= c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cycle-accurate simulation of any small GEMM, on any array
+    /// geometry and pipeline mode, is bit-identical to the reference GEMM
+    /// and consumes exactly the cycle count of Equations (1)-(4).
+    #[test]
+    fn simulator_matches_reference_and_latency_model(
+        (t, n, m) in small_dims(),
+        (rows, cols, k) in small_array(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::random(t, n, &mut rng, -64, 63);
+        let b = Matrix::random(n, m, &mut rng, -64, 63);
+        let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+        let simulator = Simulator::new(config).unwrap();
+        let run = simulator.run_gemm(&a, &b).unwrap();
+        prop_assert_eq!(&run.output, &multiply(&a, &b).unwrap());
+
+        let dims = GemmDims::new(m as u64, n as u64, t as u64);
+        let tiles = dims.n.div_ceil(u64::from(rows)) * dims.m.div_ceil(u64::from(cols));
+        prop_assert_eq!(run.stats.total_cycles(), config.tile_latency(t as u64) * tiles);
+        // Every PE of every tile sees each of the T streamed rows exactly once.
+        prop_assert_eq!(
+            run.stats.macs,
+            t as u64 * u64::from(rows) * u64::from(cols) * tiles
+        );
+    }
+
+    /// Tiled multiplication over any array size equals the direct product.
+    #[test]
+    fn tiling_is_exact(
+        (t, n, m) in small_dims(),
+        rows in 1u32..=16,
+        cols in 1u32..=16,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::random(t, n, &mut rng, -128, 127);
+        let b = Matrix::random(n, m, &mut rng, -128, 127);
+        prop_assert_eq!(tiled_multiply(&a, &b, rows, cols).unwrap(), multiply(&a, &b).unwrap());
+    }
+
+    /// The analytical model's absolute execution time always improves (or
+    /// ties) when the optimizer's chosen depth is used instead of any other
+    /// supported depth, and collapsing never increases the cycle count.
+    #[test]
+    fn optimizer_choice_dominates_and_cycles_shrink_with_k(
+        m in 1u64..=2048,
+        n in 1u64..=4096,
+        t in 1u64..=4096,
+    ) {
+        let model = ArrayFlexModel::new(128, 128).unwrap();
+        let dims = GemmDims::new(m, n, t);
+        let choice = model.optimal_depth(dims).unwrap();
+        let mut cycles_prev = None;
+        for k in [1u32, 2, 4] {
+            let execution = model.execute_arrayflex(dims, k).unwrap();
+            prop_assert!(choice.execution.time <= execution.time);
+            if let Some(prev) = cycles_prev {
+                prop_assert!(execution.cycles <= prev);
+            }
+            cycles_prev = Some(execution.cycles);
+        }
+        // The conventional array is never slower in cycles than ArrayFlex at
+        // k = 1 (identical cycle counts), and the continuous estimate is
+        // positive and finite.
+        let conventional = model.execute_conventional(dims).unwrap();
+        prop_assert_eq!(conventional.cycles, model.execute_arrayflex(dims, 1).unwrap().cycles);
+        prop_assert!(choice.continuous_estimate.is_finite());
+        prop_assert!(choice.continuous_estimate > 0.0);
+    }
+
+    /// Energy accounting is internally consistent: energy equals power times
+    /// time for every mode, and deeper collapsing always reduces the energy
+    /// of a fixed GEMM (lower frequency and more clock gating).
+    #[test]
+    fn energy_accounting_is_consistent(
+        m in 64u64..=1024,
+        n in 64u64..=4096,
+        t in 1u64..=1024,
+    ) {
+        let model = ArrayFlexModel::new(128, 128).unwrap();
+        let dims = GemmDims::new(m, n, t);
+        let mut previous_energy = None;
+        for k in [1u32, 2, 4] {
+            let execution = model.execute_arrayflex(dims, k).unwrap();
+            let expected = execution.power.energy_over(execution.time);
+            prop_assert!((execution.energy.value() - expected.value()).abs() < 1e-9);
+            if let Some(prev) = previous_energy {
+                prop_assert!(execution.energy.value() <= prev);
+            }
+            previous_energy = Some(execution.energy.value());
+        }
+    }
+}
