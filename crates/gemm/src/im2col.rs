@@ -503,9 +503,10 @@ mod tests {
         let input = Tensor3::random(4, 5, 5, &mut rng, -4, 4);
         let weights = ConvWeights::random(shape, &mut rng, -4, 4);
         let direct = direct_convolution(&input, &weights).unwrap();
-        for group in 0..4 {
+        assert_eq!(direct.len(), 4, "one output matrix per depthwise group");
+        for (group, expected) in direct.iter().enumerate() {
             let gemm = convolution_as_gemm(&input, &weights, group).unwrap();
-            assert_eq!(gemm, direct[group], "group {group} mismatch");
+            assert_eq!(&gemm, expected, "group {group} mismatch");
         }
     }
 

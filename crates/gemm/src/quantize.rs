@@ -35,7 +35,7 @@ impl QuantParams {
                 reason: format!("unsupported quantization width {bits}"),
             });
         }
-        if !(max_abs > 0.0) || !max_abs.is_finite() {
+        if max_abs <= 0.0 || !max_abs.is_finite() {
             return Err(GemmError::InvalidConvolution {
                 reason: "quantization range must be positive and finite".to_owned(),
             });

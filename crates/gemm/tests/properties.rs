@@ -82,10 +82,11 @@ proptest! {
         let tensor = Tensor3::random(in_channels, input, input, &mut rng, -50, 50);
         let weights = ConvWeights::random(shape, &mut rng, -50, 50);
         let direct = direct_convolution(&tensor, &weights).unwrap();
-        for group in 0..shape.groups {
+        prop_assert_eq!(direct.len(), shape.groups);
+        for (group, expected) in direct.iter().enumerate() {
             let a = im2col(&tensor, shape, group).unwrap();
             let b = weights_to_matrix(&weights, group).unwrap();
-            prop_assert_eq!(&multiply(&a, &b).unwrap(), &direct[group]);
+            prop_assert_eq!(&multiply(&a, &b).unwrap(), expected);
         }
     }
 

@@ -151,7 +151,7 @@ impl TechnologyParams {
             ("routing_overhead", self.routing_overhead),
         ];
         for (name, value) in checks {
-            if !(value > 0.0) {
+            if value.is_nan() || value <= 0.0 {
                 return Err(HwModelError::NonPositiveParameter { name });
             }
         }

@@ -221,7 +221,7 @@ impl SystolicArray {
         let mut next_v = self.v_regs.clone();
         let mut next_v_valid = self.v_valid.clone();
         let mut outputs = vec![None; cols];
-        for col in 0..cols {
+        for (col, output) in outputs.iter_mut().enumerate() {
             let cb = col / k;
             for rb in 0..row_blocks {
                 let first_row = rb * k;
@@ -258,7 +258,7 @@ impl SystolicArray {
                 next_v[reg_idx] = resolved;
                 next_v_valid[reg_idx] = block_valid;
                 if rb == row_blocks - 1 {
-                    outputs[col] = block_valid.then_some(resolved);
+                    *output = block_valid.then_some(resolved);
                 }
             }
         }

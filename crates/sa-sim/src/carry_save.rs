@@ -41,6 +41,9 @@ impl CarrySaveValue {
     /// One 3:2 compression step: adds `operand` into the redundant value
     /// using a row of full adders (one per bit position), exactly like the
     /// carry-save stage of the ArrayFlex PE.
+    // Not `impl Add`: the operand is a plain binary `i64`, not another
+    // carry-save value, so the symmetric trait would be misleading.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, operand: i64) -> Self {
         let a = self.sum as u64;

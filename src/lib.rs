@@ -12,8 +12,11 @@
 //! * [`cnn`] — the CNN layer tables (ResNet-34, MobileNetV1, ConvNeXt-T);
 //! * [`gemm`] — matrices, tiling, im2col and workload generation.
 //!
-//! See the repository `README.md` for a tour and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction methodology and results.
+//! See the repository `README.md` for the workspace layout, crate map and
+//! verification commands. The reproduction methodology lives in the crate
+//! docs themselves: `arrayflex` documents the model equations and optimizer,
+//! and the `bench` crate's figure-regeneration binaries reproduce the
+//! paper's evaluation tables and figures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

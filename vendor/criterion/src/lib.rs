@@ -1,0 +1,285 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! small API surface the workspace benches use — [`Criterion`],
+//! [`Bencher::iter`], [`BenchmarkId`], benchmark groups and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock timer instead of criterion's statistical machinery. Each
+//! benchmark is warmed up briefly, then timed over enough iterations to fill
+//! a fixed measurement window, and the mean iteration time is printed.
+//!
+//! `cargo bench` therefore runs and reports plausible numbers; swapping in
+//! the real criterion later needs only a `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings plus the entry point benches receive.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement window for subsequent benchmarks.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the warm-up time for subsequent benchmarks.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.warm_up, self.measurement, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (a no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a (possibly parameterized) benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> Self {
+        BenchmarkId {
+            text: text.to_string(),
+        }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this measurement batch.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(id: &str, warm_up: Duration, measurement: Duration, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: also discovers roughly how long one iteration takes.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < warm_up {
+        f(&mut bencher);
+        warm_iters += bencher.iters;
+        // Grow batches so cheap routines don't spend the window on overhead.
+        bencher.iters = (bencher.iters * 2).min(1 << 20);
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+    // Measurement: one batch sized to fill the measurement window.
+    let target_iters = if per_iter > 0.0 {
+        (measurement.as_secs_f64() / per_iter).ceil() as u64
+    } else {
+        1
+    }
+    .clamp(1, 10_000_000);
+    bencher.iters = target_iters;
+    f(&mut bencher);
+    let mean = bencher.elapsed.as_secs_f64() / target_iters as f64;
+    println!("{id:<60} {:>12}   ({target_iters} iterations)", format_time(mean));
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut criterion = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        criterion.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut criterion = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(1),
+        };
+        let mut group = criterion.benchmark_group("g");
+        let input = 21u32;
+        group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &i| {
+            b.iter(|| i * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("resnet34").to_string(), "resnet34");
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" us"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

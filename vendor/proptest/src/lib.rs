@@ -1,0 +1,668 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with range, tuple,
+//!   [`Just`](strategy::Just), [`prop_map`](strategy::Strategy::prop_map) and
+//!   [`prop_filter`](strategy::Strategy::prop_filter) strategies;
+//! * [`any::<T>()`](arbitrary::any) for the primitive types;
+//! * [`collection::vec`] for randomly sized vectors;
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`prop_assume!`] macros, and
+//!   [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from the real crate: generation is driven by a deterministic
+//! per-test seed (derived from the test's module path and name, or the
+//! `PROPTEST_SEED` environment variable when set) so CI runs are
+//! reproducible, and failing cases are reported without shrinking.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic pseudo-random generation and the test-case runner types.
+pub mod test_runner {
+    /// Why a generated case did not produce a verdict.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case was rejected (filtered out or `prop_assume!` failed).
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a rejection.
+        pub fn reject(reason: impl std::fmt::Display) -> Self {
+            TestCaseError::Reject(reason.to_string())
+        }
+
+        /// Creates a failure.
+        pub fn fail(reason: impl std::fmt::Display) -> Self {
+            TestCaseError::Fail(reason.to_string())
+        }
+    }
+
+    /// Outcome of a single generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Runs each property against `cases` accepted inputs.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// SplitMix64 generator: tiny, fast and statistically fine for tests.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from an explicit seed.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Derives a deterministic seed from a test's fully qualified name,
+        /// honouring `PROPTEST_SEED` when the caller wants a different run.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = seed.trim().parse::<u64>() {
+                    hash ^= extra.rotate_left(17);
+                }
+            }
+            TestRng::new(hash)
+        }
+
+        /// Returns the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Returning `None` from [`gen_value`](Strategy::gen_value) rejects the
+    /// current case (used by filters); the runner then retries with fresh
+    /// randomness.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value, or `None` to reject this case.
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Transforms generated values with `map`.
+        fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, map }
+        }
+
+        /// Rejects generated values failing `predicate`.
+        fn prop_filter<F>(self, _reason: &'static str, predicate: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                predicate,
+            }
+        }
+
+        /// Generates a value, then generates from the strategy it maps to.
+        fn prop_flat_map<S, F>(self, map: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, map }
+        }
+    }
+
+    /// A strategy that always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+            self.source.gen_value(rng).map(&self.map)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        predicate: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.source.gen_value(rng).filter(|v| (self.predicate)(v))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T::Value> {
+            let inner = (self.map)(self.source.gen_value(rng)?);
+            inner.gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    if self.start >= self.end {
+                        return None;
+                    }
+                    let lo = self.start as i128;
+                    let span = (self.end as i128 - lo) as u128;
+                    let offset = (u128::from(rng.next_u64()) % span) as i128;
+                    Some((lo + offset) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    if self.start() > self.end() {
+                        return None;
+                    }
+                    let lo = *self.start() as i128;
+                    let span = (*self.end() as i128 - lo) as u128 + 1;
+                    let offset = (u128::from(rng.next_u64()) % span) as i128;
+                    Some((lo + offset) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<f64> {
+            // NaN bounds compare as not-less and therefore reject.
+            if self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less) {
+                return None;
+            }
+            Some(self.start + rng.next_f64() * (self.end - self.start))
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<f32> {
+            // NaN bounds compare as not-less and therefore reject.
+            if self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less) {
+                return None;
+            }
+            Some(self.start + (rng.next_f64() as f32) * (self.end - self.start))
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.gen_value(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+/// `any::<T>()` support for the primitive types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite values only: the workspace's properties are arithmetic.
+            (rng.next_f64() - 0.5) * 2e12
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+
+    /// Produces the canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Strategies for collections (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange {
+                min: range.start,
+                max: range.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max: *range.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange { min: len, max: len }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            if self.size.min > self.size.max {
+                return None;
+            }
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.gen_value(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn` body runs against many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($config);
+            $( $(#[$meta])* fn $name($($pat in $strat),*) $body )*);
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default());
+            $( $(#[$meta])* fn $name($($pat in $strat),*) $body )*);
+    };
+    (@impl ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),*) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u64 = 0;
+                let __max_attempts: u64 =
+                    u64::from(__config.cases).saturating_mul(256).max(4096);
+                'cases: while __accepted < __config.cases {
+                    __attempts += 1;
+                    if __attempts > __max_attempts {
+                        panic!(
+                            "proptest stand-in: {} rejected too many cases \
+                             ({} accepted of {} wanted)",
+                            stringify!($name), __accepted, __config.cases
+                        );
+                    }
+                    $(
+                        let $pat = match $crate::strategy::Strategy::gen_value(
+                            &($strat), &mut __rng)
+                        {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => continue 'cases,
+                        };
+                    )*
+                    let __result: $crate::test_runner::TestCaseResult =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => __accepted += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_)) => {
+                            continue 'cases;
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {} failed after {} accepted cases: {}",
+                                stringify!($name), __accepted, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies: failure aborts the case with a report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!(
+                    "{} at {}:{}", ::std::format!($($fmt)*), file!(), line!()
+                ))
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __left, __right
+        );
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), __left
+        );
+    }};
+}
+
+/// Rejects the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(
+                    ::std::string::String::from(stringify!($cond))
+                )
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (1u32..=12).gen_value(&mut rng).unwrap();
+            assert!((1..=12).contains(&v));
+            let w = (-1000i64..1000).gen_value(&mut rng).unwrap();
+            assert!((-1000..1000).contains(&w));
+            let f = (-0.999f64..0.999).gen_value(&mut rng).unwrap();
+            assert!((-0.999..0.999).contains(&f));
+        }
+    }
+
+    #[test]
+    fn filters_reject() {
+        let mut rng = crate::test_runner::TestRng::new(3);
+        let strategy = (1u32..=4).prop_filter("even only", |v| v % 2 == 0);
+        let mut seen_none = false;
+        for _ in 0..100 {
+            match strategy.gen_value(&mut rng) {
+                Some(v) => assert!(v % 2 == 0),
+                None => seen_none = true,
+            }
+        }
+        assert!(seen_none, "odd draws must be rejected");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = crate::test_runner::TestRng::new(11);
+        for _ in 0..200 {
+            let v = prop::collection::vec(any::<i32>(), 0..12)
+                .gen_value(&mut rng)
+                .unwrap();
+            assert!(v.len() < 12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works((a, b) in (0u64..100, 0u64..100), flag in any::<bool>()) {
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b, b + a);
+            if flag {
+                prop_assert_ne!(a, a + b + 1);
+            }
+        }
+    }
+}

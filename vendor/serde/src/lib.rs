@@ -1,0 +1,526 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal, API-compatible subset of `serde` that is
+//! sufficient for what the ArrayFlex crates actually use:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on plain structs and enums
+//!   (re-exported from the companion `serde_derive` proc-macro crate behind
+//!   the `derive` feature, exactly like the real crate);
+//! * `T: serde::Serialize` bounds on generic functions;
+//! * JSON emission through the companion `serde_json` stand-in.
+//!
+//! Instead of the real serde's visitor-based data model, serialization here
+//! goes through a single self-describing [`Value`] tree, which is all a
+//! JSON-only workspace needs. Swapping the real serde back in requires no
+//! source changes outside `vendor/` because only the derive macros and the
+//! trait names are part of the contract.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the stand-in's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The absence of a value (`null` in JSON).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer that does not fit `i64`'s positive range.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of string keys to values (struct fields, maps).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an [`Value::Object`], returning `None` otherwise.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] cannot be decoded into a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Creates an error from any displayable message.
+    pub fn new(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// Types that can be serialized into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the stand-in data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the stand-in data model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(v) => <$t>::try_from(*v).map_err(DeError::new),
+                    Value::UInt(v) => <$t>::try_from(*v).map_err(DeError::new),
+                    other => Err(DeError::new(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32);
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Deserialize for i64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Int(v) => Ok(*v),
+            Value::UInt(v) => i64::try_from(*v).map_err(DeError::new),
+            other => Err(DeError::new(format!("expected integer, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(v) => Value::Int(v),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(v) => <$t>::try_from(*v).map_err(DeError::new),
+                    Value::UInt(v) => <$t>::try_from(*v).map_err(DeError::new),
+                    other => Err(DeError::new(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        i64::from_value(value).and_then(|v| isize::try_from(v).map_err(DeError::new))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            Value::UInt(v) => Ok(*v as f64),
+            other => Err(DeError::new(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(v) => Ok(*v),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(v) => Ok(v.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::new(format!("expected null, found {other:?}"))),
+        }
+    }
+}
+
+// --- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Renders a serialized key as a JSON object key (maps keep string keys in
+/// JSON, so scalar keys are stringified the way `serde_json` does).
+fn key_to_string(key: &Value) -> String {
+    match key {
+        Value::Str(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(v) => v.to_string(),
+        Value::UInt(v) => v.to_string(),
+        Value::Float(v) => v.to_string(),
+        other => panic!("unsupported map key: {other:?}"),
+    }
+}
+
+/// Inverse of [`key_to_string`]: decodes an object key as the map's key type.
+///
+/// Tries the key verbatim as a string first (so `String`-keyed maps always
+/// round-trip, even when a key happens to look numeric), then falls back to
+/// the most specific scalar interpretation for integer/float/bool keys.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(key.to_owned())) {
+        return Ok(k);
+    }
+    let scalar = if let Ok(v) = key.parse::<i64>() {
+        Value::Int(v)
+    } else if let Ok(v) = key.parse::<u64>() {
+        Value::UInt(v)
+    } else if let Ok(v) = key.parse::<f64>() {
+        Value::Float(v)
+    } else if let Ok(v) = key.parse::<bool>() {
+        Value::Bool(v)
+    } else {
+        Value::Str(key.to_owned())
+    };
+    K::from_value(&scalar)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".to_string(), self.start.to_value()),
+            ("end".to_string(), self.end.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let start = value
+            .get("start")
+            .ok_or_else(|| DeError::new("missing field `start`"))?;
+        let end = value
+            .get("end")
+            .ok_or_else(|| DeError::new("missing field `end`"))?;
+        Ok(T::from_value(start)?..T::from_value(end)?)
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::RangeInclusive<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".to_string(), self.start().to_value()),
+            ("end".to_string(), self.end().to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::RangeInclusive<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let start = value
+            .get("start")
+            .ok_or_else(|| DeError::new("missing field `start`"))?;
+        let end = value
+            .get("end")
+            .ok_or_else(|| DeError::new("missing field `end`"))?;
+        Ok(T::from_value(start)?..=T::from_value(end)?)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::new(format!(
+                                "expected {expected}-tuple, found {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::new(format!("expected array, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_value(&42i32.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(Option::<u32>::from_value(&Value::Null).unwrap().is_none());
+    }
+
+    #[test]
+    fn map_round_trips_even_with_numeric_looking_string_keys() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("42".to_string(), 1.5f64);
+        map.insert("name".to_string(), 2.5f64);
+        let back =
+            std::collections::BTreeMap::<String, f64>::from_value(&map.to_value()).unwrap();
+        assert_eq!(back, map);
+
+        let mut by_int = std::collections::BTreeMap::new();
+        by_int.insert(42u32, "x".to_string());
+        let back =
+            std::collections::BTreeMap::<u32, String>::from_value(&by_int.to_value()).unwrap();
+        assert_eq!(back, by_int);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u32, "x".to_string(), 2.5f64);
+        let back = <(u32, String, f64)>::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn object_lookup() {
+        let obj = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(obj.get("a"), Some(&Value::Int(1)));
+        assert_eq!(obj.get("b"), None);
+    }
+}

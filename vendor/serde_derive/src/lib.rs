@@ -1,0 +1,491 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! simplified value model of the vendored `serde` stand-in, using only the
+//! compiler-provided `proc_macro` API (no `syn`/`quote`, which are not
+//! available offline). Supports the shapes this workspace actually derives
+//! on: named-field structs, tuple structs, unit structs, and enums with
+//! unit, tuple and struct variants, plus simple type generics.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the type a derive is attached to.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    /// Type-parameter identifiers, e.g. `["T"]` for `Matrix<T>`.
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (stand-in data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = serialize_body(&parsed);
+    let (impl_generics, ty_generics) = generics_for(&parsed, "::serde::Serialize");
+    let name = &parsed.name;
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (stand-in data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = deserialize_body(&parsed);
+    let (impl_generics, ty_generics) = generics_for(&parsed, "::serde::Deserialize");
+    let name = &parsed.name;
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn generics_for(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("<{}>", input.generics.join(", ")),
+        )
+    }
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut expecting_param = true;
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        expecting_param = true;
+                        i += 1;
+                        continue;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                        // Lifetime parameter: consume the tick and its ident.
+                        expecting_param = false;
+                        i += 2;
+                        continue;
+                    }
+                    Some(TokenTree::Ident(id)) if depth == 1 && expecting_param => {
+                        let text = id.to_string();
+                        if text == "const" {
+                            panic!("derive: const generics are not supported by the stand-in");
+                        }
+                        generics.push(text);
+                        expecting_param = false;
+                    }
+                    None => panic!("derive: unterminated generics on `{name}`"),
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                panic!("derive: `where` clauses are not supported by the stand-in")
+            }
+            other => panic!("derive: unsupported struct body for `{name}`: {other:?}"),
+        }
+    } else if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: unsupported enum body for `{name}`: {other:?}"),
+        }
+    } else {
+        panic!("derive: `{kind}` items are not supported (only struct/enum)");
+    };
+
+    Input {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Extracts the field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Expect `:`, then skip the type up to a top-level comma.
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("derive: expected `:` after field name, found {other:?}"),
+                }
+                let mut angle_depth = 0usize;
+                while let Some(tok) = tokens.get(i) {
+                    match tok {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            angle_depth = angle_depth.saturating_sub(1)
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("derive: unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    for (idx, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < tokens.len() =>
+            {
+                count += 1; // a comma not at the end separates two fields
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // attribute such as `#[default]` or a doc comment
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantFields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantFields::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => VariantFields::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '=' {
+                        panic!("derive: explicit discriminants are not supported");
+                    }
+                }
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+// --- code generation -------------------------------------------------------
+
+fn serialize_body(input: &Input) -> String {
+    match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(serialize_variant_arm).collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    }
+}
+
+fn serialize_variant_arm(variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => format!(
+            "Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+        ),
+        VariantFields::Tuple(1) => format!(
+            "Self::{v}(f0) => ::serde::Value::Object(::std::vec![\
+             (::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let values: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "Self::{v}({}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{v}\"), \
+                 ::serde::Value::Array(::std::vec![{}]))]),",
+                binders.join(", "),
+                values.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "Self::{v} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{v}\"), \
+                 ::serde::Value::Object(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_body(input: &Input) -> String {
+    match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::new(\"missing field `{f}`\"))?)?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{\n{}\n}})", entries.join("\n"))
+        }
+        Shape::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))"
+                .to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok(Self({})),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"expected {n}-element array, found {{other:?}}\"))),\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "::serde::Value::Str(s) if s == \"{0}\" => \
+                         ::std::result::Result::Ok(Self::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(deserialize_tagged_arm)
+                .collect();
+            format!(
+                "match value {{\n{}\n{}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown enum value {{other:?}}\"))),\n}}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}
+
+fn deserialize_tagged_arm(variant: &Variant) -> Option<String> {
+    let v = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => None,
+        VariantFields::Tuple(1) => Some(format!(
+            "::serde::Value::Object(fields) \
+             if fields.len() == 1 && fields[0].0 == \"{v}\" => \
+             ::std::result::Result::Ok(Self::{v}(\
+             ::serde::Deserialize::from_value(&fields[0].1)?)),"
+        )),
+        VariantFields::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            Some(format!(
+                "::serde::Value::Object(fields) \
+                 if fields.len() == 1 && fields[0].0 == \"{v}\" => \
+                 match &fields[0].1 {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok(Self::{v}({})),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"expected {n}-element array for `{v}`, found {{other:?}}\"))),\n\
+                 }},",
+                entries.join(", ")
+            ))
+        }
+        VariantFields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(payload.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::new(\"missing field `{f}`\"))?)?,"
+                    )
+                })
+                .collect();
+            Some(format!(
+                "::serde::Value::Object(fields) \
+                 if fields.len() == 1 && fields[0].0 == \"{v}\" => {{\n\
+                 let payload = &fields[0].1;\n\
+                 ::std::result::Result::Ok(Self::{v} {{\n{}\n}})\n\
+                 }},",
+                entries.join("\n")
+            ))
+        }
+    }
+}
