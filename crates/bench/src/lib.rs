@@ -9,6 +9,9 @@
 //! `fig9`, `edp_table`, `freq_table`, `khat_validation`, `sim_validation`,
 //! `ablation_csa`, `ablation_global_k`) to regenerate the corresponding
 //! figure, and `cargo bench --workspace` to time the underlying models.
+//! `cargo run --release -p bench --bin throughput` measures the parallel
+//! execution engine against serial execution (the speedup table of
+//! `EXPERIMENTS.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

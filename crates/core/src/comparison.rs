@@ -11,6 +11,7 @@ use crate::error::ArrayFlexError;
 use crate::model::ArrayFlexModel;
 use crate::plan::NetworkPlan;
 use cnn::{DepthwiseMapping, Network};
+use gemm::ParallelExecutor;
 use hw_model::EdpComparison;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -31,6 +32,19 @@ pub struct NetworkComparison {
 }
 
 impl NetworkComparison {
+    /// Assembles a comparison from the two plans of the same network on the
+    /// same array (the name and geometry are taken from the baseline plan).
+    #[must_use]
+    pub fn from_plans(conventional: NetworkPlan, arrayflex: NetworkPlan) -> Self {
+        Self {
+            network_name: conventional.network_name.clone(),
+            rows: conventional.rows,
+            cols: conventional.cols,
+            conventional,
+            arrayflex,
+        }
+    }
+
     /// The energy/time comparison of the two plans.
     #[must_use]
     pub fn edp(&self) -> EdpComparison {
@@ -102,49 +116,126 @@ pub fn compare_network(
     network: &Network,
     mapping: DepthwiseMapping,
 ) -> Result<NetworkComparison, ArrayFlexError> {
-    Ok(NetworkComparison {
-        network_name: network.name().to_owned(),
-        rows: model.rows(),
-        cols: model.cols(),
-        conventional: model.plan_conventional(network, mapping)?,
-        arrayflex: model.plan_arrayflex(network, mapping)?,
-    })
+    Ok(NetworkComparison::from_plans(
+        model.plan_conventional(network, mapping)?,
+        model.plan_arrayflex(network, mapping)?,
+    ))
 }
 
 /// The cross product of networks and array sizes evaluated in the paper.
+///
+/// The sweep is **serial by default** (`threads == 1`), which reproduces
+/// the original sequential evaluation bit for bit. The
+/// [`EvaluationSweep::threads`] builder fans the independent
+/// (array size × network × pipeline choice) planning jobs out across
+/// worker threads; since every job is a pure function of its inputs and the
+/// [`ParallelExecutor`] returns results in submission order, the output is
+/// identical for every thread count.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EvaluationSweep {
     /// Square array sizes to evaluate (the paper uses 128 and 256).
     pub array_sizes: Vec<u32>,
     /// Depthwise mapping policy for the CNN layer tables.
     pub mapping: DepthwiseMapping,
+    /// Worker threads used by [`EvaluationSweep::run`] (`0` = auto-detect
+    /// the hardware parallelism, `1` = serial, the default).
+    pub threads: usize,
 }
 
 impl EvaluationSweep {
     /// The sweep used in Figs. 8 and 9 of the paper: 128x128 and 256x256
-    /// arrays, block-diagonal depthwise mapping.
+    /// arrays, block-diagonal depthwise mapping, serial execution.
     #[must_use]
     pub fn date23() -> Self {
         Self {
             array_sizes: vec![128, 256],
             mapping: DepthwiseMapping::BlockDiagonal,
+            threads: 1,
         }
+    }
+
+    /// Returns a copy that fans the sweep out over `n` worker threads
+    /// (`0` auto-detects the hardware parallelism, `1` is serial).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use arrayflex::EvaluationSweep;
+    /// use cnn::models::resnet34;
+    ///
+    /// let serial = EvaluationSweep::date23();
+    /// let parallel = serial.clone().threads(4);
+    /// let networks = vec![resnet34()];
+    /// // Deterministic fan-out: same comparisons in the same order.
+    /// assert_eq!(parallel.run(&networks)?, serial.run(&networks)?);
+    /// # Ok::<(), arrayflex::ArrayFlexError>(())
+    /// ```
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Returns a copy that runs serially on the calling thread (the
+    /// default).
+    #[must_use]
+    pub fn serial(mut self) -> Self {
+        self.threads = 1;
+        self
     }
 
     /// Runs the sweep over the given networks, returning one comparison per
     /// (array size, network) pair, grouped by array size in the order given.
+    ///
+    /// With `threads > 1` (or `0` for auto-detection) the
+    /// (array size × network × pipeline choice) jobs — one conventional and
+    /// one ArrayFlex plan per pair — run concurrently on a
+    /// [`ParallelExecutor`]; the result order and every value in it are
+    /// identical to the serial run.
     ///
     /// # Errors
     ///
     /// Returns an error if a model cannot be constructed or a network cannot
     /// be planned.
     pub fn run(&self, networks: &[Network]) -> Result<Vec<NetworkComparison>, ArrayFlexError> {
-        let mut results = Vec::with_capacity(self.array_sizes.len() * networks.len());
+        self.run_with(networks, &ParallelExecutor::new(self.threads))
+    }
+
+    /// Runs the sweep on a caller-supplied executor (ignoring the sweep's
+    /// own `threads` setting).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a model cannot be constructed or a network cannot
+    /// be planned; with multiple failing jobs, the error of the first job in
+    /// sweep order is reported regardless of completion order.
+    pub fn run_with(
+        &self,
+        networks: &[Network],
+        executor: &ParallelExecutor,
+    ) -> Result<Vec<NetworkComparison>, ArrayFlexError> {
+        let mut jobs = Vec::with_capacity(self.array_sizes.len() * networks.len() * 2);
         for &size in &self.array_sizes {
-            let model = ArrayFlexModel::new(size, size)?;
-            for network in networks {
-                results.push(compare_network(&model, network, self.mapping)?);
+            for index in 0..networks.len() {
+                // One job per pipeline choice: the conventional plan and the
+                // per-layer-optimized ArrayFlex plan of the same pair.
+                jobs.push((size, index, false));
+                jobs.push((size, index, true));
             }
+        }
+        let plans = executor.try_run(jobs, |(size, index, arrayflex)| {
+            let model = ArrayFlexModel::new(size, size)?;
+            let network = &networks[index];
+            if arrayflex {
+                model.plan_arrayflex(network, self.mapping)
+            } else {
+                model.plan_conventional(network, self.mapping)
+            }
+        })?;
+        let mut results = Vec::with_capacity(plans.len() / 2);
+        let mut plans = plans.into_iter();
+        while let (Some(conventional), Some(arrayflex)) = (plans.next(), plans.next()) {
+            results.push(NetworkComparison::from_plans(conventional, arrayflex));
         }
         Ok(results)
     }
@@ -223,6 +314,35 @@ mod tests {
         assert_eq!(results[0].rows, 128);
         assert_eq!(results[5].rows, 256);
         assert_eq!(EvaluationSweep::default(), sweep);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let networks = paper_evaluation_networks();
+        let serial = EvaluationSweep::date23().run(&networks).unwrap();
+        for threads in [0usize, 2, 3, 8] {
+            let sweep = EvaluationSweep::date23().threads(threads);
+            assert_eq!(sweep.threads, threads);
+            let parallel = sweep.run(&networks).unwrap();
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+        // The serial() builder restores the default configuration.
+        assert_eq!(
+            EvaluationSweep::date23().threads(7).serial(),
+            EvaluationSweep::date23()
+        );
+    }
+
+    #[test]
+    fn run_with_accepts_a_shared_executor() {
+        use gemm::ParallelExecutor;
+        let networks = vec![resnet34()];
+        let sweep = EvaluationSweep::date23();
+        let serial = sweep.run(&networks).unwrap();
+        let pooled = sweep
+            .run_with(&networks, &ParallelExecutor::new(3))
+            .unwrap();
+        assert_eq!(pooled, serial);
     }
 
     #[test]

@@ -55,9 +55,47 @@ impl ArrayFlexModel {
         b: &Matrix<i32>,
         k: u32,
     ) -> Result<SimulatedExecution, ArrayFlexError> {
+        self.simulate_gemm_threads(a, b, k, 1)
+    }
+
+    /// [`ArrayFlexModel::simulate_gemm`] with the independent tiles of the
+    /// tiled GEMM simulated on `threads` worker threads (`0` auto-detects
+    /// the hardware parallelism, `1` is serial).
+    ///
+    /// Tile-parallel simulation is bit-identical to the serial run: the
+    /// functional output, the aggregated [`RunStats`] and the cycle
+    /// cross-check are all unchanged, only the wall-clock time drops.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use arrayflex::ArrayFlexModel;
+    /// use gemm::{Matrix, rng::SplitMix64};
+    ///
+    /// let model = ArrayFlexModel::new(8, 8)?;
+    /// let mut rng = SplitMix64::new(5);
+    /// let a = Matrix::random(6, 20, &mut rng, -30, 30);
+    /// let b = Matrix::random(20, 10, &mut rng, -30, 30);
+    /// let serial = model.simulate_gemm(&a, &b, 2)?;
+    /// let parallel = model.simulate_gemm_threads(&a, &b, 2, 4)?;
+    /// assert!(parallel.functionally_correct);
+    /// assert_eq!(parallel, serial);
+    /// # Ok::<(), arrayflex::ArrayFlexError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ArrayFlexModel::simulate_gemm`].
+    pub fn simulate_gemm_threads(
+        &self,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+        k: u32,
+        threads: usize,
+    ) -> Result<SimulatedExecution, ArrayFlexError> {
         let dims = GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64);
         let predicted = self.execute_arrayflex(dims, k)?;
-        let simulator = Simulator::new(self.array_config(k))?;
+        let simulator = Simulator::new(self.array_config(k))?.threads(threads);
         let run = simulator.run_gemm(a, b)?;
         let reference = multiply(a, b)?;
         let functionally_correct = run.output == reference;
@@ -109,6 +147,20 @@ mod tests {
         // are zero — the simulator counts operand-valid MACs.
         assert_eq!(result.stats.macs, 2 * 3 * 4 * 4);
         assert_eq!(result.stats.tiles, 2);
+    }
+
+    #[test]
+    fn tile_parallel_simulation_matches_serial() {
+        let model = ArrayFlexModel::new(8, 8).unwrap();
+        let (a, b) = operands(5, 25, 18, 3);
+        for k in [1, 2, 4] {
+            let serial = model.simulate_gemm(&a, &b, k).unwrap();
+            for threads in [0usize, 2, 5] {
+                let parallel = model.simulate_gemm_threads(&a, &b, k, threads).unwrap();
+                assert_eq!(parallel, serial, "k = {k}, threads = {threads}");
+                assert!(parallel.cycles_match(), "k = {k}, threads = {threads}");
+            }
+        }
     }
 
     #[test]

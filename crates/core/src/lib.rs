@@ -22,6 +22,13 @@
 //! * [`executor`] — cycle-accurate validation of the analytical model on the
 //!   register-level simulator from [`sa_sim`].
 //!
+//! Evaluation sweeps, network planning and the cycle-accurate simulator can
+//! all fan their independent work units out across cores through
+//! [`ParallelExecutor`], the workspace's hand-rolled sharded thread runner;
+//! serial execution stays the default everywhere, and parallel results are
+//! bit-identical to serial ones (see `DESIGN.md` for the determinism
+//! contract).
+//!
 //! # Quick example
 //!
 //! ```
@@ -53,6 +60,18 @@ pub mod plan;
 pub use comparison::{compare_network, EvaluationSweep, NetworkComparison};
 pub use error::ArrayFlexError;
 pub use executor::SimulatedExecution;
+/// The parallel execution engine used by [`EvaluationSweep::run`], the
+/// planners and the tile-parallel simulator (re-exported from [`gemm`]).
+///
+/// # Examples
+///
+/// ```
+/// use arrayflex::ParallelExecutor;
+///
+/// let doubled = ParallelExecutor::new(4).run((0u32..6).collect(), |x| 2 * x);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8, 10]);
+/// ```
+pub use gemm::ParallelExecutor;
 pub use model::{ArrayFlexModel, LayerExecution};
 pub use objective::Objective;
 pub use optimizer::PipelineChoice;
@@ -77,5 +96,7 @@ mod tests {
         assert_send_sync::<NetworkComparison>();
         assert_send_sync::<ArrayFlexError>();
         assert_send_sync::<PipelineChoice>();
+        assert_send_sync::<ParallelExecutor>();
+        assert_send_sync::<EvaluationSweep>();
     }
 }

@@ -10,6 +10,7 @@
 use crate::error::ArrayFlexError;
 use crate::model::{ArrayFlexModel, LayerExecution};
 use cnn::{DepthwiseMapping, Network};
+use gemm::ParallelExecutor;
 use hw_model::{Design, EnergyReport, Microjoules, Microseconds, Milliwatts};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -209,8 +210,24 @@ impl ArrayFlexModel {
         network: &Network,
         mapping: DepthwiseMapping,
     ) -> Result<NetworkPlan, ArrayFlexError> {
-        self.plan(network, mapping, |_, dims| {
-            Ok((self.execute_conventional(dims)?, 1.0))
+        self.plan_conventional_with(network, mapping, &ParallelExecutor::serial())
+    }
+
+    /// [`ArrayFlexModel::plan_conventional`] with layer evaluations fanned
+    /// out over the given executor. Planning is a pure function of each
+    /// layer's GEMM, so the plan is identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any layer lowers to an invalid GEMM.
+    pub fn plan_conventional_with(
+        &self,
+        network: &Network,
+        mapping: DepthwiseMapping,
+        executor: &ParallelExecutor,
+    ) -> Result<NetworkPlan, ArrayFlexError> {
+        self.plan(network, mapping, executor, |model, dims| {
+            Ok((model.execute_conventional(dims)?, 1.0))
         })
     }
 
@@ -225,7 +242,23 @@ impl ArrayFlexModel {
         network: &Network,
         mapping: DepthwiseMapping,
     ) -> Result<NetworkPlan, ArrayFlexError> {
-        self.plan(network, mapping, |model, dims| {
+        self.plan_arrayflex_with(network, mapping, &ParallelExecutor::serial())
+    }
+
+    /// [`ArrayFlexModel::plan_arrayflex`] with per-layer depth optimization
+    /// fanned out over the given executor. Planning is a pure function of
+    /// each layer's GEMM, so the plan is identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any layer lowers to an invalid GEMM.
+    pub fn plan_arrayflex_with(
+        &self,
+        network: &Network,
+        mapping: DepthwiseMapping,
+        executor: &ParallelExecutor,
+    ) -> Result<NetworkPlan, ArrayFlexError> {
+        self.plan(network, mapping, executor, |model, dims| {
             let choice = model.optimal_depth(dims)?;
             Ok((choice.execution, choice.continuous_estimate))
         })
@@ -245,7 +278,7 @@ impl ArrayFlexModel {
         mapping: DepthwiseMapping,
         k: u32,
     ) -> Result<NetworkPlan, ArrayFlexError> {
-        self.plan(network, mapping, |model, dims| {
+        self.plan(network, mapping, &ParallelExecutor::serial(), |model, dims| {
             Ok((
                 model.execute_arrayflex(dims, k)?,
                 model.continuous_optimal_depth(dims),
@@ -257,22 +290,22 @@ impl ArrayFlexModel {
         &self,
         network: &Network,
         mapping: DepthwiseMapping,
-        mut execute: F,
+        executor: &ParallelExecutor,
+        execute: F,
     ) -> Result<NetworkPlan, ArrayFlexError>
     where
-        F: FnMut(&Self, gemm::GemmDims) -> Result<(LayerExecution, f64), ArrayFlexError>,
+        F: Fn(&Self, gemm::GemmDims) -> Result<(LayerExecution, f64), ArrayFlexError> + Sync,
     {
-        let mut layers = Vec::with_capacity(network.len());
-        for gemm in network.gemms(mapping) {
+        let layers = executor.try_run(network.gemms(mapping), |gemm| {
             let (execution, continuous_estimate) = execute(self, gemm.dims)?;
-            layers.push(LayerPlan {
+            Ok::<_, ArrayFlexError>(LayerPlan {
                 layer_index: gemm.layer_index,
                 layer_name: gemm.layer_name,
                 repeats: gemm.repeats,
                 continuous_estimate,
                 execution,
-            });
-        }
+            })
+        })?;
         Ok(NetworkPlan {
             network_name: network.name().to_owned(),
             design: layers
@@ -381,6 +414,29 @@ mod tests {
         // slower on a large array.
         assert!(per_group.total_time() > block.total_time());
         assert!(per_group.layers.iter().any(|l| l.repeats > 1));
+    }
+
+    #[test]
+    fn parallel_planning_is_bit_identical_to_serial() {
+        use gemm::ParallelExecutor;
+        let m = model();
+        let net = convnext_tiny();
+        let mapping = DepthwiseMapping::default();
+        let serial_af = m.plan_arrayflex(&net, mapping).unwrap();
+        let serial_conv = m.plan_conventional(&net, mapping).unwrap();
+        for threads in [2usize, 4] {
+            let executor = ParallelExecutor::new(threads);
+            assert_eq!(
+                m.plan_arrayflex_with(&net, mapping, &executor).unwrap(),
+                serial_af,
+                "arrayflex, threads = {threads}"
+            );
+            assert_eq!(
+                m.plan_conventional_with(&net, mapping, &executor).unwrap(),
+                serial_conv,
+                "conventional, threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   actual data transform and a direct-convolution reference;
 //! * [`quantize`] — affine quantization helpers for the examples;
 //! * [`workload`] — deterministic random workload generation;
-//! * [`rng`] — the small deterministic PRNG used by the generators.
+//! * [`rng`] — the small deterministic PRNG used by the generators;
+//! * [`parallel`] — the hand-rolled sharded thread runner
+//!   ([`ParallelExecutor`]) the simulator and the evaluation sweeps use to
+//!   fan independent work units across cores with deterministic result
+//!   ordering.
 //!
 //! # Quick example
 //!
@@ -35,6 +39,7 @@
 pub mod error;
 pub mod im2col;
 pub mod matrix;
+pub mod parallel;
 pub mod problem;
 pub mod quantize;
 pub mod rng;
@@ -42,6 +47,7 @@ pub mod tiling;
 pub mod workload;
 
 pub use error::GemmError;
+pub use parallel::ParallelExecutor;
 pub use im2col::{ConvShape, ConvWeights, Tensor3};
 pub use matrix::{accumulate, multiply, Matrix};
 pub use problem::GemmDims;
@@ -62,5 +68,6 @@ mod tests {
         assert_send_sync::<TileGrid>();
         assert_send_sync::<GemmError>();
         assert_send_sync::<WorkloadGenerator>();
+        assert_send_sync::<ParallelExecutor>();
     }
 }

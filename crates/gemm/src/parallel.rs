@@ -1,0 +1,248 @@
+//! A hand-rolled parallel execution engine for embarrassingly parallel
+//! evaluation work.
+//!
+//! The build environment has no crates.io access, so instead of `rayon` the
+//! workspace ships this small sharded runner built only on
+//! [`std::thread::scope`], [`std::sync::Mutex`] and [`std::sync::mpsc`]. A
+//! fixed pool of scoped worker threads pops indexed jobs from a shared
+//! queue (work-stealing in the degenerate single-queue sense: an idle
+//! worker always takes the next undone job, so an unlucky shard cannot
+//! stall the run), and every result is delivered back tagged with its job
+//! index. Results are therefore returned **in submission order regardless
+//! of completion order** — the determinism contract that lets callers swap
+//! serial and parallel execution without observing any difference beyond
+//! wall-clock time (see `DESIGN.md`, "Parallel execution engine").
+//!
+//! The runner is exposed to downstream crates as
+//! [`ParallelExecutor`]; `arrayflex` re-exports it as
+//! `arrayflex::ParallelExecutor`.
+
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// A sharded thread-pool runner with deterministic result ordering.
+///
+/// An executor with one thread (the default for every API in this
+/// workspace) runs jobs inline on the calling thread, in order, without
+/// spawning anything — serial mode is not merely "one worker thread", it is
+/// the exact sequential loop, which keeps single-threaded behavior
+/// bit-for-bit identical to the pre-parallel code paths.
+///
+/// # Examples
+///
+/// ```
+/// use gemm::ParallelExecutor;
+///
+/// let executor = ParallelExecutor::new(4);
+/// let squares = executor.run((0u64..8).collect(), |x| x * x);
+/// // Results come back in submission order, not completion order.
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+///
+/// // A serial executor produces exactly the same values.
+/// assert_eq!(ParallelExecutor::serial().run((0u64..8).collect(), |x| x * x), squares);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// Creates an executor with the given number of worker threads.
+    ///
+    /// `threads == 0` auto-detects the available hardware parallelism
+    /// (falling back to 1 if detection fails); `threads == 1` is serial
+    /// mode.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// Creates a serial (single-thread, inline) executor.
+    #[must_use]
+    pub const fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Number of worker threads this executor fans out to (1 = serial).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Returns `true` if jobs run inline on the calling thread.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Runs `f` over every item and returns the results **in item order**.
+    ///
+    /// In serial mode this is exactly `items.into_iter().map(f).collect()`.
+    /// Otherwise `min(threads, items)` scoped workers drain a shared job
+    /// queue; each result is routed back to the slot of the item that
+    /// produced it, so the output is independent of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics on a worker thread, the panic is propagated to the
+    /// caller when the thread scope joins.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let jobs = items.len();
+        if self.is_serial() || jobs <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let queue = Mutex::new(items.into_iter().enumerate());
+        let (sender, receiver) = mpsc::channel::<(usize, R)>();
+        let workers = self.threads.min(jobs);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        thread::scope(|scope| {
+            let queue = &queue;
+            let f = &f;
+            for _ in 0..workers {
+                let sender = sender.clone();
+                scope.spawn(move || loop {
+                    // Hold the queue lock only while popping, never while
+                    // running the job.
+                    let job = queue.lock().expect("job queue poisoned").next();
+                    let Some((index, item)) = job else { break };
+                    if sender.send((index, f(item))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(sender);
+            // The receive loop ends when the last worker drops its sender,
+            // including when a worker panicked mid-run (its sender is
+            // dropped during unwinding, and the scope re-raises the panic).
+            for (index, result) in receiver {
+                slots[index] = Some(result);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every sharded job reports exactly one result"))
+            .collect()
+    }
+
+    /// Runs a fallible `f` over every item, collecting either all results
+    /// (in item order) or the first error **in item order** — which makes
+    /// the reported error deterministic even though a later job may have
+    /// failed first on the wall clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing item.
+    pub fn try_run<T, R, E, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(T) -> Result<R, E> + Sync,
+    {
+        self.run(items, f).into_iter().collect()
+    }
+}
+
+impl Default for ParallelExecutor {
+    /// The default executor is serial, preserving the workspace's
+    /// single-thread determinism guarantee unless a caller opts in.
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executor_is_send_sync_and_copy() {
+        fn assert_send_sync<T: Send + Sync + Copy>() {}
+        assert_send_sync::<ParallelExecutor>();
+    }
+
+    #[test]
+    fn zero_threads_autodetects_at_least_one() {
+        let auto = ParallelExecutor::new(0);
+        assert!(auto.threads() >= 1);
+        assert_eq!(ParallelExecutor::serial().threads(), 1);
+        assert!(ParallelExecutor::serial().is_serial());
+        assert!(!ParallelExecutor::new(8).is_serial());
+        assert_eq!(ParallelExecutor::default(), ParallelExecutor::serial());
+    }
+
+    #[test]
+    fn results_are_in_submission_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 128] {
+            let got = ParallelExecutor::new(threads).run(items.clone(), |x| x * 3 + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = ParallelExecutor::new(4).run((0..200).collect::<Vec<u32>>(), |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(results.len(), 200);
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_never_spawn() {
+        let executor = ParallelExecutor::new(16);
+        assert_eq!(executor.run(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(executor.run(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_run_reports_the_first_error_in_item_order() {
+        let executor = ParallelExecutor::new(4);
+        let result: Result<Vec<u32>, String> =
+            executor.try_run((0u32..50).collect(), |x| {
+                if x % 10 == 3 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+        // Items 3, 13, 23, ... all fail; the reported error is item 3's
+        // regardless of which worker finished first.
+        assert_eq!(result.unwrap_err(), "bad 3");
+
+        let ok: Result<Vec<u32>, String> = executor.try_run((0u32..10).collect(), Ok);
+        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_heterogeneous_work() {
+        // Jobs with wildly different costs still land in the right slots.
+        let work = |x: u64| -> u64 {
+            let mut acc = x;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let items: Vec<u64> = (0..64).collect();
+        let serial = ParallelExecutor::serial().run(items.clone(), work);
+        let parallel = ParallelExecutor::new(8).run(items, work);
+        assert_eq!(serial, parallel);
+    }
+}

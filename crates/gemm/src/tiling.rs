@@ -39,6 +39,51 @@ impl Tile {
     pub fn m_len(&self) -> u64 {
         self.m_range.end - self.m_range.start
     }
+
+    /// Extracts this tile's operand slices from the full matrices,
+    /// zero-padded at the edges to the array size: the `T x R` slice of `A`
+    /// and the `R x C` slice of `B` a tile-level kernel consumes.
+    ///
+    /// Both the serial tiled GEMM ([`tiled_multiply_with`]) and the
+    /// tile-parallel simulator path share this extraction, so the two can
+    /// never drift apart.
+    #[must_use]
+    pub fn padded_operands(
+        &self,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+        array_rows: u32,
+        array_cols: u32,
+    ) -> (Matrix<i32>, Matrix<i32>) {
+        let a_sub = a.padded_block(
+            0,
+            self.n_range.start as usize,
+            a.rows(),
+            array_rows as usize,
+        );
+        let b_sub = b.padded_block(
+            self.n_range.start as usize,
+            self.m_range.start as usize,
+            array_rows as usize,
+            array_cols as usize,
+        );
+        (a_sub, b_sub)
+    }
+
+    /// Accumulates the valid region of this tile's `T x C` partial product
+    /// into the full output (the output-accumulator step below the array).
+    ///
+    /// Integer addition is exact and commutative, so accumulating tiles in
+    /// any order produces identical results — the property the
+    /// tile-parallel simulator relies on.
+    pub fn accumulate_partial(&self, out: &mut Matrix<i64>, partial: &Matrix<i64>) {
+        for t in 0..out.rows() {
+            for (offset, m) in (self.m_range.start as usize..self.m_range.end as usize).enumerate()
+            {
+                out[(t, m)] += partial[(t, offset)];
+            }
+        }
+    }
 }
 
 /// The grid of tiles produced by mapping a GEMM onto an `R x C` array.
@@ -178,26 +223,9 @@ where
     let grid = TileGrid::new(dims, array_rows, array_cols)?;
     let mut out = Matrix::<i64>::zeros(a.rows(), b.cols());
     for tile in grid.iter() {
-        let a_sub = a.padded_block(
-            0,
-            tile.n_range.start as usize,
-            a.rows(),
-            array_rows as usize,
-        );
-        let b_sub = b.padded_block(
-            tile.n_range.start as usize,
-            tile.m_range.start as usize,
-            array_rows as usize,
-            array_cols as usize,
-        );
+        let (a_sub, b_sub) = tile.padded_operands(a, b, array_rows, array_cols);
         let partial = kernel(&tile, &a_sub, &b_sub)?;
-        // Accumulate the valid region of the partial product into the output.
-        for t in 0..a.rows() {
-            for (offset, m) in (tile.m_range.start as usize..tile.m_range.end as usize).enumerate()
-            {
-                out[(t, m)] += partial[(t, offset)];
-            }
-        }
+        tile.accumulate_partial(&mut out, &partial);
     }
     Ok(out)
 }

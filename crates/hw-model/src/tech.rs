@@ -9,7 +9,10 @@
 //! energies and per-bit cell areas. The default
 //! [`TechnologyParams::cmos_28nm`] values are calibrated so that the derived
 //! clock frequencies, the ~16 % PE area overhead and the 13 %–23 % power
-//! savings match the numbers reported in the paper (see `DESIGN.md`).
+//! savings match the numbers reported in the paper — see `DESIGN.md` §4
+//! ("Technology calibration") for the approach, and the "Calibration"
+//! section of `EXPERIMENTS.md` for the values tabulated next to the
+//! published numbers.
 
 use crate::error::HwModelError;
 use crate::units::{Femtojoules, Picoseconds, SquareMicrons};

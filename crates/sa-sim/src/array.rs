@@ -48,6 +48,7 @@ pub struct SystolicArray {
     v_regs: Vec<i64>,
     v_valid: Vec<bool>,
     weights_loaded: bool,
+    fast_path: bool,
     stats: RunStats,
 }
 
@@ -68,6 +69,7 @@ impl SystolicArray {
             v_regs: vec![0; n],
             v_valid: vec![false; n],
             weights_loaded: false,
+            fast_path: true,
             stats: RunStats::default(),
         })
     }
@@ -93,6 +95,30 @@ impl SystolicArray {
         } else {
             None
         }
+    }
+
+    /// Returns whether the inactive-block fast path is enabled (the
+    /// default).
+    #[must_use]
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Enables or disables the inactive-block fast path of
+    /// [`SystolicArray::step`].
+    ///
+    /// With the fast path enabled (the default), a cycle skips the
+    /// multiplier/carry-save evaluation of every pipeline block whose
+    /// operands are all invalid — the fully-drained (or not yet filled)
+    /// rows of the wavefront — and forwards the incoming partial sum
+    /// directly. Because invalid operands are always driven as zero, the
+    /// skipped chain would only have added zeros, so outputs, register
+    /// values and [`RunStats`] are bit-identical either way; the tests
+    /// cross-check this against the naive full-array scan. Disabling the
+    /// fast path is useful only for that cross-check and for measuring the
+    /// fast path's speedup.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
     }
 
     /// Clears the pipelines, the weights and the statistics.
@@ -232,6 +258,21 @@ impl SystolicArray {
                     let idx = self.index(first_row - 1, col);
                     (self.v_regs[idx], self.v_valid[idx])
                 };
+                // Fast path: a block whose partial-sum input and operands
+                // are all invalid multiplies exclusively by zero (invalid
+                // operands are driven as zero), so its carry-save chain
+                // degenerates to forwarding the incoming value. Skip the
+                // per-PE evaluation; state and statistics are unchanged.
+                if self.fast_path
+                    && !incoming_valid
+                    && (first_row..=last_row)
+                        .all(|row| !operand_valid[row * col_blocks + cb])
+                {
+                    let reg_idx = self.index(last_row, col);
+                    next_v[reg_idx] = incoming;
+                    next_v_valid[reg_idx] = false;
+                    continue;
+                }
                 let mut acc = CarrySaveValue::from_binary(incoming);
                 let mut block_valid = false;
                 for row in first_row..=last_row {
@@ -396,6 +437,38 @@ mod tests {
         assert_eq!(array.stats(), RunStats::default());
         assert_eq!(array.pe(0, 0).unwrap().weight(), 0);
         assert!(array.step(&[None, None]).is_err());
+    }
+
+    #[test]
+    fn fast_path_matches_naive_scan_cycle_by_cycle() {
+        use crate::dataflow::InputFeeder;
+        use gemm::rng::SplitMix64;
+
+        for k in [1u32, 2, 4] {
+            let config = ArrayConfig::new(8, 8).with_collapse_depth(k);
+            let mut rng = SplitMix64::new(u64::from(k) + 100);
+            let weights = Matrix::random(8, 8, &mut rng, -30, 30);
+            let a = Matrix::random(5, 8, &mut rng, -30, 30);
+
+            let mut fast = SystolicArray::new(config).unwrap();
+            let mut naive = SystolicArray::new(config).unwrap();
+            naive.set_fast_path(false);
+            assert!(fast.fast_path());
+            assert!(!naive.fast_path());
+            fast.load_weights(&weights).unwrap();
+            naive.load_weights(&weights).unwrap();
+
+            let feeder = InputFeeder::new(&a, config).unwrap();
+            // Step well past the drain so the fast path covers fill, steady
+            // state and fully-drained cycles.
+            for cycle in 0..config.compute_cycles(5) + 4 {
+                let west = feeder.west_inputs(cycle);
+                let f = fast.step(&west).unwrap();
+                let n = naive.step(&west).unwrap();
+                assert_eq!(f, n, "k = {k}, cycle = {cycle}");
+            }
+            assert_eq!(fast.stats(), naive.stats(), "k = {k}");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! * [`config`] — array geometry and pipeline configuration;
 //! * [`pe`] — the configurable processing element;
 //! * [`carry_save`] — redundant carry-save arithmetic;
-//! * [`array`] — the register-level array model;
+//! * [`mod@array`] — the register-level array model;
 //! * [`dataflow`] — input skewing and output collection schedules;
 //! * [`sim`] — whole-GEMM simulation with tiling, verification and
 //!   statistics;

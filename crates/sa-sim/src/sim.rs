@@ -5,7 +5,7 @@ use crate::config::ArrayConfig;
 use crate::dataflow::{InputFeeder, OutputCollector};
 use crate::error::SimError;
 use crate::stats::RunStats;
-use gemm::{multiply, tiled_multiply_with, GemmDims, Matrix, TileGrid};
+use gemm::{multiply, tiled_multiply_with, GemmDims, GemmError, Matrix, ParallelExecutor, Tile, TileGrid};
 use serde::{Deserialize, Serialize};
 
 /// Result of simulating a single array-sized tile.
@@ -48,6 +48,13 @@ impl LatencyCheck {
 
 /// Cycle-accurate simulator of one systolic-array configuration.
 ///
+/// By default the simulator is **serial**: tiles execute one after another
+/// on the calling thread, exactly as in the original implementation. The
+/// [`Simulator::threads`] builder fans independent tiles of a tiled GEMM
+/// out across worker threads; because every tile is simulated by its own
+/// [`SystolicArray`] instance and the aggregation is order-independent, the
+/// result is bit-identical to the serial run.
+///
 /// # Examples
 ///
 /// ```
@@ -66,17 +73,65 @@ impl LatencyCheck {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Simulator {
     config: ArrayConfig,
+    threads: usize,
 }
 
 impl Simulator {
-    /// Creates a simulator for the given array configuration.
+    /// Creates a serial simulator for the given array configuration.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
     pub fn new(config: ArrayConfig) -> Result<Self, SimError> {
         config.validate()?;
-        Ok(Self { config })
+        Ok(Self { config, threads: 1 })
+    }
+
+    /// Returns a copy that simulates independent tiles of a tiled GEMM on
+    /// `n` worker threads (`0` auto-detects the hardware parallelism, `1`
+    /// is serial).
+    ///
+    /// Tile-parallel execution is deterministic: partial products are
+    /// accumulated in tile order and the per-tile [`RunStats`] sum is
+    /// order-independent, so any thread count produces bit-identical
+    /// [`GemmResult`]s.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gemm::{Matrix, rng::SplitMix64};
+    /// use sa_sim::{ArrayConfig, Simulator};
+    ///
+    /// let mut rng = SplitMix64::new(3);
+    /// let a = Matrix::random(6, 20, &mut rng, -9, 9);
+    /// let b = Matrix::random(20, 12, &mut rng, -9, 9);
+    /// let serial = Simulator::new(ArrayConfig::new(8, 8))?;
+    /// let parallel = serial.threads(4);
+    /// let s = serial.run_gemm(&a, &b)?;
+    /// let p = parallel.run_gemm(&a, &b)?;
+    /// assert_eq!(s.output, p.output);
+    /// assert_eq!(s.stats, p.stats);
+    /// # Ok::<(), sa_sim::SimError>(())
+    /// ```
+    #[must_use]
+    pub const fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Returns a copy that simulates tiles serially on the calling thread
+    /// (the default).
+    #[must_use]
+    pub const fn serial(mut self) -> Self {
+        self.threads = 1;
+        self
+    }
+
+    /// The configured worker-thread count (`0` = auto-detect, `1` =
+    /// serial).
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
     }
 
     /// The array configuration being simulated.
@@ -94,7 +149,34 @@ impl Simulator {
     /// an internal schedule violation (which would indicate a simulator
     /// bug).
     pub fn run_tile(&self, a_sub: &Matrix<i32>, b_sub: &Matrix<i32>) -> Result<TileResult, SimError> {
+        self.run_tile_inner(a_sub, b_sub, true)
+    }
+
+    /// Simulates one tile with the inactive-block fast path disabled, i.e.
+    /// with the naive per-cycle scan that evaluates every PE every cycle.
+    ///
+    /// Exists for cross-checking and for measuring the fast path's speedup;
+    /// its results are bit-identical to [`Simulator::run_tile`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_tile`].
+    pub fn run_tile_naive(
+        &self,
+        a_sub: &Matrix<i32>,
+        b_sub: &Matrix<i32>,
+    ) -> Result<TileResult, SimError> {
+        self.run_tile_inner(a_sub, b_sub, false)
+    }
+
+    fn run_tile_inner(
+        &self,
+        a_sub: &Matrix<i32>,
+        b_sub: &Matrix<i32>,
+        fast_path: bool,
+    ) -> Result<TileResult, SimError> {
         let mut array = SystolicArray::new(self.config)?;
+        array.set_fast_path(fast_path);
         array.load_weights(b_sub)?;
         let feeder = InputFeeder::new(a_sub, self.config)?;
         let t = a_sub.rows();
@@ -116,10 +198,21 @@ impl Simulator {
     /// adjacent tiles in the output accumulators, exactly as in Fig. 1 of
     /// the paper.
     ///
+    /// Independent tiles are simulated concurrently when
+    /// [`Simulator::threads`] configured more than one worker; results are
+    /// bit-identical to the serial run either way.
+    ///
     /// # Errors
     ///
     /// Returns dimension errors if `A` and `B` are incompatible.
     pub fn run_gemm(&self, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<GemmResult, SimError> {
+        if self.threads == 1 {
+            return self.run_gemm_serial(a, b);
+        }
+        self.run_gemm_parallel(a, b)
+    }
+
+    fn run_gemm_serial(&self, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<GemmResult, SimError> {
         let mut stats = RunStats::default();
         let output = tiled_multiply_with::<SimError, _>(
             a,
@@ -136,6 +229,38 @@ impl Simulator {
             output,
             stats,
             grid_dims: GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64),
+        })
+    }
+
+    /// Tile-parallel GEMM execution: every tile of the grid is simulated on
+    /// its own [`SystolicArray`] instance by the worker pool, then the
+    /// partial products are accumulated into the output in tile order and
+    /// the per-tile statistics are summed (an order-independent reduction).
+    fn run_gemm_parallel(&self, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<GemmResult, SimError> {
+        let dims = GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64);
+        if a.cols() != b.rows() {
+            return Err(SimError::from(GemmError::IncompatibleDimensions {
+                left_cols: a.cols(),
+                right_rows: b.rows(),
+            }));
+        }
+        let grid = TileGrid::new(dims, self.config.rows, self.config.cols)?;
+        let tiles: Vec<Tile> = grid.iter().collect();
+        let executor = ParallelExecutor::new(self.threads);
+        let results = executor.try_run(tiles, |tile| {
+            let (a_sub, b_sub) =
+                tile.padded_operands(a, b, self.config.rows, self.config.cols);
+            self.run_tile(&a_sub, &b_sub).map(|result| (tile, result))
+        })?;
+        let stats: RunStats = results.iter().map(|(_, tile)| tile.stats).sum();
+        let mut output = Matrix::<i64>::zeros(a.rows(), b.cols());
+        for (tile, partial) in &results {
+            tile.accumulate_partial(&mut output, &partial.output);
+        }
+        Ok(GemmResult {
+            output,
+            stats,
+            grid_dims: dims,
         })
     }
 
@@ -274,6 +399,56 @@ mod tests {
             normal.run_gemm(&a, &b).unwrap().stats.macs,
             shallow.run_gemm(&a, &b).unwrap().stats.macs
         );
+    }
+
+    #[test]
+    fn fast_path_tile_is_bit_identical_to_the_naive_scan() {
+        // The fast-path kernel skips fully-drained/inactive pipeline blocks;
+        // its outputs and RunStats (cycles, MAC counts, register events)
+        // must match the naive per-cycle scan of the whole array exactly.
+        for (rows, cols, k, t, seed) in [
+            (4u32, 4u32, 1u32, 6usize, 11u64),
+            (8, 8, 2, 3, 12),
+            (8, 8, 4, 10, 13),
+            (6, 6, 4, 1, 14),
+            (12, 4, 2, 5, 15),
+        ] {
+            let mut rng = SplitMix64::new(seed);
+            let a = Matrix::random(t, rows as usize, &mut rng, -40, 40);
+            let b = Matrix::random(rows as usize, cols as usize, &mut rng, -40, 40);
+            let sim =
+                Simulator::new(ArrayConfig::new(rows, cols).with_collapse_depth(k)).unwrap();
+            let fast = sim.run_tile(&a, &b).unwrap();
+            let naive = sim.run_tile_naive(&a, &b).unwrap();
+            assert_eq!(fast.output, naive.output, "{rows}x{cols} k={k} t={t}");
+            assert_eq!(fast.stats, naive.stats, "{rows}x{cols} k={k} t={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_serial() {
+        let (a, b) = random_pair(9, 30, 21, 17);
+        for k in [1, 2, 4] {
+            let serial =
+                Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(k)).unwrap();
+            let reference = serial.run_gemm(&a, &b).unwrap();
+            for threads in [0, 2, 3, 7] {
+                let parallel = serial.threads(threads);
+                assert_eq!(parallel.thread_count(), threads);
+                let result = parallel.run_gemm(&a, &b).unwrap();
+                assert_eq!(result, reference, "k = {k}, threads = {threads}");
+            }
+            // The serial() builder restores the default.
+            assert_eq!(serial.threads(5).serial(), serial);
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_rejects_mismatched_operands() {
+        let a = Matrix::<i32>::zeros(2, 5);
+        let b = Matrix::<i32>::zeros(4, 3);
+        let sim = Simulator::new(ArrayConfig::new(4, 4)).unwrap().threads(4);
+        assert!(sim.run_gemm(&a, &b).is_err());
     }
 
     #[test]

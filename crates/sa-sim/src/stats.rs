@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::iter::Sum;
 use std::ops::{Add, AddAssign};
 
 /// Cycle-level statistics of one or more simulated tile executions.
@@ -11,6 +12,16 @@ use std::ops::{Add, AddAssign};
 /// clock events actually happened versus how many were suppressed by clock
 /// gating of transparent registers — the activity numbers that feed the
 /// power model's calibration.
+///
+/// # Aggregation is order-independent
+///
+/// Every field is an exact integer event count, so [`Add`]/[`Sum`] form a
+/// commutative, associative reduction: aggregating per-tile statistics in
+/// any order (in particular, in the completion order of concurrently
+/// simulated tiles) yields bit-identical totals, and every derived ratio
+/// ([`RunStats::utilization`], [`RunStats::clock_gating_fraction`]) depends
+/// only on those totals. The tile-parallel GEMM path relies on this
+/// guarantee.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Cycles spent preloading weights into the array.
@@ -83,6 +94,12 @@ impl AddAssign for RunStats {
     }
 }
 
+impl Sum for RunStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
 impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -139,6 +156,35 @@ mod tests {
         assert_eq!(s.macs, 320);
         assert_eq!(s.tiles, 2);
         assert_eq!(s, sample() + sample());
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        // Simulated per-tile statistics of different shapes.
+        let tiles: Vec<RunStats> = (0..12)
+            .map(|i| RunStats {
+                load_cycles: i,
+                compute_cycles: 3 * i + 1,
+                macs: 17 * i,
+                pe_cycles: 64 * (3 * i + 1),
+                clocked_register_events: 5 * i + 2,
+                gated_register_events: 7 * i,
+                tiles: 1,
+            })
+            .collect();
+        let forward: RunStats = tiles.iter().copied().sum();
+        let reverse: RunStats = tiles.iter().rev().copied().sum();
+        // An interleaved order, mimicking out-of-order tile completion.
+        let mut shuffled = Vec::new();
+        for pair in tiles.chunks(2).rev() {
+            shuffled.extend_from_slice(pair);
+        }
+        let out_of_order: RunStats = shuffled.into_iter().sum();
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, out_of_order);
+        assert_eq!(forward.tiles, 12);
+        // Empty sums are the identity.
+        assert_eq!(Vec::<RunStats>::new().into_iter().sum::<RunStats>(), RunStats::default());
     }
 
     #[test]

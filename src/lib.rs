@@ -13,10 +13,10 @@
 //! * [`gemm`] — matrices, tiling, im2col and workload generation.
 //!
 //! See the repository `README.md` for the workspace layout, crate map and
-//! verification commands. The reproduction methodology lives in the crate
-//! docs themselves: `arrayflex` documents the model equations and optimizer,
-//! and the `bench` crate's figure-regeneration binaries reproduce the
-//! paper's evaluation tables and figures.
+//! verification commands; `DESIGN.md` for the architecture, the model
+//! equations (1)–(5) and the parallel execution engine's determinism
+//! contract; and `EXPERIMENTS.md` for the per-figure reproduction recipes
+//! driven by the `bench` crate's figure-regeneration binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +31,7 @@ pub use sa_sim;
 pub mod prelude {
     pub use arrayflex::{
         compare_network, ArrayFlexError, ArrayFlexModel, EvaluationSweep, LayerExecution,
-        NetworkComparison, NetworkPlan, PipelineChoice,
+        NetworkComparison, NetworkPlan, ParallelExecutor, PipelineChoice,
     };
     pub use cnn::{models, DepthwiseMapping, Layer, Network};
     pub use gemm::{ConvShape, GemmDims, Matrix};

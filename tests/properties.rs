@@ -1,7 +1,9 @@
 //! Workspace-level property-based tests: randomized invariants that span
 //! the substrate crates and the core model.
 
-use arrayflex::ArrayFlexModel;
+use arrayflex::{ArrayFlexModel, EvaluationSweep, ParallelExecutor};
+use cnn::models::synthetic_cnn;
+use cnn::DepthwiseMapping;
 use gemm::rng::SplitMix64;
 use gemm::{multiply, tiled_multiply, GemmDims, Matrix};
 use proptest::prelude::*;
@@ -93,6 +95,64 @@ proptest! {
         prop_assert_eq!(conventional.cycles, model.execute_arrayflex(dims, 1).unwrap().cycles);
         prop_assert!(choice.continuous_estimate.is_finite());
         prop_assert!(choice.continuous_estimate > 0.0);
+    }
+
+    /// Parallel `EvaluationSweep::run` is element-for-element identical to
+    /// the serial run on randomized networks, array sizes, mappings and
+    /// thread counts — the determinism contract of the execution engine.
+    #[test]
+    fn parallel_sweep_equals_serial_elementwise(
+        depth in 1u32..=4,
+        base_channels in 3usize..=24,
+        input_size in 8usize..=40,
+        sizes in prop::collection::vec(
+            (0usize..4).prop_map(|i| [32u32, 64, 128, 192][i]),
+            1..=3,
+        ),
+        per_group in any::<bool>(),
+        threads in 2usize..=8,
+    ) {
+        let network = synthetic_cnn(depth, base_channels, input_size);
+        let mapping = if per_group {
+            DepthwiseMapping::PerGroup
+        } else {
+            DepthwiseMapping::BlockDiagonal
+        };
+        let sweep = EvaluationSweep {
+            array_sizes: sizes,
+            mapping,
+            threads: 1,
+        };
+        let networks = vec![network];
+        let serial = sweep.run(&networks).unwrap();
+        let parallel = sweep.clone().threads(threads).run(&networks).unwrap();
+        prop_assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            prop_assert_eq!(p, s);
+        }
+        // A caller-supplied executor behaves the same way.
+        let pooled = sweep.run_with(&networks, &ParallelExecutor::new(threads)).unwrap();
+        prop_assert_eq!(pooled, serial);
+    }
+
+    /// Tile-parallel cycle-accurate simulation is bit-identical to serial
+    /// simulation for any geometry, mode and thread count.
+    #[test]
+    fn tile_parallel_simulation_equals_serial(
+        (t, n, m) in small_dims(),
+        (rows, cols, k) in small_array(),
+        threads in 2usize..=8,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::random(t, n, &mut rng, -64, 63);
+        let b = Matrix::random(n, m, &mut rng, -64, 63);
+        let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+        let serial = Simulator::new(config).unwrap();
+        let parallel = serial.threads(threads);
+        let s = serial.run_gemm(&a, &b).unwrap();
+        let p = parallel.run_gemm(&a, &b).unwrap();
+        prop_assert_eq!(p, s);
     }
 
     /// Energy accounting is internally consistent: energy equals power times
