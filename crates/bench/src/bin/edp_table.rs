@@ -1,8 +1,12 @@
 //! Regenerates the Section IV-B summary: time saving, power saving and
 //! energy-delay-product gain of ArrayFlex for every network and array size.
+//!
+//! Pass `--threads N` to fan the sweep out over N workers (`0` = all
+//! cores; the entries are identical to the serial run) and `--json` for
+//! machine-readable output.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let entries = bench::experiments::evaluation_sweep()?;
+    let entries = bench::experiments::evaluation_sweep_threads(bench::cli_threads()?)?;
     let rendered = bench::experiments::edp_text(&entries);
     bench::emit(&rendered, &entries);
     Ok(())

@@ -1,8 +1,12 @@
 //! Regenerates Fig. 8 of the paper: normalized total execution time of
 //! ResNet-34, MobileNetV1 and ConvNeXt on 128x128 and 256x256 arrays.
+//!
+//! Pass `--threads N` to fan the sweep out over N workers (`0` = all
+//! cores; the entries are identical to the serial run) and `--json` for
+//! machine-readable output.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let entries = bench::experiments::evaluation_sweep()?;
+    let entries = bench::experiments::evaluation_sweep_threads(bench::cli_threads()?)?;
     let rendered = bench::experiments::fig8_text(&entries);
     bench::emit(&rendered, &entries);
     Ok(())

@@ -1,9 +1,13 @@
 //! Regenerates Fig. 9 of the paper: average power of the two arrays for
 //! complete inference runs, including the per-mode power breakdown of
 //! ArrayFlex.
+//!
+//! Pass `--threads N` to fan the sweep out over N workers (`0` = all
+//! cores; the entries are identical to the serial run) and `--json` for
+//! machine-readable output.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let entries = bench::experiments::evaluation_sweep()?;
+    let entries = bench::experiments::evaluation_sweep_threads(bench::cli_threads()?)?;
     let rendered = bench::experiments::fig9_text(&entries);
     bench::emit(&rendered, &entries);
     Ok(())

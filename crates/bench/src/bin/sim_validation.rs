@@ -1,9 +1,13 @@
 //! Cross-checks the analytical latency model (Equations 1-4) against the
 //! cycle-accurate register-level simulator on a set of random GEMMs, and
 //! verifies the simulated products against the reference GEMM.
+//!
+//! Pass `--threads N` to simulate each GEMM's tiles on N worker threads
+//! (`0` = all cores; bit-identical to the serial run) and `--json` for
+//! machine-readable output.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rows = bench::experiments::sim_validation(2023)?;
+    let rows = bench::experiments::sim_validation_threads(2023, bench::cli_threads()?)?;
     let rendered = bench::experiments::sim_validation_text(&rows);
     bench::emit(&rendered, &rows);
     Ok(())

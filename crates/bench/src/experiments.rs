@@ -444,14 +444,26 @@ pub struct ModeEntry {
 }
 
 /// Runs the full evaluation sweep behind Figs. 8 and 9: the three CNNs of
-/// the paper on 128x128 and 256x256 arrays.
+/// the paper on 128x128 and 256x256 arrays (serial).
 ///
 /// # Errors
 ///
 /// Propagates model errors.
 pub fn evaluation_sweep() -> Result<Vec<NetworkEntry>, ArrayFlexError> {
+    evaluation_sweep_threads(1)
+}
+
+/// [`evaluation_sweep`] with the (array size × network × pipeline choice)
+/// planning jobs fanned out over `threads` workers through
+/// [`EvaluationSweep::threads`] (`0` auto-detects, `1` is serial). The
+/// entries are identical for every thread count.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn evaluation_sweep_threads(threads: usize) -> Result<Vec<NetworkEntry>, ArrayFlexError> {
     let networks = paper_evaluation_networks();
-    let comparisons = EvaluationSweep::date23().run(&networks)?;
+    let comparisons = EvaluationSweep::date23().threads(threads).run(&networks)?;
     Ok(comparisons
         .iter()
         .map(|cmp| {
@@ -649,19 +661,35 @@ pub struct SimValidationRow {
     pub functionally_correct: bool,
 }
 
-/// Runs the simulator-vs-model cross-check on a set of small random GEMMs.
+/// Runs the simulator-vs-model cross-check on a set of small random GEMMs
+/// (serial).
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn sim_validation(seed: u64) -> Result<Vec<SimValidationRow>, ArrayFlexError> {
+    sim_validation_threads(seed, 1)
+}
+
+/// [`sim_validation`] with each GEMM's tiles simulated on `threads` worker
+/// threads through [`Simulator::threads`] (`0` auto-detects, `1` is
+/// serial). Tile-parallel simulation is bit-identical to serial, so the
+/// rows are unchanged for every thread count.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn sim_validation_threads(
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<SimValidationRow>, ArrayFlexError> {
     let mut generator = WorkloadGenerator::new(seed);
     let mut rows = Vec::new();
     for array in [4u32, 8, 16] {
         let model = ArrayFlexModel::new(array, array)?;
         for k in [1u32, 2, 4] {
             let workload = generator.random_workload(DimBounds { min: 2, max: 24 });
-            let result = model.simulate_gemm(&workload.a, &workload.b, k)?;
+            let result = model.simulate_gemm_threads(&workload.a, &workload.b, k, threads)?;
             rows.push(SimValidationRow {
                 array,
                 k,
@@ -1381,6 +1409,24 @@ mod tests {
         assert!(fig8_text(&entries).contains("128x128"));
         assert!(fig9_text(&entries).contains("256x256"));
         assert!(edp_text(&entries).contains("EDP gain"));
+    }
+
+    #[test]
+    fn threaded_sweep_and_sim_validation_match_serial() {
+        // The `--threads N` flag of the bench binaries must never change
+        // the data, only the wall-clock time.
+        let serial = evaluation_sweep().unwrap();
+        let threaded = evaluation_sweep_threads(3).unwrap();
+        assert_eq!(
+            serde_json::to_string(&threaded).unwrap(),
+            serde_json::to_string(&serial).unwrap()
+        );
+        let serial = sim_validation(2023).unwrap();
+        let threaded = sim_validation_threads(2023, 4).unwrap();
+        assert_eq!(
+            serde_json::to_string(&threaded).unwrap(),
+            serde_json::to_string(&serial).unwrap()
+        );
     }
 
     #[test]

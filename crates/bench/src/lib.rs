@@ -21,6 +21,29 @@ pub mod tables;
 
 pub use tables::TextTable;
 
+/// Parses the `--threads N` flag shared by the figure-regeneration
+/// binaries: `1` (the default) reproduces the original serial run bit for
+/// bit, `0` auto-detects the hardware parallelism, and any `N > 1` fans
+/// the experiment's independent jobs out over `N` workers — with results
+/// identical to serial by the executor's determinism contract.
+///
+/// # Errors
+///
+/// Returns an error if the flag has a missing or non-numeric value.
+pub fn cli_threads() -> Result<usize, Box<dyn std::error::Error>> {
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = args
+                .next()
+                .ok_or("--threads needs a value")?
+                .parse::<usize>()?;
+        }
+    }
+    Ok(threads)
+}
+
 /// Prints a figure both as a text table and, when `--json` is passed on the
 /// command line, as JSON (for plotting scripts).
 ///

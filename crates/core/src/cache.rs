@@ -1,0 +1,504 @@
+//! A sharded LRU cache for network plans.
+//!
+//! Planning a network is a pure function of the analytical model (array
+//! geometry plus technology calibration), the network's layer table, the
+//! depthwise mapping and the pipeline-selection policy. [`PlanCache`]
+//! memoizes that function: [`PlanKey`] canonicalizes the full input tuple
+//! into a deterministic byte string (via the JSON emission of every
+//! component) and hashes it, and the cache stores the resulting
+//! [`NetworkPlan`]s in independently locked shards with least-recently-used
+//! eviction. Because the key covers *all* inputs, a cache hit is guaranteed
+//! to be byte-identical to recomputing the plan — the serving layer relies
+//! on this to keep cached HTTP responses indistinguishable from direct
+//! library calls (see `DESIGN.md` §6).
+
+use crate::error::ArrayFlexError;
+use crate::model::ArrayFlexModel;
+use crate::plan::NetworkPlan;
+use cnn::{DepthwiseMapping, Network};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which pipeline-selection policy a cached plan was produced by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// The conventional fixed-pipeline baseline.
+    Conventional,
+    /// ArrayFlex with the per-layer optimal depth (the paper's scheme).
+    ArrayFlex,
+    /// ArrayFlex with one fixed collapsing depth for every layer.
+    Fixed(u32),
+}
+
+impl fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Conventional => write!(f, "conventional"),
+            Self::ArrayFlex => write!(f, "arrayflex"),
+            Self::Fixed(k) => write!(f, "fixed-k{k}"),
+        }
+    }
+}
+
+/// Canonical cache key: a deterministic serialization of every input the
+/// plan depends on, plus its 64-bit FNV-1a hash for shard selection.
+///
+/// The canonical form is kept alongside the hash, so hash collisions can
+/// never alias two different planning problems — lookups always compare
+/// the full canonical string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanKey {
+    hash: u64,
+    canonical: String,
+}
+
+impl PlanKey {
+    /// Builds the key for planning `network` on `model` (which carries the
+    /// array geometry, clock plan and power model) under `mapping` with the
+    /// `kind` selection policy.
+    #[must_use]
+    pub fn new(
+        model: &ArrayFlexModel,
+        network: &Network,
+        mapping: DepthwiseMapping,
+        kind: PlanKind,
+    ) -> Self {
+        let canonical = serde_json::to_string(&(kind.to_string(), mapping, model, network))
+            .expect("plan inputs serialize to JSON");
+        Self {
+            hash: fnv1a(canonical.as_bytes()),
+            canonical,
+        }
+    }
+
+    /// The 64-bit hash of the canonical form.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The canonical serialized form of the planning inputs.
+    #[must_use]
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+}
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Entry {
+    plan: Arc<NetworkPlan>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<String, Entry>,
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, canonical: &str) -> Option<Arc<NetworkPlan>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(canonical).map(|entry| {
+            entry.last_used = clock;
+            Arc::clone(&entry.plan)
+        })
+    }
+
+    fn insert(&mut self, canonical: String, plan: Arc<NetworkPlan>, capacity: usize) {
+        self.clock += 1;
+        self.entries.insert(
+            canonical,
+            Entry {
+                plan,
+                last_used: self.clock,
+            },
+        );
+        while self.entries.len() > capacity {
+            // O(shard) eviction scan: capacities are small (tens of plans),
+            // and a plan computation dwarfs the scan by orders of magnitude.
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.entries.remove(&oldest);
+        }
+    }
+}
+
+/// A thread-safe, sharded LRU cache of [`NetworkPlan`]s.
+///
+/// Lookups lock only the shard the key hashes to, so concurrent requests
+/// for different networks or geometries never contend. A miss computes
+/// *outside* the shard lock (two racing requests for the same key may both
+/// compute — both results are identical by the determinism contract, and
+/// the first inserted wins), then re-checks before inserting.
+///
+/// # Examples
+///
+/// ```
+/// use arrayflex::{ArrayFlexModel, PlanCache, PlanKind};
+/// use cnn::models::resnet34;
+/// use cnn::DepthwiseMapping;
+///
+/// let cache = PlanCache::new(16);
+/// let model = ArrayFlexModel::new(128, 128)?;
+/// let net = resnet34();
+/// let mapping = DepthwiseMapping::default();
+/// let first = model.plan_cached(&cache, &net, mapping, PlanKind::ArrayFlex)?;
+/// let second = model.plan_cached(&cache, &net, mapping, PlanKind::ArrayFlex)?;
+/// assert_eq!(first, second);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// # Ok::<(), arrayflex::ArrayFlexError>(())
+/// ```
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Default shard count of [`PlanCache::new`].
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Creates a cache holding at most `capacity` plans (clamped to at
+    /// least 1), spread over [`PlanCache::DEFAULT_SHARDS`] shards.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, Self::DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (both clamped to at
+    /// least 1). Capacity is enforced per shard at
+    /// `max(1, ceil(capacity / shards))` entries — eviction is local to the
+    /// shard a key hashes to, so an unlucky key distribution can evict
+    /// before the nominal total capacity is reached, like any sharded LRU.
+    #[must_use]
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<Shard> {
+        &self.shards[(key.hash() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a plan, updating its recency and the hit/miss counters.
+    #[must_use]
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<NetworkPlan>> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("plan cache shard poisoned")
+            .touch(key.canonical());
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a plan, evicting the least-recently-used entry of the
+    /// key's shard if it is full.
+    pub fn insert(&self, key: &PlanKey, plan: Arc<NetworkPlan>) {
+        self.shard(key)
+            .lock()
+            .expect("plan cache shard poisoned")
+            .insert(key.canonical().to_owned(), plan, self.per_shard_capacity);
+    }
+
+    /// Returns the cached plan for `key`, or computes it with `compute`
+    /// and caches the result.
+    ///
+    /// `compute` runs without holding any shard lock; if another thread
+    /// inserted the same key meanwhile, the earlier entry is returned so
+    /// all callers share one `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of `compute` (nothing is cached on error).
+    pub fn get_or_try_insert<E>(
+        &self,
+        key: &PlanKey,
+        compute: impl FnOnce() -> Result<NetworkPlan, E>,
+    ) -> Result<Arc<NetworkPlan>, E> {
+        if let Some(plan) = self.get(key) {
+            return Ok(plan);
+        }
+        let plan = Arc::new(compute()?);
+        let mut shard = self.shard(key).lock().expect("plan cache shard poisoned");
+        if let Some(existing) = shard.touch(key.canonical()) {
+            return Ok(existing);
+        }
+        shard.insert(key.canonical().to_owned(), Arc::clone(&plan), self.per_shard_capacity);
+        Ok(plan)
+    }
+
+    /// Number of plans currently cached (across all shards).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// Returns `true` if no plans are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of plans the cache can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Number of lookups that found a cached plan.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that missed.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when none happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Drops every cached plan (the hit/miss counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("plan cache shard poisoned").entries.clear();
+        }
+    }
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shards.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl ArrayFlexModel {
+    /// Plans `network` under `mapping` with the `kind` policy, serving the
+    /// result from `cache` when the identical problem was planned before.
+    ///
+    /// The cached plan is byte-identical (not merely equal) to what
+    /// [`ArrayFlexModel::plan_conventional`] /
+    /// [`ArrayFlexModel::plan_arrayflex`] /
+    /// [`ArrayFlexModel::plan_arrayflex_fixed`] return, because the cache
+    /// key canonicalizes every planning input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors; nothing is cached on error.
+    pub fn plan_cached(
+        &self,
+        cache: &PlanCache,
+        network: &Network,
+        mapping: DepthwiseMapping,
+        kind: PlanKind,
+    ) -> Result<Arc<NetworkPlan>, ArrayFlexError> {
+        let key = PlanKey::new(self, network, mapping, kind);
+        cache.get_or_try_insert(&key, || match kind {
+            PlanKind::Conventional => self.plan_conventional(network, mapping),
+            PlanKind::ArrayFlex => self.plan_arrayflex(network, mapping),
+            PlanKind::Fixed(k) => self.plan_arrayflex_fixed(network, mapping, k),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn::models::{resnet34, synthetic_cnn};
+
+    fn model() -> ArrayFlexModel {
+        ArrayFlexModel::new(32, 32).unwrap()
+    }
+
+    #[test]
+    fn keys_canonicalize_every_input() {
+        let m = model();
+        let net = resnet34();
+        let mapping = DepthwiseMapping::default();
+        let base = PlanKey::new(&m, &net, mapping, PlanKind::ArrayFlex);
+        // Same inputs: same key.
+        assert_eq!(PlanKey::new(&m, &net, mapping, PlanKind::ArrayFlex), base);
+        // Any changed input: different key.
+        let other_model = ArrayFlexModel::new(32, 64).unwrap();
+        assert_ne!(PlanKey::new(&other_model, &net, mapping, PlanKind::ArrayFlex), base);
+        assert_ne!(
+            PlanKey::new(&m, &synthetic_cnn(3, 16, 16), mapping, PlanKind::ArrayFlex),
+            base
+        );
+        assert_ne!(
+            PlanKey::new(&m, &net, DepthwiseMapping::PerGroup, PlanKind::ArrayFlex),
+            base
+        );
+        assert_ne!(PlanKey::new(&m, &net, mapping, PlanKind::Conventional), base);
+        assert_ne!(PlanKey::new(&m, &net, mapping, PlanKind::Fixed(2)), base);
+        assert_ne!(
+            PlanKey::new(&m, &net, mapping, PlanKind::Fixed(2)),
+            PlanKey::new(&m, &net, mapping, PlanKind::Fixed(4))
+        );
+        assert!(base.canonical().contains("resnet34"));
+        assert_eq!(base.hash(), fnv1a(base.canonical().as_bytes()));
+    }
+
+    #[test]
+    fn repeated_plans_hit_the_cache_and_match_direct_calls() {
+        let cache = PlanCache::new(64);
+        let m = model();
+        let net = resnet34();
+        let mapping = DepthwiseMapping::default();
+        let direct = m.plan_arrayflex(&net, mapping).unwrap();
+        let first = m.plan_cached(&cache, &net, mapping, PlanKind::ArrayFlex).unwrap();
+        assert_eq!(*first, direct);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = m.plan_cached(&cache, &net, mapping, PlanKind::ArrayFlex).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // The hit shares the first computation's allocation.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn every_plan_kind_is_cached_independently() {
+        let cache = PlanCache::new(64);
+        let m = model();
+        let net = synthetic_cnn(4, 8, 16);
+        let mapping = DepthwiseMapping::default();
+        for kind in [
+            PlanKind::Conventional,
+            PlanKind::ArrayFlex,
+            PlanKind::Fixed(1),
+            PlanKind::Fixed(2),
+        ] {
+            let cached = m.plan_cached(&cache, &net, mapping, kind).unwrap();
+            let direct = match kind {
+                PlanKind::Conventional => m.plan_conventional(&net, mapping).unwrap(),
+                PlanKind::ArrayFlex => m.plan_arrayflex(&net, mapping).unwrap(),
+                PlanKind::Fixed(k) => m.plan_arrayflex_fixed(&net, mapping, k).unwrap(),
+            };
+            assert_eq!(*cached, direct, "{kind}");
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn planning_errors_are_propagated_and_not_cached() {
+        let cache = PlanCache::new(64);
+        let m = model();
+        let net = synthetic_cnn(2, 8, 8);
+        let result = m.plan_cached(&cache, &net, DepthwiseMapping::default(), PlanKind::Fixed(99));
+        assert!(result.is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_plans() {
+        // One shard, capacity 2, so insertion order is fully observable.
+        let cache = PlanCache::with_shards(2, 1);
+        assert_eq!(cache.capacity(), 2);
+        let m = model();
+        let mapping = DepthwiseMapping::default();
+        let nets: Vec<_> = (1..=3).map(|i| synthetic_cnn(i, 8, 8)).collect();
+        let keys: Vec<_> = nets
+            .iter()
+            .map(|n| PlanKey::new(&m, n, mapping, PlanKind::ArrayFlex))
+            .collect();
+        m.plan_cached(&cache, &nets[0], mapping, PlanKind::ArrayFlex).unwrap();
+        m.plan_cached(&cache, &nets[1], mapping, PlanKind::ArrayFlex).unwrap();
+        // Touch net 0 so net 1 is the least recently used ...
+        assert!(cache.get(&keys[0]).is_some());
+        // ... then overflow: net 1 must be evicted, nets 0 and 2 kept.
+        m.plan_cached(&cache, &nets[2], mapping, PlanKind::ArrayFlex).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&keys[0]).is_some());
+        assert!(cache.get(&keys[1]).is_none());
+        assert!(cache.get(&keys[2]).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_identical_requests_share_one_plan() {
+        let cache = PlanCache::new(64);
+        let m = model();
+        let net = resnet34();
+        let mapping = DepthwiseMapping::default();
+        let plans: Vec<Arc<NetworkPlan>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        m.plan_cached(&cache, &net, mapping, PlanKind::ArrayFlex).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one entry survives and every caller got an equal plan.
+        assert_eq!(cache.len(), 1);
+        let reference = m.plan_arrayflex(&net, mapping).unwrap();
+        for plan in &plans {
+            assert_eq!(**plan, reference);
+        }
+        assert_eq!(cache.hits() + cache.misses(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_and_debug_is_informative() {
+        let cache = PlanCache::with_shards(0, 0);
+        assert_eq!(cache.capacity(), 1);
+        let text = format!("{cache:?}");
+        assert!(text.contains("PlanCache"));
+        assert!(text.contains("capacity"));
+    }
+}

@@ -20,7 +20,10 @@
 //! * [`comparison`] — conventional-vs-ArrayFlex comparisons and the full
 //!   evaluation sweep of the paper (three CNNs, two array sizes);
 //! * [`executor`] — cycle-accurate validation of the analytical model on the
-//!   register-level simulator from [`sa_sim`].
+//!   register-level simulator from [`sa_sim`];
+//! * [`cache`] — a sharded LRU cache of network plans keyed by a canonical
+//!   hash of every planning input, so repeated plans (for example from the
+//!   `arrayflex-serve` HTTP service) are served without recomputation.
 //!
 //! Evaluation sweeps, network planning and the cycle-accurate simulator can
 //! all fan their independent work units out across cores through
@@ -49,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod comparison;
 pub mod error;
 pub mod executor;
@@ -57,6 +61,7 @@ pub mod objective;
 pub mod optimizer;
 pub mod plan;
 
+pub use cache::{PlanCache, PlanKey, PlanKind};
 pub use comparison::{compare_network, EvaluationSweep, NetworkComparison};
 pub use error::ArrayFlexError;
 pub use executor::SimulatedExecution;
@@ -98,5 +103,7 @@ mod tests {
         assert_send_sync::<PipelineChoice>();
         assert_send_sync::<ParallelExecutor>();
         assert_send_sync::<EvaluationSweep>();
+        assert_send_sync::<PlanCache>();
+        assert_send_sync::<PlanKey>();
     }
 }

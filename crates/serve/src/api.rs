@@ -1,0 +1,745 @@
+//! The JSON API of the planning/simulation service.
+//!
+//! Five routes:
+//!
+//! * `POST /v1/plan` — plan one network on one array geometry; the
+//!   response body is **byte-identical** to
+//!   `serde_json::to_string(&model.plan_*(...))`, whether it was computed
+//!   or served from the plan cache;
+//! * `POST /v1/sweep` — an evaluation sweep over array sizes × networks,
+//!   fanned out through [`ParallelExecutor`]; byte-identical to
+//!   `serde_json::to_string(&EvaluationSweep {..}.run(&networks))`;
+//! * `POST /v1/simulate` — a size-capped cycle-accurate cross-check of one
+//!   random GEMM against the analytical model;
+//! * `GET /healthz` — liveness;
+//! * `GET /metrics` — Prometheus text format (see [`crate::metrics`]).
+//!
+//! Handlers are pure functions from a parsed [`HttpRequest`] to an
+//! [`HttpResponse`] over shared [`AppState`], so the whole API surface is
+//! testable without sockets.
+
+use crate::http::{HttpRequest, HttpResponse, ServerConfig};
+use crate::metrics::Metrics;
+use arrayflex::{
+    ArrayFlexModel, EvaluationSweep, NetworkComparison, ParallelExecutor, PlanCache, PlanKind,
+};
+use cnn::{DepthwiseMapping, Network};
+use gemm::rng::SplitMix64;
+use gemm::Matrix;
+use serde::{Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum array edge length accepted by `/v1/plan` and `/v1/sweep`.
+pub const MAX_ARRAY_EDGE: u32 = 4096;
+/// Maximum number of array sizes in one sweep request.
+pub const MAX_SWEEP_SIZES: usize = 8;
+/// Maximum number of networks in one sweep request.
+pub const MAX_SWEEP_NETWORKS: usize = 8;
+/// Maximum worker threads a sweep request may ask for.
+pub const MAX_SWEEP_THREADS: usize = 16;
+/// Maximum array edge length accepted by `/v1/simulate` (the simulator
+/// evaluates every PE every cycle, so this is deliberately small).
+pub const MAX_SIM_EDGE: u32 = 64;
+/// Maximum `T * N * M` product accepted by `/v1/simulate`.
+pub const MAX_SIM_MACS: u64 = 1 << 21;
+
+/// Shared state of one server instance.
+#[derive(Debug)]
+pub struct AppState {
+    cache: PlanCache,
+    metrics: Metrics,
+    max_body_bytes: usize,
+    accepted: AtomicU64,
+}
+
+impl AppState {
+    /// Builds the state for one server configuration.
+    #[must_use]
+    pub fn new(config: &ServerConfig) -> Self {
+        Self {
+            cache: PlanCache::new(config.cache_capacity),
+            metrics: Metrics::new(),
+            max_body_bytes: config.max_body_bytes,
+            accepted: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan cache shared by every worker.
+    #[must_use]
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// The request metrics shared by every worker.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The request-body size cap in bytes.
+    #[must_use]
+    pub fn max_body_bytes(&self) -> usize {
+        self.max_body_bytes
+    }
+
+    /// Number of connections the acceptor has handed to the worker pool.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn note_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The fixed label a request path maps to in the metrics (unknown paths
+/// collapse into `"other"` so hostile traffic cannot grow the label set).
+#[must_use]
+pub fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/plan" => "/v1/plan",
+        "/v1/sweep" => "/v1/sweep",
+        "/v1/simulate" => "/v1/simulate",
+        _ => "other",
+    }
+}
+
+/// Dispatches one parsed request to its handler.
+#[must_use]
+pub fn handle(state: &AppState, request: &HttpRequest) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => HttpResponse::json(&b"{\"status\":\"ok\"}"[..]),
+        ("GET", "/metrics") => {
+            HttpResponse::text(state.metrics.render_prometheus(&state.cache).into_bytes())
+        }
+        ("POST", "/v1/plan") => with_json_body(request, |value| plan(state, value)),
+        ("POST", "/v1/sweep") => with_json_body(request, |value| sweep(state, value)),
+        ("POST", "/v1/simulate") => with_json_body(request, simulate),
+        (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/sweep" | "/v1/simulate") => {
+            HttpResponse::error(405, &format!("method {} not allowed here", request.method))
+        }
+        (_, path) => HttpResponse::error(404, &format!("no route for {path}")),
+    }
+}
+
+/// Parses the body as JSON (rejecting invalid UTF-8 and malformed JSON
+/// with a structured 400) before running the handler.
+fn with_json_body(
+    request: &HttpRequest,
+    handler: impl FnOnce(&Value) -> Result<HttpResponse, ApiError>,
+) -> HttpResponse {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return HttpResponse::error(400, "request body is not valid UTF-8"),
+    };
+    let value: Value = match serde_json::from_str(text) {
+        Ok(value) => value,
+        Err(e) => return HttpResponse::error(400, &format!("malformed JSON body: {e}")),
+    };
+    match handler(&value) {
+        Ok(response) => response,
+        Err(ApiError { status, message }) => HttpResponse::error(status, &message),
+    }
+}
+
+/// A handler-level failure: an HTTP status and a human-readable message.
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+impl ApiError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<arrayflex::ArrayFlexError> for ApiError {
+    fn from(e: arrayflex::ArrayFlexError) -> Self {
+        // Library-level rejections of a well-formed request (bad depth,
+        // zero dimension, ...) are client errors, not server faults.
+        ApiError::bad_request(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding helpers
+// ---------------------------------------------------------------------------
+
+/// A network referenced by name or provided inline as a full layer table.
+#[derive(Debug, Clone)]
+pub enum NetworkSpec {
+    /// One of the built-in model names (see [`resolve_named_network`]).
+    Named(String),
+    /// A complete inline network.
+    Inline(Network),
+}
+
+impl NetworkSpec {
+    fn from_value(value: &Value) -> Result<Self, ApiError> {
+        match value {
+            Value::Str(name) => Ok(Self::Named(name.clone())),
+            Value::Object(_) => Network::from_value(value)
+                .map(Self::Inline)
+                .map_err(|e| ApiError::bad_request(format!("invalid inline network: {e}"))),
+            other => Err(ApiError::bad_request(format!(
+                "`network` must be a name or an inline network object, found {other:?}"
+            ))),
+        }
+    }
+
+    fn resolve(&self) -> Result<Network, ApiError> {
+        match self {
+            Self::Named(name) => resolve_named_network(name).ok_or_else(|| {
+                ApiError::bad_request(format!(
+                    "unknown network \"{name}\" (available: {})",
+                    NAMED_NETWORKS.join(", ")
+                ))
+            }),
+            Self::Inline(network) => {
+                if network.is_empty() {
+                    return Err(ApiError::bad_request("inline network has no layers"));
+                }
+                Ok(network.clone())
+            }
+        }
+    }
+}
+
+/// Names accepted by [`resolve_named_network`].
+pub const NAMED_NETWORKS: [&str; 6] = [
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "mobilenet_v1",
+    "convnext_tiny",
+    "vgg16",
+];
+
+/// Looks up one of the built-in layer tables by name.
+#[must_use]
+pub fn resolve_named_network(name: &str) -> Option<Network> {
+    match name {
+        "resnet18" => Some(cnn::models::resnet18()),
+        "resnet34" => Some(cnn::models::resnet34()),
+        "resnet50" => Some(cnn::models::resnet50()),
+        "mobilenet_v1" => Some(cnn::models::mobilenet_v1()),
+        "convnext_tiny" => Some(cnn::models::convnext_tiny()),
+        "vgg16" => Some(cnn::models::vgg16()),
+        _ => None,
+    }
+}
+
+fn required<'v>(value: &'v Value, field: &str) -> Result<&'v Value, ApiError> {
+    value
+        .get(field)
+        .ok_or_else(|| ApiError::bad_request(format!("missing field `{field}`")))
+}
+
+fn decode<T: Deserialize>(value: &Value, field: &str) -> Result<T, ApiError> {
+    T::from_value(required(value, field)?)
+        .map_err(|e| ApiError::bad_request(format!("invalid field `{field}`: {e}")))
+}
+
+fn decode_optional<T: Deserialize>(value: &Value, field: &str) -> Result<Option<T>, ApiError> {
+    match value.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(present) => T::from_value(present)
+            .map(Some)
+            .map_err(|e| ApiError::bad_request(format!("invalid field `{field}`: {e}"))),
+    }
+}
+
+fn decode_mapping(value: &Value) -> Result<DepthwiseMapping, ApiError> {
+    Ok(decode_optional::<DepthwiseMapping>(value, "mapping")?.unwrap_or_default())
+}
+
+/// Decodes the optional `design` field of a plan request:
+/// `"arrayflex"` (default), `"conventional"`, or `{"fixed": k}`.
+fn decode_plan_kind(value: &Value) -> Result<PlanKind, ApiError> {
+    match value.get("design") {
+        None | Some(Value::Null) => Ok(PlanKind::ArrayFlex),
+        Some(Value::Str(s)) if s == "arrayflex" => Ok(PlanKind::ArrayFlex),
+        Some(Value::Str(s)) if s == "conventional" => Ok(PlanKind::Conventional),
+        Some(other) => {
+            if let Some(k_value) = other.get("fixed") {
+                let k = u32::from_value(k_value).map_err(|e| {
+                    ApiError::bad_request(format!("invalid field `design.fixed`: {e}"))
+                })?;
+                return Ok(PlanKind::Fixed(k));
+            }
+            Err(ApiError::bad_request(
+                "`design` must be \"arrayflex\", \"conventional\" or {\"fixed\": k}",
+            ))
+        }
+    }
+}
+
+fn validated_geometry(rows: u32, cols: u32) -> Result<ArrayFlexModel, ApiError> {
+    if rows == 0 || cols == 0 || rows > MAX_ARRAY_EDGE || cols > MAX_ARRAY_EDGE {
+        return Err(ApiError::bad_request(format!(
+            "array geometry {rows}x{cols} outside the supported 1..={MAX_ARRAY_EDGE} range"
+        )));
+    }
+    Ok(ArrayFlexModel::new(rows, cols)?)
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/plan
+// ---------------------------------------------------------------------------
+
+fn plan(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
+    let network = NetworkSpec::from_value(required(value, "network")?)?.resolve()?;
+    let rows: u32 = decode(value, "rows")?;
+    let cols: u32 = decode(value, "cols")?;
+    let mapping = decode_mapping(value)?;
+    let kind = decode_plan_kind(value)?;
+    let model = validated_geometry(rows, cols)?;
+    let plan = model.plan_cached(&state.cache, &network, mapping, kind)?;
+    let body = serde_json::to_string(&*plan).expect("plans serialize to JSON");
+    Ok(HttpResponse::json(body.into_bytes()))
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/sweep
+// ---------------------------------------------------------------------------
+
+fn sweep(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
+    let sizes: Vec<u32> = decode(value, "array_sizes")?;
+    if sizes.is_empty() || sizes.len() > MAX_SWEEP_SIZES {
+        return Err(ApiError::bad_request(format!(
+            "`array_sizes` must list 1..={MAX_SWEEP_SIZES} sizes"
+        )));
+    }
+    if let Some(&bad) = sizes.iter().find(|&&s| s == 0 || s > MAX_ARRAY_EDGE) {
+        return Err(ApiError::bad_request(format!(
+            "array size {bad} outside the supported 1..={MAX_ARRAY_EDGE} range"
+        )));
+    }
+    let specs = match required(value, "networks")? {
+        Value::Array(items) => items
+            .iter()
+            .map(NetworkSpec::from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+        other => {
+            return Err(ApiError::bad_request(format!(
+                "`networks` must be an array, found {other:?}"
+            )))
+        }
+    };
+    if specs.is_empty() || specs.len() > MAX_SWEEP_NETWORKS {
+        return Err(ApiError::bad_request(format!(
+            "`networks` must list 1..={MAX_SWEEP_NETWORKS} networks"
+        )));
+    }
+    let networks = specs
+        .iter()
+        .map(NetworkSpec::resolve)
+        .collect::<Result<Vec<_>, _>>()?;
+    let mapping = decode_mapping(value)?;
+    let threads = decode_optional::<usize>(value, "threads")?.unwrap_or(1);
+    if threads > MAX_SWEEP_THREADS {
+        return Err(ApiError::bad_request(format!(
+            "`threads` must be 0..={MAX_SWEEP_THREADS}"
+        )));
+    }
+    // `0` auto-detects the hardware parallelism; cap the detected value
+    // too, so no request can spawn more than MAX_SWEEP_THREADS workers on
+    // a many-core host.
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(MAX_SWEEP_THREADS)
+    } else {
+        threads
+    };
+
+    // Fan the (size x network x pipeline choice) plan jobs out through the
+    // executor, serving each one from the shared plan cache. Re-pairing in
+    // submission order reproduces `EvaluationSweep::run` byte for byte.
+    let executor = ParallelExecutor::new(threads);
+    let mut jobs = Vec::with_capacity(sizes.len() * networks.len() * 2);
+    for &size in &sizes {
+        for network in &networks {
+            jobs.push((size, network, PlanKind::Conventional));
+            jobs.push((size, network, PlanKind::ArrayFlex));
+        }
+    }
+    let plans = executor.try_run(jobs, |(size, network, kind)| {
+        let model = ArrayFlexModel::new(size, size)?;
+        model.plan_cached(&state.cache, network, mapping, kind)
+    })?;
+    let mut comparisons = Vec::with_capacity(plans.len() / 2);
+    let mut plans = plans.into_iter();
+    while let (Some(conventional), Some(proposed)) = (plans.next(), plans.next()) {
+        comparisons.push(NetworkComparison::from_plans(
+            (*conventional).clone(),
+            (*proposed).clone(),
+        ));
+    }
+    let body = serde_json::to_string(&comparisons).expect("comparisons serialize to JSON");
+    Ok(HttpResponse::json(body.into_bytes()))
+}
+
+/// The `EvaluationSweep` a sweep request is equivalent to (used by tests to
+/// assert byte-identical responses).
+#[must_use]
+pub fn equivalent_sweep(sizes: &[u32], mapping: DepthwiseMapping) -> EvaluationSweep {
+    EvaluationSweep {
+        array_sizes: sizes.to_vec(),
+        mapping,
+        threads: 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/simulate
+// ---------------------------------------------------------------------------
+
+/// Response of `POST /v1/simulate`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimulateResponse {
+    /// Array rows simulated.
+    pub rows: u32,
+    /// Array columns simulated.
+    pub cols: u32,
+    /// Pipeline collapsing depth.
+    pub k: u32,
+    /// Streaming dimension of the random GEMM.
+    pub t: u64,
+    /// Reduction dimension of the random GEMM.
+    pub n: u64,
+    /// Output dimension of the random GEMM.
+    pub m: u64,
+    /// Seed the operands were generated from.
+    pub seed: u64,
+    /// Cycles measured by the register-level simulation.
+    pub simulated_cycles: u64,
+    /// Cycles predicted by Equations (1)-(4).
+    pub predicted_cycles: u64,
+    /// Whether the two cycle counts agree.
+    pub cycles_match: bool,
+    /// Whether the simulated product matched the reference GEMM.
+    pub functionally_correct: bool,
+    /// Useful multiply-accumulates the simulator counted.
+    pub macs: u64,
+    /// Array-sized tiles the GEMM decomposed into.
+    pub tiles: u64,
+}
+
+fn simulate(value: &Value) -> Result<HttpResponse, ApiError> {
+    let rows: u32 = decode(value, "rows")?;
+    let cols: u32 = decode(value, "cols")?;
+    let k: u32 = decode(value, "k")?;
+    let t: u64 = decode(value, "t")?;
+    let n: u64 = decode(value, "n")?;
+    let m: u64 = decode(value, "m")?;
+    let seed = decode_optional::<u64>(value, "seed")?.unwrap_or(0);
+    if rows == 0 || cols == 0 || rows > MAX_SIM_EDGE || cols > MAX_SIM_EDGE {
+        return Err(ApiError::bad_request(format!(
+            "simulated array {rows}x{cols} outside the supported 1..={MAX_SIM_EDGE} range"
+        )));
+    }
+    if t == 0 || n == 0 || m == 0 {
+        return Err(ApiError::bad_request("GEMM dimensions must be non-zero"));
+    }
+    let macs = t.saturating_mul(n).saturating_mul(m);
+    if macs > MAX_SIM_MACS {
+        return Err(ApiError::bad_request(format!(
+            "GEMM of {macs} MACs exceeds the cycle-accurate limit of {MAX_SIM_MACS}"
+        )));
+    }
+    let model = ArrayFlexModel::new(rows, cols)?;
+    let mut rng = SplitMix64::new(seed);
+    let a = Matrix::random(t as usize, n as usize, &mut rng, -64, 63);
+    let b = Matrix::random(n as usize, m as usize, &mut rng, -64, 63);
+    let result = model.simulate_gemm(&a, &b, k)?;
+    let response = SimulateResponse {
+        rows,
+        cols,
+        k,
+        t,
+        n,
+        m,
+        seed,
+        simulated_cycles: result.stats.total_cycles(),
+        predicted_cycles: result.predicted.cycles,
+        cycles_match: result.cycles_match(),
+        functionally_correct: result.functionally_correct,
+        macs: result.stats.macs,
+        tiles: result.stats.tiles,
+    };
+    let body = serde_json::to_string(&response).expect("simulate response serializes");
+    Ok(HttpResponse::json(body.into_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> AppState {
+        AppState::new(&ServerConfig::default())
+    }
+
+    fn post(path: &str, body: &str) -> HttpRequest {
+        HttpRequest {
+            method: "POST".to_owned(),
+            path: path.to_owned(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn healthz_is_ok() {
+        let response = handle(&state(), &get("/healthz"));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"{\"status\":\"ok\"}");
+    }
+
+    #[test]
+    fn plan_matches_the_direct_library_call_byte_for_byte() {
+        let state = state();
+        let request = post("/v1/plan", r#"{"network":"resnet34","rows":64,"cols":64}"#);
+        let response = handle(&state, &request);
+        assert_eq!(response.status, 200);
+        let model = ArrayFlexModel::new(64, 64).unwrap();
+        let direct = model
+            .plan_arrayflex(&cnn::models::resnet34(), DepthwiseMapping::default())
+            .unwrap();
+        assert_eq!(response.body, serde_json::to_string(&direct).unwrap().into_bytes());
+        // The repeated request is served from the cache, byte-identically.
+        let again = handle(&state, &request);
+        assert_eq!(again.body, response.body);
+        assert_eq!(state.cache().hits(), 1);
+    }
+
+    #[test]
+    fn plan_supports_conventional_fixed_and_mapping() {
+        let state = state();
+        let model = ArrayFlexModel::new(32, 32).unwrap();
+        let net = cnn::models::mobilenet_v1();
+
+        let conventional = handle(
+            &state,
+            &post(
+                "/v1/plan",
+                r#"{"network":"mobilenet_v1","rows":32,"cols":32,"design":"conventional"}"#,
+            ),
+        );
+        assert_eq!(conventional.status, 200);
+        let direct = model.plan_conventional(&net, DepthwiseMapping::default()).unwrap();
+        assert_eq!(conventional.body, serde_json::to_string(&direct).unwrap().into_bytes());
+
+        let fixed = handle(
+            &state,
+            &post(
+                "/v1/plan",
+                r#"{"network":"mobilenet_v1","rows":32,"cols":32,"design":{"fixed":2},"mapping":"PerGroup"}"#,
+            ),
+        );
+        assert_eq!(fixed.status, 200);
+        let direct = model
+            .plan_arrayflex_fixed(&net, DepthwiseMapping::PerGroup, 2)
+            .unwrap();
+        assert_eq!(fixed.body, serde_json::to_string(&direct).unwrap().into_bytes());
+    }
+
+    #[test]
+    fn plan_accepts_an_inline_network() {
+        let state = state();
+        let network = cnn::models::synthetic_cnn(2, 8, 16);
+        let body = format!(
+            r#"{{"network":{},"rows":16,"cols":16}}"#,
+            serde_json::to_string(&network).unwrap()
+        );
+        let response = handle(&state, &post("/v1/plan", &body));
+        assert_eq!(response.status, 200);
+        let direct = ArrayFlexModel::new(16, 16)
+            .unwrap()
+            .plan_arrayflex(&network, DepthwiseMapping::default())
+            .unwrap();
+        assert_eq!(response.body, serde_json::to_string(&direct).unwrap().into_bytes());
+    }
+
+    #[test]
+    fn plan_rejects_bad_requests_with_structured_errors() {
+        let state = state();
+        for (body, needle) in [
+            (r#"{"rows":8,"cols":8}"#, "missing field `network`"),
+            (r#"{"network":"resnet34","cols":8}"#, "missing field `rows`"),
+            (r#"{"network":"nope","rows":8,"cols":8}"#, "unknown network"),
+            (r#"{"network":7,"rows":8,"cols":8}"#, "`network` must be"),
+            (r#"{"network":"resnet34","rows":0,"cols":8}"#, "geometry"),
+            (r#"{"network":"resnet34","rows":9999,"cols":8}"#, "geometry"),
+            (
+                r#"{"network":"resnet34","rows":8,"cols":8,"design":"nope"}"#,
+                "`design` must be",
+            ),
+            (
+                r#"{"network":"resnet34","rows":8,"cols":8,"design":{"fixed":77}}"#,
+                "hardware model",
+            ),
+            (
+                r#"{"network":"resnet34","rows":8,"cols":8,"mapping":"Sideways"}"#,
+                "invalid field `mapping`",
+            ),
+        ] {
+            let response = handle(&state, &post("/v1/plan", body));
+            assert_eq!(response.status, 400, "body: {body}");
+            let text = String::from_utf8(response.body).unwrap();
+            assert!(text.contains(needle), "{text} missing {needle:?}");
+            assert!(text.starts_with("{\"error\":{"), "unstructured error: {text}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_evaluation_sweep_byte_for_byte() {
+        let state = state();
+        let request = post(
+            "/v1/sweep",
+            r#"{"array_sizes":[32,64],"networks":["resnet34","mobilenet_v1"],"threads":2}"#,
+        );
+        let response = handle(&state, &request);
+        assert_eq!(response.status, 200);
+        let networks = vec![cnn::models::resnet34(), cnn::models::mobilenet_v1()];
+        let direct = equivalent_sweep(&[32, 64], DepthwiseMapping::default())
+            .run(&networks)
+            .unwrap();
+        assert_eq!(response.body, serde_json::to_string(&direct).unwrap().into_bytes());
+        // The sweep populated the plan cache: 2 sizes x 2 networks x 2 kinds.
+        assert_eq!(state.cache().len(), 8);
+        // A follow-up plan request for one of the pairs is a pure cache hit.
+        let hits_before = state.cache().hits();
+        let plan = handle(
+            &state,
+            &post("/v1/plan", r#"{"network":"resnet34","rows":32,"cols":32}"#),
+        );
+        assert_eq!(plan.status, 200);
+        assert!(state.cache().hits() > hits_before);
+    }
+
+    #[test]
+    fn sweep_rejects_out_of_range_requests() {
+        let state = state();
+        for (body, needle) in [
+            (r#"{"networks":["resnet34"]}"#, "missing field `array_sizes`"),
+            (r#"{"array_sizes":[],"networks":["resnet34"]}"#, "array_sizes"),
+            (r#"{"array_sizes":[16],"networks":[]}"#, "networks"),
+            (r#"{"array_sizes":[16],"networks":"resnet34"}"#, "must be an array"),
+            (r#"{"array_sizes":[0],"networks":["resnet34"]}"#, "array size"),
+            (
+                r#"{"array_sizes":[16],"networks":["resnet34"],"threads":99}"#,
+                "`threads`",
+            ),
+        ] {
+            let response = handle(&state, &post("/v1/sweep", body));
+            assert_eq!(response.status, 400, "body: {body}");
+            let text = String::from_utf8(response.body).unwrap();
+            assert!(text.contains(needle), "{text} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn simulate_cross_checks_the_analytical_model() {
+        let response = handle(
+            &state(),
+            &post(
+                "/v1/simulate",
+                r#"{"rows":8,"cols":8,"k":2,"t":6,"n":20,"m":10,"seed":5}"#,
+            ),
+        );
+        assert_eq!(response.status, 200);
+        let decoded: SimulateResponse =
+            serde_json::from_str(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert!(decoded.cycles_match);
+        assert!(decoded.functionally_correct);
+        assert_eq!(decoded.simulated_cycles, decoded.predicted_cycles);
+        assert!(decoded.macs > 0);
+        assert!(decoded.tiles > 0);
+        // Identical request, identical bytes (the operands are seeded).
+        let again = handle(
+            &state(),
+            &post(
+                "/v1/simulate",
+                r#"{"rows":8,"cols":8,"k":2,"t":6,"n":20,"m":10,"seed":5}"#,
+            ),
+        );
+        assert_eq!(again.body, response.body);
+    }
+
+    #[test]
+    fn simulate_is_size_capped() {
+        let state = state();
+        for body in [
+            r#"{"rows":128,"cols":8,"k":1,"t":4,"n":4,"m":4}"#,
+            r#"{"rows":8,"cols":8,"k":1,"t":4096,"n":4096,"m":4096}"#,
+            r#"{"rows":8,"cols":8,"k":1,"t":0,"n":4,"m":4}"#,
+        ] {
+            let response = handle(&state, &post("/v1/simulate", body));
+            assert_eq!(response.status, 400, "body: {body}");
+        }
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_rejected() {
+        let state = state();
+        let response = handle(&state, &get("/v2/nothing"));
+        assert_eq!(response.status, 404);
+        assert!(String::from_utf8(response.body).unwrap().contains("/v2/nothing"));
+        let response = handle(&state, &get("/v1/plan"));
+        assert_eq!(response.status, 405);
+        let response = handle(&state, &post("/healthz", "{}"));
+        assert_eq!(response.status, 405);
+        assert_eq!(route_label("/v1/plan"), "/v1/plan");
+        assert_eq!(route_label("/v2/nothing"), "other");
+    }
+
+    #[test]
+    fn malformed_json_is_a_structured_400() {
+        let response = handle(&state(), &post("/v1/plan", "{not json"));
+        assert_eq!(response.status, 400);
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.contains("malformed JSON"), "{text}");
+        let response = handle(
+            &state(),
+            &HttpRequest {
+                method: "POST".to_owned(),
+                path: "/v1/plan".to_owned(),
+                body: vec![0xff, 0xfe],
+            },
+        );
+        assert_eq!(response.status, 400);
+        assert!(String::from_utf8(response.body).unwrap().contains("UTF-8"));
+    }
+
+    #[test]
+    fn metrics_render_after_traffic() {
+        let state = state();
+        let plan = post("/v1/plan", r#"{"network":"resnet34","rows":16,"cols":16}"#);
+        // handle() itself does not record metrics (the connection loop
+        // does), so record explicitly like the loop would.
+        let response = handle(&state, &plan);
+        state
+            .metrics()
+            .observe(route_label(&plan.path), response.status, std::time::Duration::from_micros(42));
+        let rendered = handle(&state, &get("/metrics"));
+        assert_eq!(rendered.status, 200);
+        let text = String::from_utf8(rendered.body).unwrap();
+        assert!(text.contains("arrayflex_serve_requests_total{route=\"/v1/plan\",status=\"200\"} 1"));
+        assert!(text.contains("arrayflex_serve_plan_cache_misses_total 1"));
+    }
+}

@@ -1,0 +1,85 @@
+//! The `loadgen` binary: hammer the planning service over loopback and
+//! report sustained RPS and latency percentiles.
+//!
+//! ```text
+//! cargo run --release -p arrayflex-serve --bin loadgen -- [--addr HOST:PORT]
+//!     [--requests N] [--clients N] [--network NAME] [--rows N] [--cols N] [--json]
+//! ```
+//!
+//! Without `--addr`, an in-process server is spawned on an ephemeral
+//! loopback port (with `--server-threads N` workers), so the default
+//! invocation measures the full client-to-server round trip on one
+//! machine with zero setup.
+
+use arrayflex_serve::http::{serve, ServerConfig};
+use arrayflex_serve::loadgen::{run, LoadgenConfig};
+use std::net::SocketAddr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut requests = 1000usize;
+    let mut clients = 4usize;
+    let mut server_threads = 4usize;
+    let mut network = "resnet34".to_owned();
+    let mut rows = 128u32;
+    let mut cols = 128u32;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value_of("--addr")?.parse()?),
+            "--requests" => requests = value_of("--requests")?.parse()?,
+            "--clients" => clients = value_of("--clients")?.parse()?,
+            "--server-threads" => server_threads = value_of("--server-threads")?.parse()?,
+            "--network" => network = value_of("--network")?,
+            "--rows" => rows = value_of("--rows")?.parse()?,
+            "--cols" => cols = value_of("--cols")?.parse()?,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT] [--requests N] [--clients N] \
+                     [--server-threads N] [--network NAME] [--rows N] [--cols N] [--json]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+
+    // Spawn an in-process server unless the caller points at a remote one.
+    let in_process = match addr {
+        Some(_) => None,
+        None => {
+            let handle = serve(ServerConfig {
+                threads: server_threads,
+                ..ServerConfig::default()
+            })?;
+            addr = Some(handle.addr());
+            Some(handle)
+        }
+    };
+    let addr = addr.expect("an address is always set by now");
+
+    let mut config = LoadgenConfig::plan_workload(addr, requests, clients);
+    config.body = Some(format!(
+        r#"{{"network":"{network}","rows":{rows},"cols":{cols}}}"#
+    ));
+    let report = run(&config);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!("POST {} @ http://{addr} ({network}, {rows}x{cols})", config.path);
+        println!("{}", report.text());
+    }
+    if let Some(handle) = in_process {
+        handle.shutdown();
+    }
+    if report.errors > 0 {
+        return Err(format!("{} of {} requests failed", report.errors, report.requests).into());
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! The `serve` binary: run the ArrayFlex planning/simulation service.
+//!
+//! ```text
+//! cargo run --release -p arrayflex-serve --bin serve -- [--addr 127.0.0.1:8080]
+//!     [--threads N] [--cache N] [--max-body BYTES]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; the chosen address is
+//! printed on the first line of stdout (`listening on http://...`), which
+//! the CI smoke test parses.
+
+use arrayflex_serve::http::{serve, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ServerConfig {
+        // The library default is an ephemeral port (for tests); the
+        // binary binds the README's quickstart port unless overridden.
+        addr: "127.0.0.1:8080".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value_of("--addr")?,
+            "--threads" => config.threads = value_of("--threads")?.parse()?,
+            "--cache" => config.cache_capacity = value_of("--cache")?.parse()?,
+            "--max-body" => config.max_body_bytes = value_of("--max-body")?.parse()?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve [--addr HOST:PORT] [--threads N] [--cache N] [--max-body BYTES]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let mut handle = serve(config)?;
+    println!("listening on http://{}", handle.addr());
+    println!(
+        "routes: GET /healthz | GET /metrics | POST /v1/plan | POST /v1/sweep | POST /v1/simulate"
+    );
+    handle.wait();
+    Ok(())
+}

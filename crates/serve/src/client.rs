@@ -1,0 +1,126 @@
+//! A minimal blocking HTTP/1.1 client for loopback use.
+//!
+//! Just enough to drive the server from the load generator, the tests and
+//! the `serve_client` example: one request per connection, `Content-Length`
+//! framing, no TLS, no redirects.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the body is not valid UTF-8.
+    pub fn text(&self) -> io::Result<&str> {
+        std::str::from_utf8(&self.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Issues `GET path`.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// Issues `POST path` with a JSON body.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors.
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body.as_bytes()))
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_nodelay(true)?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n");
+    if let Some(body) = body {
+        head.push_str(&format!(
+            "content-type: application/json\r\ncontent-length: {}\r\n",
+            body.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        stream.write_all(body)?;
+    }
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Reads a complete response (status line, headers, `Content-Length`-framed
+/// body, or body-until-close when no length was sent).
+///
+/// # Errors
+///
+/// Returns an error on a malformed status line or a truncated body.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside response head",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(length) => {
+            let mut body = vec![0u8; length];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(ClientResponse { status, body })
+}

@@ -1,0 +1,417 @@
+//! A hand-rolled HTTP/1.1 server on [`std::net::TcpListener`].
+//!
+//! The build environment has no crates.io access, so — mirroring the
+//! hand-rolled `ParallelExecutor` — the serving layer implements the small
+//! subset of HTTP/1.1 the ArrayFlex API needs: request-line and header
+//! parsing, `Content-Length` bodies with a configurable size cap, and
+//! one-response-per-connection semantics (every response carries
+//! `Connection: close`, so clients never have to guess about framing).
+//!
+//! # Thread model
+//!
+//! One **acceptor** thread blocks on [`TcpListener::accept`] and feeds
+//! accepted connections into an [`mpsc`] channel; a fixed pool of
+//! **worker** threads pops connections from the shared channel and serves
+//! them end to end. Shutdown (see [`ServerHandle::shutdown`]) sets a flag,
+//! pokes the acceptor awake with a loopback connection, and then joins:
+//! the channel is dropped by the acceptor, workers first drain every
+//! connection that was already accepted, then exit — in-flight requests
+//! always receive their response.
+
+use crate::api::{self, AppState};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Hard cap on the request head (request line plus headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// How much of an oversized request body is drained (and discarded) before
+/// the 413 response is written. Unread bytes left in the socket's receive
+/// buffer make `close()` send a TCP RST on common stacks, which would
+/// destroy the queued error response; draining a bounded amount lets
+/// reasonable oversized uploads finish and read the structured 413.
+const REJECT_DRAIN_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Configuration of [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving requests (`0` auto-detects, minimum 1).
+    pub threads: usize,
+    /// Total capacity of the plan cache.
+    pub cache_capacity: usize,
+    /// Maximum accepted request-body size in bytes (413 beyond this).
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            cache_capacity: 128,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running server: its bound address, shared state and shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (cache, metrics, counters).
+    #[must_use]
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Blocks the calling thread until the server stops accepting (i.e.
+    /// until another thread calls [`ServerHandle::shutdown`] or the
+    /// acceptor dies). Used by the `serve` binary's main thread.
+    pub fn wait(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Gracefully shuts the server down: stops accepting new connections,
+    /// serves everything already accepted to completion, then joins all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the acceptor out of its blocking accept() with a throwaway
+        // loopback connection; it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        self.wait();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped (not shut down, not waited) handle still stops the
+        // server so tests cannot leak acceptor threads.
+        if self.acceptor.is_some() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            self.wait();
+        }
+    }
+}
+
+/// Binds the configured address and starts the acceptor and worker
+/// threads. Returns immediately with a [`ServerHandle`].
+///
+/// # Errors
+///
+/// Returns an error if the address cannot be bound.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(AppState::new(&config));
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        config.threads
+    };
+
+    let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+    let receiver = Arc::new(Mutex::new(receiver));
+
+    let mut workers = Vec::with_capacity(threads);
+    for index in 0..threads {
+        let receiver = Arc::clone(&receiver);
+        let state = Arc::clone(&state);
+        let read_timeout = config.read_timeout;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{index}"))
+                .spawn(move || loop {
+                    // Hold the receiver lock only for the pop; queued
+                    // connections drain even after the sender is gone.
+                    let next = receiver.lock().expect("connection queue poisoned").recv();
+                    match next {
+                        Ok(stream) => serve_connection(stream, &state, read_timeout),
+                        Err(_) => break,
+                    }
+                })
+                .expect("spawn worker thread"),
+        );
+    }
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("serve-acceptor".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break; // the poke connection is dropped unserved
+                    }
+                    let Ok(stream) = stream else { continue };
+                    state.note_accepted();
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Dropping the sender lets workers finish the queue and exit.
+            })
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...), upper-case as received.
+    pub method: String,
+    /// Request path (query strings are not used by this API).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// One HTTP response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn json(body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` plain-text response (used by `/metrics`).
+    #[must_use]
+    pub fn text(body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into(),
+        }
+    }
+
+    /// A structured JSON error response: `{"error":{"code":...,"message":...}}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde_json::to_string(&serde::Value::Object(vec![(
+            "error".to_owned(),
+            serde::Value::Object(vec![
+                ("code".to_owned(), serde::Value::Int(i64::from(status))),
+                ("message".to_owned(), serde::Value::Str(message.to_owned())),
+            ]),
+        )]))
+        .expect("error body serializes");
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+}
+
+/// The canonical reason phrase of each status code this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Outcome of reading one request off a connection.
+enum ReadOutcome {
+    Request(HttpRequest),
+    /// The request could not be parsed; respond with this and close.
+    Reject(HttpResponse),
+    /// The peer vanished before sending a complete head; just close.
+    Disconnected,
+}
+
+fn serve_connection(stream: TcpStream, state: &AppState, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let started = Instant::now();
+    let (route, response) = match read_request(&mut reader, state.max_body_bytes()) {
+        ReadOutcome::Request(request) => {
+            let route = api::route_label(&request.path);
+            (route, api::handle(state, &request))
+        }
+        ReadOutcome::Reject(response) => ("unparsable", response),
+        ReadOutcome::Disconnected => return,
+    };
+    state
+        .metrics()
+        .observe(route, response.status, started.elapsed());
+    write_response(stream, &response);
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutcome {
+    // --- request line ---
+    let Some(line) = read_head_line(reader) else {
+        return ReadOutcome::Disconnected;
+    };
+    let mut parts = line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Reject(HttpResponse::error(400, "malformed request line"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Reject(HttpResponse::error(400, "malformed request line"));
+    }
+    let method = method.to_owned();
+    let path = path.to_owned();
+
+    // --- headers ---
+    let mut content_length: Option<usize> = None;
+    let mut head_bytes = line.len();
+    loop {
+        let Some(header) = read_head_line(reader) else {
+            return ReadOutcome::Disconnected;
+        };
+        if header.is_empty() {
+            break;
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return ReadOutcome::Reject(HttpResponse::error(413, "request head too large"));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return ReadOutcome::Reject(HttpResponse::error(400, "malformed header"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(length) => content_length = Some(length),
+                Err(_) => {
+                    return ReadOutcome::Reject(HttpResponse::error(400, "invalid content-length"));
+                }
+            }
+        }
+    }
+
+    // --- body ---
+    let length = content_length.unwrap_or(0);
+    if length > max_body {
+        // Best-effort bounded drain of the announced body so the client
+        // can finish sending and receive the 413 instead of a reset.
+        let _ = io::copy(
+            &mut reader.by_ref().take((length as u64).min(REJECT_DRAIN_BYTES)),
+            &mut io::sink(),
+        );
+        return ReadOutcome::Reject(HttpResponse::error(
+            413,
+            &format!("request body of {length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; length];
+    if reader.read_exact(&mut body).is_err() {
+        return ReadOutcome::Disconnected;
+    }
+    ReadOutcome::Request(HttpRequest { method, path, body })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated head line, capped at
+/// [`MAX_HEAD_BYTES`].
+fn read_head_line(reader: &mut BufReader<TcpStream>) -> Option<String> {
+    let mut line = Vec::new();
+    let mut limited = reader.take(MAX_HEAD_BYTES as u64 + 1);
+    if limited.read_until(b'\n', &mut line).is_err() || line.is_empty() || line.len() > MAX_HEAD_BYTES
+    {
+        return None;
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).ok()
+}
+
+fn write_response(mut stream: TcpStream, response: &HttpResponse) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(&response.body))
+        .and_then(|()| stream.flush());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_are_structured_json() {
+        let response = HttpResponse::error(413, "too big");
+        assert_eq!(response.status, 413);
+        let value: serde::Value =
+            serde_json::from_str(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let error = value.get("error").expect("error object");
+        assert_eq!(error.get("code"), Some(&serde::Value::Int(413)));
+        assert_eq!(error.get("message"), Some(&serde::Value::Str("too big".into())));
+    }
+
+    #[test]
+    fn reason_phrases_cover_every_emitted_status() {
+        for status in [200u16, 400, 404, 405, 413, 500] {
+            assert_ne!(reason(status), "Unknown", "status {status}");
+        }
+        assert_eq!(reason(599), "Unknown");
+    }
+}

@@ -1,0 +1,54 @@
+//! `arrayflex-serve`: the ArrayFlex planner and simulator as an online
+//! HTTP service.
+//!
+//! The DATE'23 reproduction is a library; this crate puts it on the wire
+//! so a fleet of clients can ask it to plan networks, sweep configurations
+//! and cross-check the cycle-accurate simulator. Everything is built on
+//! the standard library alone (the build environment has no crates.io
+//! access): a hand-rolled HTTP/1.1 server over [`std::net::TcpListener`]
+//! with a fixed worker pool ([`http`]), JSON request parsing through the
+//! vendored `serde_json` parser, a sharded LRU plan cache
+//! ([`arrayflex::PlanCache`]) so repeated plans never recompute, request
+//! metrics in Prometheus text format ([`metrics`]), a tiny blocking client
+//! ([`client`]) and a load generator ([`loadgen`]).
+//!
+//! # Determinism contract
+//!
+//! `POST /v1/plan` and `POST /v1/sweep` responses are **byte-identical**
+//! to serializing the corresponding direct library calls
+//! (`ArrayFlexModel::plan_*`, `EvaluationSweep::run`), cached or not, for
+//! any worker-thread count — the serving layer extends the workspace's
+//! serial/parallel determinism contract to the wire (`DESIGN.md` §6).
+//!
+//! # Quick start
+//!
+//! ```
+//! use arrayflex_serve::http::{serve, ServerConfig};
+//! use arrayflex_serve::client;
+//!
+//! let handle = serve(ServerConfig::default())?;
+//! let health = client::get(handle.addr(), "/healthz")?;
+//! assert_eq!(health.status, 200);
+//! let plan = client::post_json(
+//!     handle.addr(),
+//!     "/v1/plan",
+//!     r#"{"network":"resnet34","rows":128,"cols":128}"#,
+//! )?;
+//! assert_eq!(plan.status, 200);
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+
+pub use api::{AppState, SimulateResponse};
+pub use http::{serve, HttpRequest, HttpResponse, ServerConfig, ServerHandle};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use metrics::Metrics;

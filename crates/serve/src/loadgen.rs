@@ -1,0 +1,166 @@
+//! A loopback load generator for the planning service.
+//!
+//! Hammers one endpoint from a configurable number of client threads
+//! (each issuing one request per connection, exactly like an external
+//! client) and reports sustained throughput and latency percentiles. The
+//! `loadgen` binary wraps [`run`]; the integration tests use it to assert
+//! the acceptance criterion of ≥ 1000 requests with zero errors.
+
+use crate::client;
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// What to send, where, and how hard.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Path to `POST` to (or `GET` when `body` is `None`).
+    pub path: String,
+    /// JSON body (`None` issues `GET` requests instead).
+    pub body: Option<String>,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+}
+
+impl LoadgenConfig {
+    /// A plan-request load against `addr`: the default workload of the
+    /// `loadgen` binary (ResNet-34 on a 128x128 array).
+    #[must_use]
+    pub fn plan_workload(addr: SocketAddr, requests: usize, clients: usize) -> Self {
+        Self {
+            addr,
+            path: "/v1/plan".to_owned(),
+            body: Some(r#"{"network":"resnet34","rows":128,"cols":128}"#.to_owned()),
+            requests,
+            clients,
+        }
+    }
+}
+
+/// Aggregated result of one load-generation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Requests issued.
+    pub requests: usize,
+    /// Requests that failed (transport error or non-200 status).
+    pub errors: usize,
+    /// Client threads used.
+    pub clients: usize,
+    /// Wall-clock duration of the whole run in seconds.
+    pub elapsed_s: f64,
+    /// Sustained requests per second.
+    pub rps: f64,
+    /// Median request latency in microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// Worst-case latency in microseconds.
+    pub max_us: u64,
+}
+
+impl LoadgenReport {
+    /// Renders the report as a small human-readable table.
+    #[must_use]
+    pub fn text(&self) -> String {
+        format!(
+            "requests: {} ({} errors), clients: {}\n\
+             elapsed:  {:.3} s ({:.0} req/s)\n\
+             latency:  p50 {} us, p90 {} us, p99 {} us, max {} us",
+            self.requests,
+            self.errors,
+            self.clients,
+            self.elapsed_s,
+            self.rps,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us
+        )
+    }
+}
+
+/// Runs the load: `clients` threads share a global request budget and each
+/// issues sequential one-connection-per-request calls until it is spent.
+///
+/// # Panics
+///
+/// Panics if `requests` or `clients` is zero.
+#[must_use]
+pub fn run(config: &LoadgenConfig) -> LoadgenReport {
+    assert!(config.requests > 0, "loadgen needs at least one request");
+    assert!(config.clients > 0, "loadgen needs at least one client");
+    let remaining = AtomicUsize::new(config.requests);
+    let started = Instant::now();
+    let mut per_client: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+        let remaining = &remaining;
+        let handles: Vec<_> = (0..config.clients)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut errors = 0usize;
+                    loop {
+                        // Claim one unit of the shared budget.
+                        let claimed = remaining
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                                n.checked_sub(1)
+                            })
+                            .is_ok();
+                        if !claimed {
+                            break;
+                        }
+                        let request_started = Instant::now();
+                        let outcome = match &config.body {
+                            Some(body) => client::post_json(config.addr, &config.path, body),
+                            None => client::get(config.addr, &config.path),
+                        };
+                        let micros = u64::try_from(request_started.elapsed().as_micros())
+                            .unwrap_or(u64::MAX);
+                        match outcome {
+                            Ok(response) if response.status == 200 => latencies.push(micros),
+                            _ => errors += 1,
+                        }
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(config.requests);
+    let mut errors = 0usize;
+    for (client_latencies, client_errors) in &mut per_client {
+        latencies.append(client_latencies);
+        errors += *client_errors;
+    }
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies.len() as f64) * p).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    LoadgenReport {
+        requests: config.requests,
+        errors,
+        clients: config.clients,
+        elapsed_s,
+        rps: config.requests as f64 / elapsed_s.max(f64::MIN_POSITIVE),
+        p50_us: percentile(0.50),
+        p90_us: percentile(0.90),
+        p99_us: percentile(0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+    }
+}

@@ -1,0 +1,167 @@
+//! Request metrics with Prometheus text-format rendering.
+//!
+//! Three instrument families, all lock-free on the hot path except the
+//! per-(route, status) counter map (a short-lived mutex over a small
+//! `BTreeMap`):
+//!
+//! * `arrayflex_serve_requests_total{route,status}` — request counter;
+//! * `arrayflex_serve_request_duration_us` — cumulative latency histogram
+//!   with fixed microsecond buckets;
+//! * `arrayflex_serve_plan_cache_{hits,misses}_total` and
+//!   `arrayflex_serve_plan_cache_hit_rate` — read from the plan cache at
+//!   scrape time.
+
+use arrayflex::PlanCache;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper bounds (in microseconds) of the latency histogram buckets; a
+/// `+Inf` bucket is implicit.
+pub const LATENCY_BUCKETS_US: [u64; 10] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000];
+
+/// Thread-safe request metrics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served request.
+    pub fn observe(&self, route: &str, status: u16, latency: Duration) {
+        {
+            let mut requests = self.requests.lock().expect("metrics poisoned");
+            *requests.entry((route.to_owned(), status)).or_insert(0) += 1;
+        }
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(micros, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of requests recorded for one (route, status) pair.
+    #[must_use]
+    pub fn requests(&self, route: &str, status: u16) -> u64 {
+        self.requests
+            .lock()
+            .expect("metrics poisoned")
+            .get(&(route.to_owned(), status))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total number of requests recorded across all routes and statuses.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    #[must_use]
+    pub fn render_prometheus(&self, cache: &PlanCache) -> String {
+        let mut out = String::new();
+        out.push_str("# HELP arrayflex_serve_requests_total Requests served, by route and status.\n");
+        out.push_str("# TYPE arrayflex_serve_requests_total counter\n");
+        for ((route, status), count) in self.requests.lock().expect("metrics poisoned").iter() {
+            let _ = writeln!(
+                out,
+                "arrayflex_serve_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}"
+            );
+        }
+
+        out.push_str("# HELP arrayflex_serve_request_duration_us Request latency in microseconds.\n");
+        out.push_str("# TYPE arrayflex_serve_request_duration_us histogram\n");
+        let mut cumulative = 0u64;
+        for (index, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.latency_buckets[index].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "arrayflex_serve_request_duration_us_bucket{{le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_request_duration_us_bucket{{le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_request_duration_us_sum {}",
+            self.latency_sum_us.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_request_duration_us_count {}",
+            self.latency_count.load(Ordering::Relaxed)
+        );
+
+        out.push_str("# HELP arrayflex_serve_plan_cache_hits_total Plan cache hits.\n");
+        out.push_str("# TYPE arrayflex_serve_plan_cache_hits_total counter\n");
+        let _ = writeln!(out, "arrayflex_serve_plan_cache_hits_total {}", cache.hits());
+        out.push_str("# HELP arrayflex_serve_plan_cache_misses_total Plan cache misses.\n");
+        out.push_str("# TYPE arrayflex_serve_plan_cache_misses_total counter\n");
+        let _ = writeln!(out, "arrayflex_serve_plan_cache_misses_total {}", cache.misses());
+        out.push_str("# HELP arrayflex_serve_plan_cache_hit_rate Fraction of plan lookups served from the cache.\n");
+        out.push_str("# TYPE arrayflex_serve_plan_cache_hit_rate gauge\n");
+        let _ = writeln!(out, "arrayflex_serve_plan_cache_hit_rate {}", cache.hit_rate());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histogram_accumulate() {
+        let metrics = Metrics::new();
+        metrics.observe("/v1/plan", 200, Duration::from_micros(80));
+        metrics.observe("/v1/plan", 200, Duration::from_micros(300));
+        metrics.observe("/v1/plan", 400, Duration::from_micros(10));
+        metrics.observe("/healthz", 200, Duration::from_secs(1));
+        assert_eq!(metrics.requests("/v1/plan", 200), 2);
+        assert_eq!(metrics.requests("/v1/plan", 400), 1);
+        assert_eq!(metrics.requests("/healthz", 200), 1);
+        assert_eq!(metrics.requests("/missing", 200), 0);
+        assert_eq!(metrics.total_requests(), 4);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let metrics = Metrics::new();
+        metrics.observe("/v1/plan", 200, Duration::from_micros(120));
+        let cache = PlanCache::new(4);
+        let text = metrics.render_prometheus(&cache);
+        assert!(text.contains(
+            "arrayflex_serve_requests_total{route=\"/v1/plan\",status=\"200\"} 1"
+        ));
+        // Histogram buckets are cumulative and end with +Inf == count.
+        assert!(text.contains("arrayflex_serve_request_duration_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("arrayflex_serve_request_duration_us_count 1"));
+        assert!(text.contains("arrayflex_serve_plan_cache_hits_total 0"));
+        assert!(text.contains("arrayflex_serve_plan_cache_hit_rate 0"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+            assert!(parts.next().is_some(), "bad line: {line}");
+        }
+    }
+}

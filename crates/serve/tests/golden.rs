@@ -1,0 +1,47 @@
+//! Golden-file test: the canonical `/v1/plan` response is committed to the
+//! repository and must never drift.
+//!
+//! The CI smoke test curls a live server with the same request
+//! (`scripts/serve_smoke.sh`) and compares against the same file, so the
+//! golden pins the over-the-wire contract: the exact bytes of planning
+//! ResNet-34 on a 128x128 array with the paper's default calibration.
+//!
+//! Regenerate intentionally with:
+//! `BLESS_GOLDEN=1 cargo test -p arrayflex-serve --test golden`
+
+use arrayflex_serve::client;
+use arrayflex_serve::http::{serve, ServerConfig};
+use std::path::PathBuf;
+
+/// The request body `scripts/serve_smoke.sh` sends (keep in sync).
+const GOLDEN_REQUEST: &str = r#"{"network":"resnet34","rows":128,"cols":128}"#;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/plan_resnet34_128x128.json")
+}
+
+#[test]
+fn plan_response_matches_the_committed_golden_file() {
+    let handle = serve(ServerConfig::default()).expect("bind loopback");
+    let response = client::post_json(handle.addr(), "/v1/plan", GOLDEN_REQUEST).unwrap();
+    handle.shutdown();
+    assert_eq!(response.status, 200);
+
+    let path = golden_path();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &response.body).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with BLESS_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        response.body == golden,
+        "/v1/plan response drifted from {} — if the change is intentional, \
+         regenerate with BLESS_GOLDEN=1 and commit the diff",
+        path.display()
+    );
+}

@@ -10,7 +10,9 @@
 //!   simulator with configurable transparent pipelining;
 //! * [`hw_model`] — technology, timing, power, area and energy models;
 //! * [`cnn`] — the CNN layer tables (ResNet-34, MobileNetV1, ConvNeXt-T);
-//! * [`gemm`] — matrices, tiling, im2col and workload generation.
+//! * [`gemm`] — matrices, tiling, im2col and workload generation;
+//! * [`serve`] — the planner and simulator as an online HTTP service
+//!   (hand-rolled HTTP/1.1 server, JSON API, plan cache, load generator).
 //!
 //! See the repository `README.md` for the workspace layout, crate map and
 //! verification commands; `DESIGN.md` for the architecture, the model
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub use arrayflex;
+pub use arrayflex_serve as serve;
 pub use cnn;
 pub use gemm;
 pub use hw_model;
@@ -31,7 +34,7 @@ pub use sa_sim;
 pub mod prelude {
     pub use arrayflex::{
         compare_network, ArrayFlexError, ArrayFlexModel, EvaluationSweep, LayerExecution,
-        NetworkComparison, NetworkPlan, ParallelExecutor, PipelineChoice,
+        NetworkComparison, NetworkPlan, ParallelExecutor, PipelineChoice, PlanCache, PlanKind,
     };
     pub use cnn::{models, DepthwiseMapping, Layer, Network};
     pub use gemm::{ConvShape, GemmDims, Matrix};

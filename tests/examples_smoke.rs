@@ -54,6 +54,32 @@ fn quickstart_network_logic() {
     assert!((0.0..=1.0).contains(&shallow));
 }
 
+/// The round trip `examples/serve_client.rs` walks through: an in-process
+/// HTTP server's `/v1/plan` response is byte-identical to the direct
+/// library call, and the repeated request is a cache hit.
+#[test]
+fn serve_client_round_trip_logic() {
+    use arrayflex_repro::serve::client;
+    use arrayflex_repro::serve::http::{serve, ServerConfig};
+
+    let handle = serve(ServerConfig::default()).expect("bind loopback");
+    let request = r#"{"network":"resnet34","rows":128,"cols":128}"#;
+    let response = client::post_json(handle.addr(), "/v1/plan", request).expect("plan request");
+    assert_eq!(response.status, 200);
+
+    let model = ArrayFlexModel::new(128, 128).expect("paper-calibrated model");
+    let direct = model
+        .plan_arrayflex(&resnet34(), DepthwiseMapping::default())
+        .expect("direct plan");
+    let direct_json = serde_json::to_string(&direct).expect("plan serializes");
+    assert_eq!(response.body, direct_json.into_bytes());
+
+    let cached = client::post_json(handle.addr(), "/v1/plan", request).expect("cached request");
+    assert_eq!(cached.body, response.body);
+    assert_eq!(handle.state().cache().hits(), 1);
+    handle.shutdown();
+}
+
 /// Compile gate: building the examples is part of the test run.
 ///
 /// `cargo test` already builds examples of the same package, but only this

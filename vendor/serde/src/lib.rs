@@ -87,6 +87,20 @@ pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, DeError>;
 }
 
+// --- the data model itself -------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 // --- primitive impls -------------------------------------------------------
 
 macro_rules! impl_signed {

@@ -1,21 +1,39 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! Renders the vendored `serde` stand-in's [`serde::Value`] tree as JSON
-//! text. Only the emission half of the real crate is provided
-//! ([`to_string`] and [`to_string_pretty`]), which is all this workspace
-//! uses (the `--json` flag of the figure-regeneration binaries).
+//! Covers both halves of the real crate over the vendored `serde`
+//! stand-in's [`serde::Value`] data model:
+//!
+//! * **emission** — [`to_string`] and [`to_string_pretty`] render any
+//!   `T: Serialize` as JSON text (used by the `--json` flag of the
+//!   figure-regeneration binaries);
+//! * **parsing** — [`from_str`] runs the strict recursive-descent parser
+//!   below and decodes the resulting [`serde::Value`] tree into any
+//!   `T: Deserialize` (used by the `arrayflex-serve` HTTP service);
+//!   [`from_value`] decodes an already-parsed tree.
+//!
+//! The parser is strict JSON (RFC 8259): every escape sequence is
+//! validated (including `\uXXXX` surrogate pairs), numbers follow the JSON
+//! grammar exactly (integers land in `Value::Int`/`Value::UInt`, anything
+//! with a fraction or exponent in `Value::Float`), duplicate object keys
+//! and trailing input are rejected, and nesting is capped at
+//! [`MAX_DEPTH`] so hostile inputs cannot overflow the stack.
 
 #![forbid(unsafe_code)]
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
-/// Error type mirroring `serde_json::Error`.
-///
-/// JSON emission of the stand-in data model is infallible, so this is only
-/// here to keep the `Result`-returning signatures of the real crate.
+/// Error type mirroring `serde_json::Error`: emission problems (which the
+/// stand-in data model cannot actually produce), parse errors (with the
+/// byte offset of the offending input) and decode errors.
 #[derive(Debug)]
 pub struct Error(String);
+
+impl Error {
+    fn parse(offset: usize, message: impl fmt::Display) -> Self {
+        Error(format!("{message} at byte {offset}"))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -24,6 +42,321 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Maximum nesting depth the parser accepts before rejecting the input
+/// (arrays and objects combined), so untrusted documents cannot overflow
+/// the recursive-descent stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// Deserializes a value of type `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error if the input is not valid JSON (strict RFC 8259
+/// grammar, [`MAX_DEPTH`] nesting cap, no duplicate object keys, no
+/// trailing input) or if the parsed tree does not decode into `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::parse(parser.pos, "trailing characters after JSON value"));
+    }
+    from_value(&value)
+}
+
+/// Decodes an already-parsed [`Value`] tree into `T`.
+///
+/// # Errors
+///
+/// Returns an error if the tree does not match the shape `T` expects.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(|e| Error(e.to_string()))
+}
+
+// --- the strict recursive-descent parser -----------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse(self.pos, format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::parse(
+                self.pos,
+                format!("unexpected character `{}`", other as char),
+            )),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{keyword}`")))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        // Duplicate keys are detected via a side set so the check stays
+        // O(1) per key — this parser sits on an untrusted HTTP path, and a
+        // linear rescan of `fields` would make wide hostile objects
+        // quadratic.
+        let mut seen_keys: std::collections::HashSet<String> = std::collections::HashSet::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key_offset = self.pos;
+            let key = self.parse_string()?;
+            if !seen_keys.insert(key.clone()) {
+                return Err(Error::parse(key_offset, format!("duplicate object key \"{key}\"")));
+            }
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(Error::parse(self.pos, "unescaped control character in string"));
+                }
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 scalar: the input is a `&str`, so the
+                    // sequence is already valid; copy it whole.
+                    let ch = self.input[self.pos..]
+                        .chars()
+                        .next()
+                        .expect("position is on a char boundary");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let Some(escape) = self.peek() else {
+            return Err(Error::parse(self.pos, "unterminated escape sequence"));
+        };
+        self.pos += 1;
+        match escape {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let high = self.parse_hex4()?;
+                let scalar = if (0xD800..=0xDBFF).contains(&high) {
+                    // High surrogate: a `\uXXXX` low surrogate must follow.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                    } else {
+                        return Err(Error::parse(self.pos, "unpaired high surrogate"));
+                    }
+                    self.expect(b'u')
+                        .map_err(|_| Error::parse(self.pos, "unpaired high surrogate"))?;
+                    let low = self.parse_hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&low) {
+                        return Err(Error::parse(self.pos, "invalid low surrogate"));
+                    }
+                    0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                } else if (0xDC00..=0xDFFF).contains(&high) {
+                    return Err(Error::parse(self.pos, "unpaired low surrogate"));
+                } else {
+                    high
+                };
+                out.push(
+                    char::from_u32(scalar)
+                        .ok_or_else(|| Error::parse(self.pos, "invalid unicode escape"))?,
+                );
+            }
+            other => {
+                return Err(Error::parse(
+                    self.pos - 1,
+                    format!("invalid escape character `{}`", other as char),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut scalar = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(Error::parse(self.pos, "expected four hex digits after \\u")),
+            };
+            scalar = scalar * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(scalar)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(Error::parse(self.pos, "expected a digit")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::parse(self.pos, "expected a digit after `.`"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::parse(self.pos, "expected a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Int(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::UInt(v));
+            }
+            // Fall through: integers beyond u64 degrade to f64, like the
+            // real serde_json's Value parsing.
+        }
+        let parsed = text
+            .parse::<f64>()
+            .map_err(|e| Error::parse(start, format!("invalid number: {e}")))?;
+        if parsed.is_finite() {
+            Ok(Value::Float(parsed))
+        } else {
+            Err(Error::parse(start, "number out of range"))
+        }
+    }
+}
 
 /// Serializes a value as a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -166,5 +499,108 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert_eq!(from_str::<Value>("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str::<Value>("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str::<Value>("42").unwrap(), Value::Int(42));
+        assert_eq!(from_str::<Value>("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str::<Value>("0").unwrap(), Value::Int(0));
+        assert_eq!(
+            from_str::<Value>("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(from_str::<Value>("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(from_str::<Value>("-2.5e3").unwrap(), Value::Float(-2500.0));
+        assert_eq!(from_str::<Value>("1E-2").unwrap(), Value::Float(0.01));
+        assert_eq!(from_str::<Value>(r#""hi""#).unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_into_rust_types() {
+        assert_eq!(from_str::<u32>("17").unwrap(), 17);
+        assert_eq!(from_str::<Vec<u32>>("[1, 2, 3]").unwrap(), vec![1, 2, 3]);
+        assert_eq!(from_str::<Option<bool>>("null").unwrap(), None);
+        assert_eq!(
+            from_str::<(u32, String)>(r#"[9, "x"]"#).unwrap(),
+            (9, "x".to_string())
+        );
+        assert!(from_str::<u32>("-1").is_err());
+        assert_eq!(from_value::<u32>(&Value::Int(3)).unwrap(), 3);
+    }
+
+    #[test]
+    fn parses_nested_containers_and_whitespace() {
+        let value = from_str::<Value>(" { \"a\" : [ 1 , { \"b\" : null } ] , \"c\": {} } ").unwrap();
+        assert_eq!(
+            value,
+            Value::Object(vec![
+                (
+                    "a".into(),
+                    Value::Array(vec![
+                        Value::Int(1),
+                        Value::Object(vec![("b".into(), Value::Null)]),
+                    ]),
+                ),
+                ("c".into(), Value::Object(vec![])),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_every_escape_and_surrogate_pairs() {
+        let parsed = from_str::<String>(r#""\"\\\/\b\f\n\r\tAé😀""#).unwrap();
+        assert_eq!(parsed, "\"\\/\u{8}\u{c}\n\r\tA\u{e9}\u{1F600}");
+        // Raw multi-byte UTF-8 passes through untouched.
+        assert_eq!(from_str::<String>("\"héllo – 😀\"").unwrap(), "héllo – 😀");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "nul",
+            "truth",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "--1",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"lone \\ud800 surrogate\"",
+            "\"\\ud800\\u0041\"",
+            "\"ctrl \u{1} char\"",
+            "[1,]",
+            "[1 2]",
+            "{\"a\":1,}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "{\"a\":1 \"b\":2}",
+            "[1] trailing",
+            "1e999",
+            "{\"dup\":1,\"dup\":2}",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting() {
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str::<Value>(&deep_ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = from_str::<Value>(&too_deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn errors_report_the_byte_offset() {
+        let err = from_str::<Value>("[1, flase]").unwrap_err();
+        assert!(err.to_string().contains("at byte 4"), "{err}");
     }
 }

@@ -1,0 +1,93 @@
+//! Property tests: parsing inverts emission over randomized `Value` trees.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use serde::Value;
+
+/// Generates an arbitrary JSON value tree of bounded depth and width.
+///
+/// Floats are always finite (the emitter renders non-finite floats as
+/// `null`, so they cannot round-trip by design) and object keys are unique
+/// (the strict parser rejects duplicates, and maps can never emit them).
+fn arbitrary_value(rng: &mut TestRng, depth: u32) -> Value {
+    let scalar_only = depth == 0;
+    let choice = rng.next_u64() % if scalar_only { 6 } else { 8 };
+    match choice {
+        0 => Value::Null,
+        1 => Value::Bool(rng.next_u64().is_multiple_of(2)),
+        2 => Value::Int(rng.next_u64() as i64),
+        3 => Value::UInt(i64::MAX as u64 + 1 + rng.next_u64() % 1000),
+        4 => {
+            // Mix plain decimals, huge/tiny magnitudes and negatives.
+            let base = rng.next_f64() * 2e6 - 1e6;
+            let scale = [1.0, 1e-30, 1e30, 1e300][(rng.next_u64() % 4) as usize];
+            Value::Float(base * scale)
+        }
+        5 => Value::Str(arbitrary_string(rng)),
+        6 => {
+            let len = (rng.next_u64() % 5) as usize;
+            Value::Array((0..len).map(|_| arbitrary_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = (rng.next_u64() % 5) as usize;
+            Value::Object(
+                (0..len)
+                    .map(|i| {
+                        // A unique counter suffix keeps keys distinct.
+                        let key = format!("{}_{i}", arbitrary_string(rng));
+                        (key, arbitrary_value(rng, depth - 1))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Random strings spanning ASCII, escapes, control characters and
+/// multi-byte UTF-8 (including astral-plane scalars).
+fn arbitrary_string(rng: &mut TestRng) -> String {
+    const ALPHABET: [char; 16] = [
+        'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\t', '\u{0}', '\u{1b}', 'é', 'ß', '中',
+        '\u{2028}', '😀',
+    ];
+    let len = (rng.next_u64() % 12) as usize;
+    (0..len)
+        .map(|_| ALPHABET[(rng.next_u64() % ALPHABET.len() as u64) as usize])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Strict parsing is a left inverse of compact emission.
+    #[test]
+    fn parse_inverts_to_string(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let value = arbitrary_value(&mut rng, 4);
+        let text = serde_json::to_string(&value).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(&parsed, &value);
+    }
+
+    /// Pretty-printed output parses back to the same tree too (the parser
+    /// must be insensitive to the emitter's indentation).
+    #[test]
+    fn parse_inverts_to_string_pretty(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let value = arbitrary_value(&mut rng, 3);
+        let text = serde_json::to_string_pretty(&value).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(&parsed, &value);
+    }
+
+    /// Emission of a parsed tree re-parses to the same tree (idempotence of
+    /// the canonical form).
+    #[test]
+    fn emission_is_canonical(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let value = arbitrary_value(&mut rng, 3);
+        let canonical = serde_json::to_string(&value).unwrap();
+        let reparsed: Value = serde_json::from_str(&canonical).unwrap();
+        prop_assert_eq!(serde_json::to_string(&reparsed).unwrap(), canonical);
+    }
+}
