@@ -1,0 +1,342 @@
+//! The committed simulator-core performance baseline (`BENCH_simcore.json`).
+//!
+//! [`simcore_baseline`] times a fixed, deterministic set of hot-path
+//! workloads — the cycle-accurate tile kernel on a drain-heavy and a
+//! steady-state tile, a whole tiled GEMM, the im2col lowering and the
+//! reference GEMM — and reports machine-readable records (bench name,
+//! threads, iterations, ns/iter and, for the simulator benches, simulated
+//! cycles per wall-clock second). The `bench_baseline` binary wraps it;
+//! `scripts/bench_baseline.sh` regenerates the committed
+//! `BENCH_simcore.json` so the perf trajectory of the simulator core is
+//! tracked in-repo, and CI runs the same harness in `--quick` mode and
+//! re-parses the emitted JSON against [`validate_report`].
+//!
+//! All workloads are single-threaded and seeded, so two runs on the same
+//! machine measure the same work; only the wall-clock changes between
+//! machines or code versions. Comparisons between JSON snapshots are
+//! therefore meaningful per-machine (the committed file records the
+//! container the repository is developed in).
+
+use arrayflex::ArrayFlexError;
+use gemm::im2col::im2col;
+use gemm::rng::SplitMix64;
+use gemm::{multiply, ConvShape, Matrix, Tensor3};
+use sa_sim::{ArrayConfig, Simulator};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Version of the `BENCH_simcore.json` schema this module emits.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One timed workload of the baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Stable bench name (`simcore/...` or `gemm/...`).
+    pub name: String,
+    /// Worker threads the workload used (all baseline benches are 1).
+    pub threads: usize,
+    /// Timed iterations per batch (best of three batches is reported).
+    pub iters: u64,
+    /// Wall-clock nanoseconds per iteration (best batch).
+    pub ns_per_iter: f64,
+    /// Simulated cycles per iteration (`None` for non-simulator benches).
+    pub cycles_per_iter: Option<u64>,
+    /// Simulated cycles per wall-clock second (`None` for non-simulator
+    /// benches). This is the headline throughput number of the simulator
+    /// core.
+    pub cycles_per_sec: Option<f64>,
+}
+
+/// The whole baseline: a schema version plus one record per workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Whether the run used the reduced `--quick` iteration counts (CI
+    /// smoke mode; numbers are noisier and not meant to be committed).
+    pub quick: bool,
+    /// The timed records, in a fixed order.
+    pub benches: Vec<BenchRecord>,
+}
+
+impl BaselineReport {
+    /// Looks up one record by its stable name.
+    #[must_use]
+    pub fn bench(&self, name: &str) -> Option<&BenchRecord> {
+        self.benches.iter().find(|b| b.name == name)
+    }
+}
+
+/// The stable name of the acceptance bench: one drain-heavy tile
+/// (`T = 4`) on a 32x32 array with the fast path enabled.
+pub const DRAIN_HEAVY_FAST: &str = "simcore/tile_32x32_drain_heavy/fast";
+/// The naive-scan twin of [`DRAIN_HEAVY_FAST`].
+pub const DRAIN_HEAVY_NAIVE: &str = "simcore/tile_32x32_drain_heavy/naive";
+
+/// Best-of-three-batches wall-clock nanoseconds per iteration of `f`.
+fn time_batches<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    // One warmup iteration outside the timed batches.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+fn record(name: &str, iters: u64, cycles_per_iter: Option<u64>, ns_per_iter: f64) -> BenchRecord {
+    BenchRecord {
+        name: name.to_owned(),
+        threads: 1,
+        iters,
+        ns_per_iter,
+        cycles_per_iter,
+        cycles_per_sec: cycles_per_iter.map(|c| c as f64 * 1e9 / ns_per_iter),
+    }
+}
+
+/// Runs the fixed baseline suite and returns its report.
+///
+/// `quick` divides the iteration counts by ~50 for CI smoke runs; the
+/// workloads themselves are identical.
+///
+/// # Errors
+///
+/// Propagates simulation or lowering errors (which would indicate a broken
+/// build, not a measurement problem).
+///
+/// # Panics
+///
+/// Panics if the fast-path tile diverges from the naive scan — the
+/// baseline never times a wrong computation.
+pub fn simcore_baseline(quick: bool) -> Result<BaselineReport, ArrayFlexError> {
+    let scale = |iters: u64| if quick { (iters / 50).max(2) } else { iters };
+    let mut benches = Vec::new();
+
+    // 1 + 2. The acceptance bench: a drain-heavy tile (T = 4) on a 32x32
+    // array in normal pipeline mode, fast path vs. naive scan.
+    let mut rng = SplitMix64::new(90);
+    let a_drain = Matrix::random(4, 32, &mut rng, -50, 50);
+    let b_drain = Matrix::random(32, 32, &mut rng, -50, 50);
+    let drain_sim = Simulator::new(ArrayConfig::new(32, 32)).map_err(ArrayFlexError::from)?;
+    let fast = drain_sim
+        .run_tile(&a_drain, &b_drain)
+        .map_err(ArrayFlexError::from)?;
+    let naive = drain_sim
+        .run_tile_naive(&a_drain, &b_drain)
+        .map_err(ArrayFlexError::from)?;
+    assert_eq!(fast, naive, "fast path diverged from the naive scan");
+    let cycles = fast.stats.total_cycles();
+    let iters = scale(400);
+    let ns = time_batches(iters, || {
+        drain_sim.run_tile(&a_drain, &b_drain).expect("drain tile");
+    });
+    benches.push(record(DRAIN_HEAVY_FAST, iters, Some(cycles), ns));
+    let iters = scale(200);
+    let ns = time_batches(iters, || {
+        drain_sim
+            .run_tile_naive(&a_drain, &b_drain)
+            .expect("naive drain tile");
+    });
+    benches.push(record(DRAIN_HEAVY_NAIVE, iters, Some(cycles), ns));
+
+    // 3. A steady-state tile: T = 64 rows streamed through a 16x16 array
+    // with k = 2 (most cycles have a full wavefront, so this measures the
+    // carry-save inner loop rather than the skip logic).
+    let a_steady = Matrix::random(64, 16, &mut rng, -50, 50);
+    let b_steady = Matrix::random(16, 16, &mut rng, -50, 50);
+    let steady_sim = Simulator::new(ArrayConfig::new(16, 16).with_collapse_depth(2))
+        .map_err(ArrayFlexError::from)?;
+    let cycles = steady_sim
+        .run_tile(&a_steady, &b_steady)
+        .map_err(ArrayFlexError::from)?
+        .stats
+        .total_cycles();
+    let iters = scale(400);
+    let ns = time_batches(iters, || {
+        steady_sim
+            .run_tile(&a_steady, &b_steady)
+            .expect("steady tile");
+    });
+    benches.push(record("simcore/tile_16x16_steady_k2", iters, Some(cycles), ns));
+
+    // 4. A whole tiled GEMM (8x4 = 32 tiles on a 32x32 array, k = 2): the
+    // workload of the `throughput` experiment, serial.
+    let a_gemm = Matrix::random(24, 256, &mut rng, -50, 50);
+    let b_gemm = Matrix::random(256, 128, &mut rng, -50, 50);
+    let gemm_sim = Simulator::new(ArrayConfig::new(32, 32).with_collapse_depth(2))
+        .map_err(ArrayFlexError::from)?;
+    let cycles = gemm_sim
+        .run_gemm(&a_gemm, &b_gemm)
+        .map_err(ArrayFlexError::from)?
+        .stats
+        .total_cycles();
+    let iters = scale(50);
+    let ns = time_batches(iters, || {
+        gemm_sim.run_gemm(&a_gemm, &b_gemm).expect("tiled GEMM");
+    });
+    benches.push(record(
+        "simcore/gemm_24x256x128_on_32x32_k2",
+        iters,
+        Some(cycles),
+        ns,
+    ));
+
+    // 5. The im2col lowering of a mid-network 3x3 convolution
+    // (64 -> 64 channels on a 28x28 input: T = 784, N = 576).
+    let shape = ConvShape::dense(64, 64, 3, 1, 1, 28);
+    let input = Tensor3::random(64, 28, 28, &mut rng, -50, 50);
+    im2col(&input, shape, 0)?; // validate once outside the timed loop
+    let iters = scale(50);
+    let ns = time_batches(iters, || {
+        im2col(&input, shape, 0).expect("im2col");
+    });
+    benches.push(record("gemm/im2col_conv3x3_64c_28x28", iters, None, ns));
+
+    // 6. The reference GEMM the simulator is verified against.
+    let a_ref = Matrix::random(96, 96, &mut rng, -50, 50);
+    let b_ref = Matrix::random(96, 96, &mut rng, -50, 50);
+    let iters = scale(100);
+    let ns = time_batches(iters, || {
+        multiply(&a_ref, &b_ref).expect("reference GEMM");
+    });
+    benches.push(record("gemm/multiply_96x96x96", iters, None, ns));
+
+    Ok(BaselineReport {
+        schema: SCHEMA_VERSION,
+        quick,
+        benches,
+    })
+}
+
+/// Checks a decoded report against the schema the repository commits:
+/// known version, non-empty bench list, positive timings, and
+/// `cycles_per_sec` consistent with `cycles_per_iter / ns_per_iter`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_report(report: &BaselineReport) -> Result<(), String> {
+    if report.schema != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported schema version {} (expected {SCHEMA_VERSION})",
+            report.schema
+        ));
+    }
+    if report.benches.is_empty() {
+        return Err("report lists no benches".to_owned());
+    }
+    for bench in &report.benches {
+        if bench.name.is_empty() {
+            return Err("a bench record has an empty name".to_owned());
+        }
+        if bench.threads == 0 || bench.iters == 0 {
+            return Err(format!("bench {}: zero threads or iterations", bench.name));
+        }
+        if !(bench.ns_per_iter.is_finite() && bench.ns_per_iter > 0.0) {
+            return Err(format!("bench {}: non-positive ns/iter", bench.name));
+        }
+        match (bench.cycles_per_iter, bench.cycles_per_sec) {
+            (Some(cycles), Some(rate)) => {
+                let expected = cycles as f64 * 1e9 / bench.ns_per_iter;
+                if !(rate.is_finite() && rate > 0.0)
+                    || (rate - expected).abs() > expected * 1e-6
+                {
+                    return Err(format!(
+                        "bench {}: cycles_per_sec {rate} inconsistent with \
+                         {cycles} cycles at {} ns/iter",
+                        bench.name, bench.ns_per_iter
+                    ));
+                }
+            }
+            (None, None) => {}
+            _ => {
+                return Err(format!(
+                    "bench {}: cycles_per_iter and cycles_per_sec must be \
+                     both present or both absent",
+                    bench.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the report as an aligned text table.
+#[must_use]
+pub fn baseline_text(report: &BaselineReport) -> String {
+    let mut table = crate::TextTable::new(vec![
+        "bench",
+        "threads",
+        "iters",
+        "ns/iter",
+        "cycles/sec",
+    ]);
+    for bench in &report.benches {
+        table.push_row(vec![
+            bench.name.clone(),
+            bench.threads.to_string(),
+            bench.iters.to_string(),
+            format!("{:.0}", bench.ns_per_iter),
+            bench
+                .cycles_per_sec
+                .map_or_else(|| "-".to_owned(), |c| format!("{c:.3e}")),
+        ]);
+    }
+    let mode = if report.quick { " (quick)" } else { "" };
+    format!("Simulator-core perf baseline{mode}\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_baseline_runs_and_round_trips_through_json() {
+        let report = simcore_baseline(true).unwrap();
+        assert!(report.quick);
+        assert_eq!(report.benches.len(), 6);
+        validate_report(&report).unwrap();
+        assert!(report.bench(DRAIN_HEAVY_FAST).is_some());
+        assert!(report.bench("simcore/nope").is_none());
+        // The simulator benches report a cycle rate, the gemm benches none.
+        for bench in &report.benches {
+            assert_eq!(
+                bench.cycles_per_sec.is_some(),
+                bench.name.starts_with("simcore/"),
+                "{}",
+                bench.name
+            );
+        }
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let decoded: BaselineReport = serde_json::from_str(&json).unwrap();
+        validate_report(&decoded).unwrap();
+        assert_eq!(decoded.benches.len(), report.benches.len());
+        assert!(baseline_text(&decoded).contains("cycles/sec"));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        let good = simcore_baseline(true).unwrap();
+        let mut bad = good.clone();
+        bad.schema = 99;
+        assert!(validate_report(&bad).is_err());
+        let mut bad = good.clone();
+        bad.benches.clear();
+        assert!(validate_report(&bad).is_err());
+        let mut bad = good.clone();
+        bad.benches[0].ns_per_iter = -1.0;
+        assert!(validate_report(&bad).is_err());
+        let mut bad = good.clone();
+        bad.benches[0].cycles_per_sec = Some(1.0);
+        assert!(validate_report(&bad).is_err());
+        let mut bad = good;
+        bad.benches[0].cycles_per_sec = None;
+        assert!(validate_report(&bad).is_err());
+    }
+}

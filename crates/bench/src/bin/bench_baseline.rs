@@ -1,0 +1,53 @@
+//! The `bench` subcommand of the harness: regenerate or verify the
+//! committed simulator-core perf baseline (`BENCH_simcore.json`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_baseline              # text table
+//! cargo run --release -p bench --bin bench_baseline -- --json    # BENCH_simcore.json body
+//! cargo run --release -p bench --bin bench_baseline -- --quick --json
+//! cargo run --release -p bench --bin bench_baseline -- --check BENCH_simcore.json
+//! ```
+//!
+//! `--quick` shrinks the iteration counts for CI smoke runs; `--check`
+//! parses an existing JSON file and validates it against the schema
+//! instead of measuring anything (exit code 1 on violation).
+//! `scripts/bench_baseline.sh` wraps the generate-then-check sequence.
+
+use bench::baseline::{baseline_text, simcore_baseline, validate_report, BaselineReport};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut quick = false;
+    let mut json = false;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--check" => check = Some(args.next().ok_or("--check needs a file path")?),
+            "--help" | "-h" => {
+                println!("usage: bench_baseline [--quick] [--json] | --check FILE");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report: BaselineReport = serde_json::from_str(&text)
+            .map_err(|e| format!("{path} is not a baseline report: {e}"))?;
+        validate_report(&report).map_err(|e| format!("{path} violates the schema: {e}"))?;
+        println!("{path}: schema ok ({} benches)", report.benches.len());
+        return Ok(());
+    }
+
+    let report = simcore_baseline(quick)?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!("{}", baseline_text(&report));
+    }
+    Ok(())
+}

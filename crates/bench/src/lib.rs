@@ -2,6 +2,9 @@
 //!
 //! * [`experiments`] — one function per table/figure of the paper's
 //!   evaluation, returning plain data structures;
+//! * [`baseline`] — the machine-readable simulator-core perf baseline
+//!   behind the committed `BENCH_simcore.json` (see the `bench_baseline`
+//!   binary and `scripts/bench_baseline.sh`);
 //! * [`tables`] — minimal text-table rendering used by the
 //!   figure-regeneration binaries in `src/bin/`.
 //!
@@ -16,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod tables;
 

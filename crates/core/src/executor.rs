@@ -10,7 +10,7 @@
 use crate::error::ArrayFlexError;
 use crate::model::{ArrayFlexModel, LayerExecution};
 use gemm::{multiply, GemmDims, Matrix};
-use sa_sim::{RunStats, Simulator};
+use sa_sim::{ArrayPool, RunStats, Simulator};
 
 /// Result of executing a GEMM on the cycle-accurate simulator alongside the
 /// analytical prediction.
@@ -93,10 +93,31 @@ impl ArrayFlexModel {
         k: u32,
         threads: usize,
     ) -> Result<SimulatedExecution, ArrayFlexError> {
+        self.simulate_gemm_pooled(&ArrayPool::new(), a, b, k, threads)
+    }
+
+    /// [`ArrayFlexModel::simulate_gemm_threads`] drawing its
+    /// [`SystolicArray`](sa_sim::SystolicArray) instances from a
+    /// caller-owned [`ArrayPool`], so long-lived hosts — most prominently
+    /// the `/v1/simulate` route of `arrayflex-serve` — reuse array state
+    /// buffers across requests instead of reinitializing them per GEMM.
+    /// Results are bit-identical to the unpooled call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ArrayFlexModel::simulate_gemm`].
+    pub fn simulate_gemm_pooled(
+        &self,
+        pool: &ArrayPool,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+        k: u32,
+        threads: usize,
+    ) -> Result<SimulatedExecution, ArrayFlexError> {
         let dims = GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64);
         let predicted = self.execute_arrayflex(dims, k)?;
         let simulator = Simulator::new(self.array_config(k))?.threads(threads);
-        let run = simulator.run_gemm(a, b)?;
+        let run = simulator.run_gemm_pooled(pool, a, b)?;
         let reference = multiply(a, b)?;
         let functionally_correct = run.output == reference;
         Ok(SimulatedExecution {
@@ -161,6 +182,20 @@ mod tests {
                 assert!(parallel.cycles_match(), "k = {k}, threads = {threads}");
             }
         }
+    }
+
+    #[test]
+    fn pooled_simulation_matches_the_unpooled_run_across_requests() {
+        let model = ArrayFlexModel::new(8, 8).unwrap();
+        let pool = ArrayPool::new();
+        for (seed, k) in [(11u64, 1u32), (12, 2), (13, 4), (14, 2)] {
+            let (a, b) = operands(4, 18, 9, seed);
+            let pooled = model.simulate_gemm_pooled(&pool, &a, &b, k, 1).unwrap();
+            let direct = model.simulate_gemm(&a, &b, k).unwrap();
+            assert_eq!(pooled, direct, "seed {seed} k {k}");
+        }
+        // The serial path keeps exactly one array per configuration around.
+        assert!((1..=3).contains(&pool.len()), "pool holds {}", pool.len());
     }
 
     #[test]

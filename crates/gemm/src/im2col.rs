@@ -287,6 +287,29 @@ impl ConvWeights {
 /// Returns [`GemmError::InvalidConvolution`] if the shape is inconsistent
 /// with the input tensor.
 pub fn im2col(input: &Tensor3, shape: ConvShape, group: usize) -> Result<Matrix<i32>, GemmError> {
+    let mut a = Matrix::<i32>::zeros(0, 0);
+    im2col_into(input, shape, group, &mut a)?;
+    Ok(a)
+}
+
+/// [`im2col`] with a caller-provided (preallocated) output buffer: `a` is
+/// reshaped to `T x N` in place, reusing its allocation when large enough,
+/// so lowering every group (or every layer of a network) can recycle one
+/// staging matrix instead of allocating per call.
+///
+/// Each output row is unrolled through a mutable row slice in row-major
+/// order — one receptive field written left to right — with no intermediate
+/// per-row vectors.
+///
+/// # Errors
+///
+/// Same as [`im2col`].
+pub fn im2col_into(
+    input: &Tensor3,
+    shape: ConvShape,
+    group: usize,
+    a: &mut Matrix<i32>,
+) -> Result<(), GemmError> {
     shape.validate()?;
     if input.channels() != shape.in_channels
         || input.height() != shape.input_height
@@ -310,24 +333,25 @@ pub fn im2col(input: &Tensor3, shape: ConvShape, group: usize) -> Result<Matrix<
     let dims = shape.gemm_dims();
     let cpg = shape.channels_per_group();
     let first_channel = group * cpg;
-    let mut a = Matrix::<i32>::zeros(dims.t as usize, dims.n as usize);
+    a.reset_to(dims.t as usize, dims.n as usize);
     let out_w = shape.output_width();
     for t in 0..dims.t as usize {
         let oy = t / out_w;
         let ox = t % out_w;
+        let row = a.row_mut(t);
         let mut n = 0;
         for c in 0..cpg {
             for ky in 0..shape.kernel {
+                let iy = (oy * shape.stride + ky) as isize - shape.padding as isize;
                 for kx in 0..shape.kernel {
-                    let iy = (oy * shape.stride + ky) as isize - shape.padding as isize;
                     let ix = (ox * shape.stride + kx) as isize - shape.padding as isize;
-                    a[(t, n)] = input.at_padded(first_channel + c, iy, ix);
+                    row[n] = input.at_padded(first_channel + c, iy, ix);
                     n += 1;
                 }
             }
         }
     }
-    Ok(a)
+    Ok(())
 }
 
 /// Lowers the weights of one group to the stationary matrix `B`
@@ -347,14 +371,18 @@ pub fn weights_to_matrix(weights: &ConvWeights, group: usize) -> Result<Matrix<i
     let out_per_group = shape.out_channels / shape.groups;
     let first_out = group * out_per_group;
     let mut b = Matrix::<i32>::zeros(dims.n as usize, dims.m as usize);
-    for m in 0..out_per_group {
-        let mut n = 0;
-        for c in 0..cpg {
-            for ky in 0..shape.kernel {
-                for kx in 0..shape.kernel {
-                    b[(n, m)] = weights.at(first_out + m, c, ky, kx);
-                    n += 1;
+    // Row-major over B: row n of B is the (c, ky, kx) weight of every
+    // output channel of the group, so the inner loop walks one output row
+    // left to right instead of striding down a column per channel.
+    let mut n = 0;
+    for c in 0..cpg {
+        for ky in 0..shape.kernel {
+            for kx in 0..shape.kernel {
+                let row = b.row_mut(n);
+                for (m, slot) in row.iter_mut().enumerate() {
+                    *slot = weights.at(first_out + m, c, ky, kx);
                 }
+                n += 1;
             }
         }
     }
@@ -508,6 +536,20 @@ mod tests {
             let gemm = convolution_as_gemm(&input, &weights, group).unwrap();
             assert_eq!(&gemm, expected, "group {group} mismatch");
         }
+    }
+
+    #[test]
+    fn im2col_into_reuses_one_buffer_across_groups() {
+        let mut rng = SplitMix64::new(80);
+        let shape = ConvShape::depthwise(4, 3, 1, 1, 5);
+        let input = Tensor3::random(4, 5, 5, &mut rng, -4, 4);
+        let mut staging = Matrix::<i32>::zeros(9, 9); // wrong shape on purpose
+        for group in 0..4 {
+            im2col_into(&input, shape, group, &mut staging).unwrap();
+            assert_eq!(staging, im2col(&input, shape, group).unwrap(), "group {group}");
+        }
+        // Errors leave the call rejected, not partially applied.
+        assert!(im2col_into(&input, shape, 9, &mut staging).is_err());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod workload;
 pub use error::GemmError;
 pub use parallel::ParallelExecutor;
 pub use im2col::{ConvShape, ConvWeights, Tensor3};
-pub use matrix::{accumulate, multiply, Matrix};
+pub use matrix::{accumulate, multiply, multiply_into, Matrix};
 pub use problem::GemmDims;
 pub use quantize::QuantParams;
 pub use tiling::{tiled_multiply, tiled_multiply_with, Tile, TileGrid};

@@ -163,6 +163,31 @@ impl<T: Copy + Default> Matrix<T> {
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// Returns one row as a mutable slice — the row-major write path of the
+    /// preallocated-output kernels ([`multiply_into`],
+    /// [`im2col_into`](crate::im2col::im2col_into)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Reshapes this matrix in place to `rows x cols` and fills it with
+    /// `T::default()`, reusing the existing allocation when it is large
+    /// enough. This is how the `*_into` kernels adopt a caller-provided
+    /// output buffer of any prior shape.
+    pub fn reset_to(&mut self, rows: usize, cols: usize) {
+        let len = rows.checked_mul(cols).expect("matrix size overflows usize");
+        self.data.clear();
+        self.data.resize(len, T::default());
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Returns the transpose of this matrix.
     #[must_use]
     pub fn transpose(&self) -> Self {
@@ -276,25 +301,62 @@ impl Matrix<i32> {
 /// # Ok::<(), gemm::GemmError>(())
 /// ```
 pub fn multiply(a: &Matrix<i32>, b: &Matrix<i32>) -> Result<Matrix<i64>, GemmError> {
+    let mut out = Matrix::<i64>::zeros(a.rows(), b.cols());
+    multiply_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`multiply`] with a caller-provided (preallocated) output buffer: `out`
+/// is reshaped to `T x M` in place, reusing its allocation when large
+/// enough, so repeated multiplications — reference checks inside
+/// simulation loops, per-tile kernels — do not allocate per call.
+///
+/// The inner loops run row-major over both `B` and the output, accumulating
+/// each output row through a mutable row slice.
+///
+/// # Errors
+///
+/// Returns [`GemmError::IncompatibleDimensions`] if `A.cols() != B.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use gemm::{multiply, multiply_into, Matrix};
+///
+/// let a = Matrix::from_rows(vec![vec![1, 2], vec![3, 4]])?;
+/// let b = Matrix::from_rows(vec![vec![5, 6], vec![7, 8]])?;
+/// let mut out = Matrix::<i64>::zeros(0, 0); // any prior shape works
+/// multiply_into(&a, &b, &mut out)?;
+/// assert_eq!(out, multiply(&a, &b)?);
+/// # Ok::<(), gemm::GemmError>(())
+/// ```
+pub fn multiply_into(
+    a: &Matrix<i32>,
+    b: &Matrix<i32>,
+    out: &mut Matrix<i64>,
+) -> Result<(), GemmError> {
     if a.cols() != b.rows() {
         return Err(GemmError::IncompatibleDimensions {
             left_cols: a.cols(),
             right_rows: b.rows(),
         });
     }
-    let mut out = Matrix::<i64>::zeros(a.rows(), b.cols());
+    out.reset_to(a.rows(), b.cols());
     for t in 0..a.rows() {
-        for n in 0..a.cols() {
-            let a_tn = i64::from(a[(t, n)]);
+        let a_row = a.row(t);
+        let out_row = out.row_mut(t);
+        for (n, &a_tn) in a_row.iter().enumerate() {
             if a_tn == 0 {
                 continue;
             }
-            for m in 0..b.cols() {
-                out[(t, m)] += a_tn * i64::from(b[(n, m)]);
+            let a_tn = i64::from(a_tn);
+            let b_row = b.row(n);
+            for (acc, &b_nm) in out_row.iter_mut().zip(b_row) {
+                *acc += a_tn * i64::from(b_nm);
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Adds `delta` into `acc` element-wise (used to accumulate tile partial
@@ -391,6 +453,45 @@ mod tests {
         assert_eq!(x[(0, 1)], 64);
         assert_eq!(x[(1, 0)], 139);
         assert_eq!(x[(1, 1)], 154);
+    }
+
+    #[test]
+    fn multiply_into_reuses_the_output_buffer() {
+        let mut rng = SplitMix64::new(41);
+        let mut out = Matrix::<i64>::zeros(3, 17); // wrong shape on purpose
+        for (t, n, m) in [(4usize, 7usize, 5usize), (1, 1, 1), (6, 2, 9)] {
+            let a = Matrix::random(t, n, &mut rng, -50, 50);
+            let b = Matrix::random(n, m, &mut rng, -50, 50);
+            multiply_into(&a, &b, &mut out).unwrap();
+            assert_eq!(out, multiply(&a, &b).unwrap(), "T={t} N={n} M={m}");
+        }
+        let a = Matrix::<i32>::zeros(2, 3);
+        let b = Matrix::<i32>::zeros(4, 2);
+        assert!(multiply_into(&a, &b, &mut out).is_err());
+    }
+
+    #[test]
+    fn row_mut_and_reset_to_touch_the_expected_elements() {
+        let mut m = Matrix::<i32>::zeros(2, 3);
+        m.row_mut(1).copy_from_slice(&[4, 5, 6]);
+        assert_eq!(m.row(0), &[0, 0, 0]);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+        m.reset_to(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert!(m.as_slice().iter().all(|&v| v == 0));
+        // Shrinking and regrowing reuses the allocation and re-zeros.
+        m.row_mut(2)[1] = 9;
+        m.reset_to(1, 1);
+        m.reset_to(3, 2);
+        assert!(m.as_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_mut_is_bounds_checked() {
+        let mut m = Matrix::<i32>::zeros(2, 2);
+        let _ = m.row_mut(2);
     }
 
     #[test]

@@ -1,13 +1,30 @@
 //! Register-level model of the weight-stationary systolic array.
 //!
 //! The array is simulated synchronously: every call to
-//! [`SystolicArray::step`] evaluates one clock cycle by computing the next
+//! [`SystolicArray::step_into`] (or its allocating convenience wrapper
+//! [`SystolicArray::step`]) evaluates one clock cycle by computing the next
 //! value of every pipeline register from the current register values and the
 //! west-edge inputs, then committing them all at once. Transparent registers
 //! (inside a collapsed pipeline block) are never clocked; the data simply
 //! flows through them combinationally within the cycle, and the partial sums
 //! inside a block are kept in carry-save form until the block's last row
 //! resolves them — exactly the structure of Figs. 3 and 4 in the paper.
+//!
+//! # Structure-of-arrays state layout
+//!
+//! Only the registers that physically exist are stored: with collapsing
+//! depth `k`, the horizontal (operand) pipeline has one register per
+//! (row, column block) and the vertical (partial-sum) pipeline one per
+//! (row block, column). Register values live in flat column-block-major /
+//! row-block-major buffers, validity in packed `u64` bitset words with one
+//! word-aligned segment per block, and the stationary weights in a flat
+//! column-major buffer so the per-column carry-save chain walks contiguous
+//! memory. Per cycle the horizontal pipeline advances with one in-place
+//! `copy_within` per buffer, and the inactive-block fast path tests one
+//! masked bitset range per (row block, column block) pair instead of
+//! scanning individual PEs. A [`SystolicArray::step_into`] cycle performs
+//! **no heap allocation**; the double-buffered vertical registers are
+//! scratch owned by the array.
 
 use crate::carry_save::CarrySaveValue;
 use crate::config::ArrayConfig;
@@ -15,6 +32,35 @@ use crate::error::SimError;
 use crate::pe::ProcessingElement;
 use crate::stats::RunStats;
 use gemm::Matrix;
+
+const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed for `bits` bitset bits.
+const fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+fn get_bit(words: &[u64], index: usize) -> bool {
+    words[index / WORD_BITS] & (1u64 << (index % WORD_BITS)) != 0
+}
+
+fn set_bit(words: &mut [u64], index: usize) {
+    words[index / WORD_BITS] |= 1u64 << (index % WORD_BITS);
+}
+
+/// Returns `true` if any bit in `start..=last` (inclusive) is set.
+fn any_set_in(words: &[u64], start: usize, last: usize) -> bool {
+    let (first_word, first_bit) = (start / WORD_BITS, start % WORD_BITS);
+    let (last_word, last_bit) = (last / WORD_BITS, last % WORD_BITS);
+    let low_mask = u64::MAX << first_bit;
+    let high_mask = u64::MAX >> (WORD_BITS - 1 - last_bit);
+    if first_word == last_word {
+        return words[first_word] & low_mask & high_mask != 0;
+    }
+    words[first_word] & low_mask != 0
+        || words[first_word + 1..last_word].iter().any(|&w| w != 0)
+        || words[last_word] & high_mask != 0
+}
 
 /// Cycle-accurate weight-stationary systolic array with configurable
 /// transparent pipelining.
@@ -38,15 +84,35 @@ use gemm::Matrix;
 #[derive(Debug, Clone)]
 pub struct SystolicArray {
     config: ArrayConfig,
-    pes: Vec<ProcessingElement>,
-    /// Horizontal (operand) pipeline registers, one per PE; only the
-    /// register at the last column of each horizontal block is ever clocked.
+    /// Stationary weights, column-major (`col * rows + row`) so the
+    /// vertical carry-save chain of one column reads contiguous memory.
+    weights: Vec<i32>,
+    /// Horizontal (operand) pipeline registers, one per (row, column
+    /// block), column-block-major (`cb * rows + row`). During a cycle this
+    /// buffer also holds the operand each (row, column block) sees — the
+    /// staged value *is* the next register value.
     h_regs: Vec<i32>,
-    h_valid: Vec<bool>,
-    /// Vertical (partial-sum) pipeline registers, one per PE; only the
-    /// register at the last row of each vertical block is ever clocked.
+    /// Validity of `h_regs`: one word-aligned segment of `hw` words per
+    /// column block, bit `row` within segment `cb`.
+    h_valid: Vec<u64>,
+    /// Vertical (partial-sum) pipeline registers, one per (row block,
+    /// column), row-block-major (`rb * cols + col`).
     v_regs: Vec<i64>,
-    v_valid: Vec<bool>,
+    /// Double buffer for the vertical registers (scratch, swapped every
+    /// cycle so a cycle reads the previous block's *old* value).
+    v_next: Vec<i64>,
+    /// Validity of `v_regs`: one word-aligned segment of `vw` words per
+    /// row block, bit `col` within segment `rb`.
+    v_valid: Vec<u64>,
+    /// Double buffer for `v_valid`.
+    v_valid_next: Vec<u64>,
+    /// Reusable `(row block, valid rows)` gather list of the fast path:
+    /// the blocks of one column block the wavefront currently touches.
+    block_scratch: Vec<(u32, u32)>,
+    /// Words per horizontal validity segment: `ceil(rows / 64)`.
+    hw: usize,
+    /// Words per vertical validity segment: `ceil(cols / 64)`.
+    vw: usize,
     weights_loaded: bool,
     fast_path: bool,
     stats: RunStats,
@@ -60,14 +126,24 @@ impl SystolicArray {
     /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
     pub fn new(config: ArrayConfig) -> Result<Self, SimError> {
         config.validate()?;
-        let n = (config.rows * config.cols) as usize;
+        let rows = config.rows as usize;
+        let cols = config.cols as usize;
+        let row_blocks = config.row_blocks() as usize;
+        let col_blocks = config.col_blocks() as usize;
+        let hw = words_for(rows);
+        let vw = words_for(cols);
         Ok(Self {
             config,
-            pes: vec![ProcessingElement::new(); n],
-            h_regs: vec![0; n],
-            h_valid: vec![false; n],
-            v_regs: vec![0; n],
-            v_valid: vec![false; n],
+            weights: vec![0; rows * cols],
+            h_regs: vec![0; col_blocks * rows],
+            h_valid: vec![0; col_blocks * hw],
+            v_regs: vec![0; row_blocks * cols],
+            v_next: vec![0; row_blocks * cols],
+            v_valid: vec![0; row_blocks * vw],
+            v_valid_next: vec![0; row_blocks * vw],
+            block_scratch: Vec::with_capacity(row_blocks),
+            hw,
+            vw,
             weights_loaded: false,
             fast_path: true,
             stats: RunStats::default(),
@@ -81,20 +157,35 @@ impl SystolicArray {
     }
 
     /// Statistics accumulated since construction (or the last
-    /// [`SystolicArray::reset`]).
+    /// [`SystolicArray::reset`] / [`SystolicArray::reset_for_tile`]).
     #[must_use]
     pub fn stats(&self) -> RunStats {
         self.stats
     }
 
-    /// The PE at (`row`, `col`), mainly for inspection in tests and examples.
+    /// A snapshot of the PE at (`row`, `col`), mainly for inspection in
+    /// tests and examples, or `None` when out of bounds.
+    ///
+    /// The array stores its state in structure-of-arrays form, so the
+    /// returned [`ProcessingElement`] is materialized on the fly: the
+    /// stationary weight from the flat weight buffer plus the two
+    /// configuration bits, which follow the block structure once weights
+    /// (and with them the configuration) have been loaded.
     #[must_use]
-    pub fn pe(&self, row: u32, col: u32) -> Option<&ProcessingElement> {
-        if row < self.config.rows && col < self.config.cols {
-            Some(&self.pes[self.index(row as usize, col as usize)])
-        } else {
-            None
+    pub fn pe(&self, row: u32, col: u32) -> Option<ProcessingElement> {
+        if row >= self.config.rows || col >= self.config.cols {
+            return None;
         }
+        let rows = self.config.rows as usize;
+        let mut pe = ProcessingElement::new();
+        pe.load_weight(self.weights[col as usize * rows + row as usize]);
+        if self.weights_loaded {
+            pe.configure(
+                !self.is_block_last_col(col as usize),
+                !self.is_block_last_row(row as usize),
+            );
+        }
+        Some(pe)
     }
 
     /// Returns whether the inactive-block fast path is enabled (the
@@ -105,7 +196,7 @@ impl SystolicArray {
     }
 
     /// Enables or disables the inactive-block fast path of
-    /// [`SystolicArray::step`].
+    /// [`SystolicArray::step_into`].
     ///
     /// With the fast path enabled (the default), a cycle skips the
     /// multiplier/carry-save evaluation of every pipeline block whose
@@ -123,19 +214,33 @@ impl SystolicArray {
 
     /// Clears the pipelines, the weights and the statistics.
     pub fn reset(&mut self) {
-        for pe in &mut self.pes {
-            *pe = ProcessingElement::new();
-        }
-        self.h_regs.fill(0);
-        self.h_valid.fill(false);
-        self.v_regs.fill(0);
-        self.v_valid.fill(false);
-        self.weights_loaded = false;
-        self.stats = RunStats::default();
+        self.reset_for_tile();
+        self.weights.fill(0);
     }
 
-    fn index(&self, row: usize, col: usize) -> usize {
-        row * self.config.cols as usize + col
+    /// Prepares the array for a fresh tile **without reallocating**: clears
+    /// the data pipelines and the statistics and marks the weights as
+    /// unloaded (the next [`SystolicArray::load_weights`] overwrites them).
+    ///
+    /// After `reset_for_tile` the array behaves exactly like a freshly
+    /// constructed [`SystolicArray::new`] of the same configuration —
+    /// property-tested cycle for cycle — with two inspection-level
+    /// exceptions: the fast-path flag (a host-side measurement knob, not
+    /// array state) is preserved, and the stationary weight buffer keeps
+    /// its previous contents (still visible through
+    /// [`SystolicArray::pe`]) until the next
+    /// [`SystolicArray::load_weights`] — which must happen before the
+    /// array can step again — overwrites it. The tile loops of
+    /// [`Simulator`](crate::Simulator) reuse one array across all tiles
+    /// of a GEMM through this method instead of constructing and dropping
+    /// one per tile.
+    pub fn reset_for_tile(&mut self) {
+        self.h_regs.fill(0);
+        self.h_valid.fill(0);
+        self.v_regs.fill(0);
+        self.v_valid.fill(0);
+        self.weights_loaded = false;
+        self.stats = RunStats::default();
     }
 
     fn is_block_last_row(&self, row: usize) -> bool {
@@ -170,18 +275,16 @@ impl SystolicArray {
             });
         }
         self.h_regs.fill(0);
-        self.h_valid.fill(false);
+        self.h_valid.fill(0);
         self.v_regs.fill(0);
-        self.v_valid.fill(false);
+        self.v_valid.fill(0);
         for row in 0..rows {
-            // One row of weights enters the array per cycle.
-            for col in 0..cols {
-                let horizontal_transparent = !self.is_block_last_col(col);
-                let vertical_transparent = !self.is_block_last_row(row);
-                let idx = self.index(row, col);
-                let pe = &mut self.pes[idx];
-                pe.load_weight(weights[(row, col)]);
-                pe.configure(horizontal_transparent, vertical_transparent);
+            // One row of weights enters the array per cycle; the
+            // configuration bits ride along and are implied by the block
+            // structure (see `SystolicArray::pe`).
+            let source = weights.row(row);
+            for (col, &w) in source.iter().enumerate() {
+                self.weights[col * rows + row] = w;
             }
             self.stats.load_cycles += 1;
         }
@@ -189,20 +292,28 @@ impl SystolicArray {
         Ok(())
     }
 
-    /// Advances the array by one compute clock cycle.
+    /// Advances the array by one compute clock cycle, writing the south-edge
+    /// outputs into a caller-provided buffer — the allocation-free core of
+    /// the simulator.
     ///
     /// `west_inputs` holds the operand entering each PE row from the west
     /// edge this cycle (`None` when that row's stream has not started yet or
-    /// has already ended). Returns, for each column, the value registered at
-    /// the south edge at the end of the cycle (`None` while the pipeline is
-    /// still filling or draining).
+    /// has already ended). `south_outputs` must have one slot per array
+    /// column; at the end of the cycle every slot holds the value registered
+    /// at that column's south edge (`None` while the pipeline is still
+    /// filling or draining).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::DimensionMismatch`] if `west_inputs` does not
-    /// have one entry per array row, or [`SimError::InvalidConfig`] if no
-    /// weights have been loaded.
-    pub fn step(&mut self, west_inputs: &[Option<i32>]) -> Result<Vec<Option<i64>>, SimError> {
+    /// have one entry per array row or `south_outputs` one slot per array
+    /// column, or [`SimError::InvalidConfig`] if no weights have been
+    /// loaded.
+    pub fn step_into(
+        &mut self,
+        west_inputs: &[Option<i32>],
+        south_outputs: &mut [Option<i64>],
+    ) -> Result<(), SimError> {
         let rows = self.config.rows as usize;
         let cols = self.config.cols as usize;
         let k = self.config.collapse_depth as usize;
@@ -210,9 +321,14 @@ impl SystolicArray {
         let col_blocks = self.config.col_blocks() as usize;
         if west_inputs.len() != rows {
             return Err(SimError::DimensionMismatch {
+                reason: format!("expected {rows} west inputs, got {}", west_inputs.len()),
+            });
+        }
+        if south_outputs.len() != cols {
+            return Err(SimError::DimensionMismatch {
                 reason: format!(
-                    "expected {rows} west inputs, got {}",
-                    west_inputs.len()
+                    "expected {cols} south output slots, got {}",
+                    south_outputs.len()
                 ),
             });
         }
@@ -222,106 +338,107 @@ impl SystolicArray {
             });
         }
 
-        // 1. The operand visible to every (row, column-block) this cycle:
-        //    column-block 0 sees the west input, later blocks see the
-        //    operand register at the last column of the previous block.
-        let mut operands = vec![0i32; rows * col_blocks];
-        let mut operand_valid = vec![false; rows * col_blocks];
-        for row in 0..rows {
-            for cb in 0..col_blocks {
-                let (value, valid) = if cb == 0 {
-                    (west_inputs[row].unwrap_or(0), west_inputs[row].is_some())
-                } else {
-                    let prev_last_col = cb * k - 1;
-                    let idx = self.index(row, prev_last_col);
-                    (self.h_regs[idx], self.h_valid[idx])
-                };
-                operands[row * col_blocks + cb] = value;
-                operand_valid[row * col_blocks + cb] = valid;
+        // 1. Advance the horizontal pipeline in place: the operand visible
+        //    to (row, column block cb) this cycle is the previous block's
+        //    register value (block 0 sees the west input), and that staged
+        //    operand is exactly what the block's own register latches at
+        //    the end of the cycle. `copy_within` reads the pre-shift
+        //    contents, so segment `cb` receives the *old* segment `cb - 1`.
+        let hw = self.hw;
+        self.h_regs.copy_within(0..(col_blocks - 1) * rows, rows);
+        self.h_valid.copy_within(0..(col_blocks - 1) * hw, hw);
+        self.h_valid[..hw].fill(0);
+        for (row, west) in west_inputs.iter().enumerate() {
+            // Invalid operands are driven as zero by the feeder, which is
+            // what keeps skipped carry-save chains exact.
+            self.h_regs[row] = west.unwrap_or(0);
+            if west.is_some() {
+                set_bit(&mut self.h_valid[..hw], row);
             }
         }
 
         // 2. Vertical reduction: every column chains the products of each
         //    row block in carry-save form and registers the resolved sum at
         //    the block's last row.
-        let mut next_v = self.v_regs.clone();
-        let mut next_v_valid = self.v_valid.clone();
-        let mut outputs = vec![None; cols];
-        for (col, output) in outputs.iter_mut().enumerate() {
-            let cb = col / k;
-            for rb in 0..row_blocks {
-                let first_row = rb * k;
-                let last_row = ((rb + 1) * k).min(rows) - 1;
-                let (incoming, incoming_valid) = if rb == 0 {
-                    (0i64, false)
-                } else {
-                    let idx = self.index(first_row - 1, col);
-                    (self.v_regs[idx], self.v_valid[idx])
-                };
-                // Fast path: a block whose partial-sum input and operands
-                // are all invalid multiplies exclusively by zero (invalid
-                // operands are driven as zero), so its carry-save chain
-                // degenerates to forwarding the incoming value. Skip the
-                // per-PE evaluation; state and statistics are unchanged.
-                if self.fast_path
-                    && !incoming_valid
-                    && (first_row..=last_row)
-                        .all(|row| !operand_valid[row * col_blocks + cb])
-                {
-                    let reg_idx = self.index(last_row, col);
-                    next_v[reg_idx] = incoming;
-                    next_v_valid[reg_idx] = false;
-                    continue;
-                }
-                let mut acc = CarrySaveValue::from_binary(incoming);
-                let mut block_valid = false;
-                for row in first_row..=last_row {
-                    let op_idx = row * col_blocks + cb;
-                    let valid = operand_valid[op_idx];
-                    let product = self.pes[self.index(row, col)].multiply(operands[op_idx]);
-                    // The multiplier and carry-save stage operate every
-                    // cycle; an invalid operand is driven as zero by the
-                    // feeder so the partial sum is unaffected.
-                    acc = acc.add(product);
-                    if valid {
-                        block_valid = true;
-                        self.stats.macs += 1;
+        //
+        //    A block with no valid operand commits, in every mode, exactly
+        //    "forward the incoming partial sums, clear the validity": its
+        //    multipliers see operands driven as zero, so the carry-save
+        //    chain leaves the incoming value numerically untouched and the
+        //    registered validity equals the (absent) operand validity.
+        //    The fast path exploits that wholesale: first bulk-forward the
+        //    *entire* vertical register file one row block down (a single
+        //    contiguous copy), default every south output to `None` and
+        //    every validity bit to clear, then walk only the set bits of
+        //    the operand-validity words and evaluate just the blocks the
+        //    wavefront actually touches. Inactive blocks — the vast
+        //    majority during fill and drain — cost no per-block work at
+        //    all.
+        self.v_valid_next.fill(0);
+        if row_blocks > 1 {
+            self.v_next[cols..row_blocks * cols]
+                .copy_from_slice(&self.v_regs[..(row_blocks - 1) * cols]);
+        }
+        self.v_next[..cols].fill(0);
+        south_outputs.fill(None);
+        let mut macs = 0u64;
+        for cb in 0..col_blocks {
+            let col_first = cb * k;
+            let width = (col_first + k).min(cols) - col_first;
+            if self.fast_path {
+                // Gather the active row blocks (and their valid-row counts,
+                // which feed the MAC statistics) by iterating the set bits
+                // of this column block's operand-validity words.
+                let mut active = std::mem::take(&mut self.block_scratch);
+                active.clear();
+                let seg = &self.h_valid[cb * hw..(cb + 1) * hw];
+                for (word_index, &bits) in seg.iter().enumerate() {
+                    let mut word = bits;
+                    while word != 0 {
+                        let row = word_index * WORD_BITS + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        let rb = (row / k) as u32;
+                        // Rows arrive in ascending order, so one comparison
+                        // against the last entry groups them per block.
+                        match active.last_mut() {
+                            Some((last_rb, count)) if *last_rb == rb => *count += 1,
+                            _ => active.push((rb, 1)),
+                        }
                     }
                 }
-                // Within one wavefront the validity of the incoming partial
-                // sum always matches the validity of this block's operands.
-                debug_assert!(
-                    rb == 0 || incoming_valid == block_valid,
-                    "misaligned wavefront at column {col}, row block {rb}"
-                );
-                let resolved = acc.resolve();
-                let reg_idx = self.index(last_row, col);
-                next_v[reg_idx] = resolved;
-                next_v_valid[reg_idx] = block_valid;
-                if rb == row_blocks - 1 {
-                    *output = block_valid.then_some(resolved);
+                for &(rb, valid_rows) in &active {
+                    // Every valid operand of this (row, column-block) feeds
+                    // one MAC per column of the block.
+                    macs += u64::from(valid_rows) * width as u64;
+                    self.eval_block(rb as usize, cb, true, south_outputs);
+                }
+                self.block_scratch = active;
+            } else {
+                // Naive scan: evaluate every block of every column every
+                // cycle, exactly like the register-transfer structure.
+                for rb in 0..row_blocks {
+                    let first_row = rb * k;
+                    let last_row = ((rb + 1) * k).min(rows) - 1;
+                    let seg = &self.h_valid[cb * hw..(cb + 1) * hw];
+                    let block_valid = any_set_in(seg, first_row, last_row);
+                    if block_valid {
+                        macs += u64::try_from(
+                            (first_row..=last_row)
+                                .filter(|&row| get_bit(seg, row))
+                                .count()
+                                * width,
+                        )
+                        .expect("MAC count fits u64");
+                    }
+                    self.eval_block(rb, cb, block_valid, south_outputs);
                 }
             }
         }
 
-        // 3. Horizontal propagation: only the operand register at the last
-        //    column of each block is clocked; the others stay transparent.
-        let mut next_h = self.h_regs.clone();
-        let mut next_h_valid = self.h_valid.clone();
-        for row in 0..rows {
-            for cb in 0..col_blocks {
-                let last_col = ((cb + 1) * k).min(cols) - 1;
-                let idx = self.index(row, last_col);
-                next_h[idx] = operands[row * col_blocks + cb];
-                next_h_valid[idx] = operand_valid[row * col_blocks + cb];
-            }
-        }
-
-        // 4. Commit the clock edge and account for register activity.
-        self.h_regs = next_h;
-        self.h_valid = next_h_valid;
-        self.v_regs = next_v;
-        self.v_valid = next_v_valid;
+        // 3. Commit the clock edge and account for register activity.
+        std::mem::swap(&mut self.v_regs, &mut self.v_next);
+        std::mem::swap(&mut self.v_valid, &mut self.v_valid_next);
+        self.stats.macs += macs;
         self.stats.compute_cycles += 1;
         self.stats.pe_cycles += (rows * cols) as u64;
         let clocked = (rows * col_blocks + cols * row_blocks) as u64;
@@ -329,7 +446,87 @@ impl SystolicArray {
         self.stats.clocked_register_events += clocked;
         self.stats.gated_register_events += total_regs - clocked;
 
-        Ok(outputs)
+        Ok(())
+    }
+
+    /// Evaluates one (row block, column block) pair: per column, the
+    /// carry-save chain over the block's rows seeded with the incoming
+    /// partial sum, registered at the block's last row. `block_valid` is
+    /// the precomputed operand validity of the whole block (validity is
+    /// per (row, column block), so all of a block's columns share it).
+    // `col` indexes four buffers with different strides (weights, v_regs,
+    // v_next, south_outputs); an iterator over any one of them would
+    // obscure the other three accesses.
+    #[allow(clippy::needless_range_loop)]
+    fn eval_block(
+        &mut self,
+        rb: usize,
+        cb: usize,
+        block_valid: bool,
+        south_outputs: &mut [Option<i64>],
+    ) {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let k = self.config.collapse_depth as usize;
+        let row_blocks = self.config.row_blocks() as usize;
+        let first_row = rb * k;
+        let last_row = ((rb + 1) * k).min(rows) - 1;
+        let col_first = cb * k;
+        let col_last = (col_first + k).min(cols) - 1;
+        let operands = &self.h_regs[cb * rows..cb * rows + rows];
+        for col in col_first..=col_last {
+            let incoming = if rb == 0 {
+                0i64
+            } else {
+                self.v_regs[(rb - 1) * cols + col]
+            };
+            // Within one wavefront the validity of the incoming partial
+            // sum always matches the validity of this block's operands.
+            #[cfg(debug_assertions)]
+            {
+                let incoming_valid =
+                    rb > 0 && get_bit(&self.v_valid[(rb - 1) * self.vw..rb * self.vw], col);
+                debug_assert!(
+                    rb == 0 || incoming_valid == block_valid,
+                    "misaligned wavefront at column {col}, row block {rb}"
+                );
+            }
+            let weights = &self.weights[col * rows..col * rows + rows];
+            let mut acc = CarrySaveValue::from_binary(incoming);
+            for row in first_row..=last_row {
+                // The multiplier and carry-save stage operate every cycle;
+                // an invalid operand is driven as zero so the partial sum
+                // is unaffected.
+                acc = acc.add(i64::from(weights[row]) * i64::from(operands[row]));
+            }
+            let resolved = acc.resolve();
+            self.v_next[rb * cols + col] = resolved;
+            if block_valid {
+                set_bit(
+                    &mut self.v_valid_next[rb * self.vw..(rb + 1) * self.vw],
+                    col,
+                );
+            }
+            if rb == row_blocks - 1 {
+                south_outputs[col] = block_valid.then_some(resolved);
+            }
+        }
+    }
+
+    /// Advances the array by one compute clock cycle, returning the
+    /// south-edge outputs in a freshly allocated vector.
+    ///
+    /// This is a thin compatibility wrapper around
+    /// [`SystolicArray::step_into`]; hot loops should call `step_into` with
+    /// a reused buffer instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystolicArray::step_into`].
+    pub fn step(&mut self, west_inputs: &[Option<i32>]) -> Result<Vec<Option<i64>>, SimError> {
+        let mut south = vec![None; self.config.cols as usize];
+        self.step_into(west_inputs, &mut south)?;
+        Ok(south)
     }
 }
 
@@ -345,9 +542,7 @@ mod tests {
     fn configuration_bits_follow_the_block_structure() {
         let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
         let mut array = SystolicArray::new(config).unwrap();
-        array
-            .load_weights(&Matrix::<i32>::zeros(4, 4))
-            .unwrap();
+        array.load_weights(&Matrix::<i32>::zeros(4, 4)).unwrap();
         // Rows 0 and 2 are inside a block (transparent), rows 1 and 3 end one.
         assert!(array.pe(0, 0).unwrap().vertical_transparent());
         assert!(!array.pe(1, 0).unwrap().vertical_transparent());
@@ -356,6 +551,16 @@ mod tests {
         // Same structure horizontally.
         assert!(array.pe(0, 0).unwrap().horizontal_transparent());
         assert!(!array.pe(0, 1).unwrap().horizontal_transparent());
+    }
+
+    #[test]
+    fn configuration_bits_are_opaque_before_weights_are_loaded() {
+        let config = ArrayConfig::new(4, 4).with_collapse_depth(4);
+        let array = SystolicArray::new(config).unwrap();
+        // The bits are loaded in parallel with the weights, so a fresh
+        // array reports the opaque (normal) configuration everywhere.
+        assert!(!array.pe(0, 0).unwrap().horizontal_transparent());
+        assert!(!array.pe(0, 0).unwrap().vertical_transparent());
     }
 
     #[test]
@@ -387,6 +592,19 @@ mod tests {
     }
 
     #[test]
+    fn step_into_writes_the_caller_buffer_without_allocating_outputs() {
+        let config = ArrayConfig::new(2, 2).with_collapse_depth(2);
+        let mut array = SystolicArray::new(config).unwrap();
+        array.load_weights(&weights_2x2()).unwrap();
+        let mut south = [Some(-1), Some(-1)];
+        array.step_into(&[Some(5), Some(6)], &mut south).unwrap();
+        assert_eq!(south, [Some(23), Some(34)]);
+        // Every slot is rewritten each cycle, including back to None.
+        array.step_into(&[None, None], &mut south).unwrap();
+        assert_eq!(south, [None, None]);
+    }
+
+    #[test]
     fn load_weights_requires_matching_dimensions() {
         let mut array = SystolicArray::new(ArrayConfig::new(2, 2)).unwrap();
         assert!(array.load_weights(&Matrix::<i32>::zeros(3, 2)).is_err());
@@ -400,10 +618,12 @@ mod tests {
     }
 
     #[test]
-    fn step_rejects_wrong_input_width() {
+    fn step_rejects_wrong_buffer_sizes() {
         let mut array = SystolicArray::new(ArrayConfig::new(2, 2)).unwrap();
         array.load_weights(&weights_2x2()).unwrap();
         assert!(array.step(&[Some(1)]).is_err());
+        let mut too_small = [None; 1];
+        assert!(array.step_into(&[Some(1), None], &mut too_small).is_err());
     }
 
     #[test]
@@ -437,6 +657,42 @@ mod tests {
         assert_eq!(array.stats(), RunStats::default());
         assert_eq!(array.pe(0, 0).unwrap().weight(), 0);
         assert!(array.step(&[None, None]).is_err());
+    }
+
+    #[test]
+    fn reset_for_tile_behaves_like_a_fresh_array() {
+        use crate::dataflow::InputFeeder;
+        use gemm::rng::SplitMix64;
+
+        let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        let mut rng = SplitMix64::new(55);
+        let weights = Matrix::random(4, 4, &mut rng, -20, 20);
+        let mut reused = SystolicArray::new(config).unwrap();
+        // Dirty the pipelines and the statistics with half a tile ...
+        let dirty = Matrix::random(6, 4, &mut rng, -20, 20);
+        let feeder = InputFeeder::new(&dirty, config).unwrap();
+        reused.load_weights(&weights).unwrap();
+        for cycle in 0..4 {
+            reused.step(&feeder.west_inputs(cycle)).unwrap();
+        }
+        // ... then reset for a new tile and compare against a fresh array.
+        reused.reset_for_tile();
+        assert_eq!(reused.stats(), RunStats::default());
+        assert!(reused.step(&[None; 4]).is_err(), "weights must be reloaded");
+        let mut fresh = SystolicArray::new(config).unwrap();
+        reused.load_weights(&weights).unwrap();
+        fresh.load_weights(&weights).unwrap();
+        let a = Matrix::random(5, 4, &mut rng, -20, 20);
+        let feeder = InputFeeder::new(&a, config).unwrap();
+        for cycle in 0..config.compute_cycles(5) + 3 {
+            let west = feeder.west_inputs(cycle);
+            assert_eq!(
+                reused.step(&west).unwrap(),
+                fresh.step(&west).unwrap(),
+                "cycle {cycle}"
+            );
+        }
+        assert_eq!(reused.stats(), fresh.stats());
     }
 
     #[test]
@@ -477,5 +733,24 @@ mod tests {
         assert!(array.pe(1, 2).is_some());
         assert!(array.pe(2, 0).is_none());
         assert!(array.pe(0, 3).is_none());
+    }
+
+    #[test]
+    fn bitset_range_queries_cover_word_boundaries() {
+        // 130 bits span three words; probe single-word, word-crossing and
+        // multi-word ranges.
+        let mut words = vec![0u64; 3];
+        assert!(!any_set_in(&words, 0, 129));
+        set_bit(&mut words, 64);
+        assert!(any_set_in(&words, 0, 129));
+        assert!(any_set_in(&words, 64, 64));
+        assert!(any_set_in(&words, 60, 70));
+        assert!(!any_set_in(&words, 0, 63));
+        assert!(!any_set_in(&words, 65, 129));
+        set_bit(&mut words, 129);
+        assert!(any_set_in(&words, 65, 129));
+        assert!(any_set_in(&words, 129, 129));
+        assert!(!any_set_in(&words, 65, 128));
+        assert!(get_bit(&words, 64) && get_bit(&words, 129) && !get_bit(&words, 0));
     }
 }

@@ -30,6 +30,7 @@ impl CarrySaveValue {
     /// Wraps an ordinary binary value into carry-save form (carry word
     /// zero), as happens when a resolved partial sum enters the next
     /// collapsed block.
+    #[inline]
     #[must_use]
     pub const fn from_binary(value: i64) -> Self {
         Self {
@@ -44,6 +45,7 @@ impl CarrySaveValue {
     // Not `impl Add`: the operand is a plain binary `i64`, not another
     // carry-save value, so the symmetric trait would be misleading.
     #[allow(clippy::should_implement_trait)]
+    #[inline]
     #[must_use]
     pub fn add(self, operand: i64) -> Self {
         let a = self.sum as u64;
@@ -62,6 +64,7 @@ impl CarrySaveValue {
     /// Resolves the redundant value with a carry-propagate addition, as the
     /// last PE of a collapsed block does before registering the result.
     /// The addition wraps on overflow, matching a fixed-width adder.
+    #[inline]
     #[must_use]
     pub fn resolve(self) -> i64 {
         self.sum.wrapping_add(self.carry)

@@ -52,17 +52,33 @@ impl<'a> InputFeeder<'a> {
     /// that row's stream has not started or is already finished.
     #[must_use]
     pub fn west_inputs(&self, cycle: u64) -> Vec<Option<i32>> {
+        let mut west = vec![None; self.config.rows as usize];
+        self.west_inputs_into(cycle, &mut west);
+        west
+    }
+
+    /// Writes the west-edge operands for the given compute cycle into a
+    /// caller-provided buffer (one slot per SA row), the allocation-free
+    /// form of [`InputFeeder::west_inputs`] used by the tile loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `west` does not have exactly one slot per array row.
+    pub fn west_inputs_into(&self, cycle: u64, west: &mut [Option<i32>]) {
+        assert_eq!(
+            west.len(),
+            self.config.rows as usize,
+            "west buffer must have one slot per array row"
+        );
         let k = u64::from(self.config.collapse_depth);
-        (0..self.config.rows as usize)
-            .map(|n| {
-                let skew = n as u64 / k;
-                if cycle < skew {
-                    return None;
-                }
-                let t = (cycle - skew) as usize;
-                self.a.get(t, n)
-            })
-            .collect()
+        for (n, slot) in west.iter_mut().enumerate() {
+            let skew = n as u64 / k;
+            *slot = if cycle < skew {
+                None
+            } else {
+                self.a.get((cycle - skew) as usize, n)
+            };
+        }
     }
 }
 

@@ -67,7 +67,7 @@ pub use dataflow::{InputFeeder, OutputCollector};
 pub use error::SimError;
 pub use memory::{traffic_for_gemm, TrafficReport};
 pub use pe::ProcessingElement;
-pub use sim::{GemmResult, LatencyCheck, Simulator, TileResult};
+pub use sim::{ArrayPool, GemmResult, LatencyCheck, Simulator, TileResult};
 pub use stats::RunStats;
 pub use trace::{trace_tile, CycleRecord, TileTrace};
 

@@ -8,8 +8,11 @@ use serde::{Deserialize, Serialize};
 /// carry-propagate adder and two configuration bits that control whether its
 /// horizontal (operand) and vertical (partial-sum) pipeline registers are
 /// transparent. The surrounding [`SystolicArray`](crate::SystolicArray)
-/// owns the pipeline registers themselves; the PE records the configuration
-/// so statistics and assertions can reason about which registers are clocked.
+/// keeps all of that state in flat structure-of-arrays buffers for
+/// simulation throughput and materializes `ProcessingElement` values on
+/// demand (see [`SystolicArray::pe`](crate::SystolicArray::pe)) — this
+/// type is the per-PE *view* used by tests, examples and documentation,
+/// and the reference implementation of the PE datapath.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProcessingElement {
     weight: i32,

@@ -7,6 +7,95 @@ use crate::error::SimError;
 use crate::stats::RunStats;
 use gemm::{multiply, tiled_multiply_with, GemmDims, GemmError, Matrix, ParallelExecutor, Tile, TileGrid};
 use serde::{Deserialize, Serialize};
+use std::sync::{Mutex, PoisonError};
+
+/// Upper bound on the arrays an [`ArrayPool`] keeps alive; checkins beyond
+/// it simply drop the array. Workers of the tile-parallel GEMM path never
+/// hold more than one array each, so this comfortably covers every
+/// supported thread count.
+const MAX_POOLED_ARRAYS: usize = 32;
+
+/// A checkout/checkin pool of [`SystolicArray`] instances.
+///
+/// Constructing a `SystolicArray` initializes several flat state buffers
+/// (`vec![0; ..]` for weights, registers and validity bitsets); doing that
+/// once per simulated tile is measurable churn in tile-parallel sweeps and
+/// across `/v1/simulate` requests. The pool instead recycles arrays:
+/// [`ArrayPool::acquire`] hands out a reset array of the requested
+/// configuration (constructing one only when none is pooled) and
+/// [`ArrayPool::release`] checks it back in for the next caller. Arrays of
+/// different configurations can share one pool; `acquire` matches on the
+/// exact [`ArrayConfig`].
+///
+/// Pooling is purely an allocation optimization: a pooled array is reset
+/// via [`SystolicArray::reset_for_tile`] on release, which is
+/// property-tested to behave exactly like a freshly constructed array.
+///
+/// # Examples
+///
+/// ```
+/// use sa_sim::{ArrayConfig, ArrayPool};
+///
+/// let pool = ArrayPool::new();
+/// let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
+/// let array = pool.acquire(config)?;
+/// pool.release(array);
+/// // The next acquire of the same configuration reuses the pooled array.
+/// assert_eq!(pool.len(), 1);
+/// let _reused = pool.acquire(config)?;
+/// assert_eq!(pool.len(), 0);
+/// # Ok::<(), sa_sim::SimError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ArrayPool {
+    slots: Mutex<Vec<SystolicArray>>,
+}
+
+impl ArrayPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of arrays currently checked in.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Returns `true` if no arrays are checked in.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks out an array of the given configuration, reusing a pooled one
+    /// when available and constructing one otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
+    pub fn acquire(&self, config: ArrayConfig) -> Result<SystolicArray, SimError> {
+        {
+            let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(position) = slots.iter().position(|a| a.config() == config) {
+                return Ok(slots.swap_remove(position));
+            }
+        }
+        SystolicArray::new(config)
+    }
+
+    /// Checks an array back in after resetting it for the next tile. A
+    /// pool already holding 32 arrays drops the checkin instead.
+    pub fn release(&self, mut array: SystolicArray) {
+        array.reset_for_tile();
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        if slots.len() < MAX_POOLED_ARRAYS {
+            slots.push(array);
+        }
+    }
+}
 
 /// Result of simulating a single array-sized tile.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,11 +138,13 @@ impl LatencyCheck {
 /// Cycle-accurate simulator of one systolic-array configuration.
 ///
 /// By default the simulator is **serial**: tiles execute one after another
-/// on the calling thread, exactly as in the original implementation. The
-/// [`Simulator::threads`] builder fans independent tiles of a tiled GEMM
-/// out across worker threads; because every tile is simulated by its own
-/// [`SystolicArray`] instance and the aggregation is order-independent, the
-/// result is bit-identical to the serial run.
+/// on the calling thread, on one [`SystolicArray`] reused across all tiles
+/// (reset between tiles, which is property-tested equivalent to a fresh
+/// array). The [`Simulator::threads`] builder fans independent tiles of a
+/// tiled GEMM out across worker threads, each checking arrays out of a
+/// shared [`ArrayPool`]; because every in-flight tile runs on its own
+/// array and the aggregation is order-independent, the result is
+/// bit-identical to the serial run.
 ///
 /// # Examples
 ///
@@ -149,7 +240,8 @@ impl Simulator {
     /// an internal schedule violation (which would indicate a simulator
     /// bug).
     pub fn run_tile(&self, a_sub: &Matrix<i32>, b_sub: &Matrix<i32>) -> Result<TileResult, SimError> {
-        self.run_tile_inner(a_sub, b_sub, true)
+        let mut array = SystolicArray::new(self.config)?;
+        self.run_tile_with(&mut array, a_sub, b_sub, true)
     }
 
     /// Simulates one tile with the inactive-block fast path disabled, i.e.
@@ -166,25 +258,34 @@ impl Simulator {
         a_sub: &Matrix<i32>,
         b_sub: &Matrix<i32>,
     ) -> Result<TileResult, SimError> {
-        self.run_tile_inner(a_sub, b_sub, false)
+        let mut array = SystolicArray::new(self.config)?;
+        self.run_tile_with(&mut array, a_sub, b_sub, false)
     }
 
-    fn run_tile_inner(
+    /// The tile kernel every path funnels through: resets the given array
+    /// for a fresh tile, streams `A_sub` through it and collects the south
+    /// edge. One west-input and one south-output staging buffer are reused
+    /// across all cycles, and the caller's array is reused across tiles, so
+    /// the per-cycle hot loop performs no heap allocation.
+    fn run_tile_with(
         &self,
+        array: &mut SystolicArray,
         a_sub: &Matrix<i32>,
         b_sub: &Matrix<i32>,
         fast_path: bool,
     ) -> Result<TileResult, SimError> {
-        let mut array = SystolicArray::new(self.config)?;
+        array.reset_for_tile();
         array.set_fast_path(fast_path);
         array.load_weights(b_sub)?;
         let feeder = InputFeeder::new(a_sub, self.config)?;
         let t = a_sub.rows();
         let mut collector = OutputCollector::new(self.config, t);
+        let mut west = vec![None; self.config.rows as usize];
+        let mut south = vec![None; self.config.cols as usize];
         let compute_cycles = self.config.compute_cycles(t as u64);
         for cycle in 0..compute_cycles {
-            let west = feeder.west_inputs(cycle);
-            let south = array.step(&west)?;
+            feeder.west_inputs_into(cycle, &mut west);
+            array.step_into(&west, &mut south)?;
             collector.collect(cycle, &south)?;
         }
         let output = collector.into_output()?;
@@ -206,13 +307,41 @@ impl Simulator {
     ///
     /// Returns dimension errors if `A` and `B` are incompatible.
     pub fn run_gemm(&self, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<GemmResult, SimError> {
-        if self.threads == 1 {
-            return self.run_gemm_serial(a, b);
-        }
-        self.run_gemm_parallel(a, b)
+        self.run_gemm_pooled(&ArrayPool::new(), a, b)
     }
 
-    fn run_gemm_serial(&self, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<GemmResult, SimError> {
+    /// [`Simulator::run_gemm`] drawing its [`SystolicArray`] instances from
+    /// a caller-owned [`ArrayPool`], so long-lived hosts (the tile-parallel
+    /// sweeps, the `/v1/simulate` service route) reuse array state buffers
+    /// across whole GEMMs instead of reinitializing them per run.
+    ///
+    /// Results are bit-identical to [`Simulator::run_gemm`]; the pool only
+    /// changes where the arrays' memory comes from.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_gemm`].
+    pub fn run_gemm_pooled(
+        &self,
+        pool: &ArrayPool,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+    ) -> Result<GemmResult, SimError> {
+        if self.threads == 1 {
+            return self.run_gemm_serial(pool, a, b);
+        }
+        self.run_gemm_parallel(pool, a, b)
+    }
+
+    /// Serial tiled GEMM: one array is checked out once and reused across
+    /// every tile via [`SystolicArray::reset_for_tile`].
+    fn run_gemm_serial(
+        &self,
+        pool: &ArrayPool,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+    ) -> Result<GemmResult, SimError> {
+        let mut array = pool.acquire(self.config)?;
         let mut stats = RunStats::default();
         let output = tiled_multiply_with::<SimError, _>(
             a,
@@ -220,11 +349,12 @@ impl Simulator {
             self.config.rows,
             self.config.cols,
             |_, a_sub, b_sub| {
-                let tile = self.run_tile(a_sub, b_sub)?;
+                let tile = self.run_tile_with(&mut array, a_sub, b_sub, true)?;
                 stats += tile.stats;
                 Ok(tile.output)
             },
         )?;
+        pool.release(array);
         Ok(GemmResult {
             output,
             stats,
@@ -232,11 +362,17 @@ impl Simulator {
         })
     }
 
-    /// Tile-parallel GEMM execution: every tile of the grid is simulated on
-    /// its own [`SystolicArray`] instance by the worker pool, then the
+    /// Tile-parallel GEMM execution: worker threads check arrays out of the
+    /// shared pool (one in flight per worker, so the pool holds at most
+    /// `threads` arrays instead of one fresh allocation per tile), then the
     /// partial products are accumulated into the output in tile order and
     /// the per-tile statistics are summed (an order-independent reduction).
-    fn run_gemm_parallel(&self, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<GemmResult, SimError> {
+    fn run_gemm_parallel(
+        &self,
+        pool: &ArrayPool,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+    ) -> Result<GemmResult, SimError> {
         let dims = GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64);
         if a.cols() != b.rows() {
             return Err(SimError::from(GemmError::IncompatibleDimensions {
@@ -250,7 +386,10 @@ impl Simulator {
         let results = executor.try_run(tiles, |tile| {
             let (a_sub, b_sub) =
                 tile.padded_operands(a, b, self.config.rows, self.config.cols);
-            self.run_tile(&a_sub, &b_sub).map(|result| (tile, result))
+            let mut array = pool.acquire(self.config)?;
+            let result = self.run_tile_with(&mut array, &a_sub, &b_sub, true);
+            pool.release(array);
+            result.map(|result| (tile, result))
         })?;
         let stats: RunStats = results.iter().map(|(_, tile)| tile.stats).sum();
         let mut output = Matrix::<i64>::zeros(a.rows(), b.cols());
@@ -441,6 +580,48 @@ mod tests {
             // The serial() builder restores the default.
             assert_eq!(serial.threads(5).serial(), serial);
         }
+    }
+
+    #[test]
+    fn pooled_gemm_reuses_arrays_and_matches_the_unpooled_run() {
+        let (a, b) = random_pair(6, 20, 14, 23);
+        let sim = Simulator::new(ArrayConfig::new(8, 8).with_collapse_depth(2)).unwrap();
+        let reference = sim.run_gemm(&a, &b).unwrap();
+        let pool = ArrayPool::new();
+        let first = sim.run_gemm_pooled(&pool, &a, &b).unwrap();
+        assert_eq!(first, reference);
+        // The serial path checks exactly one array back in ...
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+        // ... and the next run (even of a different GEMM) reuses it.
+        let (a2, b2) = random_pair(3, 10, 9, 24);
+        let second = sim.run_gemm_pooled(&pool, &a2, &b2).unwrap();
+        assert_eq!(second, sim.run_gemm(&a2, &b2).unwrap());
+        assert_eq!(pool.len(), 1);
+        // Tile-parallel execution shares the same pool without growing it
+        // beyond the worker count, and stays bit-identical.
+        let parallel = sim.threads(3).run_gemm_pooled(&pool, &a, &b).unwrap();
+        assert_eq!(parallel, reference);
+        assert!(pool.len() <= 3);
+    }
+
+    #[test]
+    fn pool_matches_configurations_exactly() {
+        let pool = ArrayPool::new();
+        let small = ArrayConfig::new(2, 2);
+        let large = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        pool.release(SystolicArray::new(small).unwrap());
+        // A different configuration constructs a new array and leaves the
+        // pooled one in place.
+        let acquired = pool.acquire(large).unwrap();
+        assert_eq!(acquired.config(), large);
+        assert_eq!(pool.len(), 1);
+        // The matching configuration is reused.
+        let acquired = pool.acquire(small).unwrap();
+        assert_eq!(acquired.config(), small);
+        assert_eq!(pool.len(), 0);
+        // Invalid configurations are rejected, not pooled.
+        assert!(pool.acquire(ArrayConfig::new(0, 4)).is_err());
     }
 
     #[test]

@@ -118,8 +118,12 @@ pub fn trace_tile(
         cycles: Vec::new(),
     };
     for cycle in 0..config.compute_cycles(t as u64) {
-        let west = feeder.west_inputs(cycle);
-        let south = array.step(&west)?;
+        // The per-record vectors double as the staging buffers of the
+        // allocation-free core and are then moved into the trace.
+        let mut west = vec![None; config.rows as usize];
+        feeder.west_inputs_into(cycle, &mut west);
+        let mut south = vec![None; config.cols as usize];
+        array.step_into(&west, &mut south)?;
         collector.collect(cycle, &south)?;
         trace.cycles.push(CycleRecord {
             cycle,

@@ -1,0 +1,389 @@
+//! Equivalence suite locking the structure-of-arrays simulator core to the
+//! pre-refactor semantics.
+//!
+//! [`legacy`] is a faithful reimplementation of the array-of-structs cycle
+//! kernel the simulator shipped with before the SoA rearchitecture: per-PE
+//! state in dense vectors, the naive scan that evaluates every pipeline
+//! block of every column every cycle, and the same statistics accounting.
+//! The tests drive it cycle for cycle against today's [`SystolicArray`]
+//! (both with and without the inactive-block fast path) across randomized
+//! geometries, collapse depths, stream lengths and operand sparsity, and
+//! assert bit-identical south outputs and [`RunStats`].
+
+use gemm::rng::SplitMix64;
+use gemm::Matrix;
+use proptest::prelude::*;
+use sa_sim::{ArrayConfig, InputFeeder, RunStats, SystolicArray};
+
+/// The pre-refactor reference: array-of-structs state, per-PE naive scan.
+mod legacy {
+    use gemm::Matrix;
+    use sa_sim::{ArrayConfig, RunStats};
+
+    /// Carry-save arithmetic, reproduced verbatim from the simulator so the
+    /// reference resolves partial sums through the identical datapath.
+    #[derive(Clone, Copy, Default)]
+    struct CarrySave {
+        sum: i64,
+        carry: i64,
+    }
+
+    impl CarrySave {
+        fn from_binary(value: i64) -> Self {
+            Self { sum: value, carry: 0 }
+        }
+
+        fn add(self, operand: i64) -> Self {
+            let a = self.sum as u64;
+            let b = self.carry as u64;
+            let c = operand as u64;
+            let sum = a ^ b ^ c;
+            let carry = ((a & b) | (a & c) | (b & c)) << 1;
+            Self {
+                sum: sum as i64,
+                carry: carry as i64,
+            }
+        }
+
+        fn resolve(self) -> i64 {
+            self.sum.wrapping_add(self.carry)
+        }
+    }
+
+    /// The pre-refactor array model: one weight per PE in a row-major
+    /// vector, full-size horizontal/vertical register files with `Vec<bool>`
+    /// validity, and a `step` that clones the register files and scans
+    /// every (column, row block) pair every cycle.
+    pub struct LegacyArray {
+        config: ArrayConfig,
+        weights: Vec<i64>,
+        h_regs: Vec<i32>,
+        h_valid: Vec<bool>,
+        v_regs: Vec<i64>,
+        v_valid: Vec<bool>,
+        stats: RunStats,
+    }
+
+    impl LegacyArray {
+        pub fn new(config: ArrayConfig) -> Self {
+            let n = (config.rows * config.cols) as usize;
+            Self {
+                config,
+                weights: vec![0; n],
+                h_regs: vec![0; n],
+                h_valid: vec![false; n],
+                v_regs: vec![0; n],
+                v_valid: vec![false; n],
+                stats: RunStats::default(),
+            }
+        }
+
+        pub fn stats(&self) -> RunStats {
+            self.stats
+        }
+
+        fn index(&self, row: usize, col: usize) -> usize {
+            row * self.config.cols as usize + col
+        }
+
+        pub fn load_weights(&mut self, weights: &Matrix<i32>) {
+            let rows = self.config.rows as usize;
+            let cols = self.config.cols as usize;
+            assert_eq!(weights.rows(), rows);
+            assert_eq!(weights.cols(), cols);
+            self.h_regs.fill(0);
+            self.h_valid.fill(false);
+            self.v_regs.fill(0);
+            self.v_valid.fill(false);
+            for row in 0..rows {
+                for col in 0..cols {
+                    let idx = self.index(row, col);
+                    self.weights[idx] = i64::from(weights[(row, col)]);
+                }
+                self.stats.load_cycles += 1;
+            }
+        }
+
+        /// One cycle of the pre-refactor naive scan.
+        pub fn step(&mut self, west_inputs: &[Option<i32>]) -> Vec<Option<i64>> {
+            let rows = self.config.rows as usize;
+            let cols = self.config.cols as usize;
+            let k = self.config.collapse_depth as usize;
+            let row_blocks = self.config.row_blocks() as usize;
+            let col_blocks = self.config.col_blocks() as usize;
+            assert_eq!(west_inputs.len(), rows);
+
+            // The operand visible to every (row, column block) this cycle.
+            let mut operands = vec![0i32; rows * col_blocks];
+            let mut operand_valid = vec![false; rows * col_blocks];
+            for row in 0..rows {
+                for cb in 0..col_blocks {
+                    let (value, valid) = if cb == 0 {
+                        (west_inputs[row].unwrap_or(0), west_inputs[row].is_some())
+                    } else {
+                        let prev_last_col = cb * k - 1;
+                        let idx = self.index(row, prev_last_col);
+                        (self.h_regs[idx], self.h_valid[idx])
+                    };
+                    operands[row * col_blocks + cb] = value;
+                    operand_valid[row * col_blocks + cb] = valid;
+                }
+            }
+
+            // Vertical reduction, evaluating every block of every column.
+            let mut next_v = self.v_regs.clone();
+            let mut next_v_valid = self.v_valid.clone();
+            let mut outputs = vec![None; cols];
+            for (col, output) in outputs.iter_mut().enumerate() {
+                let cb = col / k;
+                for rb in 0..row_blocks {
+                    let first_row = rb * k;
+                    let last_row = ((rb + 1) * k).min(rows) - 1;
+                    let incoming = if rb == 0 {
+                        0i64
+                    } else {
+                        self.v_regs[self.index(first_row - 1, col)]
+                    };
+                    let mut acc = CarrySave::from_binary(incoming);
+                    let mut block_valid = false;
+                    for row in first_row..=last_row {
+                        let op_idx = row * col_blocks + cb;
+                        let product =
+                            self.weights[self.index(row, col)] * i64::from(operands[op_idx]);
+                        acc = acc.add(product);
+                        if operand_valid[op_idx] {
+                            block_valid = true;
+                            self.stats.macs += 1;
+                        }
+                    }
+                    let resolved = acc.resolve();
+                    let reg_idx = self.index(last_row, col);
+                    next_v[reg_idx] = resolved;
+                    next_v_valid[reg_idx] = block_valid;
+                    if rb == row_blocks - 1 {
+                        *output = block_valid.then_some(resolved);
+                    }
+                }
+            }
+
+            // Horizontal propagation: only block-last-column registers clock.
+            let mut next_h = self.h_regs.clone();
+            let mut next_h_valid = self.h_valid.clone();
+            for row in 0..rows {
+                for cb in 0..col_blocks {
+                    let last_col = ((cb + 1) * k).min(cols) - 1;
+                    let idx = self.index(row, last_col);
+                    next_h[idx] = operands[row * col_blocks + cb];
+                    next_h_valid[idx] = operand_valid[row * col_blocks + cb];
+                }
+            }
+
+            self.h_regs = next_h;
+            self.h_valid = next_h_valid;
+            self.v_regs = next_v;
+            self.v_valid = next_v_valid;
+            self.stats.compute_cycles += 1;
+            self.stats.pe_cycles += (rows * cols) as u64;
+            let clocked = (rows * col_blocks + cols * row_blocks) as u64;
+            let total_regs = 2 * (rows * cols) as u64;
+            self.stats.clocked_register_events += clocked;
+            self.stats.gated_register_events += total_regs - clocked;
+
+            outputs
+        }
+    }
+}
+
+/// Streams one random tile through the legacy reference and both modes of
+/// the SoA core, asserting identical outputs every cycle and identical
+/// statistics at the end. `zero_fraction` controls operand sparsity (the
+/// fast path must not confuse *zero-valued* with *invalid* operands).
+fn assert_equivalent(rows: u32, cols: u32, k: u32, t: usize, seed: u64, zero_fraction: u32) {
+    let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+    let mut rng = SplitMix64::new(seed);
+    let sparse = |rng: &mut SplitMix64, low: i32, high: i32| {
+        let value = rng.next_i32_in(low, high);
+        if rng.next_i32_in(0, 99) < zero_fraction as i32 {
+            0
+        } else {
+            value
+        }
+    };
+    let weights = Matrix::from_fn(rows as usize, cols as usize, |_, _| {
+        sparse(&mut rng, -60, 60)
+    });
+    let a = Matrix::from_fn(t, rows as usize, |_, _| sparse(&mut rng, -60, 60));
+
+    let mut reference = legacy::LegacyArray::new(config);
+    let mut fast = SystolicArray::new(config).unwrap();
+    let mut naive = SystolicArray::new(config).unwrap();
+    naive.set_fast_path(false);
+    reference.load_weights(&weights);
+    fast.load_weights(&weights).unwrap();
+    naive.load_weights(&weights).unwrap();
+
+    let feeder = InputFeeder::new(&a, config).unwrap();
+    let mut west = vec![None; rows as usize];
+    let mut south = vec![None; cols as usize];
+    // Run well past the drain so fill, steady state and fully-drained
+    // cycles are all compared.
+    for cycle in 0..config.compute_cycles(t as u64) + u64::from(rows.div_ceil(k)) + 2 {
+        feeder.west_inputs_into(cycle, &mut west);
+        let expected = reference.step(&west);
+        fast.step_into(&west, &mut south).unwrap();
+        assert_eq!(
+            south, expected,
+            "fast path diverged: {rows}x{cols} k={k} t={t} cycle={cycle}"
+        );
+        naive.step_into(&west, &mut south).unwrap();
+        assert_eq!(
+            south, expected,
+            "naive scan diverged: {rows}x{cols} k={k} t={t} cycle={cycle}"
+        );
+    }
+    assert_eq!(fast.stats(), reference.stats(), "{rows}x{cols} k={k} t={t}");
+    assert_eq!(naive.stats(), reference.stats(), "{rows}x{cols} k={k} t={t}");
+}
+
+#[test]
+fn soa_core_matches_the_legacy_scan_on_fixed_geometries() {
+    // Word-boundary geometries the random sweep is unlikely to hit: more
+    // than 64 rows/columns (multi-word bitset segments) and blocks that
+    // straddle a word boundary.
+    for (rows, cols, k, t, seed) in [
+        (1u32, 1u32, 1u32, 3usize, 1u64),
+        (1, 8, 1, 2, 2),
+        (8, 1, 1, 2, 3),
+        (65, 65, 1, 3, 4),
+        (70, 66, 4, 2, 5),
+        (66, 70, 33, 3, 6),
+        (96, 8, 8, 4, 7),
+        (8, 96, 8, 5, 8),
+    ] {
+        assert_equivalent(rows, cols, k, t, seed, 30);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The SoA core (fast path and naive scan) is cycle-for-cycle identical
+    /// to the pre-refactor array-of-structs kernel across randomized
+    /// geometries, collapse depths, stream lengths and operand sparsity.
+    #[test]
+    fn soa_core_matches_the_legacy_scan(
+        rows in 1u32..=12,
+        cols in 1u32..=12,
+        k in 1u32..=6,
+        t in 1usize..=10,
+        seed in any::<u64>(),
+        zero_fraction in 0u32..=90,
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        assert_equivalent(rows, cols, k, t, seed, zero_fraction);
+    }
+
+    /// `step_into` with a caller-provided buffer commits exactly the same
+    /// cycle as the allocating legacy-style `step` wrapper.
+    #[test]
+    fn step_into_equals_step(
+        rows in 1u32..=10,
+        cols in 1u32..=10,
+        k in 1u32..=5,
+        t in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+        let mut rng = SplitMix64::new(seed);
+        let weights = Matrix::random(rows as usize, cols as usize, &mut rng, -50, 50);
+        let a = Matrix::random(t, rows as usize, &mut rng, -50, 50);
+        let mut buffered = SystolicArray::new(config).unwrap();
+        let mut allocating = SystolicArray::new(config).unwrap();
+        buffered.load_weights(&weights).unwrap();
+        allocating.load_weights(&weights).unwrap();
+        let feeder = InputFeeder::new(&a, config).unwrap();
+        let mut south = vec![Some(i64::MIN); cols as usize]; // poisoned on purpose
+        for cycle in 0..config.compute_cycles(t as u64) + 3 {
+            let west = feeder.west_inputs(cycle);
+            buffered.step_into(&west, &mut south).unwrap();
+            let allocated = allocating.step(&west).unwrap();
+            prop_assert_eq!(&south, &allocated);
+        }
+        prop_assert_eq!(buffered.stats(), allocating.stats());
+    }
+
+    /// Repeatedly reusing one array through `reset_for_tile` is
+    /// indistinguishable from constructing a fresh `SystolicArray::new`
+    /// for every tile.
+    #[test]
+    fn repeated_reset_for_tile_equals_fresh_construction(
+        rows in 1u32..=10,
+        cols in 1u32..=10,
+        k in 1u32..=5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+        let mut rng = SplitMix64::new(seed);
+        let mut reused = SystolicArray::new(config).unwrap();
+        let mut west = vec![None; rows as usize];
+        let mut south_reused = vec![None; cols as usize];
+        let mut south_fresh = vec![None; cols as usize];
+        // Three tiles of different stream lengths through the same array.
+        for tile in 0..3usize {
+            let t = tile + 1;
+            let weights = Matrix::random(rows as usize, cols as usize, &mut rng, -40, 40);
+            let a = Matrix::random(t, rows as usize, &mut rng, -40, 40);
+            let mut fresh = SystolicArray::new(config).unwrap();
+            reused.reset_for_tile();
+            reused.load_weights(&weights).unwrap();
+            fresh.load_weights(&weights).unwrap();
+            let feeder = InputFeeder::new(&a, config).unwrap();
+            for cycle in 0..config.compute_cycles(t as u64) + 2 {
+                feeder.west_inputs_into(cycle, &mut west);
+                reused.step_into(&west, &mut south_reused).unwrap();
+                fresh.step_into(&west, &mut south_fresh).unwrap();
+                prop_assert_eq!(&south_reused, &south_fresh);
+            }
+            prop_assert_eq!(reused.stats(), fresh.stats());
+        }
+    }
+}
+
+#[test]
+fn stats_match_a_hand_counted_tile() {
+    // Pin the statistics contract with an exactly known case: 4x4, k = 2,
+    // T = 3. Load = 4 cycles, compute = 3 + 2 + 2 - 2 = 5 cycles,
+    // MACs = 3 * 4 * 4 = 48.
+    let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
+    let mut rng = SplitMix64::new(9);
+    let weights = Matrix::random(4, 4, &mut rng, -9, 9);
+    let a = Matrix::random(3, 4, &mut rng, -9, 9);
+    let mut array = SystolicArray::new(config).unwrap();
+    array.load_weights(&weights).unwrap();
+    let feeder = InputFeeder::new(&a, config).unwrap();
+    let mut west = vec![None; 4];
+    let mut south = vec![None; 4];
+    for cycle in 0..config.compute_cycles(3) {
+        feeder.west_inputs_into(cycle, &mut west);
+        array.step_into(&west, &mut south).unwrap();
+    }
+    let stats = array.stats();
+    assert_eq!(stats.load_cycles, 4);
+    assert_eq!(stats.compute_cycles, 5);
+    assert_eq!(stats.macs, 48);
+    assert_eq!(stats.total_cycles(), 9);
+    assert_eq!(
+        stats,
+        RunStats {
+            load_cycles: 4,
+            compute_cycles: 5,
+            macs: 48,
+            pe_cycles: 5 * 16,
+            clocked_register_events: 5 * (4 * 2 + 4 * 2),
+            gated_register_events: 5 * (2 * 16 - 16),
+            tiles: 0,
+        }
+    );
+}

@@ -20,6 +20,7 @@
 
 use crate::http::{HttpRequest, HttpResponse, ServerConfig};
 use crate::metrics::Metrics;
+use arrayflex::sa_sim::ArrayPool;
 use arrayflex::{
     ArrayFlexModel, EvaluationSweep, NetworkComparison, ParallelExecutor, PlanCache, PlanKind,
 };
@@ -50,6 +51,7 @@ pub struct AppState {
     metrics: Metrics,
     max_body_bytes: usize,
     accepted: AtomicU64,
+    sim_pool: ArrayPool,
 }
 
 impl AppState {
@@ -61,6 +63,7 @@ impl AppState {
             metrics: Metrics::new(),
             max_body_bytes: config.max_body_bytes,
             accepted: AtomicU64::new(0),
+            sim_pool: ArrayPool::new(),
         }
     }
 
@@ -68,6 +71,15 @@ impl AppState {
     #[must_use]
     pub fn cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// The pool of simulator arrays `/v1/simulate` reuses across requests
+    /// (constructing and zero-initializing a
+    /// [`SystolicArray`](arrayflex::sa_sim::SystolicArray) per request is
+    /// measurable churn under load; results are unchanged).
+    #[must_use]
+    pub fn sim_pool(&self) -> &ArrayPool {
+        &self.sim_pool
     }
 
     /// The request metrics shared by every worker.
@@ -117,7 +129,7 @@ pub fn handle(state: &AppState, request: &HttpRequest) -> HttpResponse {
         }
         ("POST", "/v1/plan") => with_json_body(request, |value| plan(state, value)),
         ("POST", "/v1/sweep") => with_json_body(request, |value| sweep(state, value)),
-        ("POST", "/v1/simulate") => with_json_body(request, simulate),
+        ("POST", "/v1/simulate") => with_json_body(request, |value| simulate(state, value)),
         (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/sweep" | "/v1/simulate") => {
             HttpResponse::error(405, &format!("method {} not allowed here", request.method))
         }
@@ -433,7 +445,7 @@ pub struct SimulateResponse {
     pub tiles: u64,
 }
 
-fn simulate(value: &Value) -> Result<HttpResponse, ApiError> {
+fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
     let rows: u32 = decode(value, "rows")?;
     let cols: u32 = decode(value, "cols")?;
     let k: u32 = decode(value, "k")?;
@@ -459,7 +471,7 @@ fn simulate(value: &Value) -> Result<HttpResponse, ApiError> {
     let mut rng = SplitMix64::new(seed);
     let a = Matrix::random(t as usize, n as usize, &mut rng, -64, 63);
     let b = Matrix::random(n as usize, m as usize, &mut rng, -64, 63);
-    let result = model.simulate_gemm(&a, &b, k)?;
+    let result = model.simulate_gemm_pooled(state.sim_pool(), &a, &b, k, 1)?;
     let response = SimulateResponse {
         rows,
         cols,
@@ -655,14 +667,19 @@ mod tests {
 
     #[test]
     fn simulate_cross_checks_the_analytical_model() {
+        let state = state();
+        assert!(state.sim_pool().is_empty());
         let response = handle(
-            &state(),
+            &state,
             &post(
                 "/v1/simulate",
                 r#"{"rows":8,"cols":8,"k":2,"t":6,"n":20,"m":10,"seed":5}"#,
             ),
         );
         assert_eq!(response.status, 200);
+        // The request checked its simulator array back into the pool for
+        // the next request of the same geometry.
+        assert_eq!(state.sim_pool().len(), 1);
         let decoded: SimulateResponse =
             serde_json::from_str(std::str::from_utf8(&response.body).unwrap()).unwrap();
         assert!(decoded.cycles_match);
@@ -670,15 +687,17 @@ mod tests {
         assert_eq!(decoded.simulated_cycles, decoded.predicted_cycles);
         assert!(decoded.macs > 0);
         assert!(decoded.tiles > 0);
-        // Identical request, identical bytes (the operands are seeded).
+        // Identical request, identical bytes (the operands are seeded and
+        // the pooled simulator array is reset between requests).
         let again = handle(
-            &state(),
+            &state,
             &post(
                 "/v1/simulate",
                 r#"{"rows":8,"cols":8,"k":2,"t":6,"n":20,"m":10,"seed":5}"#,
             ),
         );
         assert_eq!(again.body, response.body);
+        assert_eq!(state.sim_pool().len(), 1);
     }
 
     #[test]

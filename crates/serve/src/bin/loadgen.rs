@@ -1,23 +1,28 @@
 //! The `loadgen` binary: hammer the planning service over loopback and
-//! report sustained RPS and latency percentiles.
+//! report sustained RPS and latency percentiles for both the `/v1/plan`
+//! and the `/v1/simulate` endpoint (so wins on either service path — the
+//! plan cache, the pooled simulator — are visible side by side).
 //!
 //! ```text
 //! cargo run --release -p arrayflex-serve --bin loadgen -- [--addr HOST:PORT]
-//!     [--requests N] [--clients N] [--network NAME] [--rows N] [--cols N] [--json]
+//!     [--requests N] [--sim-requests N] [--clients N] [--network NAME]
+//!     [--rows N] [--cols N] [--json]
 //! ```
 //!
 //! Without `--addr`, an in-process server is spawned on an ephemeral
 //! loopback port (with `--server-threads N` workers), so the default
 //! invocation measures the full client-to-server round trip on one
-//! machine with zero setup.
+//! machine with zero setup. `--json` emits one document with a `plan` and
+//! a `simulate` report, each carrying RPS and p50/p90/p99/max latency.
 
 use arrayflex_serve::http::{serve, ServerConfig};
-use arrayflex_serve::loadgen::{run, LoadgenConfig};
+use arrayflex_serve::loadgen::{run, CombinedReport, LoadgenConfig};
 use std::net::SocketAddr;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut addr: Option<SocketAddr> = None;
     let mut requests = 1000usize;
+    let mut sim_requests = 200usize;
     let mut clients = 4usize;
     let mut server_threads = 4usize;
     let mut network = "resnet34".to_owned();
@@ -33,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match arg.as_str() {
             "--addr" => addr = Some(value_of("--addr")?.parse()?),
             "--requests" => requests = value_of("--requests")?.parse()?,
+            "--sim-requests" => sim_requests = value_of("--sim-requests")?.parse()?,
             "--clients" => clients = value_of("--clients")?.parse()?,
             "--server-threads" => server_threads = value_of("--server-threads")?.parse()?,
             "--network" => network = value_of("--network")?,
@@ -41,8 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--json" => json = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: loadgen [--addr HOST:PORT] [--requests N] [--clients N] \
-                     [--server-threads N] [--network NAME] [--rows N] [--cols N] [--json]"
+                    "usage: loadgen [--addr HOST:PORT] [--requests N] [--sim-requests N] \
+                     [--clients N] [--server-threads N] [--network NAME] [--rows N] \
+                     [--cols N] [--json]"
                 );
                 return Ok(());
             }
@@ -64,22 +71,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let addr = addr.expect("an address is always set by now");
 
-    let mut config = LoadgenConfig::plan_workload(addr, requests, clients);
-    config.body = Some(format!(
+    let mut plan_config = LoadgenConfig::plan_workload(addr, requests, clients);
+    plan_config.body = Some(format!(
         r#"{{"network":"{network}","rows":{rows},"cols":{cols}}}"#
     ));
-    let report = run(&config);
+    let sim_config = LoadgenConfig::simulate_workload(addr, sim_requests, clients);
+    let report = CombinedReport {
+        plan: run(&plan_config),
+        simulate: run(&sim_config),
+    };
     if json {
         println!("{}", serde_json::to_string_pretty(&report)?);
     } else {
-        println!("POST {} @ http://{addr} ({network}, {rows}x{cols})", config.path);
+        println!("loadgen @ http://{addr} ({network}, {rows}x{cols})");
         println!("{}", report.text());
     }
     if let Some(handle) = in_process {
         handle.shutdown();
     }
-    if report.errors > 0 {
-        return Err(format!("{} of {} requests failed", report.errors, report.requests).into());
+    if report.errors() > 0 {
+        let total = requests + sim_requests;
+        return Err(format!("{} of {total} requests failed", report.errors()).into());
     }
     Ok(())
 }

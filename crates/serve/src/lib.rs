@@ -50,5 +50,5 @@ pub mod metrics;
 
 pub use api::{AppState, SimulateResponse};
 pub use http::{serve, HttpRequest, HttpResponse, ServerConfig, ServerHandle};
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{CombinedReport, LoadgenConfig, LoadgenReport};
 pub use metrics::Metrics;

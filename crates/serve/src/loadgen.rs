@@ -40,6 +40,20 @@ impl LoadgenConfig {
             clients,
         }
     }
+
+    /// A `/v1/simulate` load against `addr`: a small seeded cycle-accurate
+    /// cross-check (16x16 array, k = 2, an 8x48x24 GEMM), heavy enough to
+    /// exercise the simulator pool but far below the route's size cap.
+    #[must_use]
+    pub fn simulate_workload(addr: SocketAddr, requests: usize, clients: usize) -> Self {
+        Self {
+            addr,
+            path: "/v1/simulate".to_owned(),
+            body: Some(r#"{"rows":16,"cols":16,"k":2,"t":8,"n":48,"m":24,"seed":7}"#.to_owned()),
+            requests,
+            clients,
+        }
+    }
 }
 
 /// Aggregated result of one load-generation run.
@@ -86,20 +100,69 @@ impl LoadgenReport {
     }
 }
 
+/// The per-endpoint reports of one `loadgen` invocation: the planning
+/// route and the (pooled) cycle-accurate simulation route, so service-side
+/// wins on either path show up in the same JSON document.
+#[derive(Debug, Clone, Serialize)]
+pub struct CombinedReport {
+    /// The `/v1/plan` load.
+    pub plan: LoadgenReport,
+    /// The `/v1/simulate` load.
+    pub simulate: LoadgenReport,
+}
+
+impl CombinedReport {
+    /// Total failed requests across both endpoints.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.plan.errors + self.simulate.errors
+    }
+
+    /// Renders both endpoint reports as human-readable tables.
+    #[must_use]
+    pub fn text(&self) -> String {
+        format!(
+            "POST /v1/plan\n{}\nPOST /v1/simulate\n{}",
+            self.plan.text(),
+            self.simulate.text()
+        )
+    }
+}
+
 /// Runs the load: `clients` threads share a global request budget and each
 /// issues sequential one-connection-per-request calls until it is spent.
 ///
+/// A `requests` count of zero skips the load entirely and returns an
+/// all-zero report (so callers can opt out of one endpoint of a combined
+/// run, e.g. `loadgen --sim-requests 0`).
+///
 /// # Panics
 ///
-/// Panics if `requests` or `clients` is zero.
+/// Panics if `clients` is zero.
 #[must_use]
 pub fn run(config: &LoadgenConfig) -> LoadgenReport {
-    assert!(config.requests > 0, "loadgen needs at least one request");
     assert!(config.clients > 0, "loadgen needs at least one client");
+    if config.requests == 0 {
+        return LoadgenReport {
+            requests: 0,
+            errors: 0,
+            clients: config.clients,
+            elapsed_s: 0.0,
+            rps: 0.0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            max_us: 0,
+        };
+    }
     let remaining = AtomicUsize::new(config.requests);
     let started = Instant::now();
     let mut per_client: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
         let remaining = &remaining;
+        // The collect is load-bearing: every client thread must be spawned
+        // before the first join, otherwise the load degenerates to one
+        // sequential client at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = (0..config.clients)
             .map(|_| {
                 scope.spawn(move || {

@@ -220,6 +220,10 @@ fn concurrent_identical_plan_requests_return_byte_identical_bodies() {
     .expect("bind loopback");
     let addr = handle.addr();
     let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        // The collect is load-bearing: all 16 requests must be in flight
+        // concurrently before the first join, or they cannot race on the
+        // plan cache.
+        #[allow(clippy::needless_collect)]
         let workers: Vec<_> = (0..16)
             .map(|_| {
                 scope.spawn(move || {

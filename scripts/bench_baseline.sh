@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates the committed simulator-core perf baseline.
+#
+# Builds the `bench_baseline` binary, runs the fixed single-thread
+# workload suite, validates the emitted JSON against the schema and only
+# then moves it into place — a failed run can never clobber the committed
+# baseline with a partial file.
+#
+# Usage: scripts/bench_baseline.sh [--quick] [OUTPUT.json]
+#   --quick   reduced iteration counts (CI smoke mode; do not commit)
+#   OUTPUT    destination file (default: BENCH_simcore.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+OUT="BENCH_simcore.json"
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK="--quick" ;;
+        -h|--help)
+            echo "usage: scripts/bench_baseline.sh [--quick] [OUTPUT.json]"
+            exit 0
+            ;;
+        *) OUT="$arg" ;;
+    esac
+done
+
+cargo build --release -p bench --bin bench_baseline
+BIN=target/release/bench_baseline
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+"$BIN" $QUICK --json > "$TMP"
+"$BIN" --check "$TMP"
+mv "$TMP" "$OUT"
+trap - EXIT
+echo "wrote $OUT"
