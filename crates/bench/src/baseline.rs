@@ -267,6 +267,122 @@ pub fn validate_report(report: &BaselineReport) -> Result<(), String> {
     Ok(())
 }
 
+/// One bench present in both sides of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct BenchDelta {
+    /// Stable bench name.
+    pub name: String,
+    /// ns/iter of the old (reference) report.
+    pub old_ns: f64,
+    /// ns/iter of the new (candidate) report.
+    pub new_ns: f64,
+    /// `old_ns / new_ns`: > 1 is a speedup, < 1 a slowdown.
+    pub speedup: f64,
+}
+
+impl BenchDelta {
+    /// Whether this bench slowed down by more than `max_regression`
+    /// (e.g. `1.3` tolerates up to a 1.3x slowdown before failing).
+    #[must_use]
+    pub fn regressed(&self, max_regression: f64) -> bool {
+        self.new_ns > self.old_ns * max_regression
+    }
+}
+
+/// Result of comparing two baseline reports by bench name.
+#[derive(Debug, Clone)]
+pub struct BaselineComparison {
+    /// Benches present in both reports, in the old report's order.
+    pub deltas: Vec<BenchDelta>,
+    /// Bench names only the old report has (a silently dropped bench is
+    /// treated as a regression).
+    pub missing: Vec<String>,
+    /// The tolerated slowdown factor regressions are judged against.
+    pub max_regression: f64,
+}
+
+impl BaselineComparison {
+    /// The deltas that regressed beyond the tolerated factor.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&BenchDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.regressed(self.max_regression))
+            .collect()
+    }
+
+    /// `true` when no bench regressed and none disappeared.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.regressions().is_empty()
+    }
+
+    /// Renders the per-bench speedup table plus a verdict line.
+    #[must_use]
+    pub fn text(&self) -> String {
+        let mut table =
+            crate::TextTable::new(vec!["bench", "old ns/iter", "new ns/iter", "speedup", ""]);
+        for delta in &self.deltas {
+            table.push_row(vec![
+                delta.name.clone(),
+                format!("{:.0}", delta.old_ns),
+                format!("{:.0}", delta.new_ns),
+                format!("{:.2}x", delta.speedup),
+                if delta.regressed(self.max_regression) {
+                    "REGRESSED".to_owned()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        let mut out = format!(
+            "Baseline comparison (fail beyond {:.2}x slowdown)\n{}",
+            self.max_regression,
+            table.render()
+        );
+        for name in &self.missing {
+            out.push_str(&format!("\nMISSING in new report: {name}"));
+        }
+        out.push_str(if self.passed() {
+            "\nok: no bench regressed"
+        } else {
+            "\nFAIL: benches regressed"
+        });
+        out
+    }
+}
+
+/// Compares two baseline reports bench by bench (matched on the stable
+/// name). `max_regression` is the tolerated slowdown factor: a bench
+/// whose new ns/iter exceeds `old * max_regression` counts as regressed,
+/// as does a bench that disappeared from the new report. Benches only the
+/// new report has are ignored (adding coverage is never a regression).
+#[must_use]
+pub fn compare_reports(
+    old: &BaselineReport,
+    new: &BaselineReport,
+    max_regression: f64,
+) -> BaselineComparison {
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for bench in &old.benches {
+        match new.bench(&bench.name) {
+            Some(candidate) => deltas.push(BenchDelta {
+                name: bench.name.clone(),
+                old_ns: bench.ns_per_iter,
+                new_ns: candidate.ns_per_iter,
+                speedup: bench.ns_per_iter / candidate.ns_per_iter,
+            }),
+            None => missing.push(bench.name.clone()),
+        }
+    }
+    BaselineComparison {
+        deltas,
+        missing,
+        max_regression,
+    }
+}
+
 /// Renders the report as an aligned text table.
 #[must_use]
 pub fn baseline_text(report: &BaselineReport) -> String {
@@ -318,6 +434,37 @@ mod tests {
         validate_report(&decoded).unwrap();
         assert_eq!(decoded.benches.len(), report.benches.len());
         assert!(baseline_text(&decoded).contains("cycles/sec"));
+    }
+
+    #[test]
+    fn comparison_flags_regressions_and_missing_benches() {
+        let old = simcore_baseline(true).unwrap();
+        // Identical reports compare clean at any threshold.
+        let same = compare_reports(&old, &old, 1.0);
+        assert!(same.passed());
+        assert!(same.text().contains("ok: no bench regressed"));
+        assert!(same.deltas.iter().all(|d| (d.speedup - 1.0).abs() < 1e-9));
+
+        // A 2x slowdown on one bench fails a 1.3x gate but passes a 3x one.
+        let mut slow = old.clone();
+        slow.benches[0].ns_per_iter *= 2.0;
+        slow.benches[0].cycles_per_sec = slow.benches[0].cycles_per_sec.map(|c| c / 2.0);
+        let fail = compare_reports(&old, &slow, 1.3);
+        assert!(!fail.passed());
+        assert_eq!(fail.regressions().len(), 1);
+        assert_eq!(fail.regressions()[0].name, old.benches[0].name);
+        assert!(fail.text().contains("REGRESSED"));
+        assert!(compare_reports(&old, &slow, 3.0).passed());
+
+        // A bench disappearing from the new report is a failure too.
+        let mut dropped = old.clone();
+        dropped.benches.remove(0);
+        let fail = compare_reports(&old, &dropped, 1.3);
+        assert!(!fail.passed());
+        assert_eq!(fail.missing, vec![old.benches[0].name.clone()]);
+        assert!(fail.text().contains("MISSING"));
+        // Extra benches in the new report are fine.
+        assert!(compare_reports(&dropped, &old, 1.3).passed());
     }
 
     #[test]

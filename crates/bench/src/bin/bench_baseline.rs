@@ -1,44 +1,93 @@
-//! The `bench` subcommand of the harness: regenerate or verify the
-//! committed simulator-core perf baseline (`BENCH_simcore.json`).
+//! The `bench` subcommand of the harness: regenerate, verify or compare
+//! the committed simulator-core perf baseline (`BENCH_simcore.json`).
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_baseline              # text table
 //! cargo run --release -p bench --bin bench_baseline -- --json    # BENCH_simcore.json body
 //! cargo run --release -p bench --bin bench_baseline -- --quick --json
 //! cargo run --release -p bench --bin bench_baseline -- --check BENCH_simcore.json
+//! cargo run --release -p bench --bin bench_baseline -- --compare OLD.json NEW.json
 //! ```
 //!
 //! `--quick` shrinks the iteration counts for CI smoke runs; `--check`
 //! parses an existing JSON file and validates it against the schema
-//! instead of measuring anything (exit code 1 on violation).
-//! `scripts/bench_baseline.sh` wraps the generate-then-check sequence.
+//! instead of measuring anything (exit code 1 on violation); `--compare`
+//! prints a per-bench speedup table between two reports and exits
+//! non-zero if any bench regressed beyond `--max-regression FACTOR`
+//! (default 1.3, i.e. a 1.3x slowdown) or disappeared. CI compares a
+//! fresh `--quick` run against the committed `BENCH_simcore.json` this
+//! way. `scripts/bench_baseline.sh` wraps the generate-then-check
+//! sequence.
 
-use bench::baseline::{baseline_text, simcore_baseline, validate_report, BaselineReport};
+use bench::baseline::{
+    baseline_text, compare_reports, simcore_baseline, validate_report, BaselineReport,
+};
+
+fn load_report(path: &str) -> Result<BaselineReport, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report: BaselineReport =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not a baseline report: {e}"))?;
+    validate_report(&report).map_err(|e| format!("{path} violates the schema: {e}"))?;
+    Ok(report)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut quick = false;
     let mut json = false;
     let mut check: Option<String> = None;
+    let mut compare: Option<(String, String)> = None;
+    let mut max_regression = 1.3f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
             "--check" => check = Some(args.next().ok_or("--check needs a file path")?),
+            "--compare" => {
+                let old = args.next().ok_or("--compare needs OLD.json NEW.json")?;
+                let new = args.next().ok_or("--compare needs OLD.json NEW.json")?;
+                compare = Some((old, new));
+            }
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .ok_or("--max-regression needs a factor")?
+                    .parse()
+                    .map_err(|e| format!("invalid --max-regression factor: {e}"))?;
+                if !(max_regression.is_finite() && max_regression >= 1.0) {
+                    return Err("--max-regression factor must be >= 1.0".into());
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: bench_baseline [--quick] [--json] | --check FILE");
+                println!(
+                    "usage: bench_baseline [--quick] [--json] | --check FILE \
+                     | --compare OLD NEW [--max-regression FACTOR]"
+                );
                 return Ok(());
             }
             other => return Err(format!("unknown flag {other}").into()),
         }
     }
 
+    if let Some((old_path, new_path)) = compare {
+        let old = load_report(&old_path)?;
+        let new = load_report(&new_path)?;
+        let comparison = compare_reports(&old, &new, max_regression);
+        println!("{}", comparison.text());
+        if !comparison.passed() {
+            return Err(format!(
+                "{} bench(es) regressed beyond {max_regression}x (and {} missing) \
+                 between {old_path} and {new_path}",
+                comparison.regressions().len(),
+                comparison.missing.len()
+            )
+            .into());
+        }
+        return Ok(());
+    }
+
     if let Some(path) = check {
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
-        let report: BaselineReport = serde_json::from_str(&text)
-            .map_err(|e| format!("{path} is not a baseline report: {e}"))?;
-        validate_report(&report).map_err(|e| format!("{path} violates the schema: {e}"))?;
+        let report = load_report(&path)?;
         println!("{path}: schema ok ({} benches)", report.benches.len());
         return Ok(());
     }

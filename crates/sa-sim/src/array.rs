@@ -17,17 +17,46 @@
 //! (row, column block) and the vertical (partial-sum) pipeline one per
 //! (row block, column). Register values live in flat column-block-major /
 //! row-block-major buffers, validity in packed `u64` bitset words with one
-//! word-aligned segment per block, and the stationary weights in a flat
-//! column-major buffer so the per-column carry-save chain walks contiguous
-//! memory. Per cycle the horizontal pipeline advances with one in-place
-//! `copy_within` per buffer, and the inactive-block fast path tests one
-//! masked bitset range per (row block, column block) pair instead of
-//! scanning individual PEs. A [`SystolicArray::step_into`] cycle performs
-//! **no heap allocation**; the double-buffered vertical registers are
-//! scratch owned by the array.
+//! word-aligned segment per block, and the stationary weights in both a
+//! column-major buffer (walked by the naive per-column carry-save chain)
+//! and a row-major buffer (walked by the fast path's panel kernel).
+//!
+//! # Wavefront frontier tracking
+//!
+//! The horizontal pipeline is a pure shift register, so no operand data
+//! ever moves: each cycle's west edge is staged once into a **ring slot**
+//! and segment `cb` reads the slot staged `cb` cycles ago. On top of the
+//! ring the fast path maintains an incremental **frontier**: one
+//! `LaneSummary` per slot (the contiguous range of valid operand rows
+//! that edge stage carried) and a conservative `[lo, hi]` **band** of
+//! column blocks that may hold any valid operand at all, updated in O(1)
+//! per cycle (the band advances one block east with the data and
+//! re-anchors at the west edge whenever the edge receives data). A cycle
+//! then
+//!
+//! * iterates **only the band's segments** (everything outside the band
+//!   is provably invalid — no per-cycle validity-word scan),
+//! * evaluates only the row blocks each summary says are active, as
+//!   branch-free **panels** over the block's columns (contiguous row-major
+//!   weights, flat `i64` partial-sum lanes — LLVM autovectorizes the inner
+//!   loop), seeding each panel directly from the previous row block's
+//!   registers instead of bulk-forwarding the whole vertical register
+//!   file, and
+//! * falls back to the validity **bitsets** (which are maintained
+//!   regardless and cross-checked in the tests) for any segment whose
+//!   valid rows are not contiguous — west streams with mid-stream holes.
+//!
+//! A [`SystolicArray::step_into`] cycle performs **no heap allocation**.
+//! [`SystolicArray::run_cycles`] is the macro-cycle entry point: it
+//! stages, evaluates and harvests whole cycle ranges against the
+//! feeder's and collector's deterministic schedules (switching to an
+//! analytic rb-major wavefront kernel when the stream is provably pure)
+//! and folds trailing cycles in which no block is active into O(1)
+//! statistics bookkeeping.
 
 use crate::carry_save::CarrySaveValue;
 use crate::config::ArrayConfig;
+use crate::dataflow::{InputFeeder, OutputCollector};
 use crate::error::SimError;
 use crate::pe::ProcessingElement;
 use crate::stats::RunStats;
@@ -48,6 +77,23 @@ fn set_bit(words: &mut [u64], index: usize) {
     words[index / WORD_BITS] |= 1u64 << (index % WORD_BITS);
 }
 
+/// Sets every bit in `start..=last` (inclusive).
+fn set_range(words: &mut [u64], start: usize, last: usize) {
+    let (first_word, first_bit) = (start / WORD_BITS, start % WORD_BITS);
+    let (last_word, last_bit) = (last / WORD_BITS, last % WORD_BITS);
+    let low_mask = u64::MAX << first_bit;
+    let high_mask = u64::MAX >> (WORD_BITS - 1 - last_bit);
+    if first_word == last_word {
+        words[first_word] |= low_mask & high_mask;
+        return;
+    }
+    words[first_word] |= low_mask;
+    for word in &mut words[first_word + 1..last_word] {
+        *word = u64::MAX;
+    }
+    words[last_word] |= high_mask;
+}
+
 /// Returns `true` if any bit in `start..=last` (inclusive) is set.
 fn any_set_in(words: &[u64], start: usize, last: usize) -> bool {
     let (first_word, first_bit) = (start / WORD_BITS, start % WORD_BITS);
@@ -60,6 +106,58 @@ fn any_set_in(words: &[u64], start: usize, last: usize) -> bool {
     words[first_word] & low_mask != 0
         || words[first_word + 1..last_word].iter().any(|&w| w != 0)
         || words[last_word] & high_mask != 0
+}
+
+/// Operand-validity summary of one horizontal pipeline segment: which rows
+/// of the segment hold a valid operand this cycle.
+///
+/// `count == 0` means the segment is empty (the other fields are then
+/// meaningless); `dense` means the valid rows are exactly the contiguous
+/// range `first..=last`, which is always the case for feeder-scheduled
+/// streams and lets the fast path derive the active row blocks in O(1)
+/// instead of scanning validity words. Streams with mid-stream holes make
+/// a summary sparse (`dense == false`), which routes that segment through
+/// the bitset fallback.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LaneSummary {
+    /// First valid row (when `count > 0`).
+    first: u32,
+    /// Last valid row (when `count > 0`).
+    last: u32,
+    /// Number of valid rows; `0` means the segment is empty.
+    count: u32,
+    /// `true` when the valid rows are exactly `first..=last`.
+    dense: bool,
+}
+
+impl LaneSummary {
+    fn dense_range(first: u32, last: u32) -> Self {
+        Self {
+            first,
+            last,
+            count: last - first + 1,
+            dense: true,
+        }
+    }
+}
+
+/// Whether the operands currently in flight are provably the prefix of one
+/// deterministic feeder schedule (see [`SystolicArray::run_cycles`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamPurity {
+    /// The pipelines are empty; any schedule may start at cycle 0.
+    Clean,
+    /// Cycles `0..next` of a feeder stream of length `t` have been fed,
+    /// nothing else.
+    Tracked {
+        /// The stream length the in-flight schedule was generated from.
+        t: u64,
+        /// The next cycle index the schedule expects.
+        next: u64,
+    },
+    /// Arbitrary west inputs were fed; only the generic frontier kernel
+    /// may run until the pipelines are cleared.
+    Poisoned,
 }
 
 /// Cycle-accurate weight-stationary systolic array with configurable
@@ -87,28 +185,73 @@ pub struct SystolicArray {
     /// Stationary weights, column-major (`col * rows + row`) so the
     /// vertical carry-save chain of one column reads contiguous memory.
     weights: Vec<i32>,
+    /// Stationary weights again, row-major (`row * cols + col`), so the
+    /// panel kernel reads one contiguous lane of weights per block row.
+    weights_rm: Vec<i32>,
     /// Horizontal (operand) pipeline registers, one per (row, column
-    /// block), column-block-major (`cb * rows + row`). During a cycle this
-    /// buffer also holds the operand each (row, column block) sees — the
-    /// staged value *is* the next register value.
+    /// block), stored as a **ring of edge stages**: the pipeline is a pure
+    /// shift register, so instead of physically moving every segment one
+    /// column block east per cycle, the staged west edge of cycle `c` is
+    /// written once into ring slot `c mod col_blocks` and segment `cb`
+    /// simply *reads* the slot staged `cb` cycles ago
+    /// ([`SystolicArray::segment_slot`]). Slot `s` occupies
+    /// `s * rows..(s + 1) * rows`, holding one operand per row with
+    /// invalid operands always stored as zero — which is what keeps
+    /// skipped and panel-evaluated carry-save chains exact.
     h_regs: Vec<i32>,
-    /// Validity of `h_regs`: one word-aligned segment of `hw` words per
-    /// column block, bit `row` within segment `cb`.
+    /// Validity of `h_regs`: one word-aligned run of `hw` words per ring
+    /// slot, bit `row` within the slot.
     h_valid: Vec<u64>,
+    /// Per-slot frontier summaries, mirroring `h_valid`.
+    summaries: Vec<LaneSummary>,
+    /// Ring slot holding the current cycle's segment 0 (the most recent
+    /// edge stage); advances by one, modulo the column-block count, every
+    /// cycle.
+    ring_head: usize,
+    /// Conservative `[lo, hi]` hull (inclusive, in column blocks) of the
+    /// segments that may hold any valid operand; `None` when the whole
+    /// horizontal pipeline is drained. Every segment outside the band is
+    /// all-zero and all-invalid — the invariant the narrowed shifts rely
+    /// on.
+    band: Option<(u32, u32)>,
     /// Vertical (partial-sum) pipeline registers, one per (row block,
     /// column), row-block-major (`rb * cols + col`).
     v_regs: Vec<i64>,
     /// Double buffer for the vertical registers (scratch, swapped every
-    /// cycle so a cycle reads the previous block's *old* value).
+    /// cycle so a cycle reads the previous block's *old* value). In the
+    /// fast path only the slots of active blocks are rewritten; stale
+    /// slots belong to invalid blocks and are never observable.
     v_next: Vec<i64>,
     /// Validity of `v_regs`: one word-aligned segment of `vw` words per
     /// row block, bit `col` within segment `rb`.
     v_valid: Vec<u64>,
     /// Double buffer for `v_valid`.
     v_valid_next: Vec<u64>,
-    /// Reusable `(row block, valid rows)` gather list of the fast path:
-    /// the blocks of one column block the wavefront currently touches.
+    /// Reusable `(row block, valid rows)` gather list of the sparse
+    /// fallback: the blocks of one column block the wavefront currently
+    /// touches.
     block_scratch: Vec<(u32, u32)>,
+    /// Reusable west staging buffer of [`SystolicArray::run_cycles`]'
+    /// naive fallback (kept on the array so pooled arrays reuse it across
+    /// tiles and requests).
+    west_scratch: Vec<Option<i32>>,
+    /// Reusable south staging buffer of [`SystolicArray::run_cycles`].
+    south_scratch: Vec<Option<i64>>,
+    /// Columns registered at the south edge by the current fast-path
+    /// cycle, as an inclusive hull (`produced_any` gates it); reset every
+    /// cycle. `produced_sparse` marks that a sparse-fallback segment
+    /// produced, in which case the hull is not exact and the harvest
+    /// consults the validity bitset instead.
+    produced_lo: u32,
+    produced_hi: u32,
+    produced_any: bool,
+    produced_sparse: bool,
+    /// Whether the data currently in flight is provably a pure, gap-free
+    /// feeder stream from a clean pipeline — the precondition for the
+    /// analytic wavefront kernel of [`SystolicArray::run_cycles`], whose
+    /// active-window math assumes the deterministic schedule was followed
+    /// from cycle 0.
+    purity: StreamPurity,
     /// Words per horizontal validity segment: `ceil(rows / 64)`.
     hw: usize,
     /// Words per vertical validity segment: `ceil(cols / 64)`.
@@ -135,13 +278,24 @@ impl SystolicArray {
         Ok(Self {
             config,
             weights: vec![0; rows * cols],
+            weights_rm: vec![0; rows * cols],
             h_regs: vec![0; col_blocks * rows],
             h_valid: vec![0; col_blocks * hw],
+            summaries: vec![LaneSummary::default(); col_blocks],
+            ring_head: 0,
+            band: None,
             v_regs: vec![0; row_blocks * cols],
             v_next: vec![0; row_blocks * cols],
             v_valid: vec![0; row_blocks * vw],
             v_valid_next: vec![0; row_blocks * vw],
             block_scratch: Vec::with_capacity(row_blocks),
+            west_scratch: Vec::new(),
+            south_scratch: Vec::new(),
+            produced_lo: 0,
+            produced_hi: 0,
+            produced_any: false,
+            produced_sparse: false,
+            purity: StreamPurity::Clean,
             hw,
             vw,
             weights_loaded: false,
@@ -188,26 +342,26 @@ impl SystolicArray {
         Some(pe)
     }
 
-    /// Returns whether the inactive-block fast path is enabled (the
+    /// Returns whether the frontier-banded fast path is enabled (the
     /// default).
     #[must_use]
     pub fn fast_path(&self) -> bool {
         self.fast_path
     }
 
-    /// Enables or disables the inactive-block fast path of
+    /// Enables or disables the frontier-banded fast path of
     /// [`SystolicArray::step_into`].
     ///
-    /// With the fast path enabled (the default), a cycle skips the
-    /// multiplier/carry-save evaluation of every pipeline block whose
-    /// operands are all invalid — the fully-drained (or not yet filled)
-    /// rows of the wavefront — and forwards the incoming partial sum
-    /// directly. Because invalid operands are always driven as zero, the
-    /// skipped chain would only have added zeros, so outputs, register
-    /// values and [`RunStats`] are bit-identical either way; the tests
-    /// cross-check this against the naive full-array scan. Disabling the
-    /// fast path is useful only for that cross-check and for measuring the
-    /// fast path's speedup.
+    /// With the fast path enabled (the default), a cycle shifts only the
+    /// column-block band the wavefront currently occupies and evaluates
+    /// only the row blocks the frontier summaries mark active, as
+    /// branch-free column panels. Because invalid operands are always
+    /// driven as zero and a carry-save chain followed by its resolution is
+    /// numerically a plain wrapping sum, outputs, register values and
+    /// [`RunStats`] are bit-identical either way; the tests cross-check
+    /// this against the naive full-array scan. Disabling the fast path is
+    /// useful only for that cross-check and for measuring the fast path's
+    /// speedup.
     pub fn set_fast_path(&mut self, enabled: bool) {
         self.fast_path = enabled;
     }
@@ -216,6 +370,7 @@ impl SystolicArray {
     pub fn reset(&mut self) {
         self.reset_for_tile();
         self.weights.fill(0);
+        self.weights_rm.fill(0);
     }
 
     /// Prepares the array for a fresh tile **without reallocating**: clears
@@ -235,12 +390,32 @@ impl SystolicArray {
     /// of a GEMM through this method instead of constructing and dropping
     /// one per tile.
     pub fn reset_for_tile(&mut self) {
-        self.h_regs.fill(0);
-        self.h_valid.fill(0);
-        self.v_regs.fill(0);
-        self.v_valid.fill(0);
+        self.clear_pipelines();
         self.weights_loaded = false;
         self.stats = RunStats::default();
+    }
+
+    fn clear_pipelines(&mut self) {
+        self.h_regs.fill(0);
+        self.h_valid.fill(0);
+        self.summaries.fill(LaneSummary::default());
+        self.ring_head = 0;
+        self.band = None;
+        self.v_regs.fill(0);
+        self.v_valid.fill(0);
+        self.purity = StreamPurity::Clean;
+    }
+
+    /// The ring slot holding the operands segment `cb` sees this cycle:
+    /// the edge stage from `cb` cycles ago.
+    fn segment_slot(&self, cb: usize) -> usize {
+        let col_blocks = self.config.col_blocks() as usize;
+        let shifted = self.ring_head + col_blocks - cb;
+        if shifted >= col_blocks {
+            shifted - col_blocks
+        } else {
+            shifted
+        }
     }
 
     fn is_block_last_row(&self, row: usize) -> bool {
@@ -274,15 +449,13 @@ impl SystolicArray {
                 ),
             });
         }
-        self.h_regs.fill(0);
-        self.h_valid.fill(0);
-        self.v_regs.fill(0);
-        self.v_valid.fill(0);
+        self.clear_pipelines();
         for row in 0..rows {
             // One row of weights enters the array per cycle; the
             // configuration bits ride along and are implied by the block
             // structure (see `SystolicArray::pe`).
             let source = weights.row(row);
+            self.weights_rm[row * cols..(row + 1) * cols].copy_from_slice(source);
             for (col, &w) in source.iter().enumerate() {
                 self.weights[col * rows + row] = w;
             }
@@ -316,9 +489,6 @@ impl SystolicArray {
     ) -> Result<(), SimError> {
         let rows = self.config.rows as usize;
         let cols = self.config.cols as usize;
-        let k = self.config.collapse_depth as usize;
-        let row_blocks = self.config.row_blocks() as usize;
-        let col_blocks = self.config.col_blocks() as usize;
         if west_inputs.len() != rows {
             return Err(SimError::DimensionMismatch {
                 reason: format!("expected {rows} west inputs, got {}", west_inputs.len()),
@@ -338,106 +508,44 @@ impl SystolicArray {
             });
         }
 
-        // 1. Advance the horizontal pipeline in place: the operand visible
-        //    to (row, column block cb) this cycle is the previous block's
-        //    register value (block 0 sees the west input), and that staged
-        //    operand is exactly what the block's own register latches at
-        //    the end of the cycle. `copy_within` reads the pre-shift
-        //    contents, so segment `cb` receives the *old* segment `cb - 1`.
-        let hw = self.hw;
-        self.h_regs.copy_within(0..(col_blocks - 1) * rows, rows);
-        self.h_valid.copy_within(0..(col_blocks - 1) * hw, hw);
-        self.h_valid[..hw].fill(0);
-        for (row, west) in west_inputs.iter().enumerate() {
-            // Invalid operands are driven as zero by the feeder, which is
-            // what keeps skipped carry-save chains exact.
-            self.h_regs[row] = west.unwrap_or(0);
-            if west.is_some() {
-                set_bit(&mut self.h_valid[..hw], row);
-            }
-        }
+        self.purity = StreamPurity::Poisoned;
+        let macs = if self.fast_path {
+            let macs = self.cycle_fast(EdgeSource::West(west_inputs));
+            self.harvest_south(south_outputs);
+            macs
+        } else {
+            self.cycle_naive(west_inputs, south_outputs)
+        };
+        self.commit_cycle_stats(macs);
+        Ok(())
+    }
 
-        // 2. Vertical reduction: every column chains the products of each
-        //    row block in carry-save form and registers the resolved sum at
-        //    the block's last row.
-        //
-        //    A block with no valid operand commits, in every mode, exactly
-        //    "forward the incoming partial sums, clear the validity": its
-        //    multipliers see operands driven as zero, so the carry-save
-        //    chain leaves the incoming value numerically untouched and the
-        //    registered validity equals the (absent) operand validity.
-        //    The fast path exploits that wholesale: first bulk-forward the
-        //    *entire* vertical register file one row block down (a single
-        //    contiguous copy), default every south output to `None` and
-        //    every validity bit to clear, then walk only the set bits of
-        //    the operand-validity words and evaluate just the blocks the
-        //    wavefront actually touches. Inactive blocks — the vast
-        //    majority during fill and drain — cost no per-block work at
-        //    all.
-        self.v_valid_next.fill(0);
-        if row_blocks > 1 {
-            self.v_next[cols..row_blocks * cols]
-                .copy_from_slice(&self.v_regs[..(row_blocks - 1) * cols]);
-        }
-        self.v_next[..cols].fill(0);
+    /// Materializes the committed south-edge outputs of the last fast-path
+    /// cycle into `Option` form: the validity bits of the last row block
+    /// say which columns registered a result, the register file holds the
+    /// values.
+    fn harvest_south(&self, south_outputs: &mut [Option<i64>]) {
+        let cols = self.config.cols as usize;
+        let last_rb = self.config.row_blocks() as usize - 1;
         south_outputs.fill(None);
-        let mut macs = 0u64;
-        for cb in 0..col_blocks {
-            let col_first = cb * k;
-            let width = (col_first + k).min(cols) - col_first;
-            if self.fast_path {
-                // Gather the active row blocks (and their valid-row counts,
-                // which feed the MAC statistics) by iterating the set bits
-                // of this column block's operand-validity words.
-                let mut active = std::mem::take(&mut self.block_scratch);
-                active.clear();
-                let seg = &self.h_valid[cb * hw..(cb + 1) * hw];
-                for (word_index, &bits) in seg.iter().enumerate() {
-                    let mut word = bits;
-                    while word != 0 {
-                        let row = word_index * WORD_BITS + word.trailing_zeros() as usize;
-                        word &= word - 1;
-                        let rb = (row / k) as u32;
-                        // Rows arrive in ascending order, so one comparison
-                        // against the last entry groups them per block.
-                        match active.last_mut() {
-                            Some((last_rb, count)) if *last_rb == rb => *count += 1,
-                            _ => active.push((rb, 1)),
-                        }
-                    }
-                }
-                for &(rb, valid_rows) in &active {
-                    // Every valid operand of this (row, column-block) feeds
-                    // one MAC per column of the block.
-                    macs += u64::from(valid_rows) * width as u64;
-                    self.eval_block(rb as usize, cb, true, south_outputs);
-                }
-                self.block_scratch = active;
-            } else {
-                // Naive scan: evaluate every block of every column every
-                // cycle, exactly like the register-transfer structure.
-                for rb in 0..row_blocks {
-                    let first_row = rb * k;
-                    let last_row = ((rb + 1) * k).min(rows) - 1;
-                    let seg = &self.h_valid[cb * hw..(cb + 1) * hw];
-                    let block_valid = any_set_in(seg, first_row, last_row);
-                    if block_valid {
-                        macs += u64::try_from(
-                            (first_row..=last_row)
-                                .filter(|&row| get_bit(seg, row))
-                                .count()
-                                * width,
-                        )
-                        .expect("MAC count fits u64");
-                    }
-                    self.eval_block(rb, cb, block_valid, south_outputs);
-                }
+        let seg = &self.v_valid[last_rb * self.vw..(last_rb + 1) * self.vw];
+        let values = &self.v_regs[last_rb * cols..last_rb * cols + cols];
+        for (word_index, &bits) in seg.iter().enumerate() {
+            let mut word = bits;
+            while word != 0 {
+                let col = word_index * WORD_BITS + word.trailing_zeros() as usize;
+                word &= word - 1;
+                south_outputs[col] = Some(values[col]);
             }
         }
+    }
 
-        // 3. Commit the clock edge and account for register activity.
-        std::mem::swap(&mut self.v_regs, &mut self.v_next);
-        std::mem::swap(&mut self.v_valid, &mut self.v_valid_next);
+    /// Books one committed compute cycle into the statistics.
+    fn commit_cycle_stats(&mut self, macs: u64) {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let row_blocks = self.config.row_blocks() as usize;
+        let col_blocks = self.config.col_blocks() as usize;
         self.stats.macs += macs;
         self.stats.compute_cycles += 1;
         self.stats.pe_cycles += (rows * cols) as u64;
@@ -445,8 +553,469 @@ impl SystolicArray {
         let total_regs = 2 * (rows * cols) as u64;
         self.stats.clocked_register_events += clocked;
         self.stats.gated_register_events += total_regs - clocked;
+    }
 
-        Ok(())
+    /// Advances the band hull after the horizontal shift: every segment
+    /// moves one column block east (falling off the east edge), and the
+    /// band re-anchors at the west edge when the edge received data.
+    fn update_band(&mut self, edge_nonempty: bool) {
+        let cb_max = self.config.col_blocks() - 1;
+        let shifted = match self.band {
+            Some((lo, hi)) if lo < cb_max => Some((lo + 1, (hi + 1).min(cb_max))),
+            _ => None,
+        };
+        self.band = if edge_nonempty {
+            Some((0, shifted.map_or(0, |(_, hi)| hi)))
+        } else {
+            shifted
+        };
+    }
+
+    /// One fast-path cycle: narrowed band shift, edge staging, frontier
+    /// update and panel evaluation of the active blocks. Returns the MAC
+    /// count of the cycle; the south-edge results stay in the register
+    /// file (the caller harvests them via [`SystolicArray::harvest_south`]
+    /// or the collector's dense `collect_produced` path).
+    fn cycle_fast(&mut self, edge: EdgeSource<'_>) -> u64 {
+        // 1 + 2. Advance the horizontal pipeline and stage the west edge:
+        //    the pipeline is a pure shift register, so "every segment
+        //    moves one column block east" is implemented as rotating the
+        //    ring head and rewriting the freed slot (values, validity
+        //    words and summary) wholesale with the new edge stage, invalid
+        //    rows driven as zero. No register data moves at all.
+        let summary = self.stage_edge(edge);
+        self.update_band(summary.count > 0);
+
+        // 3. Vertical reduction over the active blocks only. Each panel is
+        //    seeded directly from the previous row block's register (or
+        //    zero at the north edge), so no bulk forward of the vertical
+        //    register file is needed: the slots of inactive blocks keep
+        //    stale values, but their validity is clear and the wavefront
+        //    schedule guarantees no active block ever reads them.
+        self.v_valid_next.fill(0);
+        self.produced_any = false;
+        self.produced_sparse = false;
+        let mut macs = 0u64;
+        if let Some((lo, hi)) = self.band {
+            for cb in lo as usize..=hi as usize {
+                let slot = self.segment_slot(cb);
+                let s = self.summaries[slot];
+                if s.count == 0 {
+                    continue;
+                }
+                macs += if s.dense {
+                    self.eval_segment_panels(cb, slot, s.first as usize, s.last as usize)
+                } else {
+                    self.eval_segment_sparse(cb, slot)
+                };
+            }
+        }
+
+        // 4. Commit the clock edge.
+        std::mem::swap(&mut self.v_regs, &mut self.v_next);
+        std::mem::swap(&mut self.v_valid, &mut self.v_valid_next);
+        macs
+    }
+
+    /// Rotates the ring and stages the west edge of one cycle into the
+    /// freed slot: values (invalid rows driven as zero), validity words
+    /// and the frontier summary. Returns the staged summary.
+    fn stage_edge(&mut self, edge: EdgeSource<'_>) -> LaneSummary {
+        let rows = self.config.rows as usize;
+        let col_blocks = self.config.col_blocks() as usize;
+        let hw = self.hw;
+        self.ring_head += 1;
+        if self.ring_head == col_blocks {
+            self.ring_head = 0;
+        }
+        let slot = self.ring_head;
+        let seg_valid = &mut self.h_valid[slot * hw..(slot + 1) * hw];
+        seg_valid.fill(0);
+        let seg_values = &mut self.h_regs[slot * rows..(slot + 1) * rows];
+        let summary = match edge {
+            EdgeSource::West(west_inputs) => {
+                let mut first = u32::MAX;
+                let mut last = 0u32;
+                let mut count = 0u32;
+                for (row, west) in west_inputs.iter().enumerate() {
+                    seg_values[row] = west.unwrap_or(0);
+                    if west.is_some() {
+                        set_bit(seg_valid, row);
+                        first = first.min(row as u32);
+                        last = row as u32;
+                        count += 1;
+                    }
+                }
+                LaneSummary {
+                    first,
+                    last,
+                    count,
+                    dense: count > 0 && count == last - first + 1,
+                }
+            }
+            EdgeSource::Feeder(feeder, cycle) => match feeder.stage_values_into(cycle, seg_values)
+            {
+                Some((first, last)) => {
+                    set_range(seg_valid, first as usize, last as usize);
+                    LaneSummary::dense_range(first, last)
+                }
+                None => LaneSummary::default(),
+            },
+        };
+        self.summaries[slot] = summary;
+        summary
+    }
+
+    /// One cycle of the **analytic wavefront kernel**: the rb-major twin
+    /// of [`SystolicArray::cycle_fast`] for pure feeder streams.
+    ///
+    /// When every operand in flight followed one deterministic feeder
+    /// schedule from a clean pipeline (tracked by [`StreamPurity`]), the
+    /// active window of every row block is closed-form: block `rb` is fed
+    /// by segment `cb` exactly during cycles `rb + cb ..= rb + cb + T - 1`,
+    /// and the feeder's batched skew guarantees the window always covers
+    /// the block's rows completely. That lets the cycle iterate **per row
+    /// block** over its contiguous active column range — one contiguous
+    /// `i64` partial-sum lane in `v_next` seeded from the previous row
+    /// block's lane, one contiguous row-major weight lane per block row,
+    /// one validity range-set per row block — instead of per column block
+    /// with per-block bookkeeping. Operands still come from the staged
+    /// ring (the canonical register state), so the edge staging and
+    /// frontier metadata stay exactly as in the generic kernel.
+    ///
+    /// Returns the MAC count of the cycle.
+    fn cycle_dense_wavefront(&mut self, feeder: &InputFeeder<'_>, cycle: u64) -> u64 {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let k = self.config.collapse_depth as usize;
+        let row_blocks = self.config.row_blocks() as usize;
+        let col_blocks = self.config.col_blocks() as usize;
+
+        let summary = self.stage_edge(EdgeSource::Feeder(feeder, cycle));
+        self.update_band(summary.count > 0);
+        self.v_valid_next.fill(0);
+        self.produced_any = false;
+        self.produced_sparse = false;
+
+        let t = feeder.stream_length() as i64;
+        let c = i64::try_from(cycle).expect("cycle fits i64");
+        let cb_max = col_blocks as i64 - 1;
+        let rb_lo = (c - cb_max - (t - 1)).max(0);
+        let rb_hi = (row_blocks as i64 - 1).min(c);
+        let mut macs = 0u64;
+        if t == 0 || rb_lo > rb_hi {
+            std::mem::swap(&mut self.v_regs, &mut self.v_next);
+            std::mem::swap(&mut self.v_valid, &mut self.v_valid_next);
+            return 0;
+        }
+        for rb in rb_lo as usize..=rb_hi as usize {
+            let cb_lo = (c - rb as i64 - (t - 1)).max(0) as usize;
+            let cb_hi = ((c - rb as i64).min(cb_max)) as usize;
+            if cb_lo > cb_hi {
+                continue;
+            }
+            let col_lo = cb_lo * k;
+            let col_hi = (cb_hi * k + k).min(cols) - 1;
+            let r0 = rb * k;
+            let r1 = ((rb + 1) * k).min(rows);
+            macs += ((r1 - r0) * (col_hi - col_lo + 1)) as u64;
+            // Within one wavefront the validity of the incoming partial
+            // sum always matches the validity of this block's operands.
+            #[cfg(debug_assertions)]
+            if rb > 0 {
+                let incoming = &self.v_valid[(rb - 1) * self.vw..rb * self.vw];
+                debug_assert!(
+                    (col_lo..=col_hi).all(|col| get_bit(incoming, col)),
+                    "misaligned wavefront at row block {rb}"
+                );
+            }
+            let dst = rb * cols + col_lo;
+            let width = col_hi - col_lo + 1;
+            if rb == 0 {
+                self.v_next[dst..dst + width].fill(0);
+            } else {
+                let src = (rb - 1) * cols + col_lo;
+                self.v_next[dst..dst + width].copy_from_slice(&self.v_regs[src..src + width]);
+            }
+            // Ring slot of `cb_lo`; one slot older (minus one, wrapping)
+            // per column block further east.
+            let slot_first = self.segment_slot(cb_lo);
+            let panel = &mut self.v_next[dst..dst + width];
+            if k == 1 {
+                // One row per block, one column per block: a single fused
+                // lane over the whole active column range.
+                let row = rb;
+                let w_row = &self.weights_rm[row * cols + col_lo..row * cols + col_hi + 1];
+                let mut slot = slot_first;
+                for (acc, &w) in panel.iter_mut().zip(w_row) {
+                    let op = i64::from(self.h_regs[slot * rows + row]);
+                    slot = if slot == 0 { col_blocks - 1 } else { slot - 1 };
+                    *acc = acc.wrapping_add(i64::from(w) * op);
+                }
+            } else {
+                for row in r0..r1 {
+                    let w_row = &self.weights_rm[row * cols + col_lo..row * cols + col_hi + 1];
+                    let mut slot = slot_first;
+                    // `col_lo` is block-aligned, so the `k`-sized chunks
+                    // of the panel and weight lanes line up with the
+                    // column blocks (the last chunk may be the array's
+                    // partial east-edge block).
+                    for (lane, w_lane) in panel.chunks_mut(k).zip(w_row.chunks(k)) {
+                        let op = i64::from(self.h_regs[slot * rows + row]);
+                        slot = if slot == 0 { col_blocks - 1 } else { slot - 1 };
+                        for (acc, &w) in lane.iter_mut().zip(w_lane) {
+                            *acc = acc.wrapping_add(i64::from(w) * op);
+                        }
+                    }
+                }
+            }
+            set_range(
+                &mut self.v_valid_next[rb * self.vw..(rb + 1) * self.vw],
+                col_lo,
+                col_hi,
+            );
+            if rb == row_blocks - 1 {
+                self.note_produced(col_lo as u32, col_hi as u32);
+            }
+        }
+        std::mem::swap(&mut self.v_regs, &mut self.v_next);
+        std::mem::swap(&mut self.v_valid, &mut self.v_valid_next);
+        macs
+    }
+
+    /// Notes that the current cycle registered results for the columns
+    /// `col_first..=col_last` at the south edge. Segments report in
+    /// ascending column order; a gap between two reports means the hull
+    /// is not the exact produced set (possible only for hole-bearing
+    /// streams fed through `step_into`), so the cycle must harvest
+    /// through the per-column path instead of the hull comparison.
+    fn note_produced(&mut self, col_first: u32, col_last: u32) {
+        if self.produced_any {
+            if col_first > self.produced_hi + 1 {
+                self.produced_sparse = true;
+            }
+            self.produced_lo = self.produced_lo.min(col_first);
+            self.produced_hi = self.produced_hi.max(col_last);
+        } else {
+            self.produced_any = true;
+            self.produced_lo = col_first;
+            self.produced_hi = col_last;
+        }
+    }
+
+    /// One naive-scan cycle: full-array shifts and a carry-save evaluation
+    /// of every pipeline block of every column, exactly like the
+    /// register-transfer structure. Kept as the cross-check reference for
+    /// the fast path. The frontier metadata is maintained here too, so the
+    /// fast path can be toggled between tiles without losing track of the
+    /// wavefront.
+    fn cycle_naive(&mut self, west_inputs: &[Option<i32>], south_outputs: &mut [Option<i64>]) -> u64 {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let k = self.config.collapse_depth as usize;
+        let row_blocks = self.config.row_blocks() as usize;
+        let col_blocks = self.config.col_blocks() as usize;
+        let hw = self.hw;
+
+        // 1. Advance the horizontal pipeline (ring rotation, see
+        //    `cycle_fast`): the operand visible to (row, column block cb)
+        //    this cycle is the edge stage from `cb` cycles ago, and that
+        //    staged operand is exactly what the block's register latches
+        //    at the end of the cycle. The frontier metadata is maintained
+        //    here too, so the fast path can be toggled between tiles
+        //    without losing track of the wavefront.
+        let summary = self.stage_edge(EdgeSource::West(west_inputs));
+        self.update_band(summary.count > 0);
+
+        // 2. Vertical reduction: every column chains the products of each
+        //    row block in carry-save form and registers the resolved sum at
+        //    the block's last row. A block with no valid operand commits
+        //    exactly "forward the incoming partial sums, clear the
+        //    validity": its multipliers see operands driven as zero, so the
+        //    carry-save chain leaves the incoming value numerically
+        //    untouched and the registered validity equals the (absent)
+        //    operand validity.
+        self.v_valid_next.fill(0);
+        self.v_next[..cols].fill(0);
+        if row_blocks > 1 {
+            self.v_next[cols..row_blocks * cols]
+                .copy_from_slice(&self.v_regs[..(row_blocks - 1) * cols]);
+        }
+        south_outputs.fill(None);
+        let mut macs = 0u64;
+        for cb in 0..col_blocks {
+            let slot = self.segment_slot(cb);
+            let col_first = cb * k;
+            let width = (col_first + k).min(cols) - col_first;
+            for rb in 0..row_blocks {
+                let first_row = rb * k;
+                let last_row = ((rb + 1) * k).min(rows) - 1;
+                let seg = &self.h_valid[slot * hw..(slot + 1) * hw];
+                let block_valid = any_set_in(seg, first_row, last_row);
+                if block_valid {
+                    macs += u64::try_from(
+                        (first_row..=last_row)
+                            .filter(|&row| get_bit(seg, row))
+                            .count()
+                            * width,
+                    )
+                    .expect("MAC count fits u64");
+                }
+                self.eval_block(rb, cb, slot, block_valid, Some(south_outputs));
+            }
+        }
+
+        std::mem::swap(&mut self.v_regs, &mut self.v_next);
+        std::mem::swap(&mut self.v_valid, &mut self.v_valid_next);
+        macs
+    }
+
+    /// Panel-evaluates every active row block of one dense segment: per
+    /// row block, the block's columns form one contiguous panel of `i64`
+    /// partial-sum lanes in `v_next`, seeded from the previous row block's
+    /// registers and accumulated row by row over contiguous row-major
+    /// weights. The loop body is branch-free (invalid rows inside the
+    /// block multiply operands stored as zero), so LLVM autovectorizes the
+    /// lane loop. A carry-save chain resolved at the block's last row is
+    /// numerically a wrapping sum of its inputs, so the panel result is
+    /// bit-identical to [`SystolicArray::eval_block`].
+    ///
+    /// Returns the MAC count contributed by the segment.
+    // `row` indexes three buffers with different strides (operands,
+    // column-major and row-major weights); an iterator over any one of
+    // them would obscure the others.
+    #[allow(clippy::needless_range_loop)]
+    fn eval_segment_panels(
+        &mut self,
+        cb: usize,
+        slot: usize,
+        first_row: usize,
+        last_row: usize,
+    ) -> u64 {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let k = self.config.collapse_depth as usize;
+        let row_blocks = self.config.row_blocks() as usize;
+        let col_first = cb * k;
+        let col_last = (col_first + k).min(cols) - 1;
+        let width = col_last - col_first + 1;
+        let rb_first = first_row / k;
+        let rb_last = last_row / k;
+        let mut macs = 0u64;
+
+        // Within one wavefront the validity of the incoming partial sum
+        // always matches the validity of this block's operands.
+        #[cfg(debug_assertions)]
+        for rb in rb_first.max(1)..=rb_last {
+            let incoming = &self.v_valid[(rb - 1) * self.vw..rb * self.vw];
+            debug_assert!(
+                (col_first..=col_last).all(|col| get_bit(incoming, col)),
+                "misaligned wavefront at column block {cb}, row block {rb}"
+            );
+        }
+
+        let operands = &self.h_regs[slot * rows..slot * rows + rows];
+        if width == 1 {
+            // Single-column panel (k = 1, or the array's last partial
+            // column block): scalar accumulation over the contiguous
+            // column-major weight lane, no subslice bookkeeping.
+            let col = col_first;
+            let w_col = &self.weights[col * rows..col * rows + rows];
+            let word = col / WORD_BITS;
+            let bit = 1u64 << (col % WORD_BITS);
+            for rb in rb_first..=rb_last {
+                let r0 = rb * k;
+                let r1 = ((rb + 1) * k).min(rows);
+                macs += (last_row.min(r1 - 1) - first_row.max(r0) + 1) as u64;
+                let mut acc = if rb == 0 {
+                    0i64
+                } else {
+                    self.v_regs[(rb - 1) * cols + col]
+                };
+                for row in r0..r1 {
+                    acc = acc.wrapping_add(i64::from(w_col[row]) * i64::from(operands[row]));
+                }
+                self.v_next[rb * cols + col] = acc;
+                self.v_valid_next[rb * self.vw + word] |= bit;
+            }
+        } else {
+            for rb in rb_first..=rb_last {
+                let r0 = rb * k;
+                let r1 = ((rb + 1) * k).min(rows);
+                // Every valid operand of this (row, column-block) feeds
+                // one MAC per column of the block.
+                macs += (last_row.min(r1 - 1) - first_row.max(r0) + 1) as u64 * width as u64;
+                let dst = rb * cols + col_first;
+                if rb == 0 {
+                    self.v_next[dst..dst + width].fill(0);
+                } else {
+                    let src = (rb - 1) * cols + col_first;
+                    self.v_next[dst..dst + width]
+                        .copy_from_slice(&self.v_regs[src..src + width]);
+                }
+                let panel = &mut self.v_next[dst..dst + width];
+                for row in r0..r1 {
+                    let op = i64::from(operands[row]);
+                    let w_row =
+                        &self.weights_rm[row * cols + col_first..row * cols + col_first + width];
+                    for (acc, &w) in panel.iter_mut().zip(w_row) {
+                        *acc = acc.wrapping_add(i64::from(w) * op);
+                    }
+                }
+                set_range(
+                    &mut self.v_valid_next[rb * self.vw..(rb + 1) * self.vw],
+                    col_first,
+                    col_last,
+                );
+            }
+        }
+        if rb_last == row_blocks - 1 {
+            self.note_produced(col_first as u32, col_last as u32);
+        }
+        macs
+    }
+
+    /// Bitset fallback for a segment whose valid rows are not contiguous
+    /// (a west stream with mid-stream holes): gathers the active row
+    /// blocks by iterating the set bits of the segment's validity words
+    /// and evaluates each through the scalar carry-save chain.
+    ///
+    /// Returns the MAC count contributed by the segment.
+    fn eval_segment_sparse(&mut self, cb: usize, slot: usize) -> u64 {
+        let cols = self.config.cols as usize;
+        let k = self.config.collapse_depth as usize;
+        let row_blocks = self.config.row_blocks() as usize;
+        let hw = self.hw;
+        let col_first = cb * k;
+        let width = (col_first + k).min(cols) - col_first;
+        let mut active = std::mem::take(&mut self.block_scratch);
+        active.clear();
+        let seg = &self.h_valid[slot * hw..(slot + 1) * hw];
+        for (word_index, &bits) in seg.iter().enumerate() {
+            let mut word = bits;
+            while word != 0 {
+                let row = word_index * WORD_BITS + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let rb = (row / k) as u32;
+                // Rows arrive in ascending order, so one comparison
+                // against the last entry groups them per block.
+                match active.last_mut() {
+                    Some((last_rb, count)) if *last_rb == rb => *count += 1,
+                    _ => active.push((rb, 1)),
+                }
+            }
+        }
+        let mut macs = 0u64;
+        for &(rb, valid_rows) in &active {
+            macs += u64::from(valid_rows) * width as u64;
+            self.eval_block(rb as usize, cb, slot, true, None);
+            if rb as usize == row_blocks - 1 {
+                self.produced_sparse = true;
+                self.note_produced(col_first as u32, (col_first + width) as u32 - 1);
+            }
+        }
+        self.block_scratch = active;
+        macs
     }
 
     /// Evaluates one (row block, column block) pair: per column, the
@@ -462,8 +1031,9 @@ impl SystolicArray {
         &mut self,
         rb: usize,
         cb: usize,
+        slot: usize,
         block_valid: bool,
-        south_outputs: &mut [Option<i64>],
+        mut south_outputs: Option<&mut [Option<i64>]>,
     ) {
         let rows = self.config.rows as usize;
         let cols = self.config.cols as usize;
@@ -473,7 +1043,7 @@ impl SystolicArray {
         let last_row = ((rb + 1) * k).min(rows) - 1;
         let col_first = cb * k;
         let col_last = (col_first + k).min(cols) - 1;
-        let operands = &self.h_regs[cb * rows..cb * rows + rows];
+        let operands = &self.h_regs[slot * rows..slot * rows + rows];
         for col in col_first..=col_last {
             let incoming = if rb == 0 {
                 0i64
@@ -508,9 +1078,253 @@ impl SystolicArray {
                 );
             }
             if rb == row_blocks - 1 {
-                south_outputs[col] = block_valid.then_some(resolved);
+                if let Some(south) = south_outputs.as_deref_mut() {
+                    south[col] = block_valid.then_some(resolved);
+                }
             }
         }
+    }
+
+    /// Advances the array by `cycles` compute clock cycles
+    /// (`first_cycle..first_cycle + cycles` in the feeder's and
+    /// collector's schedule), the multi-cycle entry point the tile loops
+    /// of [`Simulator`](crate::Simulator) drive.
+    ///
+    /// Semantically this is exactly `cycles` calls to
+    /// [`SystolicArray::step_into`] with
+    /// [`InputFeeder::west_inputs`] as the west edge and
+    /// [`OutputCollector::collect`] as the south edge (property-tested bit
+    /// identical, including [`RunStats`]), but the per-cycle overhead is
+    /// hoisted out of the loop:
+    ///
+    /// * west operands are staged straight from the streamed matrix into
+    ///   the edge segment — no `Option<i32>` staging buffer — and the edge
+    ///   frontier summary comes from the feeder's deterministic schedule
+    ///   in O(1);
+    /// * trailing **dead cycles** — the feeder has no more data, the band
+    ///   is empty and the collector expects nothing — are folded into O(1)
+    ///   statistics bookkeeping via [`RunStats::record_dead_cycles`]
+    ///   instead of being stepped one by one;
+    /// * the dimension and weights-loaded checks run once per call, not
+    ///   once per cycle.
+    ///
+    /// With the fast path disabled the call falls back to literally
+    /// looping `step_into`, so naive-scan cross-checks go through the same
+    /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the feeder or collector
+    /// was built for a different geometry, [`SimError::InvalidConfig`] if
+    /// no weights have been loaded, and any schedule violation the
+    /// collector detects.
+    pub fn run_cycles(
+        &mut self,
+        feeder: &InputFeeder<'_>,
+        first_cycle: u64,
+        cycles: u64,
+        collector: &mut OutputCollector,
+    ) -> Result<(), SimError> {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        if feeder.config() != self.config {
+            return Err(SimError::DimensionMismatch {
+                reason: format!(
+                    "feeder was built for {} but the array is {}",
+                    feeder.config(),
+                    self.config
+                ),
+            });
+        }
+        if collector.config() != self.config {
+            return Err(SimError::DimensionMismatch {
+                reason: format!(
+                    "collector was built for {} but the array is {}",
+                    collector.config(),
+                    self.config
+                ),
+            });
+        }
+        if !self.weights_loaded {
+            return Err(SimError::InvalidConfig {
+                reason: "weights must be loaded before stepping the array".to_owned(),
+            });
+        }
+        let end = first_cycle.saturating_add(cycles);
+
+        if !self.fast_path {
+            // Reference fallback: the literal per-cycle loop, through the
+            // array-owned staging buffers.
+            let mut west = std::mem::take(&mut self.west_scratch);
+            let mut south = std::mem::take(&mut self.south_scratch);
+            west.clear();
+            west.resize(rows, None);
+            south.clear();
+            south.resize(cols, None);
+            let mut result = Ok(());
+            for cycle in first_cycle..end {
+                feeder.west_inputs_into(cycle, &mut west);
+                result = self
+                    .step_into(&west, &mut south)
+                    .and_then(|()| collector.collect(cycle, &south));
+                if result.is_err() {
+                    break;
+                }
+            }
+            self.west_scratch = west;
+            self.south_scratch = south;
+            return result;
+        }
+
+        let last_rb_base = (self.config.row_blocks() as usize - 1) * cols;
+        let idle_from = feeder.idle_from();
+        let last_due = collector.last_due_cycle();
+        // The analytic wavefront kernel applies when the in-flight data is
+        // provably this feeder's uninterrupted schedule from cycle 0;
+        // otherwise each cycle runs the generic frontier kernel.
+        let analytic = match self.purity {
+            StreamPurity::Clean => first_cycle == 0,
+            StreamPurity::Tracked { t, next } => {
+                t == feeder.stream_length() && first_cycle == next
+            }
+            StreamPurity::Poisoned => false,
+        };
+        self.purity = if analytic {
+            StreamPurity::Tracked {
+                t: feeder.stream_length(),
+                next: end,
+            }
+        } else {
+            StreamPurity::Poisoned
+        };
+        let mut cycle = first_cycle;
+        while cycle < end {
+            // Bulk dead-cycle skip: the west edge stays idle from here on,
+            // nothing is in flight and nothing is due — every remaining
+            // cycle is pure bookkeeping.
+            if self.band.is_none()
+                && cycle >= idle_from
+                && last_due.map_or(true, |due| cycle > due)
+            {
+                // The ring head does not advance over skipped cycles, so
+                // drop the (drained, no longer readable) slot metadata —
+                // a later naive full scan reads every slot and must see
+                // them invalid.
+                self.h_valid.fill(0);
+                self.summaries.fill(LaneSummary::default());
+                self.record_dead_cycles(end - cycle);
+                break;
+            }
+            let macs = if analytic {
+                self.cycle_dense_wavefront(feeder, cycle)
+            } else {
+                self.cycle_fast(EdgeSource::Feeder(feeder, cycle))
+            };
+            self.commit_cycle_stats(macs);
+            if self.produced_sparse {
+                // A sparse-fallback segment produced: the hull is not
+                // exact, so harvest through the validity bitset and the
+                // per-column schedule check.
+                let mut south = std::mem::take(&mut self.south_scratch);
+                south.clear();
+                south.resize(cols, None);
+                self.harvest_south(&mut south);
+                let result = collector.collect(cycle, &south);
+                self.south_scratch = south;
+                if let Err(e) = result {
+                    self.purity = StreamPurity::Poisoned;
+                    return Err(e);
+                }
+            } else {
+                let produced = self
+                    .produced_any
+                    .then_some((self.produced_lo, self.produced_hi));
+                let result = collector.collect_produced(
+                    cycle,
+                    produced,
+                    &self.v_regs[last_rb_base..last_rb_base + cols],
+                );
+                if let Err(e) = result {
+                    self.purity = StreamPurity::Poisoned;
+                    return Err(e);
+                }
+            }
+            cycle += 1;
+        }
+        Ok(())
+    }
+
+    /// Books `cycles` dead compute cycles (no active block anywhere) into
+    /// the statistics, exactly as stepping them one by one would.
+    fn record_dead_cycles(&mut self, cycles: u64) {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let row_blocks = self.config.row_blocks() as usize;
+        let col_blocks = self.config.col_blocks() as usize;
+        let clocked = (rows * col_blocks + cols * row_blocks) as u64;
+        let total_regs = 2 * (rows * cols) as u64;
+        self.stats
+            .record_dead_cycles(cycles, (rows * cols) as u64, clocked, total_regs - clocked);
+    }
+
+    /// The active (row block, column block) pairs according to the
+    /// incremental frontier (band hull + per-segment summaries), sorted by
+    /// (column block, row block). Exposed for the frontier-vs-bitset
+    /// equivalence tests; not part of the stable API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn frontier_active_blocks(&self) -> Vec<(u32, u32)> {
+        let k = self.config.collapse_depth;
+        let mut blocks = Vec::new();
+        let Some((lo, hi)) = self.band else {
+            return blocks;
+        };
+        for cb in lo..=hi {
+            let slot = self.segment_slot(cb as usize);
+            let s = self.summaries[slot];
+            if s.count == 0 {
+                continue;
+            }
+            if s.dense {
+                for rb in s.first / k..=s.last / k {
+                    blocks.push((rb, cb));
+                }
+            } else {
+                let seg = &self.h_valid[slot * self.hw..(slot + 1) * self.hw];
+                let mut last_rb = u32::MAX;
+                for row in 0..self.config.rows {
+                    if get_bit(seg, row as usize) && row / k != last_rb {
+                        last_rb = row / k;
+                        blocks.push((last_rb, cb));
+                    }
+                }
+            }
+        }
+        blocks
+    }
+
+    /// The active (row block, column block) pairs according to a full scan
+    /// of the operand-validity bitsets, sorted by (column block, row
+    /// block) — the reference for
+    /// [`SystolicArray::frontier_active_blocks`]. Exposed for the
+    /// equivalence tests; not part of the stable API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn scan_active_blocks(&self) -> Vec<(u32, u32)> {
+        let k = self.config.collapse_depth;
+        let mut blocks = Vec::new();
+        for cb in 0..self.config.col_blocks() {
+            let slot = self.segment_slot(cb as usize);
+            let seg = &self.h_valid[slot * self.hw..(slot + 1) * self.hw];
+            let mut last_rb = u32::MAX;
+            for row in 0..self.config.rows {
+                if get_bit(seg, row as usize) && row / k != last_rb {
+                    last_rb = row / k;
+                    blocks.push((last_rb, cb));
+                }
+            }
+        }
+        blocks
     }
 
     /// Advances the array by one compute clock cycle, returning the
@@ -528,6 +1342,15 @@ impl SystolicArray {
         self.step_into(west_inputs, &mut south)?;
         Ok(south)
     }
+}
+
+/// Where a fast-path cycle's west-edge operands come from.
+enum EdgeSource<'a> {
+    /// A caller-provided per-row operand slice ([`SystolicArray::step_into`]).
+    West(&'a [Option<i32>]),
+    /// The deterministic feeder schedule at a given cycle
+    /// ([`SystolicArray::run_cycles`]).
+    Feeder(&'a InputFeeder<'a>, u64),
 }
 
 #[cfg(test)]
@@ -661,7 +1484,6 @@ mod tests {
 
     #[test]
     fn reset_for_tile_behaves_like_a_fresh_array() {
-        use crate::dataflow::InputFeeder;
         use gemm::rng::SplitMix64;
 
         let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
@@ -697,7 +1519,6 @@ mod tests {
 
     #[test]
     fn fast_path_matches_naive_scan_cycle_by_cycle() {
-        use crate::dataflow::InputFeeder;
         use gemm::rng::SplitMix64;
 
         for k in [1u32, 2, 4] {
@@ -722,9 +1543,151 @@ mod tests {
                 let f = fast.step(&west).unwrap();
                 let n = naive.step(&west).unwrap();
                 assert_eq!(f, n, "k = {k}, cycle = {cycle}");
+                assert_eq!(
+                    fast.frontier_active_blocks(),
+                    fast.scan_active_blocks(),
+                    "k = {k}, cycle = {cycle}"
+                );
             }
             assert_eq!(fast.stats(), naive.stats(), "k = {k}");
         }
+    }
+
+    #[test]
+    fn run_cycles_matches_the_per_cycle_loop() {
+        use gemm::rng::SplitMix64;
+
+        for (rows, cols, k, t) in [(8u32, 8u32, 2u32, 5usize), (6, 6, 3, 4), (4, 8, 1, 3)] {
+            let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+            let mut rng = SplitMix64::new(u64::from(rows) * 31 + u64::from(k));
+            let weights = Matrix::random(rows as usize, cols as usize, &mut rng, -30, 30);
+            let a = Matrix::random(t, rows as usize, &mut rng, -30, 30);
+            let feeder = InputFeeder::new(&a, config).unwrap();
+            let cycles = config.compute_cycles(t as u64);
+
+            let mut bulk = SystolicArray::new(config).unwrap();
+            bulk.load_weights(&weights).unwrap();
+            let mut bulk_collector = OutputCollector::new(config, t);
+            bulk.run_cycles(&feeder, 0, cycles, &mut bulk_collector).unwrap();
+
+            let mut stepped = SystolicArray::new(config).unwrap();
+            stepped.load_weights(&weights).unwrap();
+            let mut collector = OutputCollector::new(config, t);
+            let mut south = vec![None; cols as usize];
+            for cycle in 0..cycles {
+                let west = feeder.west_inputs(cycle);
+                stepped.step_into(&west, &mut south).unwrap();
+                collector.collect(cycle, &south).unwrap();
+            }
+
+            assert_eq!(bulk.stats(), stepped.stats(), "{rows}x{cols} k={k}");
+            assert_eq!(
+                bulk_collector.into_output().unwrap(),
+                collector.into_output().unwrap(),
+                "{rows}x{cols} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_cycles_folds_trailing_dead_cycles() {
+        use gemm::rng::SplitMix64;
+
+        let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        let mut rng = SplitMix64::new(7);
+        let weights = Matrix::random(4, 4, &mut rng, -9, 9);
+        let a = Matrix::random(2, 4, &mut rng, -9, 9);
+        let feeder = InputFeeder::new(&a, config).unwrap();
+        let cycles = config.compute_cycles(2);
+        // Run far past the drain: the extra cycles are dead and must be
+        // folded into the statistics exactly as stepping them would.
+        let extra = 1000u64;
+
+        let mut bulk = SystolicArray::new(config).unwrap();
+        bulk.load_weights(&weights).unwrap();
+        let mut collector = OutputCollector::new(config, 2);
+        bulk.run_cycles(&feeder, 0, cycles + extra, &mut collector).unwrap();
+
+        let mut stepped = SystolicArray::new(config).unwrap();
+        stepped.load_weights(&weights).unwrap();
+        let mut south = vec![None; 4];
+        for cycle in 0..cycles + extra {
+            let west = feeder.west_inputs(cycle);
+            stepped.step_into(&west, &mut south).unwrap();
+        }
+        assert_eq!(bulk.stats(), stepped.stats());
+        assert!(collector.is_complete());
+    }
+
+    #[test]
+    fn run_cycles_rejects_mismatched_schedules() {
+        let config = ArrayConfig::new(4, 4);
+        let other = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        let a = Matrix::<i32>::zeros(2, 4);
+        let mut array = SystolicArray::new(config).unwrap();
+        array.load_weights(&Matrix::<i32>::zeros(4, 4)).unwrap();
+        let feeder = InputFeeder::new(&a, other).unwrap();
+        let mut collector = OutputCollector::new(config, 2);
+        assert!(array.run_cycles(&feeder, 0, 1, &mut collector).is_err());
+        let feeder = InputFeeder::new(&a, config).unwrap();
+        let mut collector = OutputCollector::new(other, 2);
+        assert!(array.run_cycles(&feeder, 0, 1, &mut collector).is_err());
+        // Weights gate.
+        let mut fresh = SystolicArray::new(config).unwrap();
+        let mut collector = OutputCollector::new(config, 2);
+        assert!(fresh.run_cycles(&feeder, 0, 1, &mut collector).is_err());
+    }
+
+    #[test]
+    fn run_cycles_detects_schedule_gaps_between_producing_segments() {
+        // 1x3 array, k = 1: feed the edge at cycle 0 and skip cycle 1, so
+        // at cycle 2 segments 0 and 2 produce but segment 1 does not. The
+        // produced hull (0, 2) then equals the due range of an unbroken
+        // schedule — run_cycles must still flag the missing column 1,
+        // exactly like the per-cycle collect reference does.
+        let config = ArrayConfig::new(1, 3);
+        let weights = Matrix::from_rows(vec![vec![1, 2, 3]]).unwrap();
+        let a = Matrix::from_rows(vec![vec![5], vec![6], vec![7]]).unwrap();
+        let feeder = InputFeeder::new(&a, config).unwrap();
+
+        let run = |bulk_tail: bool| {
+            let mut array = SystolicArray::new(config).unwrap();
+            array.load_weights(&weights).unwrap();
+            let mut south = vec![None; 3];
+            array.step_into(&[Some(5)], &mut south).unwrap();
+            array.step_into(&[None], &mut south).unwrap();
+            let mut collector = OutputCollector::new(config, 3);
+            if bulk_tail {
+                array.run_cycles(&feeder, 2, 1, &mut collector)
+            } else {
+                array.step_into(&feeder.west_inputs(2), &mut south).unwrap();
+                collector.collect(2, &south)
+            }
+        };
+        let bulk = run(true).unwrap_err();
+        let stepped = run(false).unwrap_err();
+        assert!(bulk.to_string().contains("column 1"), "{bulk}");
+        assert!(stepped.to_string().contains("column 1"), "{stepped}");
+    }
+
+    #[test]
+    fn sparse_streams_fall_back_to_the_bitset_scan() {
+        // A west stream with a mid-stream hole: rows 0 and 2 valid, row 1
+        // not — the edge summary is sparse and must still evaluate
+        // correctly (validated against the naive scan).
+        let config = ArrayConfig::new(4, 4).with_collapse_depth(4);
+        let weights = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as i32);
+        let mut fast = SystolicArray::new(config).unwrap();
+        let mut naive = SystolicArray::new(config).unwrap();
+        naive.set_fast_path(false);
+        fast.load_weights(&weights).unwrap();
+        naive.load_weights(&weights).unwrap();
+        let west = [Some(3), None, Some(-5), None];
+        let f = fast.step(&west).unwrap();
+        let n = naive.step(&west).unwrap();
+        assert_eq!(f, n);
+        assert_eq!(fast.frontier_active_blocks(), fast.scan_active_blocks());
+        assert_eq!(fast.stats(), naive.stats());
     }
 
     #[test]
@@ -752,5 +1715,22 @@ mod tests {
         assert!(any_set_in(&words, 129, 129));
         assert!(!any_set_in(&words, 65, 128));
         assert!(get_bit(&words, 64) && get_bit(&words, 129) && !get_bit(&words, 0));
+    }
+
+    #[test]
+    fn bitset_range_sets_cover_word_boundaries() {
+        let mut words = vec![0u64; 3];
+        set_range(&mut words, 3, 3);
+        assert_eq!(words[0], 1 << 3);
+        words.fill(0);
+        set_range(&mut words, 60, 70);
+        for bit in 0..192 {
+            assert_eq!(get_bit(&words, bit), (60..=70).contains(&bit), "bit {bit}");
+        }
+        words.fill(0);
+        set_range(&mut words, 10, 140);
+        for bit in 0..192 {
+            assert_eq!(get_bit(&words, bit), (10..=140).contains(&bit), "bit {bit}");
+        }
     }
 }

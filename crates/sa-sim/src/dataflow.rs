@@ -47,6 +47,85 @@ impl<'a> InputFeeder<'a> {
         self.a.rows() as u64
     }
 
+    /// The array configuration this feeder schedules for.
+    #[must_use]
+    pub fn config(&self) -> ArrayConfig {
+        self.config
+    }
+
+    /// The contiguous range of SA rows that receive a valid operand at
+    /// `cycle`, or `None` when the edge is idle — the O(1) frontier form
+    /// of the schedule.
+    ///
+    /// Row `n` carries `A[t][n]` with `t = cycle - floor(n / k)`, so the
+    /// rows with `0 <= t < T` are exactly
+    /// `k * (cycle - T + 1) ..= k * (cycle + 1) - 1` clamped to the array
+    /// — always dense, which is what lets the fast path skip the validity
+    /// word scan for feeder-driven streams.
+    #[must_use]
+    pub fn active_rows(&self, cycle: u64) -> Option<(u32, u32)> {
+        let k = u64::from(self.config.collapse_depth);
+        let t = self.a.rows() as u64;
+        let rows = u64::from(self.config.rows);
+        if t == 0 {
+            return None;
+        }
+        let first = (cycle + 1).saturating_sub(t).saturating_mul(k);
+        if first >= rows {
+            return None;
+        }
+        let last = cycle
+            .saturating_add(1)
+            .saturating_mul(k)
+            .saturating_sub(1)
+            .min(rows - 1);
+        Some((first as u32, last as u32))
+    }
+
+    /// The first cycle from which the west edge stays idle forever: every
+    /// cycle at or past this index has no valid operand on any row.
+    #[must_use]
+    pub fn idle_from(&self) -> u64 {
+        let t = self.a.rows() as u64;
+        if t == 0 {
+            0
+        } else {
+            t + u64::from((self.config.rows - 1) / self.config.collapse_depth)
+        }
+    }
+
+    /// Writes the west-edge operands for `cycle` as **dense values** (one
+    /// `i32` per SA row, invalid rows driven as zero — exactly the value
+    /// the array's edge registers latch) and returns the valid row range,
+    /// or `None` when the edge is idle. This is the staging form
+    /// [`SystolicArray::run_cycles`](crate::SystolicArray::run_cycles)
+    /// uses: no `Option` decoding, and the values of one skew group are
+    /// copied as contiguous slices of `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have exactly one slot per array row.
+    pub fn stage_values_into(&self, cycle: u64, values: &mut [i32]) -> Option<(u32, u32)> {
+        assert_eq!(
+            values.len(),
+            self.config.rows as usize,
+            "west value buffer must have one slot per array row"
+        );
+        values.fill(0);
+        let (first, last) = self.active_rows(cycle)?;
+        let k = self.config.collapse_depth;
+        let mut n = first;
+        while n <= last {
+            let skew = n / k;
+            let group_last = ((skew + 1) * k - 1).min(last);
+            let t = (cycle - u64::from(skew)) as usize;
+            values[n as usize..=group_last as usize]
+                .copy_from_slice(&self.a.row(t)[n as usize..=group_last as usize]);
+            n = group_last + 1;
+        }
+        Some((first, last))
+    }
+
     /// The west-edge operands for the given compute cycle: for SA row `n`
     /// the element `A[t][n]` with `t = cycle - floor(n / k)`, or `None` if
     /// that row's stream has not started or is already finished.
@@ -149,6 +228,113 @@ impl OutputCollector {
                     })
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// The array configuration this collector schedules for.
+    #[must_use]
+    pub fn config(&self) -> ArrayConfig {
+        self.config
+    }
+
+    /// The last cycle at which any column is due to produce a result, or
+    /// `None` for an empty stream. Cycles past this bound are guaranteed
+    /// output-free, which is what lets
+    /// [`SystolicArray::run_cycles`](crate::SystolicArray::run_cycles)
+    /// fold trailing dead cycles into O(1) bookkeeping.
+    #[must_use]
+    pub fn last_due_cycle(&self) -> Option<u64> {
+        if self.t == 0 {
+            return None;
+        }
+        let k = u64::from(self.config.collapse_depth);
+        let fill_latency = u64::from(self.config.row_blocks()) - 1;
+        Some(fill_latency + u64::from(self.config.cols - 1) / k + self.t as u64 - 1)
+    }
+
+    /// The contiguous range of columns due to register a result at
+    /// `cycle`, or `None` when nothing is due — the O(1) frontier form of
+    /// the output schedule. Column `m` starts producing at cycle
+    /// `fill_latency + floor(m / k)` and produces for `T` cycles, so the
+    /// due columns are always one dense range.
+    #[must_use]
+    pub fn due_range(&self, cycle: u64) -> Option<(u32, u32)> {
+        if self.t == 0 {
+            return None;
+        }
+        let k = u64::from(self.config.collapse_depth);
+        let cols = u64::from(self.config.cols);
+        let fill_latency = u64::from(self.config.row_blocks()) - 1;
+        if cycle < fill_latency {
+            return None;
+        }
+        let offset = cycle - fill_latency;
+        let first = (offset + 1).saturating_sub(self.t as u64).saturating_mul(k);
+        if first >= cols {
+            return None;
+        }
+        let last = offset
+            .saturating_add(1)
+            .saturating_mul(k)
+            .saturating_sub(1)
+            .min(cols - 1);
+        Some((first as u32, last as u32))
+    }
+
+    /// Records the south-edge values of one cycle in dense form: the
+    /// array reports the contiguous column range it registered results
+    /// for (`produced`) and hands over its last-row register lane
+    /// (`values`, one `i64` per column, only the produced range
+    /// meaningful). The schedule cross-check of
+    /// [`OutputCollector::collect`] collapses to one O(1) range
+    /// comparison, and the values of one column group are copied as
+    /// contiguous slices — the harvest form
+    /// [`SystolicArray::run_cycles`](crate::SystolicArray::run_cycles)
+    /// uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the produced range does
+    /// not match the schedule (the same violations
+    /// [`OutputCollector::collect`] detects) or `values` does not have one
+    /// slot per column.
+    pub fn collect_produced(
+        &mut self,
+        cycle: u64,
+        produced: Option<(u32, u32)>,
+        values: &[i64],
+    ) -> Result<(), SimError> {
+        if values.len() != self.config.cols as usize {
+            return Err(SimError::DimensionMismatch {
+                reason: format!(
+                    "expected {} south values, got {}",
+                    self.config.cols,
+                    values.len()
+                ),
+            });
+        }
+        let due = self.due_range(cycle);
+        if produced != due {
+            return Err(SimError::DimensionMismatch {
+                reason: format!(
+                    "columns {produced:?} produced results at cycle {cycle} but {due:?} were due"
+                ),
+            });
+        }
+        let Some((first, last)) = due else {
+            return Ok(());
+        };
+        let k = self.config.collapse_depth;
+        let fill_latency = u64::from(self.config.row_blocks()) - 1;
+        let mut m = first;
+        while m <= last {
+            let group_last = ((m / k + 1) * k - 1).min(last);
+            let t = (cycle - fill_latency - u64::from(m / k)) as usize;
+            self.output.row_mut(t)[m as usize..=group_last as usize]
+                .copy_from_slice(&values[m as usize..=group_last as usize]);
+            self.collected += (group_last - m + 1) as usize;
+            m = group_last + 1;
         }
         Ok(())
     }

@@ -46,16 +46,59 @@ const MAX_POOLED_ARRAYS: usize = 32;
 /// assert_eq!(pool.len(), 0);
 /// # Ok::<(), sa_sim::SimError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ArrayPool {
     slots: Mutex<Vec<SystolicArray>>,
+    /// When set, the pool is pinned to one configuration and a checkin of
+    /// any other configuration is a caller bug (debug-asserted).
+    pinned: Option<ArrayConfig>,
+    /// Checkins beyond this many pooled arrays are dropped.
+    max_slots: usize,
+}
+
+impl Default for ArrayPool {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ArrayPool {
-    /// Creates an empty pool.
+    /// Creates an empty pool that accepts arrays of any configuration.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            slots: Mutex::new(Vec::new()),
+            pinned: None,
+            max_slots: MAX_POOLED_ARRAYS,
+        }
+    }
+
+    /// Creates an empty pool that retains at most `max_slots` arrays (the
+    /// default is 32): long-lived hosts that see many configurations —
+    /// the thread-local pool behind [`Simulator::run_tile`], for example
+    /// — bound their retained memory this way, at the cost of
+    /// reconstructing an array when the working set exceeds the bound.
+    #[must_use]
+    pub fn bounded(max_slots: usize) -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+            pinned: None,
+            max_slots: max_slots.min(MAX_POOLED_ARRAYS),
+        }
+    }
+
+    /// Creates an empty pool **pinned** to one configuration:
+    /// [`ArrayPool::release`] then `debug_assert`s that every checked-in
+    /// array matches it, so a mismatched checkin (which would at best
+    /// waste a pool slot and at worst mask a caller bug) is caught in
+    /// debug builds instead of silently corrupting a later pooled run.
+    #[must_use]
+    pub fn for_config(config: ArrayConfig) -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+            pinned: Some(config),
+            max_slots: MAX_POOLED_ARRAYS,
+        }
     }
 
     /// Number of arrays currently checked in.
@@ -88,10 +131,31 @@ impl ArrayPool {
 
     /// Checks an array back in after resetting it for the next tile. A
     /// pool already holding 32 arrays drops the checkin instead.
+    ///
+    /// Besides [`SystolicArray::reset_for_tile`], the checkin clears every
+    /// piece of residual host-side state a previous user may have left on
+    /// the array — today that is the fast-path flag, which
+    /// `reset_for_tile` deliberately preserves for its own caller — so the
+    /// next checkout always observes factory defaults. When the pool was
+    /// built with [`ArrayPool::for_config`], a checkin of a mismatched
+    /// configuration is debug-asserted.
     pub fn release(&self, mut array: SystolicArray) {
+        if let Some(pinned) = self.pinned {
+            debug_assert_eq!(
+                array.config(),
+                pinned,
+                "checked an array into a pool pinned to a different configuration"
+            );
+            if array.config() != pinned {
+                // In release builds a mismatched checkin is dropped rather
+                // than pooled, so it can never reach a later checkout.
+                return;
+            }
+        }
         array.reset_for_tile();
+        array.set_fast_path(true);
         let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
-        if slots.len() < MAX_POOLED_ARRAYS {
+        if slots.len() < self.max_slots {
             slots.push(array);
         }
     }
@@ -234,18 +298,24 @@ impl Simulator {
     /// Simulates one tile: `A_sub` (`T x R`) times `B_sub` (`R x C`), both
     /// already padded to the array size.
     ///
+    /// The backing [`SystolicArray`] is drawn from a thread-local
+    /// [`ArrayPool`], so repeated single-tile simulations (benchmarks,
+    /// tests, service requests outside a pooled GEMM) reuse state buffers
+    /// instead of reinitializing them per call; pooling is
+    /// property-tested equivalent to a fresh array.
+    ///
     /// # Errors
     ///
     /// Returns dimension errors if the operands do not match the array, or
     /// an internal schedule violation (which would indicate a simulator
     /// bug).
     pub fn run_tile(&self, a_sub: &Matrix<i32>, b_sub: &Matrix<i32>) -> Result<TileResult, SimError> {
-        let mut array = SystolicArray::new(self.config)?;
-        self.run_tile_with(&mut array, a_sub, b_sub, true)
+        self.run_tile_pooled(a_sub, b_sub, true)
     }
 
-    /// Simulates one tile with the inactive-block fast path disabled, i.e.
-    /// with the naive per-cycle scan that evaluates every PE every cycle.
+    /// Simulates one tile with the frontier-banded fast path disabled,
+    /// i.e. with the naive per-cycle scan that evaluates every PE every
+    /// cycle.
     ///
     /// Exists for cross-checking and for measuring the fast path's speedup;
     /// its results are bit-identical to [`Simulator::run_tile`].
@@ -258,15 +328,37 @@ impl Simulator {
         a_sub: &Matrix<i32>,
         b_sub: &Matrix<i32>,
     ) -> Result<TileResult, SimError> {
-        let mut array = SystolicArray::new(self.config)?;
-        self.run_tile_with(&mut array, a_sub, b_sub, false)
+        self.run_tile_pooled(a_sub, b_sub, false)
+    }
+
+    fn run_tile_pooled(
+        &self,
+        a_sub: &Matrix<i32>,
+        b_sub: &Matrix<i32>,
+        fast_path: bool,
+    ) -> Result<TileResult, SimError> {
+        // A handful of retained arrays covers repeated-tile callers
+        // (benchmarks, tests, service handlers) while keeping the
+        // per-thread memory residency small for callers that sweep many
+        // geometries on one long-lived thread.
+        thread_local! {
+            static TILE_POOL: ArrayPool = ArrayPool::bounded(4);
+        }
+        TILE_POOL.with(|pool| {
+            let mut array = pool.acquire(self.config)?;
+            let result = self.run_tile_with(&mut array, a_sub, b_sub, fast_path);
+            pool.release(array);
+            result
+        })
     }
 
     /// The tile kernel every path funnels through: resets the given array
-    /// for a fresh tile, streams `A_sub` through it and collects the south
-    /// edge. One west-input and one south-output staging buffer are reused
-    /// across all cycles, and the caller's array is reused across tiles, so
-    /// the per-cycle hot loop performs no heap allocation.
+    /// for a fresh tile, streams `A_sub` through it via the multi-cycle
+    /// [`SystolicArray::run_cycles`] entry point and collects the south
+    /// edge. West staging, output harvesting and the per-cycle error
+    /// checks are all hoisted inside `run_cycles`, and the caller's array
+    /// is reused across tiles, so the per-cycle hot loop performs no heap
+    /// allocation.
     fn run_tile_with(
         &self,
         array: &mut SystolicArray,
@@ -280,14 +372,7 @@ impl Simulator {
         let feeder = InputFeeder::new(a_sub, self.config)?;
         let t = a_sub.rows();
         let mut collector = OutputCollector::new(self.config, t);
-        let mut west = vec![None; self.config.rows as usize];
-        let mut south = vec![None; self.config.cols as usize];
-        let compute_cycles = self.config.compute_cycles(t as u64);
-        for cycle in 0..compute_cycles {
-            feeder.west_inputs_into(cycle, &mut west);
-            array.step_into(&west, &mut south)?;
-            collector.collect(cycle, &south)?;
-        }
+        array.run_cycles(&feeder, 0, self.config.compute_cycles(t as u64), &mut collector)?;
         let output = collector.into_output()?;
         let mut stats = array.stats();
         stats.tiles = 1;
@@ -307,7 +392,7 @@ impl Simulator {
     ///
     /// Returns dimension errors if `A` and `B` are incompatible.
     pub fn run_gemm(&self, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<GemmResult, SimError> {
-        self.run_gemm_pooled(&ArrayPool::new(), a, b)
+        self.run_gemm_pooled(&ArrayPool::for_config(self.config), a, b)
     }
 
     /// [`Simulator::run_gemm`] drawing its [`SystolicArray`] instances from
@@ -622,6 +707,45 @@ mod tests {
         assert_eq!(pool.len(), 0);
         // Invalid configurations are rejected, not pooled.
         assert!(pool.acquire(ArrayConfig::new(0, 4)).is_err());
+    }
+
+    #[test]
+    fn bounded_pool_caps_retained_arrays() {
+        let pool = ArrayPool::bounded(2);
+        for size in [2u32, 3, 4] {
+            pool.release(SystolicArray::new(ArrayConfig::new(size, size)).unwrap());
+        }
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn pool_checkin_clears_residual_host_state() {
+        let pool = ArrayPool::new();
+        let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        let mut array = SystolicArray::new(config).unwrap();
+        // Leave the measurement knob in its non-default position ...
+        array.set_fast_path(false);
+        pool.release(array);
+        // ... and the next checkout observes factory defaults again.
+        let reused = pool.acquire(config).unwrap();
+        assert!(reused.fast_path());
+        assert_eq!(reused.stats(), RunStats::default());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "pinned to a different configuration"))]
+    fn pinned_pool_rejects_mismatched_checkins() {
+        let pinned = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        let pool = ArrayPool::for_config(pinned);
+        // A matching checkin is pooled normally.
+        pool.release(SystolicArray::new(pinned).unwrap());
+        assert_eq!(pool.len(), 1);
+        // A mismatched checkin is a caller bug: debug builds assert
+        // (ending this test via `should_panic`), release builds drop the
+        // array instead of pooling it.
+        pool.release(SystolicArray::new(ArrayConfig::new(2, 2)).unwrap());
+        #[cfg(not(debug_assertions))]
+        assert_eq!(pool.len(), 1);
     }
 
     #[test]

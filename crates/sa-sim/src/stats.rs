@@ -59,6 +59,31 @@ impl RunStats {
         }
     }
 
+    /// Books `cycles` **dead** compute cycles — cycles in which no
+    /// pipeline block held a valid operand — in O(1), the statistics
+    /// contract of the simulator's bulk dead-cycle skip.
+    ///
+    /// A dead cycle still elapses on the clock and still clocks the
+    /// pipeline registers (the simulated hardware has no idea the cycle is
+    /// dead), so `compute_cycles`, `pe_cycles` and the register activity
+    /// accumulate exactly as if the cycle had been stepped; only `macs`
+    /// stays untouched because no valid operand fed any multiplier.
+    /// `pe_per_cycle` is `R * C`, `clocked_per_cycle` the per-cycle
+    /// clocked-register count of the configuration and `gated_per_cycle`
+    /// its clock-gated complement.
+    pub fn record_dead_cycles(
+        &mut self,
+        cycles: u64,
+        pe_per_cycle: u64,
+        clocked_per_cycle: u64,
+        gated_per_cycle: u64,
+    ) {
+        self.compute_cycles += cycles;
+        self.pe_cycles += cycles * pe_per_cycle;
+        self.clocked_register_events += cycles * clocked_per_cycle;
+        self.gated_register_events += cycles * gated_per_cycle;
+    }
+
     /// Fraction of pipeline-register clock events that were suppressed by
     /// clock gating (0 when nothing was simulated).
     #[must_use]
@@ -185,6 +210,21 @@ mod tests {
         assert_eq!(forward.tiles, 12);
         // Empty sums are the identity.
         assert_eq!(Vec::<RunStats>::new().into_iter().sum::<RunStats>(), RunStats::default());
+    }
+
+    #[test]
+    fn dead_cycles_accumulate_everything_but_macs() {
+        let mut stats = sample();
+        // 4x4 array, k = 2: 16 PEs, 16 clocked + 16 gated register events
+        // per cycle.
+        stats.record_dead_cycles(10, 16, 16, 16);
+        assert_eq!(stats.compute_cycles, 30);
+        assert_eq!(stats.macs, sample().macs);
+        assert_eq!(stats.pe_cycles, sample().pe_cycles + 160);
+        assert_eq!(stats.clocked_register_events, 260);
+        assert_eq!(stats.gated_register_events, 460);
+        assert_eq!(stats.load_cycles, sample().load_cycles);
+        assert_eq!(stats.tiles, sample().tiles);
     }
 
     #[test]

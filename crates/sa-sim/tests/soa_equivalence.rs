@@ -13,7 +13,7 @@
 use gemm::rng::SplitMix64;
 use gemm::Matrix;
 use proptest::prelude::*;
-use sa_sim::{ArrayConfig, InputFeeder, RunStats, SystolicArray};
+use sa_sim::{ArrayConfig, InputFeeder, OutputCollector, RunStats, SystolicArray};
 
 /// The pre-refactor reference: array-of-structs state, per-PE naive scan.
 mod legacy {
@@ -264,6 +264,20 @@ fn soa_core_matches_the_legacy_scan_on_fixed_geometries() {
     }
 }
 
+#[test]
+fn holey_streams_match_on_word_boundary_geometries() {
+    // Sparse-fallback coverage on geometries with multi-word validity
+    // segments and blocks straddling a word boundary.
+    for (rows, cols, k, t, seed, mask) in [
+        (65u32, 65u32, 1u32, 4usize, 21u64, 0b1010u64),
+        (70, 66, 4, 3, 22, 0b0110),
+        (96, 8, 8, 5, 23, u64::MAX << 1),
+        (8, 96, 8, 4, 24, 0b1001),
+    ] {
+        assert_holey_equivalent(rows, cols, k, t, seed, mask);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -313,6 +327,145 @@ proptest! {
         prop_assert_eq!(buffered.stats(), allocating.stats());
     }
 
+    /// `run_cycles(n)` — west staging, evaluation, harvesting and error
+    /// checks hoisted into the multi-cycle entry point, including the
+    /// analytic wavefront kernel, the dead-cycle skip and mid-tile
+    /// continuation across chunked calls — is bit-identical to `n`
+    /// individual `step_into` cycles with per-cycle collection, for both
+    /// the fast path and (via its fallback) the naive scan.
+    #[test]
+    fn run_cycles_equals_repeated_step_into(
+        rows in 1u32..=12,
+        cols in 1u32..=12,
+        k in 1u32..=6,
+        t in 1usize..=10,
+        chunks in 1u64..=3,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+        let mut rng = SplitMix64::new(seed);
+        let weights = Matrix::random(rows as usize, cols as usize, &mut rng, -50, 50);
+        let a = Matrix::random(t, rows as usize, &mut rng, -50, 50);
+        let cycles = config.compute_cycles(t as u64);
+
+        // Reference: the literal per-cycle loop.
+        let mut stepped = SystolicArray::new(config).unwrap();
+        stepped.load_weights(&weights).unwrap();
+        let feeder = InputFeeder::new(&a, config).unwrap();
+        let mut collector = OutputCollector::new(config, t);
+        let mut south = vec![None; cols as usize];
+        for cycle in 0..cycles {
+            let west = feeder.west_inputs(cycle);
+            stepped.step_into(&west, &mut south).unwrap();
+            collector.collect(cycle, &south).unwrap();
+        }
+        let expected = collector.into_output().unwrap();
+
+        let (bulk_out, bulk_stats) = run_tile_via_run_cycles(config, &weights, &a, chunks);
+        prop_assert_eq!(&bulk_out, &expected);
+        prop_assert_eq!(bulk_stats, stepped.stats());
+
+        // The naive fallback goes through the same entry point.
+        let mut naive = SystolicArray::new(config).unwrap();
+        naive.set_fast_path(false);
+        naive.load_weights(&weights).unwrap();
+        let mut naive_collector = OutputCollector::new(config, t);
+        naive.run_cycles(&feeder, 0, cycles, &mut naive_collector).unwrap();
+        prop_assert_eq!(&naive_collector.into_output().unwrap(), &expected);
+        prop_assert_eq!(naive.stats(), stepped.stats());
+    }
+
+    /// A `run_cycles` range extended far past the drain folds the trailing
+    /// dead cycles into O(1) bookkeeping with statistics identical to
+    /// stepping every one of them.
+    #[test]
+    fn run_cycles_dead_skip_matches_stepping(
+        rows in 1u32..=10,
+        cols in 1u32..=10,
+        k in 1u32..=5,
+        t in 1usize..=6,
+        extra in 1u64..=300,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+        let mut rng = SplitMix64::new(seed);
+        let weights = Matrix::random(rows as usize, cols as usize, &mut rng, -50, 50);
+        let a = Matrix::random(t, rows as usize, &mut rng, -50, 50);
+        let feeder = InputFeeder::new(&a, config).unwrap();
+        let cycles = config.compute_cycles(t as u64) + extra;
+
+        let mut bulk = SystolicArray::new(config).unwrap();
+        bulk.load_weights(&weights).unwrap();
+        let mut collector = OutputCollector::new(config, t);
+        bulk.run_cycles(&feeder, 0, cycles, &mut collector).unwrap();
+        prop_assert!(collector.is_complete());
+
+        let mut stepped = SystolicArray::new(config).unwrap();
+        stepped.load_weights(&weights).unwrap();
+        let mut south = vec![None; cols as usize];
+        for cycle in 0..cycles {
+            let west = feeder.west_inputs(cycle);
+            stepped.step_into(&west, &mut south).unwrap();
+        }
+        prop_assert_eq!(bulk.stats(), stepped.stats());
+    }
+
+    /// The frontier band's active set equals the bitset scan's — and the
+    /// outputs stay bit-identical to the legacy reference — for west
+    /// streams with mid-stream holes (randomly dropped `A`-row indices),
+    /// which force the sparse fallback.
+    #[test]
+    fn frontier_matches_bit_scan_for_streams_with_holes(
+        rows in 1u32..=12,
+        cols in 1u32..=12,
+        k in 1u32..=6,
+        t in 1usize..=10,
+        hole_mask in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        assert_holey_equivalent(rows, cols, k, t, seed, hole_mask);
+    }
+
+    /// Mixing manual `step_into` cycles with a `run_cycles` tail (which
+    /// must then take the generic frontier kernel, not the analytic one)
+    /// still matches the pure per-cycle loop.
+    #[test]
+    fn run_cycles_after_manual_steps_matches(
+        rows in 1u32..=10,
+        cols in 1u32..=10,
+        k in 1u32..=5,
+        t in 1usize..=8,
+        prefix in 1u64..=5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+        let mut rng = SplitMix64::new(seed);
+        let weights = Matrix::random(rows as usize, cols as usize, &mut rng, -50, 50);
+        let a = Matrix::random(t, rows as usize, &mut rng, -50, 50);
+        let feeder = InputFeeder::new(&a, config).unwrap();
+        let cycles = config.compute_cycles(t as u64);
+        let prefix = prefix.min(cycles);
+
+        let mut mixed = SystolicArray::new(config).unwrap();
+        mixed.load_weights(&weights).unwrap();
+        let mut collector = OutputCollector::new(config, t);
+        let mut south = vec![None; cols as usize];
+        for cycle in 0..prefix {
+            let west = feeder.west_inputs(cycle);
+            mixed.step_into(&west, &mut south).unwrap();
+            collector.collect(cycle, &south).unwrap();
+        }
+        mixed.run_cycles(&feeder, prefix, cycles - prefix, &mut collector).unwrap();
+
+        let (expected, expected_stats) = run_tile_via_run_cycles(config, &weights, &a, 1);
+        prop_assert_eq!(&collector.into_output().unwrap(), &expected);
+        prop_assert_eq!(mixed.stats(), expected_stats);
+    }
+
     /// Repeatedly reusing one array through `reset_for_tile` is
     /// indistinguishable from constructing a fresh `SystolicArray::new`
     /// for every tile.
@@ -349,6 +502,77 @@ proptest! {
             prop_assert_eq!(reused.stats(), fresh.stats());
         }
     }
+}
+
+/// Drives one wavefront-aligned west stream **with holes** — a feeder
+/// schedule in which a random subset of the `A`-row indices is dropped
+/// wholesale (every SA row sees `None` at its skewed time for a dropped
+/// index, the mid-stream-`None` shape the frontier's sparse fallback must
+/// handle) — through the fast path, the naive scan and the legacy
+/// reference, asserting identical outputs and stats every cycle plus
+/// frontier == bit-scan agreement.
+fn assert_holey_equivalent(rows: u32, cols: u32, k: u32, t: usize, seed: u64, hole_mask: u64) {
+    let config = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+    let mut rng = SplitMix64::new(seed);
+    let weights = Matrix::random(rows as usize, cols as usize, &mut rng, -60, 60);
+    let a = Matrix::random(t, rows as usize, &mut rng, -60, 60);
+    let dropped = |t_index: u64| hole_mask & (1 << (t_index % 64)) != 0;
+
+    let mut reference = legacy::LegacyArray::new(config);
+    let mut fast = SystolicArray::new(config).unwrap();
+    let mut naive = SystolicArray::new(config).unwrap();
+    naive.set_fast_path(false);
+    reference.load_weights(&weights);
+    fast.load_weights(&weights).unwrap();
+    naive.load_weights(&weights).unwrap();
+
+    let feeder = InputFeeder::new(&a, config).unwrap();
+    let mut south = vec![None; cols as usize];
+    for cycle in 0..config.compute_cycles(t as u64) + u64::from(rows.div_ceil(k)) + 2 {
+        let mut west = feeder.west_inputs(cycle);
+        for (row, slot) in west.iter_mut().enumerate() {
+            let skew = row as u64 / u64::from(k);
+            if slot.is_some() && dropped(cycle - skew) {
+                *slot = None;
+            }
+        }
+        let expected = reference.step(&west);
+        fast.step_into(&west, &mut south).unwrap();
+        assert_eq!(south, expected, "fast: {rows}x{cols} k={k} t={t} cycle={cycle}");
+        assert_eq!(
+            fast.frontier_active_blocks(),
+            fast.scan_active_blocks(),
+            "frontier: {rows}x{cols} k={k} t={t} cycle={cycle}"
+        );
+        naive.step_into(&west, &mut south).unwrap();
+        assert_eq!(south, expected, "naive: {rows}x{cols} k={k} t={t} cycle={cycle}");
+    }
+    assert_eq!(fast.stats(), reference.stats(), "{rows}x{cols} k={k} t={t}");
+    assert_eq!(naive.stats(), reference.stats(), "{rows}x{cols} k={k} t={t}");
+}
+
+/// Runs one tile through `run_cycles` — optionally split into `chunks`
+/// consecutive calls, which exercises the analytic kernel's continuation
+/// tracking — and returns the collected output plus the final stats.
+fn run_tile_via_run_cycles(
+    config: ArrayConfig,
+    weights: &Matrix<i32>,
+    a: &Matrix<i32>,
+    chunks: u64,
+) -> (Matrix<i64>, RunStats) {
+    let mut array = SystolicArray::new(config).unwrap();
+    array.load_weights(weights).unwrap();
+    let feeder = InputFeeder::new(a, config).unwrap();
+    let mut collector = OutputCollector::new(config, a.rows());
+    let cycles = config.compute_cycles(a.rows() as u64);
+    let per_chunk = (cycles / chunks).max(1);
+    let mut done = 0;
+    while done < cycles {
+        let n = per_chunk.min(cycles - done);
+        array.run_cycles(&feeder, done, n, &mut collector).unwrap();
+        done += n;
+    }
+    (collector.into_output().unwrap(), array.stats())
 }
 
 #[test]

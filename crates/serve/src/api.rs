@@ -28,7 +28,7 @@ use cnn::{DepthwiseMapping, Network};
 use gemm::rng::SplitMix64;
 use gemm::Matrix;
 use serde::{Deserialize, Serialize, Value};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Maximum array edge length accepted by `/v1/plan` and `/v1/sweep`.
 pub const MAX_ARRAY_EDGE: u32 = 4096;
@@ -52,7 +52,27 @@ pub struct AppState {
     max_body_bytes: usize,
     accepted: AtomicU64,
     sim_pool: ArrayPool,
+    /// Per-route running estimates (largest response seen so far) used to
+    /// pre-size JSON response buffers: `[/v1/plan, /v1/sweep,
+    /// /v1/simulate]`. Serialization appends into a
+    /// `String::with_capacity(estimate)` instead of growing an empty
+    /// buffer through repeated reallocation on every request.
+    body_estimates: [AtomicUsize; 3],
 }
+
+/// Index into [`AppState`]'s per-route response-size estimates.
+#[derive(Debug, Clone, Copy)]
+enum BodyRoute {
+    Plan = 0,
+    Sweep = 1,
+    Simulate = 2,
+}
+
+/// Ceiling on a per-route response-size estimate. One unusually large
+/// response must not pin a multi-megabyte upfront allocation onto every
+/// later request of the route; beyond this, `String` growth amortizes
+/// fine.
+const MAX_BODY_ESTIMATE: usize = 1 << 20;
 
 impl AppState {
     /// Builds the state for one server configuration.
@@ -64,7 +84,25 @@ impl AppState {
             max_body_bytes: config.max_body_bytes,
             accepted: AtomicU64::new(0),
             sim_pool: ArrayPool::new(),
+            body_estimates: [
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+            ],
         }
+    }
+
+    /// Serializes one JSON response body into a buffer pre-sized from the
+    /// route's running estimate (the largest response the route has
+    /// produced so far, capped at [`MAX_BODY_ESTIMATE`]), then feeds the
+    /// observed size back into the estimate. The bytes are identical to
+    /// `serde_json::to_string`.
+    fn sized_json_body<T: Serialize + ?Sized>(&self, route: BodyRoute, value: &T) -> Vec<u8> {
+        let estimate = &self.body_estimates[route as usize];
+        let mut body = String::with_capacity(estimate.load(Ordering::Relaxed));
+        serde_json::to_string_into(value, &mut body).expect("responses serialize to JSON");
+        estimate.fetch_max(body.len().min(MAX_BODY_ESTIMATE), Ordering::Relaxed);
+        body.into_bytes()
     }
 
     /// The plan cache shared by every worker.
@@ -76,10 +114,18 @@ impl AppState {
     /// The pool of simulator arrays `/v1/simulate` reuses across requests
     /// (constructing and zero-initializing a
     /// [`SystolicArray`](arrayflex::sa_sim::SystolicArray) per request is
-    /// measurable churn under load; results are unchanged).
+    /// measurable churn under load; results are unchanged). Each pooled
+    /// array also owns its west/south staging scratch, so a worker
+    /// serving simulate traffic reuses the same staging buffers request
+    /// after request instead of allocating them per request.
     #[must_use]
     pub fn sim_pool(&self) -> &ArrayPool {
         &self.sim_pool
+    }
+
+    #[cfg(test)]
+    fn body_estimate(&self, route: BodyRoute) -> usize {
+        self.body_estimates[route as usize].load(Ordering::Relaxed)
     }
 
     /// The request metrics shared by every worker.
@@ -314,8 +360,7 @@ fn plan(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
     let kind = decode_plan_kind(value)?;
     let model = validated_geometry(rows, cols)?;
     let plan = model.plan_cached(&state.cache, &network, mapping, kind)?;
-    let body = serde_json::to_string(&*plan).expect("plans serialize to JSON");
-    Ok(HttpResponse::json(body.into_bytes()))
+    Ok(HttpResponse::json(state.sized_json_body(BodyRoute::Plan, &*plan)))
 }
 
 // ---------------------------------------------------------------------------
@@ -395,8 +440,9 @@ fn sweep(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
             (*proposed).clone(),
         ));
     }
-    let body = serde_json::to_string(&comparisons).expect("comparisons serialize to JSON");
-    Ok(HttpResponse::json(body.into_bytes()))
+    Ok(HttpResponse::json(
+        state.sized_json_body(BodyRoute::Sweep, &comparisons),
+    ))
 }
 
 /// The `EvaluationSweep` a sweep request is equivalent to (used by tests to
@@ -487,8 +533,9 @@ fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
         macs: result.stats.macs,
         tiles: result.stats.tiles,
     };
-    let body = serde_json::to_string(&response).expect("simulate response serializes");
-    Ok(HttpResponse::json(body.into_bytes()))
+    Ok(HttpResponse::json(
+        state.sized_json_body(BodyRoute::Simulate, &response),
+    ))
 }
 
 #[cfg(test)]
@@ -663,6 +710,22 @@ mod tests {
             let text = String::from_utf8(response.body).unwrap();
             assert!(text.contains(needle), "{text} missing {needle:?}");
         }
+    }
+
+    #[test]
+    fn response_buffers_learn_their_size_from_the_first_response() {
+        let state = state();
+        assert_eq!(state.body_estimate(BodyRoute::Plan), 0);
+        let request = post("/v1/plan", r#"{"network":"resnet18","rows":32,"cols":32}"#);
+        let first = handle(&state, &request);
+        assert_eq!(first.status, 200);
+        // The running estimate now matches the produced body, so the next
+        // response of the route serializes into a buffer pre-sized to it
+        // — and the bytes stay identical either way.
+        assert_eq!(state.body_estimate(BodyRoute::Plan), first.body.len());
+        let second = handle(&state, &request);
+        assert_eq!(second.body, first.body);
+        assert_eq!(state.body_estimate(BodyRoute::Plan), first.body.len());
     }
 
     #[test]

@@ -365,6 +365,18 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a value as compact JSON **appended to a caller-provided
+/// buffer**, reusing its capacity. The bytes appended are exactly what
+/// [`to_string`] would have produced; callers that know an approximate
+/// output size (e.g. an HTTP service that remembers the last response
+/// size per route) can pre-size the buffer with
+/// [`String::with_capacity`] and avoid the incremental reallocation of a
+/// growing response body.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    write_value(out, &value.to_value(), None, 0);
+    Ok(())
+}
+
 /// Serializes a value as a pretty-printed JSON string (two-space indent).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
@@ -489,6 +501,21 @@ mod tests {
     fn pretty_rendering_indents() {
         let rendered = to_string_pretty(&vec![1u32, 2]).unwrap();
         assert_eq!(rendered, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn to_string_into_appends_identical_bytes_without_reallocating() {
+        let value = vec![1u32, 2, 3];
+        let direct = to_string(&value).unwrap();
+        let mut buffer = String::with_capacity(64);
+        let capacity = buffer.capacity();
+        to_string_into(&value, &mut buffer).unwrap();
+        assert_eq!(buffer, direct);
+        assert_eq!(buffer.capacity(), capacity, "pre-sized buffer must not grow");
+        // Appending is deliberate: a caller-owned prefix survives.
+        let mut prefixed = String::from("x");
+        to_string_into(&value, &mut prefixed).unwrap();
+        assert_eq!(prefixed, format!("x{direct}"));
     }
 
     #[test]
