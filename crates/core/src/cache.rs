@@ -1,4 +1,4 @@
-//! A sharded LRU cache for network plans.
+//! A sharded LRU cache for network plans, with lifecycle management.
 //!
 //! Planning a network is a pure function of the analytical model (array
 //! geometry plus technology calibration), the network's layer table, the
@@ -11,6 +11,25 @@
 //! to be byte-identical to recomputing the plan — the serving layer relies
 //! on this to keep cached HTTP responses indistinguishable from direct
 //! library calls (see `DESIGN.md` §6).
+//!
+//! Beyond plain capacity-bounded LRU, the cache supports three lifecycle
+//! controls (all off by default, enabled through [`PlanCache::builder`]):
+//!
+//! * **TTL** (`expire_after_write`): entries older than a fixed duration
+//!   are treated as misses and dropped lazily on the next access. Time is
+//!   read through the [`CacheClock`] abstraction, so tests inject a
+//!   [`ManualClock`] and expire entries deterministically while production
+//!   code uses the monotonic [`MonotonicClock`].
+//! * **Byte budget**: each entry is costed at
+//!   [`estimated_entry_bytes`] (canonical key length plus serialized plan
+//!   length plus a fixed bookkeeping overhead) and every shard evicts
+//!   LRU-first until it is back under its share of the budget.
+//! * **Snapshots**: [`PlanCache::snapshot_to`] persists the live entries as
+//!   a versioned, length-prefixed record stream (written atomically via a
+//!   temp file and rename), and [`PlanCache::load_snapshot`] warms a fresh
+//!   cache from it — the `arrayflex-serve` `--cache-snapshot` flag uses
+//!   this so a restarted server serves its first repeated plan request as
+//!   a cache hit.
 
 use crate::error::ArrayFlexError;
 use crate::model::ArrayFlexModel;
@@ -18,8 +37,11 @@ use crate::plan::NetworkPlan;
 use cnn::{DepthwiseMapping, Network};
 use std::collections::HashMap;
 use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Which pipeline-selection policy a cached plan was produced by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,6 +89,12 @@ impl PlanKey {
     ) -> Self {
         let canonical = serde_json::to_string(&(kind.to_string(), mapping, model, network))
             .expect("plan inputs serialize to JSON");
+        Self::from_canonical(canonical)
+    }
+
+    /// Rebuilds a key from an already canonical serialized form (used when
+    /// warming from a snapshot, whose records store the canonical string).
+    fn from_canonical(canonical: String) -> Self {
         Self {
             hash: fnv1a(canonical.as_bytes()),
             canonical,
@@ -96,39 +124,231 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+// ---------------------------------------------------------------------------
+// Time
+// ---------------------------------------------------------------------------
+
+/// A monotonic time source for entry-age decisions.
+///
+/// `now()` returns the elapsed time since an arbitrary (per-clock) epoch;
+/// only differences between two readings are ever interpreted, so the epoch
+/// itself does not matter. Implementations must be monotonic: a later call
+/// never returns a smaller value.
+pub trait CacheClock: fmt::Debug + Send + Sync {
+    /// The current reading of the clock.
+    fn now(&self) -> Duration;
+}
+
+/// The production [`CacheClock`]: wall-independent monotonic time from
+/// [`std::time::Instant`], anchored at clock construction.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl CacheClock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A hand-advanced [`CacheClock`] for deterministic TTL tests.
+///
+/// Starts at zero and only moves when [`ManualClock::advance`] (or
+/// [`ManualClock::set`]) is called, so a test controls exactly when entries
+/// cross their expiry threshold.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock reading zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        self.nanos
+            .fetch_add(u64::try_from(by.as_nanos()).unwrap_or(u64::MAX), Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute reading (must not move backwards to
+    /// keep the monotonicity contract; this is not checked).
+    pub fn set(&self, to: Duration) {
+        self.nanos
+            .store(u64::try_from(to.as_nanos()).unwrap_or(u64::MAX), Ordering::SeqCst);
+    }
+}
+
+impl CacheClock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------------
+
+/// Fixed per-entry bookkeeping overhead charged on top of the key and plan
+/// bytes by [`estimated_entry_bytes`]: hash-map slot, `Arc` header, LRU and
+/// timestamp fields.
+const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// The byte cost one cached plan is charged against the byte budget: the
+/// canonical key length, plus the length of the serialized plan JSON (the
+/// dominant term — it is also exactly what a snapshot record stores), plus
+/// a fixed bookkeeping overhead.
+#[must_use]
+pub fn estimated_entry_bytes(key: &PlanKey, plan: &NetworkPlan) -> usize {
+    let plan_bytes = serde_json::to_string(plan)
+        .expect("plans serialize to JSON")
+        .len();
+    key.canonical().len() + plan_bytes + ENTRY_OVERHEAD_BYTES
+}
+
+/// How one lookup was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The plan was served from the cache (including the race where another
+    /// thread inserted it while this one was computing).
+    Hit,
+    /// The plan was computed and inserted by this lookup.
+    Miss,
+}
+
+impl fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Hit => write!(f, "hit"),
+            Self::Miss => write!(f, "miss"),
+        }
+    }
+}
+
+/// A point-in-time statistics snapshot of one shard (or, summed, of the
+/// whole cache — see [`PlanCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that computed (or failed to compute) a plan.
+    pub misses: u64,
+    /// Entries removed to enforce the capacity or byte budget.
+    pub evictions: u64,
+    /// Entries dropped because their age reached the TTL.
+    pub expirations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Estimated bytes currently resident (per [`estimated_entry_bytes`]).
+    pub bytes: usize,
+}
+
+impl CacheShardStats {
+    fn add(&mut self, other: &Self) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.expirations += other.expirations;
+        self.entries += other.entries;
+        self.bytes += other.bytes;
+    }
+}
+
 struct Entry {
     plan: Arc<NetworkPlan>,
     last_used: u64,
+    written_at: Duration,
+    cost: usize,
 }
 
 #[derive(Default)]
 struct Shard {
     entries: HashMap<String, Entry>,
+    /// Logical LRU clock: bumped on every probe/insert.
     clock: u64,
+    /// Estimated resident bytes (sum of entry costs).
+    bytes: usize,
+    /// Bumped on every insert, eviction and expiration — the cheap dirtiness
+    /// signal the snapshot saver thread polls.
+    mutations: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    expirations: u64,
 }
 
 impl Shard {
-    fn touch(&mut self, canonical: &str) -> Option<Arc<NetworkPlan>> {
+    /// Looks `canonical` up, enforcing the TTL: an entry whose age reached
+    /// `ttl` is removed (counted as an expiration) and reported absent.
+    /// Does **not** tally a hit or miss — callers classify the lookup.
+    fn probe(
+        &mut self,
+        canonical: &str,
+        now: Duration,
+        ttl: Option<Duration>,
+    ) -> Option<Arc<NetworkPlan>> {
         self.clock += 1;
         let clock = self.clock;
-        self.entries.get_mut(canonical).map(|entry| {
-            entry.last_used = clock;
-            Arc::clone(&entry.plan)
-        })
+        let entry = self.entries.get_mut(canonical)?;
+        if let Some(ttl) = ttl {
+            if now.saturating_sub(entry.written_at) >= ttl {
+                let cost = entry.cost;
+                self.entries.remove(canonical);
+                self.bytes = self.bytes.saturating_sub(cost);
+                self.expirations += 1;
+                self.mutations += 1;
+                return None;
+            }
+        }
+        entry.last_used = clock;
+        Some(Arc::clone(&entry.plan))
     }
 
-    fn insert(&mut self, canonical: String, plan: Arc<NetworkPlan>, capacity: usize) {
+    fn insert(
+        &mut self,
+        canonical: String,
+        plan: Arc<NetworkPlan>,
+        cost: usize,
+        now: Duration,
+        capacity: usize,
+        byte_budget: Option<usize>,
+    ) {
         self.clock += 1;
-        self.entries.insert(
+        let previous = self.entries.insert(
             canonical,
             Entry {
                 plan,
                 last_used: self.clock,
+                written_at: now,
+                cost,
             },
         );
-        while self.entries.len() > capacity {
-            // O(shard) eviction scan: capacities are small (tens of plans),
-            // and a plan computation dwarfs the scan by orders of magnitude.
+        if let Some(previous) = previous {
+            self.bytes = self.bytes.saturating_sub(previous.cost);
+        }
+        self.bytes += cost;
+        self.mutations += 1;
+        // LRU-first eviction until both bounds hold. O(shard) per evicted
+        // entry: capacities are small (tens of plans), and a plan
+        // computation dwarfs the scan by orders of magnitude. An entry
+        // costing more than the whole per-shard byte budget is evicted by
+        // its own insert once everything older is gone — the budget is a
+        // hard bound, so such a plan is effectively uncacheable.
+        while self.entries.len() > capacity
+            || byte_budget.is_some_and(|budget| self.bytes > budget)
+        {
             let Some(oldest) = self
                 .entries
                 .iter()
@@ -137,12 +357,132 @@ impl Shard {
             else {
                 break;
             };
-            self.entries.remove(&oldest);
+            if let Some(evicted) = self.entries.remove(&oldest) {
+                self.bytes = self.bytes.saturating_sub(evicted.cost);
+            }
+            self.evictions += 1;
+            self.mutations += 1;
+        }
+    }
+
+    fn stats(&self) -> CacheShardStats {
+        CacheShardStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            expirations: self.expirations,
+            entries: self.entries.len(),
+            bytes: self.bytes,
         }
     }
 }
 
-/// A thread-safe, sharded LRU cache of [`NetworkPlan`]s.
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Configures a [`PlanCache`] beyond the plain capacity of
+/// [`PlanCache::new`]: shard count, TTL, byte budget and time source.
+///
+/// # Examples
+///
+/// ```
+/// use arrayflex::PlanCache;
+/// use std::time::Duration;
+///
+/// let cache = PlanCache::builder()
+///     .capacity(64)
+///     .ttl(Duration::from_secs(3600))
+///     .max_bytes(16 * 1024 * 1024)
+///     .build();
+/// assert_eq!(cache.capacity(), 64);
+/// assert_eq!(cache.ttl(), Some(Duration::from_secs(3600)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanCacheBuilder {
+    capacity: usize,
+    shards: usize,
+    ttl: Option<Duration>,
+    max_bytes: Option<usize>,
+    clock: Option<Arc<dyn CacheClock>>,
+}
+
+impl Default for PlanCacheBuilder {
+    fn default() -> Self {
+        Self {
+            capacity: 128,
+            shards: PlanCache::DEFAULT_SHARDS,
+            ttl: None,
+            max_bytes: None,
+            clock: None,
+        }
+    }
+}
+
+impl PlanCacheBuilder {
+    /// Total plan capacity across all shards (clamped to at least 1).
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Number of independently locked shards (clamped to at least 1).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Expire entries this long after they were written (`expire_after_write`
+    /// in Caffeine terms). Expiry is lazy: a stale entry is dropped by the
+    /// next lookup that touches it (or skipped by the next snapshot), not by
+    /// a background sweeper.
+    #[must_use]
+    pub fn ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Bound the estimated resident bytes (see [`estimated_entry_bytes`]).
+    /// Like the capacity, the budget is enforced per shard at
+    /// `ceil(max_bytes / shards)`.
+    #[must_use]
+    pub fn max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Use an explicit time source instead of the default
+    /// [`MonotonicClock`] (tests inject a [`ManualClock`] here).
+    #[must_use]
+    pub fn clock(mut self, clock: Arc<dyn CacheClock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Builds the cache.
+    #[must_use]
+    pub fn build(self) -> PlanCache {
+        let shards = self.shards.max(1);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: self.capacity.div_ceil(shards).max(1),
+            per_shard_bytes: self.max_bytes.map(|b| b.div_ceil(shards)),
+            ttl: self.ttl,
+            clock: self
+                .clock
+                .unwrap_or_else(|| Arc::new(MonotonicClock::default())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+/// A thread-safe, sharded LRU cache of [`NetworkPlan`]s with optional TTL,
+/// byte budget and disk snapshots (see the [module docs](self)).
 ///
 /// Lookups lock only the shard the key hashes to, so concurrent requests
 /// for different networks or geometries never contend. A miss computes
@@ -170,19 +510,32 @@ impl Shard {
 pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    per_shard_bytes: Option<usize>,
+    ttl: Option<Duration>,
+    clock: Arc<dyn CacheClock>,
 }
+
+/// Magic bytes opening a snapshot file.
+const SNAPSHOT_MAGIC: [u8; 4] = *b"AFPC";
+/// Snapshot format version (bumped on any layout change; loaders reject
+/// other versions rather than guessing).
+const SNAPSHOT_VERSION: u32 = 1;
+/// Upper bound on one snapshot record field (key or plan). Real canonical
+/// keys and plan serializations are far below this; a length prefix beyond
+/// it means the file is corrupt, and rejecting early avoids a pathological
+/// allocation.
+const MAX_SNAPSHOT_FIELD_BYTES: u32 = 64 * 1024 * 1024;
 
 impl PlanCache {
     /// Default shard count of [`PlanCache::new`].
     pub const DEFAULT_SHARDS: usize = 8;
 
     /// Creates a cache holding at most `capacity` plans (clamped to at
-    /// least 1), spread over [`PlanCache::DEFAULT_SHARDS`] shards.
+    /// least 1), spread over [`PlanCache::DEFAULT_SHARDS`] shards, with no
+    /// TTL and no byte budget.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self::with_shards(capacity, Self::DEFAULT_SHARDS)
+        Self::builder().capacity(capacity).build()
     }
 
     /// Creates a cache with an explicit shard count (both clamped to at
@@ -192,42 +545,51 @@ impl PlanCache {
     /// before the nominal total capacity is reached, like any sharded LRU.
     #[must_use]
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
-        let shards = shards.max(1);
-        let per_shard_capacity = capacity.div_ceil(shards).max(1);
-        Self {
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
-            per_shard_capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        Self::builder().capacity(capacity).shards(shards).build()
     }
 
-    fn shard(&self, key: &PlanKey) -> &Mutex<Shard> {
-        &self.shards[(key.hash() % self.shards.len() as u64) as usize]
+    /// Starts configuring a cache with TTL, byte budget or a custom clock.
+    #[must_use]
+    pub fn builder() -> PlanCacheBuilder {
+        PlanCacheBuilder::default()
     }
 
-    /// Looks up a plan, updating its recency and the hit/miss counters.
+    fn shard(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    fn lock_shard(&self, hash: u64) -> std::sync::MutexGuard<'_, Shard> {
+        self.shard(hash).lock().expect("plan cache shard poisoned")
+    }
+
+    /// Looks up a plan, updating its recency and the hit/miss counters. An
+    /// entry whose age reached the TTL is dropped and reported as a miss
+    /// (and counted as an expiration).
     #[must_use]
     pub fn get(&self, key: &PlanKey) -> Option<Arc<NetworkPlan>> {
-        let found = self
-            .shard(key)
-            .lock()
-            .expect("plan cache shard poisoned")
-            .touch(key.canonical());
+        let now = self.clock.now();
+        let mut shard = self.lock_shard(key.hash());
+        let found = shard.probe(key.canonical(), now, self.ttl);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => shard.hits += 1,
+            None => shard.misses += 1,
+        }
         found
     }
 
-    /// Inserts a plan, evicting the least-recently-used entry of the
-    /// key's shard if it is full.
+    /// Inserts a plan, evicting least-recently-used entries of the key's
+    /// shard while it is over its capacity or byte budget.
     pub fn insert(&self, key: &PlanKey, plan: Arc<NetworkPlan>) {
-        self.shard(key)
-            .lock()
-            .expect("plan cache shard poisoned")
-            .insert(key.canonical().to_owned(), plan, self.per_shard_capacity);
+        let cost = estimated_entry_bytes(key, &plan);
+        let now = self.clock.now();
+        self.lock_shard(key.hash()).insert(
+            key.canonical().to_owned(),
+            plan,
+            cost,
+            now,
+            self.per_shard_capacity,
+            self.per_shard_bytes,
+        );
     }
 
     /// Returns the cached plan for `key`, or computes it with `compute`
@@ -245,25 +607,71 @@ impl PlanCache {
         key: &PlanKey,
         compute: impl FnOnce() -> Result<NetworkPlan, E>,
     ) -> Result<Arc<NetworkPlan>, E> {
-        if let Some(plan) = self.get(key) {
-            return Ok(plan);
-        }
-        let plan = Arc::new(compute()?);
-        let mut shard = self.shard(key).lock().expect("plan cache shard poisoned");
-        if let Some(existing) = shard.touch(key.canonical()) {
-            return Ok(existing);
-        }
-        shard.insert(key.canonical().to_owned(), Arc::clone(&plan), self.per_shard_capacity);
-        Ok(plan)
+        self.get_or_try_insert_traced(key, compute)
+            .map(|(plan, _)| plan)
     }
 
-    /// Number of plans currently cached (across all shards).
+    /// [`PlanCache::get_or_try_insert`], also reporting whether the plan
+    /// was served from the cache.
+    ///
+    /// Exactly one hit or miss is tallied per call: a [`CacheOutcome::Hit`]
+    /// when either the initial probe or the post-compute re-check found the
+    /// entry (the latter is the insert race — the winner's plan is returned
+    /// and **counted as a hit**, since it was served from the cache), a
+    /// [`CacheOutcome::Miss`] only when this call inserted (or failed to
+    /// compute) the plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of `compute` (nothing is cached on error; the
+    /// lookup is tallied as a miss).
+    pub fn get_or_try_insert_traced<E>(
+        &self,
+        key: &PlanKey,
+        compute: impl FnOnce() -> Result<NetworkPlan, E>,
+    ) -> Result<(Arc<NetworkPlan>, CacheOutcome), E> {
+        {
+            let now = self.clock.now();
+            let mut shard = self.lock_shard(key.hash());
+            if let Some(plan) = shard.probe(key.canonical(), now, self.ttl) {
+                shard.hits += 1;
+                return Ok((plan, CacheOutcome::Hit));
+            }
+        }
+        let plan = match compute() {
+            Ok(plan) => Arc::new(plan),
+            Err(e) => {
+                self.lock_shard(key.hash()).misses += 1;
+                return Err(e);
+            }
+        };
+        // Cost the entry outside the lock too (it serializes the plan).
+        let cost = estimated_entry_bytes(key, &plan);
+        let now = self.clock.now();
+        let mut shard = self.lock_shard(key.hash());
+        if let Some(existing) = shard.probe(key.canonical(), now, self.ttl) {
+            // Insert race: another thread cached this key while we were
+            // computing. Serve the winner's entry — as a hit.
+            shard.hits += 1;
+            return Ok((existing, CacheOutcome::Hit));
+        }
+        shard.misses += 1;
+        shard.insert(
+            key.canonical().to_owned(),
+            Arc::clone(&plan),
+            cost,
+            now,
+            self.per_shard_capacity,
+            self.per_shard_bytes,
+        );
+        Ok((plan, CacheOutcome::Miss))
+    }
+
+    /// Number of plans currently cached (across all shards). Entries past
+    /// their TTL but not yet touched still count — expiry is lazy.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("plan cache shard poisoned").entries.len())
-            .sum()
+        self.stats().entries
     }
 
     /// Returns `true` if no plans are cached.
@@ -278,23 +686,75 @@ impl PlanCache {
         self.per_shard_capacity * self.shards.len()
     }
 
+    /// The configured time-to-live, if any.
+    #[must_use]
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
+    }
+
+    /// The configured byte budget, if any (rounded up to a whole number of
+    /// bytes per shard, like the capacity).
+    #[must_use]
+    pub fn max_bytes(&self) -> Option<usize> {
+        self.per_shard_bytes.map(|b| b * self.shards.len())
+    }
+
+    /// Per-shard statistics snapshots, in shard order (the `/metrics`
+    /// endpoint of `arrayflex-serve` exports these as labelled gauges).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheShardStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard poisoned").stats())
+            .collect()
+    }
+
+    /// Whole-cache statistics (every shard summed).
+    #[must_use]
+    pub fn stats(&self) -> CacheShardStats {
+        let mut total = CacheShardStats::default();
+        for shard in &self.shards {
+            total.add(&shard.lock().expect("plan cache shard poisoned").stats());
+        }
+        total
+    }
+
     /// Number of lookups that found a cached plan.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.stats().hits
     }
 
     /// Number of lookups that missed.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.stats().misses
+    }
+
+    /// Number of entries removed to enforce the capacity or byte budget.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.stats().evictions
+    }
+
+    /// Number of entries dropped because their age reached the TTL.
+    #[must_use]
+    pub fn expirations(&self) -> u64 {
+        self.stats().expirations
+    }
+
+    /// Estimated resident bytes (per [`estimated_entry_bytes`]).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.stats().bytes
     }
 
     /// Fraction of lookups served from the cache (0.0 when none happened).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.hits() as f64;
-        let total = hits + self.misses() as f64;
+        let stats = self.stats();
+        let hits = stats.hits as f64;
+        let total = hits + stats.misses as f64;
         if total == 0.0 {
             0.0
         } else {
@@ -302,22 +762,203 @@ impl PlanCache {
         }
     }
 
+    /// A counter that changes whenever the resident entry set changes
+    /// (insert, eviction or expiration — not on plain lookups). The
+    /// snapshot saver thread of `arrayflex-serve` polls this to skip
+    /// rewriting an unchanged snapshot.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard poisoned").mutations)
+            .sum()
+    }
+
     /// Drops every cached plan (the hit/miss counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("plan cache shard poisoned").entries.clear();
+            let mut shard = shard.lock().expect("plan cache shard poisoned");
+            let dropped = shard.entries.len() as u64;
+            shard.entries.clear();
+            shard.bytes = 0;
+            if dropped > 0 {
+                shard.mutations += 1;
+            }
         }
     }
+
+    // -----------------------------------------------------------------------
+    // Snapshots
+    // -----------------------------------------------------------------------
+
+    /// Writes every live entry to `path` as a versioned snapshot, atomically.
+    ///
+    /// Format: a fixed header (`b"AFPC"`, a little-endian `u32` version, a
+    /// little-endian `u64` record count) followed by one length-prefixed
+    /// record per entry — `u32` key length, the canonical key bytes, `u32`
+    /// plan length, the plan's JSON serialization. Records are written in
+    /// per-shard least-recently-used-first order, so replaying them through
+    /// [`PlanCache::load_snapshot`] reproduces each shard's recency order.
+    /// Entries past their TTL are skipped. The bytes go to a `.tmp` sibling
+    /// first and are renamed over `path`, so a crash mid-write can never
+    /// leave a truncated snapshot behind.
+    ///
+    /// Returns the number of records written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn snapshot_to(&self, path: &Path) -> io::Result<usize> {
+        let now = self.clock.now();
+        // Gather (key, plan json) per shard in ascending last_used order;
+        // serialization happens outside the shard locks.
+        let mut records: Vec<(String, Arc<NetworkPlan>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("plan cache shard poisoned");
+            let mut live: Vec<(&String, &Entry)> = shard
+                .entries
+                .iter()
+                .filter(|(_, e)| match self.ttl {
+                    Some(ttl) => now.saturating_sub(e.written_at) < ttl,
+                    None => true,
+                })
+                .collect();
+            live.sort_by_key(|(_, e)| e.last_used);
+            records.extend(
+                live.into_iter()
+                    .map(|(k, e)| (k.clone(), Arc::clone(&e.plan))),
+            );
+        }
+
+        let mut body = Vec::new();
+        body.extend_from_slice(&SNAPSHOT_MAGIC);
+        body.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        body.extend_from_slice(&(records.len() as u64).to_le_bytes());
+        for (canonical, plan) in &records {
+            let plan_json = serde_json::to_string(&**plan)
+                .expect("plans serialize to JSON");
+            body.extend_from_slice(&(canonical.len() as u32).to_le_bytes());
+            body.extend_from_slice(canonical.as_bytes());
+            body.extend_from_slice(&(plan_json.len() as u32).to_le_bytes());
+            body.extend_from_slice(plan_json.as_bytes());
+        }
+
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "snapshot path has no file name"))?;
+        let mut tmp_name = file_name.to_owned();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&body)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(records.len())
+    }
+
+    /// Warms the cache from a snapshot written by [`PlanCache::snapshot_to`].
+    ///
+    /// The whole file is validated *before* anything is inserted: a corrupt
+    /// or truncated snapshot (bad magic, unknown version, short read,
+    /// oversized length prefix, unparsable plan JSON, trailing garbage)
+    /// returns an error and leaves the cache untouched. Loaded entries are
+    /// treated as freshly written (their TTL age restarts now — a stale but
+    /// valid plan is safe to serve, because the key canonicalizes every
+    /// planning input, see `DESIGN.md` §6) and pass through the normal
+    /// insert path, so capacity and byte budgets are enforced.
+    ///
+    /// Returns the number of records inserted (before any eviction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; reports corrupt snapshots as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load_snapshot(&self, path: &Path) -> io::Result<usize> {
+        let bytes = std::fs::read(path)?;
+        let records = parse_snapshot(&bytes)?;
+        let loaded = records.len();
+        for (canonical, plan) in records {
+            let key = PlanKey::from_canonical(canonical);
+            self.insert(&key, Arc::new(plan));
+        }
+        Ok(loaded)
+    }
+}
+
+/// Decodes and validates a whole snapshot byte stream.
+fn parse_snapshot(bytes: &[u8]) -> io::Result<Vec<(String, NetworkPlan)>> {
+    fn corrupt(message: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, format!("corrupt plan-cache snapshot: {message}"))
+    }
+    let mut reader = bytes;
+    let mut magic = [0u8; 4];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|_| corrupt("missing header"))?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let mut word = [0u8; 4];
+    reader
+        .read_exact(&mut word)
+        .map_err(|_| corrupt("missing version"))?;
+    let version = u32::from_le_bytes(word);
+    if version != SNAPSHOT_VERSION {
+        return Err(corrupt(&format!(
+            "unsupported version {version} (expected {SNAPSHOT_VERSION})"
+        )));
+    }
+    let mut long = [0u8; 8];
+    reader
+        .read_exact(&mut long)
+        .map_err(|_| corrupt("missing record count"))?;
+    let count = u64::from_le_bytes(long);
+    let mut records = Vec::new();
+    for index in 0..count {
+        let mut field = |what: &str| -> io::Result<String> {
+            let mut len_bytes = [0u8; 4];
+            reader
+                .read_exact(&mut len_bytes)
+                .map_err(|_| corrupt(&format!("record {index} truncated before {what} length")))?;
+            let len = u32::from_le_bytes(len_bytes);
+            if len > MAX_SNAPSHOT_FIELD_BYTES {
+                return Err(corrupt(&format!("record {index} {what} length {len} is implausible")));
+            }
+            let mut data = vec![0u8; len as usize];
+            reader
+                .read_exact(&mut data)
+                .map_err(|_| corrupt(&format!("record {index} truncated inside {what}")))?;
+            String::from_utf8(data)
+                .map_err(|_| corrupt(&format!("record {index} {what} is not UTF-8")))
+        };
+        let canonical = field("key")?;
+        let plan_json = field("plan")?;
+        let plan: NetworkPlan = serde_json::from_str(&plan_json)
+            .map_err(|e| corrupt(&format!("record {index} plan does not parse: {e}")))?;
+        records.push((canonical, plan));
+    }
+    if !reader.is_empty() {
+        return Err(corrupt("trailing bytes after the last record"));
+    }
+    Ok(records)
 }
 
 impl fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
         f.debug_struct("PlanCache")
-            .field("len", &self.len())
+            .field("len", &stats.entries)
+            .field("bytes", &stats.bytes)
             .field("capacity", &self.capacity())
+            .field("max_bytes", &self.max_bytes())
+            .field("ttl", &self.ttl)
             .field("shards", &self.shards.len())
-            .field("hits", &self.hits())
-            .field("misses", &self.misses())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
+            .field("expirations", &stats.expirations)
             .finish()
     }
 }
@@ -342,12 +983,32 @@ impl ArrayFlexModel {
         mapping: DepthwiseMapping,
         kind: PlanKind,
     ) -> Result<Arc<NetworkPlan>, ArrayFlexError> {
+        self.plan_cached_traced(cache, network, mapping, kind)
+            .map(|(plan, _, _)| plan)
+    }
+
+    /// [`ArrayFlexModel::plan_cached`], also reporting the cache outcome
+    /// and the key hash (the serving layer logs both per request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors; nothing is cached on error.
+    pub fn plan_cached_traced(
+        &self,
+        cache: &PlanCache,
+        network: &Network,
+        mapping: DepthwiseMapping,
+        kind: PlanKind,
+    ) -> Result<(Arc<NetworkPlan>, CacheOutcome, u64), ArrayFlexError> {
         let key = PlanKey::new(self, network, mapping, kind);
-        cache.get_or_try_insert(&key, || match kind {
-            PlanKind::Conventional => self.plan_conventional(network, mapping),
-            PlanKind::ArrayFlex => self.plan_arrayflex(network, mapping),
-            PlanKind::Fixed(k) => self.plan_arrayflex_fixed(network, mapping, k),
-        })
+        let hash = key.hash();
+        cache
+            .get_or_try_insert_traced(&key, || match kind {
+                PlanKind::Conventional => self.plan_conventional(network, mapping),
+                PlanKind::ArrayFlex => self.plan_arrayflex(network, mapping),
+                PlanKind::Fixed(k) => self.plan_arrayflex_fixed(network, mapping, k),
+            })
+            .map(|(plan, outcome)| (plan, outcome, hash))
     }
 }
 
@@ -405,6 +1066,9 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(cache.len(), 1);
+        // The resident bytes match the documented cost estimate.
+        let key = PlanKey::new(&m, &net, mapping, PlanKind::ArrayFlex);
+        assert_eq!(cache.bytes(), estimated_entry_bytes(&key, &first));
     }
 
     #[test]
@@ -440,6 +1104,8 @@ mod tests {
         let result = m.plan_cached(&cache, &net, DepthwiseMapping::default(), PlanKind::Fixed(99));
         assert!(result.is_err());
         assert!(cache.is_empty());
+        // The failed lookup still tallied a miss.
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
     }
 
     #[test]
@@ -461,11 +1127,13 @@ mod tests {
         // ... then overflow: net 1 must be evicted, nets 0 and 2 kept.
         m.plan_cached(&cache, &nets[2], mapping, PlanKind::ArrayFlex).unwrap();
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
         assert!(cache.get(&keys[0]).is_some());
         assert!(cache.get(&keys[1]).is_none());
         assert!(cache.get(&keys[2]).is_some());
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
     }
 
     #[test]
@@ -475,6 +1143,9 @@ mod tests {
         let net = resnet34();
         let mapping = DepthwiseMapping::default();
         let plans: Vec<Arc<NetworkPlan>> = std::thread::scope(|scope| {
+            // The collect is load-bearing: all 8 racers must be spawned
+            // before the first join, or the race never happens.
+            #[allow(clippy::needless_collect)]
             let handles: Vec<_> = (0..8)
                 .map(|_| {
                     scope.spawn(|| {
@@ -490,7 +1161,12 @@ mod tests {
         for plan in &plans {
             assert_eq!(**plan, reference);
         }
+        // Each call tallies exactly one outcome, and only the single
+        // inserting call is a miss — racing callers that are handed the
+        // winner's entry count as hits, not misses.
         assert_eq!(cache.hits() + cache.misses(), 8);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
     }
 
     #[test]
@@ -500,5 +1176,12 @@ mod tests {
         let text = format!("{cache:?}");
         assert!(text.contains("PlanCache"));
         assert!(text.contains("capacity"));
+        assert!(text.contains("bytes"));
+    }
+
+    #[test]
+    fn cache_outcome_displays_for_log_lines() {
+        assert_eq!(CacheOutcome::Hit.to_string(), "hit");
+        assert_eq!(CacheOutcome::Miss.to_string(), "miss");
     }
 }

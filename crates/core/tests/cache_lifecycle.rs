@@ -1,0 +1,354 @@
+//! Lifecycle tests of the plan cache: TTL expiry under an injected clock,
+//! byte-budget eviction ordering, snapshot round trips (including corrupt
+//! snapshot rejection) and the insert-race hit accounting.
+
+use arrayflex::{
+    estimated_entry_bytes, ArrayFlexModel, CacheOutcome, ManualClock, PlanCache, PlanKey,
+    PlanKind,
+};
+use cnn::models::synthetic_cnn;
+use cnn::DepthwiseMapping;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn model() -> ArrayFlexModel {
+    ArrayFlexModel::new(32, 32).unwrap()
+}
+
+/// A unique, self-cleaning temp path for snapshot tests (no tempfile crate
+/// in the no-crates.io build environment).
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "arrayflex-cache-{tag}-{}.snapshot",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        Self(path)
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let mut tmp_name = self.0.file_name().unwrap().to_owned();
+        tmp_name.push(".tmp");
+        let _ = std::fs::remove_file(self.0.with_file_name(tmp_name));
+    }
+}
+
+#[test]
+fn ttl_expires_entries_under_an_injected_clock() {
+    let clock = Arc::new(ManualClock::new());
+    let cache = PlanCache::builder()
+        .capacity(16)
+        .ttl(Duration::from_secs(60))
+        .clock(Arc::clone(&clock) as Arc<_>)
+        .build();
+    let m = model();
+    let net = synthetic_cnn(2, 8, 16);
+    let mapping = DepthwiseMapping::default();
+    let key = PlanKey::new(&m, &net, mapping, PlanKind::ArrayFlex);
+
+    m.plan_cached(&cache, &net, mapping, PlanKind::ArrayFlex).unwrap();
+    assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+    // One nanosecond before the TTL: still a hit.
+    clock.advance(Duration::from_secs(60) - Duration::from_nanos(1));
+    assert!(cache.get(&key).is_some());
+    assert_eq!(cache.expirations(), 0);
+
+    // At exactly the TTL, the entry's age reaches the bound: expired.
+    clock.advance(Duration::from_nanos(1));
+    assert!(cache.get(&key).is_none());
+    assert_eq!(cache.expirations(), 1);
+    assert_eq!(cache.len(), 0);
+    assert_eq!(cache.bytes(), 0);
+    assert_eq!((cache.hits(), cache.misses()), (1, 2));
+
+    // The next plan_cached recomputes and re-caches with a fresh age.
+    m.plan_cached(&cache, &net, mapping, PlanKind::ArrayFlex).unwrap();
+    assert_eq!(cache.misses(), 3);
+    clock.advance(Duration::from_secs(30));
+    assert!(cache.get(&key).is_some(), "rewritten entry has a fresh TTL age");
+    assert_eq!(cache.expirations(), 1);
+}
+
+#[test]
+fn expiry_is_lazy_and_get_or_insert_recomputes_after_expiry() {
+    let clock = Arc::new(ManualClock::new());
+    let cache = PlanCache::builder()
+        .capacity(16)
+        .shards(1)
+        .ttl(Duration::from_millis(100))
+        .clock(Arc::clone(&clock) as Arc<_>)
+        .build();
+    let m = model();
+    let mapping = DepthwiseMapping::default();
+    let nets: Vec<_> = (1..=3).map(|i| synthetic_cnn(i, 8, 8)).collect();
+    for net in &nets {
+        m.plan_cached(&cache, net, mapping, PlanKind::ArrayFlex).unwrap();
+    }
+    assert_eq!(cache.len(), 3);
+
+    clock.advance(Duration::from_millis(200));
+    // Nothing has been touched yet: expiry is lazy, entries still resident.
+    assert_eq!(cache.len(), 3);
+    assert_eq!(cache.expirations(), 0);
+
+    // Touching one key expires only that key; a traced re-plan is a miss.
+    let (_, outcome, _) = m
+        .plan_cached_traced(&cache, &nets[0], mapping, PlanKind::ArrayFlex)
+        .unwrap();
+    assert_eq!(outcome, CacheOutcome::Miss);
+    assert_eq!(cache.expirations(), 1);
+    assert_eq!(cache.len(), 3, "expired entry was replaced by the recompute");
+}
+
+#[test]
+fn byte_budget_evicts_lru_first() {
+    let m = model();
+    let mapping = DepthwiseMapping::default();
+    let nets: Vec<_> = (1..=3).map(|i| synthetic_cnn(i, 8, 8)).collect();
+    let keys: Vec<_> = nets
+        .iter()
+        .map(|n| PlanKey::new(&m, n, mapping, PlanKind::ArrayFlex))
+        .collect();
+    let plans: Vec<_> = nets
+        .iter()
+        .map(|n| m.plan_arrayflex(n, mapping).unwrap())
+        .collect();
+    let costs: Vec<usize> = keys
+        .iter()
+        .zip(&plans)
+        .map(|(k, p)| estimated_entry_bytes(k, p))
+        .collect();
+
+    // Budget fits the two smaller-indexed... precisely: entries 0 and 1,
+    // but not all three. Capacity is roomy, so only bytes can evict.
+    let budget = costs[0] + costs[1] + costs[2] - 1;
+    let cache = PlanCache::builder().capacity(100).shards(1).max_bytes(budget).build();
+    m.plan_cached(&cache, &nets[0], mapping, PlanKind::ArrayFlex).unwrap();
+    m.plan_cached(&cache, &nets[1], mapping, PlanKind::ArrayFlex).unwrap();
+    assert_eq!(cache.bytes(), costs[0] + costs[1]);
+    assert_eq!(cache.evictions(), 0);
+
+    // Touch net 0, making net 1 least recently used; inserting net 2 must
+    // evict net 1 (LRU-first), not net 0.
+    assert!(cache.get(&keys[0]).is_some());
+    m.plan_cached(&cache, &nets[2], mapping, PlanKind::ArrayFlex).unwrap();
+    assert_eq!(cache.evictions(), 1);
+    assert!(cache.get(&keys[0]).is_some());
+    assert!(cache.get(&keys[1]).is_none());
+    assert!(cache.get(&keys[2]).is_some());
+    assert!(cache.bytes() <= budget);
+}
+
+#[test]
+fn entry_larger_than_the_budget_is_not_cacheable() {
+    let m = model();
+    let mapping = DepthwiseMapping::default();
+    let net = synthetic_cnn(3, 16, 16);
+    let key = PlanKey::new(&m, &net, mapping, PlanKind::ArrayFlex);
+    let plan = m.plan_arrayflex(&net, mapping).unwrap();
+    let cost = estimated_entry_bytes(&key, &plan);
+
+    let cache = PlanCache::builder().capacity(100).shards(1).max_bytes(cost - 1).build();
+    let (_, outcome, _) = m
+        .plan_cached_traced(&cache, &net, mapping, PlanKind::ArrayFlex)
+        .unwrap();
+    // The plan is still returned (computed), but the hard byte bound means
+    // it cannot stay resident.
+    assert_eq!(outcome, CacheOutcome::Miss);
+    assert_eq!(cache.len(), 0);
+    assert_eq!(cache.bytes(), 0);
+    assert_eq!(cache.evictions(), 1);
+}
+
+#[test]
+fn snapshot_round_trip_restores_byte_identical_plans() {
+    let temp = TempPath::new("roundtrip");
+    let m = model();
+    let mapping = DepthwiseMapping::default();
+    let nets: Vec<_> = (1..=3).map(|i| synthetic_cnn(i, 8, 16)).collect();
+    let cache = PlanCache::new(16);
+    for net in &nets {
+        m.plan_cached(&cache, net, mapping, PlanKind::ArrayFlex).unwrap();
+    }
+    let written = cache.snapshot_to(&temp.0).unwrap();
+    assert_eq!(written, 3);
+
+    let warmed = PlanCache::new(16);
+    let loaded = warmed.load_snapshot(&temp.0).unwrap();
+    assert_eq!(loaded, 3);
+    assert_eq!(warmed.len(), 3);
+    // Warm-start must not distort the hit/miss statistics.
+    assert_eq!((warmed.hits(), warmed.misses()), (0, 0));
+
+    for net in &nets {
+        let key = PlanKey::new(&m, net, mapping, PlanKind::ArrayFlex);
+        let restored = warmed.get(&key).expect("warmed entry");
+        let direct = m.plan_arrayflex(net, mapping).unwrap();
+        // Byte-identical serialization, not merely equal values.
+        assert_eq!(
+            serde_json::to_string(&*restored).unwrap(),
+            serde_json::to_string(&direct).unwrap()
+        );
+    }
+    assert_eq!(warmed.hits(), 3);
+}
+
+#[test]
+fn snapshot_preserves_per_shard_recency_order() {
+    let temp = TempPath::new("recency");
+    let m = model();
+    let mapping = DepthwiseMapping::default();
+    let nets: Vec<_> = (1..=3).map(|i| synthetic_cnn(i, 8, 8)).collect();
+    let keys: Vec<_> = nets
+        .iter()
+        .map(|n| PlanKey::new(&m, n, mapping, PlanKind::ArrayFlex))
+        .collect();
+    let cache = PlanCache::with_shards(16, 1);
+    for net in &nets {
+        m.plan_cached(&cache, net, mapping, PlanKind::ArrayFlex).unwrap();
+    }
+    // Make net 0 the most recently used before snapshotting.
+    assert!(cache.get(&keys[0]).is_some());
+    cache.snapshot_to(&temp.0).unwrap();
+
+    // Load into a capacity-2 cache: the third (most recent) record replayed
+    // is net 0, so net 1 — the coldest — must be the one evicted.
+    let warmed = PlanCache::with_shards(2, 1);
+    assert_eq!(warmed.load_snapshot(&temp.0).unwrap(), 3);
+    assert_eq!(warmed.len(), 2);
+    assert!(warmed.get(&keys[0]).is_some());
+    assert!(warmed.get(&keys[1]).is_none());
+    assert!(warmed.get(&keys[2]).is_some());
+}
+
+#[test]
+fn corrupt_snapshots_are_rejected_and_leave_the_cache_untouched() {
+    let temp = TempPath::new("corrupt");
+    let m = model();
+    let mapping = DepthwiseMapping::default();
+    let net = synthetic_cnn(2, 8, 16);
+    let cache = PlanCache::new(16);
+    m.plan_cached(&cache, &net, mapping, PlanKind::ArrayFlex).unwrap();
+    cache.snapshot_to(&temp.0).unwrap();
+    let good = std::fs::read(&temp.0).unwrap();
+
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("empty", Vec::new()),
+        ("bad magic", {
+            let mut b = good.clone();
+            b[0] = b'X';
+            b
+        }),
+        ("unsupported version", {
+            let mut b = good.clone();
+            b[4] = 99;
+            b
+        }),
+        ("truncated mid-record", good[..good.len() - 7].to_vec()),
+        ("trailing garbage", {
+            let mut b = good.clone();
+            b.extend_from_slice(b"junk");
+            b
+        }),
+        ("implausible field length", {
+            // Overwrite the first record's key length (right after the
+            // 16-byte header) with u32::MAX.
+            let mut b = good.clone();
+            b[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+            b
+        }),
+        ("unparsable plan json", {
+            // Flip the first byte of the plan JSON (after header, key
+            // length + key, plan length) from '{' to '!'.
+            let mut b = good.clone();
+            let key_len = u32::from_le_bytes(b[16..20].try_into().unwrap()) as usize;
+            let plan_start = 16 + 4 + key_len + 4;
+            b[plan_start] = b'!';
+            b
+        }),
+    ];
+    for (what, bytes) in cases {
+        std::fs::write(&temp.0, &bytes).unwrap();
+        let warmed = PlanCache::new(16);
+        let error = warmed.load_snapshot(&temp.0).expect_err(what);
+        assert_eq!(error.kind(), std::io::ErrorKind::InvalidData, "{what}");
+        assert!(warmed.is_empty(), "{what} must not partially warm the cache");
+    }
+
+    // A missing file is a plain NotFound, distinguishable from corruption.
+    let missing = TempPath::new("missing");
+    let warmed = PlanCache::new(16);
+    let error = warmed.load_snapshot(&missing.0).expect_err("missing file");
+    assert_eq!(error.kind(), std::io::ErrorKind::NotFound);
+}
+
+#[test]
+fn snapshot_respects_ttl_and_budget_on_both_ends() {
+    let temp = TempPath::new("ttl");
+    let clock = Arc::new(ManualClock::new());
+    let cache = PlanCache::builder()
+        .capacity(16)
+        .ttl(Duration::from_secs(10))
+        .clock(Arc::clone(&clock) as Arc<_>)
+        .build();
+    let m = model();
+    let mapping = DepthwiseMapping::default();
+    let old = synthetic_cnn(1, 8, 8);
+    let fresh = synthetic_cnn(2, 8, 8);
+    m.plan_cached(&cache, &old, mapping, PlanKind::ArrayFlex).unwrap();
+    clock.advance(Duration::from_secs(11));
+    m.plan_cached(&cache, &fresh, mapping, PlanKind::ArrayFlex).unwrap();
+    // `old` is past its TTL (lazily still resident): the snapshot skips it.
+    assert_eq!(cache.snapshot_to(&temp.0).unwrap(), 1);
+
+    let warmed = PlanCache::new(16);
+    assert_eq!(warmed.load_snapshot(&temp.0).unwrap(), 1);
+    assert!(warmed
+        .get(&PlanKey::new(&m, &fresh, mapping, PlanKind::ArrayFlex))
+        .is_some());
+}
+
+#[test]
+fn insert_race_counts_the_served_entry_as_a_hit() {
+    // All eight threads probe (finding nothing), then meet at the barrier
+    // inside their compute closures, so every one of them reaches the
+    // post-compute re-check: exactly one inserts (the miss), the other
+    // seven are handed the winner's entry — which must count as hits.
+    let cache = PlanCache::new(64);
+    let m = model();
+    let net = synthetic_cnn(2, 8, 16);
+    let mapping = DepthwiseMapping::default();
+    let key = PlanKey::new(&m, &net, mapping, PlanKind::ArrayFlex);
+    let barrier = Barrier::new(8);
+    let outcomes: Vec<CacheOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let (plan, outcome) = cache
+                        .get_or_try_insert_traced(&key, || {
+                            barrier.wait();
+                            m.plan_arrayflex(&net, mapping)
+                        })
+                        .unwrap();
+                    assert_eq!(*plan, m.plan_arrayflex(&net, mapping).unwrap());
+                    outcome
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let hits = outcomes.iter().filter(|o| **o == CacheOutcome::Hit).count();
+    let misses = outcomes.iter().filter(|o| **o == CacheOutcome::Miss).count();
+    assert_eq!((hits, misses), (7, 1), "exactly one racer inserts, seven are served");
+    assert_eq!(cache.hits(), 7);
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.len(), 1);
+}

@@ -22,7 +22,8 @@ use crate::http::{HttpRequest, HttpResponse, ServerConfig};
 use crate::metrics::Metrics;
 use arrayflex::sa_sim::ArrayPool;
 use arrayflex::{
-    ArrayFlexModel, EvaluationSweep, NetworkComparison, ParallelExecutor, PlanCache, PlanKind,
+    ArrayFlexModel, CacheOutcome, EvaluationSweep, NetworkComparison, ParallelExecutor, PlanCache,
+    PlanKind,
 };
 use cnn::{DepthwiseMapping, Network};
 use gemm::rng::SplitMix64;
@@ -52,6 +53,7 @@ pub struct AppState {
     max_body_bytes: usize,
     accepted: AtomicU64,
     sim_pool: ArrayPool,
+    log_requests: bool,
     /// Per-route running estimates (largest response seen so far) used to
     /// pre-size JSON response buffers: `[/v1/plan, /v1/sweep,
     /// /v1/simulate]`. Serialization appends into a
@@ -78,12 +80,20 @@ impl AppState {
     /// Builds the state for one server configuration.
     #[must_use]
     pub fn new(config: &ServerConfig) -> Self {
+        let mut cache = PlanCache::builder().capacity(config.cache_capacity);
+        if let Some(ttl) = config.cache_ttl {
+            cache = cache.ttl(ttl);
+        }
+        if let Some(max_bytes) = config.cache_max_bytes {
+            cache = cache.max_bytes(max_bytes);
+        }
         Self {
-            cache: PlanCache::new(config.cache_capacity),
+            cache: cache.build(),
             metrics: Metrics::new(),
             max_body_bytes: config.max_body_bytes,
             accepted: AtomicU64::new(0),
             sim_pool: ArrayPool::new(),
+            log_requests: config.log_requests,
             body_estimates: [
                 AtomicUsize::new(0),
                 AtomicUsize::new(0),
@@ -146,6 +156,13 @@ impl AppState {
         self.accepted.load(Ordering::SeqCst)
     }
 
+    /// Whether the connection loop emits one structured log line per
+    /// served request (see `ServerConfig::log_requests`).
+    #[must_use]
+    pub fn log_requests(&self) -> bool {
+        self.log_requests
+    }
+
     pub(crate) fn note_accepted(&self) {
         self.accepted.fetch_add(1, Ordering::SeqCst);
     }
@@ -165,22 +182,41 @@ pub fn route_label(path: &str) -> &'static str {
     }
 }
 
+/// What the serving layer logs about one handled request beyond its
+/// status: the plan-cache interaction, when the route had one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestTrace {
+    /// Cache outcome and key hash of a `/v1/plan` lookup (`None` for
+    /// routes that never consulted the cache, or when planning failed
+    /// before the lookup).
+    pub cache: Option<(CacheOutcome, u64)>,
+}
+
 /// Dispatches one parsed request to its handler.
 #[must_use]
 pub fn handle(state: &AppState, request: &HttpRequest) -> HttpResponse {
-    match (request.method.as_str(), request.path.as_str()) {
+    handle_traced(state, request).0
+}
+
+/// [`handle`], also reporting the [`RequestTrace`] the connection loop
+/// feeds into per-request log lines.
+#[must_use]
+pub fn handle_traced(state: &AppState, request: &HttpRequest) -> (HttpResponse, RequestTrace) {
+    let mut trace = RequestTrace::default();
+    let response = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => HttpResponse::json(&b"{\"status\":\"ok\"}"[..]),
         ("GET", "/metrics") => {
             HttpResponse::text(state.metrics.render_prometheus(&state.cache).into_bytes())
         }
-        ("POST", "/v1/plan") => with_json_body(request, |value| plan(state, value)),
+        ("POST", "/v1/plan") => with_json_body(request, |value| plan(state, value, &mut trace)),
         ("POST", "/v1/sweep") => with_json_body(request, |value| sweep(state, value)),
         ("POST", "/v1/simulate") => with_json_body(request, |value| simulate(state, value)),
         (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/sweep" | "/v1/simulate") => {
             HttpResponse::error(405, &format!("method {} not allowed here", request.method))
         }
         (_, path) => HttpResponse::error(404, &format!("no route for {path}")),
-    }
+    };
+    (response, trace)
 }
 
 /// Parses the body as JSON (rejecting invalid UTF-8 and malformed JSON
@@ -352,14 +388,20 @@ fn validated_geometry(rows: u32, cols: u32) -> Result<ArrayFlexModel, ApiError> 
 // POST /v1/plan
 // ---------------------------------------------------------------------------
 
-fn plan(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
+fn plan(
+    state: &AppState,
+    value: &Value,
+    trace: &mut RequestTrace,
+) -> Result<HttpResponse, ApiError> {
     let network = NetworkSpec::from_value(required(value, "network")?)?.resolve()?;
     let rows: u32 = decode(value, "rows")?;
     let cols: u32 = decode(value, "cols")?;
     let mapping = decode_mapping(value)?;
     let kind = decode_plan_kind(value)?;
     let model = validated_geometry(rows, cols)?;
-    let plan = model.plan_cached(&state.cache, &network, mapping, kind)?;
+    let (plan, outcome, key_hash) =
+        model.plan_cached_traced(&state.cache, &network, mapping, kind)?;
+    trace.cache = Some((outcome, key_hash));
     Ok(HttpResponse::json(state.sized_json_body(BodyRoute::Plan, &*plan)))
 }
 

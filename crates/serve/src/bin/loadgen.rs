@@ -6,17 +6,27 @@
 //! ```text
 //! cargo run --release -p arrayflex-serve --bin loadgen -- [--addr HOST:PORT]
 //!     [--requests N] [--sim-requests N] [--clients N] [--network NAME]
-//!     [--rows N] [--cols N] [--json]
+//!     [--rows N] [--cols N] [--zipf S] [--zipf-pool N] [--seed N]
+//!     [--cache N] [--cache-ttl SECS] [--cache-bytes BYTES] [--json]
 //! ```
 //!
 //! Without `--addr`, an in-process server is spawned on an ephemeral
 //! loopback port (with `--server-threads N` workers), so the default
 //! invocation measures the full client-to-server round trip on one
 //! machine with zero setup. `--json` emits one document with a `plan` and
-//! a `simulate` report, each carrying RPS and p50/p90/p99/max latency.
+//! a `simulate` report, each carrying RPS and p50/p90/p99/max latency;
+//! in-process runs also report the server's plan-cache counters.
+//!
+//! `--zipf S` replaces the fixed `/v1/plan` body with a pool of
+//! `--zipf-pool` distinct synthetic networks whose popularity follows
+//! Zipf(S), sampled deterministically from `--seed` — the recipe for
+//! measuring cache hit rates under realistic key skew (see
+//! EXPERIMENTS.md). `--cache`, `--cache-ttl` and `--cache-bytes` shape the
+//! in-process server's plan cache so eviction and expiry behaviour shows
+//! up in the reported counters.
 
 use arrayflex_serve::http::{serve, ServerConfig};
-use arrayflex_serve::loadgen::{run, CombinedReport, LoadgenConfig};
+use arrayflex_serve::loadgen::{run, CacheReport, CombinedReport, LoadgenConfig, ZipfWorkload};
 use std::net::SocketAddr;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,6 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut network = "resnet34".to_owned();
     let mut rows = 128u32;
     let mut cols = 128u32;
+    let mut zipf: Option<f64> = None;
+    let mut zipf_pool = 32usize;
+    let mut seed = 42u64;
+    let mut cache_capacity: Option<usize> = None;
+    let mut cache_ttl: Option<u64> = None;
+    let mut cache_bytes: Option<usize> = None;
     let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,12 +60,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--network" => network = value_of("--network")?,
             "--rows" => rows = value_of("--rows")?.parse()?,
             "--cols" => cols = value_of("--cols")?.parse()?,
+            "--zipf" => zipf = Some(value_of("--zipf")?.parse()?),
+            "--zipf-pool" => zipf_pool = value_of("--zipf-pool")?.parse()?,
+            "--seed" => seed = value_of("--seed")?.parse()?,
+            "--cache" => cache_capacity = Some(value_of("--cache")?.parse()?),
+            "--cache-ttl" => cache_ttl = Some(value_of("--cache-ttl")?.parse()?),
+            "--cache-bytes" => cache_bytes = Some(value_of("--cache-bytes")?.parse()?),
             "--json" => json = true,
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--requests N] [--sim-requests N] \
                      [--clients N] [--server-threads N] [--network NAME] [--rows N] \
-                     [--cols N] [--json]"
+                     [--cols N] [--zipf S] [--zipf-pool N] [--seed N] [--cache N] \
+                     [--cache-ttl SECS] [--cache-bytes BYTES] [--json]"
                 );
                 return Ok(());
             }
@@ -61,10 +84,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let in_process = match addr {
         Some(_) => None,
         None => {
-            let handle = serve(ServerConfig {
+            let mut config = ServerConfig {
                 threads: server_threads,
+                cache_ttl: cache_ttl.map(std::time::Duration::from_secs),
+                cache_max_bytes: cache_bytes,
                 ..ServerConfig::default()
-            })?;
+            };
+            if let Some(capacity) = cache_capacity {
+                config.cache_capacity = capacity;
+            }
+            let handle = serve(config)?;
             addr = Some(handle.addr());
             Some(handle)
         }
@@ -75,15 +104,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     plan_config.body = Some(format!(
         r#"{{"network":"{network}","rows":{rows},"cols":{cols}}}"#
     ));
+    plan_config.zipf = zipf.map(|s| ZipfWorkload {
+        s,
+        pool: zipf_pool,
+        seed,
+        rows,
+        cols,
+    });
     let sim_config = LoadgenConfig::simulate_workload(addr, sim_requests, clients);
     let report = CombinedReport {
         plan: run(&plan_config),
         simulate: run(&sim_config),
+        cache: in_process
+            .as_ref()
+            .map(|handle| CacheReport::scrape(handle.state().cache())),
     };
     if json {
         println!("{}", serde_json::to_string_pretty(&report)?);
     } else {
-        println!("loadgen @ http://{addr} ({network}, {rows}x{cols})");
+        match zipf {
+            Some(s) => println!(
+                "loadgen @ http://{addr} (zipf s={s}, pool {zipf_pool}, seed {seed}, {rows}x{cols})"
+            ),
+            None => println!("loadgen @ http://{addr} ({network}, {rows}x{cols})"),
+        }
         println!("{}", report.text());
     }
     if let Some(handle) = in_process {

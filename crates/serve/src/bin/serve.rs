@@ -2,8 +2,18 @@
 //!
 //! ```text
 //! cargo run --release -p arrayflex-serve --bin serve -- [--addr 127.0.0.1:8080]
-//!     [--threads N] [--cache N] [--max-body BYTES]
+//!     [--threads N] [--cache N] [--max-body BYTES] [--cache-ttl SECS]
+//!     [--cache-bytes BYTES] [--cache-snapshot PATH] [--snapshot-interval-ms N]
+//!     [--log]
 //! ```
+//!
+//! `--cache-ttl` expires cached plans that long after they were computed;
+//! `--cache-bytes` bounds the cache by estimated resident bytes (LRU-first
+//! eviction) on top of the `--cache` entry count; `--cache-snapshot` warms
+//! the cache from PATH at startup and keeps PATH current (atomic rewrite
+//! whenever the resident set changed, checked every
+//! `--snapshot-interval-ms`); `--log` emits one structured log line per
+//! request on stdout.
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the chosen address is
 //! printed on the first line of stdout (`listening on http://...`), which
@@ -29,9 +39,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--threads" => config.threads = value_of("--threads")?.parse()?,
             "--cache" => config.cache_capacity = value_of("--cache")?.parse()?,
             "--max-body" => config.max_body_bytes = value_of("--max-body")?.parse()?,
+            "--cache-ttl" => {
+                config.cache_ttl = Some(std::time::Duration::from_secs(
+                    value_of("--cache-ttl")?.parse()?,
+                ));
+            }
+            "--cache-bytes" => config.cache_max_bytes = Some(value_of("--cache-bytes")?.parse()?),
+            "--cache-snapshot" => {
+                config.cache_snapshot = Some(value_of("--cache-snapshot")?.into());
+            }
+            "--snapshot-interval-ms" => {
+                config.snapshot_interval = std::time::Duration::from_millis(
+                    value_of("--snapshot-interval-ms")?.parse()?,
+                );
+            }
+            "--log" => config.log_requests = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: serve [--addr HOST:PORT] [--threads N] [--cache N] [--max-body BYTES]"
+                    "usage: serve [--addr HOST:PORT] [--threads N] [--cache N] \
+                     [--max-body BYTES] [--cache-ttl SECS] [--cache-bytes BYTES] \
+                     [--cache-snapshot PATH] [--snapshot-interval-ms N] [--log]"
                 );
                 return Ok(());
             }

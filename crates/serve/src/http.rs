@@ -21,9 +21,10 @@
 use crate::api::{self, AppState};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,6 +51,23 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
+    /// Expire cached plans this long after they were computed (`None`
+    /// keeps them until evicted). See `PlanCacheBuilder::ttl`.
+    pub cache_ttl: Option<Duration>,
+    /// Byte budget of the plan cache (`None` bounds it by entry count
+    /// only). See `PlanCacheBuilder::max_bytes`.
+    pub cache_max_bytes: Option<usize>,
+    /// Warm the plan cache from this snapshot at startup and keep it
+    /// current: a saver thread rewrites the file (atomically) whenever the
+    /// resident entry set changed, every [`ServerConfig::snapshot_interval`],
+    /// and a graceful shutdown writes one final snapshot. A missing file is
+    /// a cold start; a corrupt one is reported and ignored.
+    pub cache_snapshot: Option<PathBuf>,
+    /// How often the saver thread checks for (and persists) cache changes.
+    pub snapshot_interval: Duration,
+    /// Emit one structured log line per served request on stdout
+    /// (`ts=… route=… status=… latency_us=… cache=… key=…`).
+    pub log_requests: bool,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +78,11 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(30),
+            cache_ttl: None,
+            cache_max_bytes: None,
+            cache_snapshot: None,
+            snapshot_interval: Duration::from_secs(1),
+            log_requests: false,
         }
     }
 }
@@ -71,6 +94,9 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    saver: Option<JoinHandle<()>>,
+    saver_stop: Arc<(Mutex<bool>, Condvar)>,
+    snapshot_path: Option<PathBuf>,
 }
 
 impl ServerHandle {
@@ -95,6 +121,19 @@ impl ServerHandle {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(saver) = self.saver.take() {
+            let (stopped, wake) = &*self.saver_stop;
+            *stopped.lock().expect("saver stop flag poisoned") = true;
+            wake.notify_all();
+            let _ = saver.join();
+        }
+        // One final snapshot after the workers have drained, so plans
+        // cached by the very last requests survive the restart too.
+        if let Some(path) = &self.snapshot_path {
+            if let Err(e) = self.state.cache().snapshot_to(path) {
+                eprintln!("plan-cache snapshot to {} failed: {e}", path.display());
+            }
         }
     }
 
@@ -132,6 +171,21 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(AppState::new(&config));
+    if let Some(path) = &config.cache_snapshot {
+        match state.cache().load_snapshot(path) {
+            Ok(n) => eprintln!(
+                "plan cache warm-started with {n} plans from {}",
+                path.display()
+            ),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // First run: nothing to warm from, the saver will create it.
+            }
+            Err(e) => eprintln!(
+                "ignoring unusable plan-cache snapshot {}: {e}",
+                path.display()
+            ),
+        }
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -184,12 +238,55 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             .expect("spawn acceptor thread")
     };
 
+    // The snapshot saver: polls the cache generation every
+    // `snapshot_interval` and rewrites the snapshot (atomically) when the
+    // resident entry set changed. Periodic writes — not just the one at
+    // graceful shutdown — mean even a server killed with SIGKILL warm-starts
+    // from its last persisted state.
+    let saver_stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let saver = config.cache_snapshot.as_ref().map(|path| {
+        let path = path.clone();
+        let state = Arc::clone(&state);
+        let signal = Arc::clone(&saver_stop);
+        let interval = config.snapshot_interval;
+        std::thread::Builder::new()
+            .name("serve-snapshot-saver".to_owned())
+            .spawn(move || {
+                let (stopped, wake) = &*signal;
+                let mut last_generation = state.cache().generation();
+                let mut guard = stopped.lock().expect("saver stop flag poisoned");
+                while !*guard {
+                    let (next, _) = wake
+                        .wait_timeout(guard, interval)
+                        .expect("saver stop flag poisoned");
+                    guard = next;
+                    if *guard {
+                        break; // the final write happens in wait()
+                    }
+                    let generation = state.cache().generation();
+                    if generation != last_generation {
+                        match state.cache().snapshot_to(&path) {
+                            Ok(_) => last_generation = generation,
+                            Err(e) => eprintln!(
+                                "plan-cache snapshot to {} failed: {e}",
+                                path.display()
+                            ),
+                        }
+                    }
+                }
+            })
+            .expect("spawn snapshot saver thread")
+    });
+
     Ok(ServerHandle {
         addr,
         state,
         stop,
         acceptor: Some(acceptor),
         workers,
+        saver,
+        saver_stop,
+        snapshot_path: config.cache_snapshot,
     })
 }
 
@@ -263,6 +360,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
@@ -285,24 +383,60 @@ fn serve_connection(stream: TcpStream, state: &AppState, read_timeout: Duration)
         Err(_) => return,
     });
     let started = Instant::now();
-    let (route, response) = match read_request(&mut reader, state.max_body_bytes()) {
+    let (route, response, trace) = match read_request(&mut reader, state.max_body_bytes()) {
         ReadOutcome::Request(request) => {
             let route = api::route_label(&request.path);
-            (route, api::handle(state, &request))
+            let (response, trace) = api::handle_traced(state, &request);
+            (route, response, trace)
         }
-        ReadOutcome::Reject(response) => ("unparsable", response),
+        ReadOutcome::Reject(response) => {
+            // The rejected request's unread remainder (head tail or body)
+            // would make the close RST the error response off the wire —
+            // same rationale as the 413 body drain, but the remaining
+            // length is unknown here, so drain whatever arrives within a
+            // short grace window.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+            let _ = io::copy(&mut reader.by_ref().take(REJECT_DRAIN_BYTES), &mut io::sink());
+            ("unparsable", response, api::RequestTrace::default())
+        }
         ReadOutcome::Disconnected => return,
     };
-    state
-        .metrics()
-        .observe(route, response.status, started.elapsed());
+    let latency = started.elapsed();
+    state.metrics().observe(route, response.status, latency);
+    if state.log_requests() {
+        println!("{}", log_line(route, &response, latency, trace));
+    }
     write_response(stream, &response);
+}
+
+/// Formats one structured request log line:
+/// `ts=<unix-millis> route=… status=… latency_us=… cache=hit|miss|- key=<hex>|-`.
+fn log_line(
+    route: &str,
+    response: &HttpResponse,
+    latency: Duration,
+    trace: api::RequestTrace,
+) -> String {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |since| since.as_millis());
+    let (cache, key) = match trace.cache {
+        Some((outcome, hash)) => (outcome.to_string(), format!("{hash:016x}")),
+        None => ("-".to_owned(), "-".to_owned()),
+    };
+    format!(
+        "ts={ts} route={route} status={} latency_us={} cache={cache} key={key}",
+        response.status,
+        latency.as_micros()
+    )
 }
 
 fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutcome {
     // --- request line ---
-    let Some(line) = read_head_line(reader) else {
-        return ReadOutcome::Disconnected;
+    let line = match read_head_line(reader) {
+        HeadLine::Line(line) => line,
+        HeadLine::Closed => return ReadOutcome::Disconnected,
+        HeadLine::Reject(response) => return ReadOutcome::Reject(response),
     };
     let mut parts = line.split(' ');
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
@@ -319,26 +453,41 @@ fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutco
     let mut content_length: Option<usize> = None;
     let mut head_bytes = line.len();
     loop {
-        let Some(header) = read_head_line(reader) else {
-            return ReadOutcome::Disconnected;
+        let header = match read_head_line(reader) {
+            HeadLine::Line(header) => header,
+            HeadLine::Closed => return ReadOutcome::Disconnected,
+            HeadLine::Reject(response) => return ReadOutcome::Reject(response),
         };
         if header.is_empty() {
             break;
         }
         head_bytes += header.len();
         if head_bytes > MAX_HEAD_BYTES {
-            return ReadOutcome::Reject(HttpResponse::error(413, "request head too large"));
+            return ReadOutcome::Reject(HttpResponse::error(431, "request head too large"));
         }
         let Some((name, value)) = header.split_once(':') else {
             return ReadOutcome::Reject(HttpResponse::error(400, "malformed header"));
         };
         if name.trim().eq_ignore_ascii_case("content-length") {
-            match value.trim().parse::<usize>() {
-                Ok(length) => content_length = Some(length),
-                Err(_) => {
-                    return ReadOutcome::Reject(HttpResponse::error(400, "invalid content-length"));
-                }
+            // RFC 9112 §6.3 hygiene: only plain decimal digit strings (no
+            // sign, no whitespace inside, no comma list — `usize::parse`
+            // alone would accept `+5`), and repeated Content-Length headers
+            // must all agree; conflicting values are a request-smuggling
+            // vector, not a recoverable ambiguity.
+            let raw = value.trim();
+            if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
+                return ReadOutcome::Reject(HttpResponse::error(400, "invalid content-length"));
             }
+            let Ok(length) = raw.parse::<usize>() else {
+                return ReadOutcome::Reject(HttpResponse::error(400, "invalid content-length"));
+            };
+            if content_length.is_some_and(|previous| previous != length) {
+                return ReadOutcome::Reject(HttpResponse::error(
+                    400,
+                    "conflicting content-length headers",
+                ));
+            }
+            content_length = Some(length);
         }
     }
 
@@ -363,19 +512,42 @@ fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutco
     ReadOutcome::Request(HttpRequest { method, path, body })
 }
 
+/// Outcome of reading one head line off the connection.
+enum HeadLine {
+    /// A complete UTF-8 head line, line terminators stripped.
+    Line(String),
+    /// The peer closed (or errored) before a terminated line arrived.
+    Closed,
+    /// The line violates a head invariant; respond with this and close.
+    /// (Previously these fell through as a silent TCP close, so clients
+    /// could not distinguish an overlong or binary head from a crash and
+    /// the request never reached the metrics.)
+    Reject(HttpResponse),
+}
+
 /// Reads one CRLF- (or bare-LF-) terminated head line, capped at
 /// [`MAX_HEAD_BYTES`].
-fn read_head_line(reader: &mut BufReader<TcpStream>) -> Option<String> {
+fn read_head_line(reader: &mut BufReader<TcpStream>) -> HeadLine {
     let mut line = Vec::new();
     let mut limited = reader.take(MAX_HEAD_BYTES as u64 + 1);
-    if limited.read_until(b'\n', &mut line).is_err() || line.is_empty() || line.len() > MAX_HEAD_BYTES
-    {
-        return None;
+    match limited.read_until(b'\n', &mut line) {
+        Err(_) | Ok(0) => return HeadLine::Closed,
+        Ok(_) => {}
+    }
+    if line.len() > MAX_HEAD_BYTES {
+        return HeadLine::Reject(HttpResponse::error(431, "request head line too long"));
+    }
+    if line.last() != Some(&b'\n') {
+        // EOF mid-line: the peer hung up before terminating the line.
+        return HeadLine::Closed;
     }
     while matches!(line.last(), Some(b'\n' | b'\r')) {
         line.pop();
     }
-    String::from_utf8(line).ok()
+    match String::from_utf8(line) {
+        Ok(text) => HeadLine::Line(text),
+        Err(_) => HeadLine::Reject(HttpResponse::error(400, "request head is not valid UTF-8")),
+    }
 }
 
 fn write_response(mut stream: TcpStream, response: &HttpResponse) {
@@ -409,7 +581,7 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_every_emitted_status() {
-        for status in [200u16, 400, 404, 405, 413, 500] {
+        for status in [200u16, 400, 404, 405, 413, 431, 500] {
             assert_ne!(reason(status), "Unknown", "status {status}");
         }
         assert_eq!(reason(599), "Unknown");

@@ -48,7 +48,9 @@ pub mod http;
 pub mod loadgen;
 pub mod metrics;
 
-pub use api::{AppState, SimulateResponse};
+pub use api::{AppState, RequestTrace, SimulateResponse};
 pub use http::{serve, HttpRequest, HttpResponse, ServerConfig, ServerHandle};
-pub use loadgen::{CombinedReport, LoadgenConfig, LoadgenReport};
+pub use loadgen::{
+    CacheReport, CombinedReport, LoadgenConfig, LoadgenReport, ZipfSampler, ZipfWorkload,
+};
 pub use metrics::Metrics;

@@ -7,6 +7,8 @@
 //! the acceptance criterion of ≥ 1000 requests with zero errors.
 
 use crate::client;
+use arrayflex::PlanCache;
+use gemm::rng::SplitMix64;
 use serde::Serialize;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -25,6 +27,11 @@ pub struct LoadgenConfig {
     pub requests: usize,
     /// Concurrent client threads.
     pub clients: usize,
+    /// When set, requests draw their body from a pool of distinct
+    /// synthetic-network plan requests with zipfian popularity instead of
+    /// repeating [`LoadgenConfig::body`] — so cache hit rates under
+    /// realistic key skew are measured rather than assumed.
+    pub zipf: Option<ZipfWorkload>,
 }
 
 impl LoadgenConfig {
@@ -38,6 +45,7 @@ impl LoadgenConfig {
             body: Some(r#"{"network":"resnet34","rows":128,"cols":128}"#.to_owned()),
             requests,
             clients,
+            zipf: None,
         }
     }
 
@@ -52,7 +60,105 @@ impl LoadgenConfig {
             body: Some(r#"{"rows":16,"cols":16,"k":2,"t":8,"n":48,"m":24,"seed":7}"#.to_owned()),
             requests,
             clients,
+            zipf: None,
         }
+    }
+}
+
+/// A zipfian `/v1/plan` workload: a pool of distinct synthetic networks
+/// whose request popularity follows Zipf(`s`), sampled deterministically
+/// from `seed`.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    /// Zipf skew exponent (`0.0` is uniform; web-like traces are ~1.0).
+    pub s: f64,
+    /// Number of distinct networks in the pool.
+    pub pool: usize,
+    /// Seed of the per-client sampling streams (client `i` samples from
+    /// `SplitMix64::new(seed + i)`), so a fixed seed and client count
+    /// reproduce the exact request mix.
+    pub seed: u64,
+    /// Array rows of every request in the pool.
+    pub rows: u32,
+    /// Array columns of every request in the pool.
+    pub cols: u32,
+}
+
+impl ZipfWorkload {
+    /// The pool of request bodies, one distinct inline synthetic network
+    /// per popularity rank (rank 0 is the hottest key). Bodies depend only
+    /// on `pool`/`rows`/`cols`, never on the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    #[must_use]
+    pub fn bodies(&self) -> Vec<String> {
+        assert!(self.pool > 0, "zipf workload needs a non-empty pool");
+        (0..self.pool)
+            .map(|index| {
+                // Distinct per index (base_channels grows with the rank),
+                // with some depth variety so plan sizes differ too.
+                let network = cnn::models::synthetic_cnn(
+                    1 + (index % 3) as u32,
+                    4 + index,
+                    16,
+                );
+                format!(
+                    r#"{{"network":{},"rows":{},"cols":{}}}"#,
+                    serde_json::to_string(&network).expect("networks serialize"),
+                    self.rows,
+                    self.cols
+                )
+            })
+            .collect()
+    }
+}
+
+/// Samples pool indices with Zipf(`s`) popularity: rank `r` (0-based) has
+/// weight `1 / (r + 1)^s`. Sampling walks a precomputed CDF with
+/// `partition_point`, so one draw is a `next_f64` plus a binary search.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is not finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf sampler needs at least one rank");
+        assert!(s.is_finite(), "zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 1..=n {
+            total += (rank as f64).powf(-s);
+            cdf.push(total);
+        }
+        for bound in &mut cdf {
+            *bound /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one rank in `0..n` from `rng`.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        self.cdf
+            .partition_point(|&bound| bound <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// The probability of rank `r` (0-based).
+    #[must_use]
+    pub fn probability(&self, rank: usize) -> f64 {
+        let below = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - below
     }
 }
 
@@ -100,6 +206,58 @@ impl LoadgenReport {
     }
 }
 
+/// Plan-cache counters read after a run (present when `loadgen` owned the
+/// in-process server and could read its cache directly).
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheReport {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan.
+    pub misses: u64,
+    /// Fraction of lookups served from the cache.
+    pub hit_rate: f64,
+    /// Plans resident at the end of the run.
+    pub entries: usize,
+    /// Estimated resident bytes at the end of the run.
+    pub bytes: usize,
+    /// Plans evicted by capacity or byte-budget pressure.
+    pub evictions: u64,
+    /// Plans expired by the write-TTL.
+    pub expirations: u64,
+}
+
+impl CacheReport {
+    /// Reads the counters of `cache` as they stand now.
+    #[must_use]
+    pub fn scrape(cache: &PlanCache) -> Self {
+        Self {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            hit_rate: cache.hit_rate(),
+            entries: cache.len(),
+            bytes: cache.bytes(),
+            evictions: cache.evictions(),
+            expirations: cache.expirations(),
+        }
+    }
+
+    /// Renders the counters as one human-readable line.
+    #[must_use]
+    pub fn text(&self) -> String {
+        format!(
+            "cache:    {} hits / {} misses ({:.1}% hit rate), {} entries, {} bytes, \
+             {} evictions, {} expirations",
+            self.hits,
+            self.misses,
+            self.hit_rate * 100.0,
+            self.entries,
+            self.bytes,
+            self.evictions,
+            self.expirations
+        )
+    }
+}
+
 /// The per-endpoint reports of one `loadgen` invocation: the planning
 /// route and the (pooled) cycle-accurate simulation route, so service-side
 /// wins on either path show up in the same JSON document.
@@ -109,6 +267,9 @@ pub struct CombinedReport {
     pub plan: LoadgenReport,
     /// The `/v1/simulate` load.
     pub simulate: LoadgenReport,
+    /// Plan-cache counters of the in-process server (`None` when the load
+    /// targeted a remote address).
+    pub cache: Option<CacheReport>,
 }
 
 impl CombinedReport {
@@ -121,11 +282,16 @@ impl CombinedReport {
     /// Renders both endpoint reports as human-readable tables.
     #[must_use]
     pub fn text(&self) -> String {
-        format!(
+        let mut out = format!(
             "POST /v1/plan\n{}\nPOST /v1/simulate\n{}",
             self.plan.text(),
             self.simulate.text()
-        )
+        );
+        if let Some(cache) = &self.cache {
+            out.push('\n');
+            out.push_str(&cache.text());
+        }
+        out
     }
 }
 
@@ -155,17 +321,28 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             max_us: 0,
         };
     }
+    // A zipfian workload pre-renders its body pool once; every client then
+    // samples ranks from its own seeded stream, so the request mix is a
+    // pure function of (seed, clients, requests).
+    let zipf = config
+        .zipf
+        .as_ref()
+        .map(|z| (z.bodies(), ZipfSampler::new(z.pool, z.s), z.seed));
     let remaining = AtomicUsize::new(config.requests);
     let started = Instant::now();
     let mut per_client: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
         let remaining = &remaining;
+        let zipf = &zipf;
         // The collect is load-bearing: every client thread must be spawned
         // before the first join, otherwise the load degenerates to one
         // sequential client at a time.
         #[allow(clippy::needless_collect)]
         let handles: Vec<_> = (0..config.clients)
-            .map(|_| {
+            .map(|client_index| {
                 scope.spawn(move || {
+                    let mut rng = zipf
+                        .as_ref()
+                        .map(|(_, _, seed)| SplitMix64::new(seed.wrapping_add(client_index as u64)));
                     let mut latencies = Vec::new();
                     let mut errors = 0usize;
                     loop {
@@ -178,8 +355,14 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
                         if !claimed {
                             break;
                         }
+                        let body = match (zipf, &mut rng) {
+                            (Some((bodies, sampler, _)), Some(rng)) => {
+                                Some(&bodies[sampler.sample(rng)])
+                            }
+                            _ => config.body.as_ref(),
+                        };
                         let request_started = Instant::now();
-                        let outcome = match &config.body {
+                        let outcome = match body {
                             Some(body) => client::post_json(config.addr, &config.path, body),
                             None => client::get(config.addr, &config.path),
                         };

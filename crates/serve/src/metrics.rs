@@ -7,11 +7,12 @@
 //! * `arrayflex_serve_requests_total{route,status}` — request counter;
 //! * `arrayflex_serve_request_duration_us` — cumulative latency histogram
 //!   with fixed microsecond buckets;
-//! * `arrayflex_serve_plan_cache_{hits,misses}_total` and
-//!   `arrayflex_serve_plan_cache_hit_rate` — read from the plan cache at
-//!   scrape time.
+//! * `arrayflex_serve_plan_cache_{hits,misses,evictions,expirations}_total`,
+//!   `arrayflex_serve_plan_cache_{entries,bytes,hit_rate}` and the
+//!   per-shard `arrayflex_serve_plan_cache_shard_*_total{shard}` family —
+//!   read from the plan cache at scrape time.
 
-use arrayflex::PlanCache;
+use arrayflex::{CacheShardStats, PlanCache};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,12 +118,58 @@ impl Metrics {
         out.push_str("# HELP arrayflex_serve_plan_cache_misses_total Plan cache misses.\n");
         out.push_str("# TYPE arrayflex_serve_plan_cache_misses_total counter\n");
         let _ = writeln!(out, "arrayflex_serve_plan_cache_misses_total {}", cache.misses());
+        out.push_str("# HELP arrayflex_serve_plan_cache_evictions_total Plans evicted by capacity or byte-budget pressure.\n");
+        out.push_str("# TYPE arrayflex_serve_plan_cache_evictions_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_plan_cache_evictions_total {}",
+            cache.evictions()
+        );
+        out.push_str("# HELP arrayflex_serve_plan_cache_expirations_total Plans expired by the write-TTL.\n");
+        out.push_str("# TYPE arrayflex_serve_plan_cache_expirations_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_plan_cache_expirations_total {}",
+            cache.expirations()
+        );
+        out.push_str("# HELP arrayflex_serve_plan_cache_entries Plans currently resident in the cache.\n");
+        out.push_str("# TYPE arrayflex_serve_plan_cache_entries gauge\n");
+        let _ = writeln!(out, "arrayflex_serve_plan_cache_entries {}", cache.len());
+        out.push_str("# HELP arrayflex_serve_plan_cache_bytes Estimated bytes held by resident plans.\n");
+        out.push_str("# TYPE arrayflex_serve_plan_cache_bytes gauge\n");
+        let _ = writeln!(out, "arrayflex_serve_plan_cache_bytes {}", cache.bytes());
         out.push_str("# HELP arrayflex_serve_plan_cache_hit_rate Fraction of plan lookups served from the cache.\n");
         out.push_str("# TYPE arrayflex_serve_plan_cache_hit_rate gauge\n");
         let _ = writeln!(out, "arrayflex_serve_plan_cache_hit_rate {}", cache.hit_rate());
+
+        for (metric, help, pick) in SHARD_COUNTERS {
+            let _ = writeln!(out, "# HELP arrayflex_serve_plan_cache_shard_{metric} {help}");
+            let _ = writeln!(out, "# TYPE arrayflex_serve_plan_cache_shard_{metric} counter");
+            for (shard, stats) in cache.shard_stats().iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "arrayflex_serve_plan_cache_shard_{metric}{{shard=\"{shard}\"}} {}",
+                    pick(stats)
+                );
+            }
+        }
         out
     }
 }
+
+/// The per-shard plan-cache counter families `/metrics` exposes: metric
+/// suffix, HELP text, and the [`CacheShardStats`] field it reads.
+type ShardCounter = (&'static str, &'static str, fn(&CacheShardStats) -> u64);
+const SHARD_COUNTERS: [ShardCounter; 4] = [
+    ("hits_total", "Plan cache hits, by shard.", |s| s.hits),
+    ("misses_total", "Plan cache misses, by shard.", |s| s.misses),
+    ("evictions_total", "Plan cache evictions, by shard.", |s| {
+        s.evictions
+    }),
+    ("expirations_total", "Plan cache TTL expirations, by shard.", |s| {
+        s.expirations
+    }),
+];
 
 #[cfg(test)]
 mod tests {
@@ -156,6 +203,20 @@ mod tests {
         assert!(text.contains("arrayflex_serve_request_duration_us_count 1"));
         assert!(text.contains("arrayflex_serve_plan_cache_hits_total 0"));
         assert!(text.contains("arrayflex_serve_plan_cache_hit_rate 0"));
+        assert!(text.contains("arrayflex_serve_plan_cache_evictions_total 0"));
+        assert!(text.contains("arrayflex_serve_plan_cache_expirations_total 0"));
+        assert!(text.contains("arrayflex_serve_plan_cache_entries 0"));
+        assert!(text.contains("arrayflex_serve_plan_cache_bytes 0"));
+        // One labelled sample per shard for every per-shard family.
+        let shards = cache.shard_stats().len();
+        for family in ["hits", "misses", "evictions", "expirations"] {
+            let count = text
+                .lines()
+                .filter(|l| l.starts_with(&format!("arrayflex_serve_plan_cache_shard_{family}_total{{")))
+                .count();
+            assert_eq!(count, shards, "family {family}");
+        }
+        assert!(text.contains("arrayflex_serve_plan_cache_shard_hits_total{shard=\"0\"} 0"));
         // Every non-comment line is `name{labels} value` or `name value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');
