@@ -21,7 +21,7 @@ use arrayflex::ArrayFlexError;
 use gemm::im2col::im2col;
 use gemm::rng::SplitMix64;
 use gemm::{multiply, ConvShape, Matrix, Tensor3};
-use sa_sim::{ArrayConfig, Simulator};
+use sa_sim::{ArrayConfig, Dataflow, Simulator};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -165,7 +165,34 @@ pub fn simcore_baseline(quick: bool) -> Result<BaselineReport, ArrayFlexError> {
     });
     benches.push(record("simcore/tile_16x16_steady_k2", iters, Some(cycles), ns));
 
-    // 4. A whole tiled GEMM (8x4 = 32 tiles on a 32x32 array, k = 2): the
+    // 4. The output-stationary twin of the steady-state tile: the same
+    // 16x16 array and collapse depth streaming a 64-deep reduction with
+    // the accumulators resident in the PEs (one R x N by N x C tile).
+    let a_os = Matrix::random(16, 64, &mut rng, -50, 50);
+    let b_os = Matrix::random(64, 16, &mut rng, -50, 50);
+    let os_sim = Simulator::new(
+        ArrayConfig::new(16, 16)
+            .with_collapse_depth(2)
+            .with_dataflow(Dataflow::OutputStationary),
+    )
+    .map_err(ArrayFlexError::from)?;
+    let cycles = os_sim
+        .run_tile(&a_os, &b_os)
+        .map_err(ArrayFlexError::from)?
+        .stats
+        .total_cycles();
+    let iters = scale(400);
+    let ns = time_batches(iters, || {
+        os_sim.run_tile(&a_os, &b_os).expect("os steady tile");
+    });
+    benches.push(record(
+        "simcore/tile_16x16_os_steady_k2",
+        iters,
+        Some(cycles),
+        ns,
+    ));
+
+    // 5. A whole tiled GEMM (8x4 = 32 tiles on a 32x32 array, k = 2): the
     // workload of the `throughput` experiment, serial.
     let a_gemm = Matrix::random(24, 256, &mut rng, -50, 50);
     let b_gemm = Matrix::random(256, 128, &mut rng, -50, 50);
@@ -187,7 +214,7 @@ pub fn simcore_baseline(quick: bool) -> Result<BaselineReport, ArrayFlexError> {
         ns,
     ));
 
-    // 5. The im2col lowering of a mid-network 3x3 convolution
+    // 6. The im2col lowering of a mid-network 3x3 convolution
     // (64 -> 64 channels on a 28x28 input: T = 784, N = 576).
     let shape = ConvShape::dense(64, 64, 3, 1, 1, 28);
     let input = Tensor3::random(64, 28, 28, &mut rng, -50, 50);
@@ -198,7 +225,7 @@ pub fn simcore_baseline(quick: bool) -> Result<BaselineReport, ArrayFlexError> {
     });
     benches.push(record("gemm/im2col_conv3x3_64c_28x28", iters, None, ns));
 
-    // 6. The reference GEMM the simulator is verified against.
+    // 7. The reference GEMM the simulator is verified against.
     let a_ref = Matrix::random(96, 96, &mut rng, -50, 50);
     let b_ref = Matrix::random(96, 96, &mut rng, -50, 50);
     let iters = scale(100);
@@ -416,7 +443,7 @@ mod tests {
     fn quick_baseline_runs_and_round_trips_through_json() {
         let report = simcore_baseline(true).unwrap();
         assert!(report.quick);
-        assert_eq!(report.benches.len(), 6);
+        assert_eq!(report.benches.len(), 7);
         validate_report(&report).unwrap();
         assert!(report.bench(DRAIN_HEAVY_FAST).is_some());
         assert!(report.bench("simcore/nope").is_none());

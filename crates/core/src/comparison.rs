@@ -13,6 +13,7 @@ use crate::plan::NetworkPlan;
 use cnn::{DepthwiseMapping, Network};
 use gemm::ParallelExecutor;
 use hw_model::EdpComparison;
+use sa_sim::Dataflow;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -25,6 +26,8 @@ pub struct NetworkComparison {
     pub rows: u32,
     /// Array columns.
     pub cols: u32,
+    /// The dataflow both plans were modeled for.
+    pub dataflow: Dataflow,
     /// Execution plan on the conventional fixed-pipeline array.
     pub conventional: NetworkPlan,
     /// Execution plan on ArrayFlex with per-layer pipeline configuration.
@@ -33,13 +36,27 @@ pub struct NetworkComparison {
 
 impl NetworkComparison {
     /// Assembles a comparison from the two plans of the same network on the
-    /// same array (the name and geometry are taken from the baseline plan).
+    /// same array (the name and geometry are taken from the baseline plan,
+    /// the dataflow defaults to weight-stationary — the paper's
+    /// architecture).
     #[must_use]
     pub fn from_plans(conventional: NetworkPlan, arrayflex: NetworkPlan) -> Self {
+        Self::from_plans_for(Dataflow::WeightStationary, conventional, arrayflex)
+    }
+
+    /// [`NetworkComparison::from_plans`] with an explicit dataflow tag,
+    /// for sweeps contrasting array architectures per network.
+    #[must_use]
+    pub fn from_plans_for(
+        dataflow: Dataflow,
+        conventional: NetworkPlan,
+        arrayflex: NetworkPlan,
+    ) -> Self {
         Self {
             network_name: conventional.network_name.clone(),
             rows: conventional.rows,
             cols: conventional.cols,
+            dataflow,
             conventional,
             arrayflex,
         }
@@ -116,7 +133,8 @@ pub fn compare_network(
     network: &Network,
     mapping: DepthwiseMapping,
 ) -> Result<NetworkComparison, ArrayFlexError> {
-    Ok(NetworkComparison::from_plans(
+    Ok(NetworkComparison::from_plans_for(
+        model.dataflow(),
         model.plan_conventional(network, mapping)?,
         model.plan_arrayflex(network, mapping)?,
     ))
@@ -135,6 +153,9 @@ pub fn compare_network(
 pub struct EvaluationSweep {
     /// Square array sizes to evaluate (the paper uses 128 and 256).
     pub array_sizes: Vec<u32>,
+    /// Array dataflows to evaluate for every (size, network) pair; the
+    /// paper's sweep uses only the weight-stationary architecture.
+    pub dataflows: Vec<Dataflow>,
     /// Depthwise mapping policy for the CNN layer tables.
     pub mapping: DepthwiseMapping,
     /// Worker threads used by [`EvaluationSweep::run`] (`0` = auto-detect
@@ -144,14 +165,25 @@ pub struct EvaluationSweep {
 
 impl EvaluationSweep {
     /// The sweep used in Figs. 8 and 9 of the paper: 128x128 and 256x256
-    /// arrays, block-diagonal depthwise mapping, serial execution.
+    /// arrays, the weight-stationary dataflow, block-diagonal depthwise
+    /// mapping, serial execution.
     #[must_use]
     pub fn date23() -> Self {
         Self {
             array_sizes: vec![128, 256],
+            dataflows: vec![Dataflow::WeightStationary],
             mapping: DepthwiseMapping::BlockDiagonal,
             threads: 1,
         }
+    }
+
+    /// Returns a copy that evaluates the given dataflows for every
+    /// (array size, network) pair, so one sweep contrasts array
+    /// architectures per network.
+    #[must_use]
+    pub fn dataflows(mut self, dataflows: Vec<Dataflow>) -> Self {
+        self.dataflows = dataflows;
+        self
     }
 
     /// Returns a copy that fans the sweep out over `n` worker threads
@@ -185,7 +217,8 @@ impl EvaluationSweep {
     }
 
     /// Runs the sweep over the given networks, returning one comparison per
-    /// (array size, network) pair, grouped by array size in the order given.
+    /// (array size, network, dataflow) triple, grouped by array size, then
+    /// network, then dataflow in the orders given.
     ///
     /// With `threads > 1` (or `0` for auto-detection) the
     /// (array size × network × pipeline choice) jobs — one conventional and
@@ -214,17 +247,21 @@ impl EvaluationSweep {
         networks: &[Network],
         executor: &ParallelExecutor,
     ) -> Result<Vec<NetworkComparison>, ArrayFlexError> {
-        let mut jobs = Vec::with_capacity(self.array_sizes.len() * networks.len() * 2);
+        let grid = self.array_sizes.len() * networks.len() * self.dataflows.len();
+        let mut jobs = Vec::with_capacity(grid * 2);
         for &size in &self.array_sizes {
             for index in 0..networks.len() {
-                // One job per pipeline choice: the conventional plan and the
-                // per-layer-optimized ArrayFlex plan of the same pair.
-                jobs.push((size, index, false));
-                jobs.push((size, index, true));
+                for &dataflow in &self.dataflows {
+                    // One job per pipeline choice: the conventional plan and
+                    // the per-layer-optimized ArrayFlex plan of the same
+                    // (size, network, dataflow) triple.
+                    jobs.push((size, index, dataflow, false));
+                    jobs.push((size, index, dataflow, true));
+                }
             }
         }
-        let plans = executor.try_run(jobs, |(size, index, arrayflex)| {
-            let model = ArrayFlexModel::new(size, size)?;
+        let plans = executor.try_run(jobs, |(size, index, dataflow, arrayflex)| {
+            let model = ArrayFlexModel::new(size, size)?.with_dataflow(dataflow);
             let network = &networks[index];
             if arrayflex {
                 model.plan_arrayflex(network, self.mapping)
@@ -232,10 +269,23 @@ impl EvaluationSweep {
                 model.plan_conventional(network, self.mapping)
             }
         })?;
-        let mut results = Vec::with_capacity(plans.len() / 2);
+        let mut results = Vec::with_capacity(grid);
         let mut plans = plans.into_iter();
-        while let (Some(conventional), Some(arrayflex)) = (plans.next(), plans.next()) {
-            results.push(NetworkComparison::from_plans(conventional, arrayflex));
+        for &size in &self.array_sizes {
+            for _ in 0..networks.len() {
+                for &dataflow in &self.dataflows {
+                    let (Some(conventional), Some(arrayflex)) = (plans.next(), plans.next())
+                    else {
+                        break;
+                    };
+                    debug_assert_eq!(conventional.rows, size);
+                    results.push(NetworkComparison::from_plans_for(
+                        dataflow,
+                        conventional,
+                        arrayflex,
+                    ));
+                }
+            }
         }
         Ok(results)
     }
@@ -314,6 +364,42 @@ mod tests {
         assert_eq!(results[0].rows, 128);
         assert_eq!(results[5].rows, 256);
         assert_eq!(EvaluationSweep::default(), sweep);
+    }
+
+    #[test]
+    fn cross_dataflow_sweep_contrasts_architectures_per_network() {
+        let sweep = EvaluationSweep {
+            array_sizes: vec![128],
+            ..EvaluationSweep::date23()
+        }
+        .dataflows(vec![Dataflow::WeightStationary, Dataflow::OutputStationary]);
+        let networks = vec![resnet34(), mobilenet_v1()];
+        let results = sweep.run(&networks).unwrap();
+        // One comparison per (size, network, dataflow), dataflow innermost.
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].dataflow, Dataflow::WeightStationary);
+        assert_eq!(results[1].dataflow, Dataflow::OutputStationary);
+        assert_eq!(results[0].network_name, results[1].network_name);
+        assert_ne!(results[0].network_name, results[2].network_name);
+        // The two dataflows genuinely model different latencies for the
+        // same network, while sharing the geometry.
+        assert_eq!(results[0].rows, results[1].rows);
+        assert_ne!(
+            results[0].conventional.total_time(),
+            results[1].conventional.total_time()
+        );
+        // The paper's sweep is the weight-stationary column of the grid.
+        let ws_only = EvaluationSweep {
+            array_sizes: vec![128],
+            ..EvaluationSweep::date23()
+        }
+        .run(&networks)
+        .unwrap();
+        assert_eq!(results[0], ws_only[0]);
+        assert_eq!(results[2], ws_only[1]);
+        // Fan-out stays bit-identical with the dataflow axis in the grid.
+        let parallel = sweep.threads(3).run(&networks).unwrap();
+        assert_eq!(parallel, results);
     }
 
     #[test]

@@ -171,6 +171,27 @@ mod tests {
     }
 
     #[test]
+    fn output_stationary_simulation_matches_model_and_reference() {
+        use sa_sim::Dataflow;
+        let model = ArrayFlexModel::new(8, 8)
+            .unwrap()
+            .with_dataflow(Dataflow::OutputStationary);
+        let (a, b) = operands(6, 20, 10, 5);
+        for k in [1, 2, 4] {
+            let result = model.simulate_gemm(&a, &b, k).unwrap();
+            assert!(result.functionally_correct, "k = {k}");
+            assert!(
+                result.cycles_match(),
+                "k = {k}: simulated {} cycles, predicted {}",
+                result.stats.total_cycles(),
+                result.predicted.cycles
+            );
+            // No weight preload in the output-stationary dataflow.
+            assert_eq!(result.stats.load_cycles, 0, "k = {k}");
+        }
+    }
+
+    #[test]
     fn tile_parallel_simulation_matches_serial() {
         let model = ArrayFlexModel::new(8, 8).unwrap();
         let (a, b) = operands(5, 25, 18, 3);

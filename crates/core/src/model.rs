@@ -14,7 +14,7 @@ use hw_model::{
     ActivityProfile, ClockPlan, Design, EnergyReport, Gigahertz, Microjoules, Microseconds,
     Milliwatts, PowerModel,
 };
-use sa_sim::ArrayConfig;
+use sa_sim::{ArrayConfig, Dataflow};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -91,6 +91,7 @@ impl fmt::Display for LayerExecution {
 pub struct ArrayFlexModel {
     rows: u32,
     cols: u32,
+    dataflow: Dataflow,
     clocks: ClockPlan,
     power: PowerModel,
 }
@@ -112,9 +113,20 @@ impl ArrayFlexModel {
         Ok(Self {
             rows,
             cols,
+            dataflow: Dataflow::WeightStationary,
             clocks: ClockPlan::date23_calibrated(),
             power: PowerModel::date23_default(),
         })
+    }
+
+    /// Replaces the dataflow the modeled array executes (weight-stationary,
+    /// the paper's architecture and the default, or output-stationary). The
+    /// latency model, the tiling decomposition and the backing simulator
+    /// configuration all follow the choice.
+    #[must_use]
+    pub fn with_dataflow(mut self, dataflow: Dataflow) -> Self {
+        self.dataflow = dataflow;
+        self
     }
 
     /// Replaces the clock plan (for example with a purely analytical one for
@@ -144,6 +156,12 @@ impl ArrayFlexModel {
         self.cols
     }
 
+    /// The dataflow the modeled array executes.
+    #[must_use]
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
     /// The clock plan in use.
     #[must_use]
     pub fn clock_plan(&self) -> &ClockPlan {
@@ -159,11 +177,18 @@ impl ArrayFlexModel {
     /// The simulator configuration corresponding to collapsing depth `k`.
     #[must_use]
     pub fn array_config(&self, k: u32) -> ArrayConfig {
-        ArrayConfig::new(self.rows, self.cols).with_collapse_depth(k)
+        ArrayConfig::new(self.rows, self.cols)
+            .with_collapse_depth(k)
+            .with_dataflow(self.dataflow)
     }
 
-    /// Latency in clock cycles of one GEMM with collapsing depth `k`:
+    /// Latency in clock cycles of one GEMM with collapsing depth `k`.
+    ///
+    /// Weight-stationary (the paper's architecture):
     /// `Ltotal(k) = L(k) * ceil(N/R) * ceil(M/C)` (Equations 2 and 4).
+    /// Output-stationary: the per-tile cycle count streams the full `N`
+    /// reduction and drains the resident accumulators, and the tile grid
+    /// decomposes the *output* space, `ceil(T/R) * ceil(M/C)` tiles.
     ///
     /// # Errors
     ///
@@ -171,17 +196,30 @@ impl ArrayFlexModel {
     pub fn total_cycles(&self, dims: GemmDims, k: u32) -> Result<u64, ArrayFlexError> {
         let config = self.array_config(k);
         config.validate()?;
-        let grid = TileGrid::new(dims, self.rows, self.cols)?;
-        Ok(config.tile_latency(dims.t) * grid.tile_count())
+        let per_tile = match self.dataflow {
+            Dataflow::WeightStationary => config.tile_latency(dims.t),
+            Dataflow::OutputStationary => config.os_tile_cycles(dims.n),
+        };
+        Ok(per_tile * self.tiles(dims)?)
     }
 
-    /// Number of array-sized tiles of one GEMM.
+    /// Number of array-sized tiles of one GEMM: the weight matrix grid
+    /// `ceil(N/R) * ceil(M/C)` for the weight-stationary dataflow, the
+    /// output grid `ceil(T/R) * ceil(M/C)` for the output-stationary one.
     ///
     /// # Errors
     ///
     /// Returns an error for zero GEMM dimensions.
     pub fn tiles(&self, dims: GemmDims) -> Result<u64, ArrayFlexError> {
-        Ok(TileGrid::new(dims, self.rows, self.cols)?.tile_count())
+        match self.dataflow {
+            Dataflow::WeightStationary => {
+                Ok(TileGrid::new(dims, self.rows, self.cols)?.tile_count())
+            }
+            Dataflow::OutputStationary => {
+                dims.validate()?;
+                Ok(dims.t.div_ceil(u64::from(self.rows)) * dims.m.div_ceil(u64::from(self.cols)))
+            }
+        }
     }
 
     /// Fraction of PE-cycles that perform useful MACs when executing the
@@ -284,6 +322,34 @@ mod tests {
         // k = 4: L(4) = 128 + 32 + 32 + 49 - 2 = 239 cycles per tile.
         assert_eq!(m.total_cycles(dims, 4).unwrap(), 239 * 72);
         assert_eq!(m.tiles(dims).unwrap(), 72);
+    }
+
+    #[test]
+    fn output_stationary_cycles_follow_the_os_tile_model() {
+        use sa_sim::Dataflow;
+        let m = model().with_dataflow(Dataflow::OutputStationary);
+        assert_eq!(m.dataflow(), Dataflow::OutputStationary);
+        assert_eq!(
+            m.array_config(4).dataflow,
+            Dataflow::OutputStationary,
+            "the simulator configuration must follow the model's dataflow"
+        );
+        // Layer 28 of ResNet-34: (M, N, T) = (512, 2304, 49). The output
+        // grid is ceil(49/128) * ceil(512/128) = 1 * 4 tiles, each
+        // streaming the full N = 2304 reduction:
+        // k = 1: N + RB + CB + R - 2 = 2304 + 128 + 128 + 128 - 2 = 2686.
+        let dims = GemmDims::new(512, 2304, 49);
+        assert_eq!(m.tiles(dims).unwrap(), 4);
+        assert_eq!(m.total_cycles(dims, 1).unwrap(), 2686 * 4);
+        // k = 4: N + 32 + 32 + 128 - 2 = 2494 cycles per tile.
+        assert_eq!(m.total_cycles(dims, 4).unwrap(), 2494 * 4);
+        // The weight-stationary default is untouched by the builder.
+        assert_eq!(model().total_cycles(dims, 1).unwrap(), 431 * 72);
+        for k in [1, 2, 4] {
+            let u = m.utilization(dims, k).unwrap();
+            assert!((0.0..=1.0).contains(&u), "OS utilization {u} for k={k}");
+        }
+        assert!(m.tiles(GemmDims::new(0, 1, 1)).is_err());
     }
 
     #[test]

@@ -59,87 +59,9 @@ use crate::config::ArrayConfig;
 use crate::dataflow::{InputFeeder, OutputCollector};
 use crate::error::SimError;
 use crate::pe::ProcessingElement;
+use crate::soa::{any_set_in, get_bit, set_bit, set_range, words_for, LaneSummary, WORD_BITS};
 use crate::stats::RunStats;
 use gemm::Matrix;
-
-const WORD_BITS: usize = 64;
-
-/// Number of `u64` words needed for `bits` bitset bits.
-const fn words_for(bits: usize) -> usize {
-    bits.div_ceil(WORD_BITS)
-}
-
-fn get_bit(words: &[u64], index: usize) -> bool {
-    words[index / WORD_BITS] & (1u64 << (index % WORD_BITS)) != 0
-}
-
-fn set_bit(words: &mut [u64], index: usize) {
-    words[index / WORD_BITS] |= 1u64 << (index % WORD_BITS);
-}
-
-/// Sets every bit in `start..=last` (inclusive).
-fn set_range(words: &mut [u64], start: usize, last: usize) {
-    let (first_word, first_bit) = (start / WORD_BITS, start % WORD_BITS);
-    let (last_word, last_bit) = (last / WORD_BITS, last % WORD_BITS);
-    let low_mask = u64::MAX << first_bit;
-    let high_mask = u64::MAX >> (WORD_BITS - 1 - last_bit);
-    if first_word == last_word {
-        words[first_word] |= low_mask & high_mask;
-        return;
-    }
-    words[first_word] |= low_mask;
-    for word in &mut words[first_word + 1..last_word] {
-        *word = u64::MAX;
-    }
-    words[last_word] |= high_mask;
-}
-
-/// Returns `true` if any bit in `start..=last` (inclusive) is set.
-fn any_set_in(words: &[u64], start: usize, last: usize) -> bool {
-    let (first_word, first_bit) = (start / WORD_BITS, start % WORD_BITS);
-    let (last_word, last_bit) = (last / WORD_BITS, last % WORD_BITS);
-    let low_mask = u64::MAX << first_bit;
-    let high_mask = u64::MAX >> (WORD_BITS - 1 - last_bit);
-    if first_word == last_word {
-        return words[first_word] & low_mask & high_mask != 0;
-    }
-    words[first_word] & low_mask != 0
-        || words[first_word + 1..last_word].iter().any(|&w| w != 0)
-        || words[last_word] & high_mask != 0
-}
-
-/// Operand-validity summary of one horizontal pipeline segment: which rows
-/// of the segment hold a valid operand this cycle.
-///
-/// `count == 0` means the segment is empty (the other fields are then
-/// meaningless); `dense` means the valid rows are exactly the contiguous
-/// range `first..=last`, which is always the case for feeder-scheduled
-/// streams and lets the fast path derive the active row blocks in O(1)
-/// instead of scanning validity words. Streams with mid-stream holes make
-/// a summary sparse (`dense == false`), which routes that segment through
-/// the bitset fallback.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct LaneSummary {
-    /// First valid row (when `count > 0`).
-    first: u32,
-    /// Last valid row (when `count > 0`).
-    last: u32,
-    /// Number of valid rows; `0` means the segment is empty.
-    count: u32,
-    /// `true` when the valid rows are exactly `first..=last`.
-    dense: bool,
-}
-
-impl LaneSummary {
-    fn dense_range(first: u32, last: u32) -> Self {
-        Self {
-            first,
-            last,
-            count: last - first + 1,
-            dense: true,
-        }
-    }
-}
 
 /// Whether the operands currently in flight are provably the prefix of one
 /// deterministic feeder schedule (see [`SystolicArray::run_cycles`]).
@@ -1698,39 +1620,4 @@ mod tests {
         assert!(array.pe(0, 3).is_none());
     }
 
-    #[test]
-    fn bitset_range_queries_cover_word_boundaries() {
-        // 130 bits span three words; probe single-word, word-crossing and
-        // multi-word ranges.
-        let mut words = vec![0u64; 3];
-        assert!(!any_set_in(&words, 0, 129));
-        set_bit(&mut words, 64);
-        assert!(any_set_in(&words, 0, 129));
-        assert!(any_set_in(&words, 64, 64));
-        assert!(any_set_in(&words, 60, 70));
-        assert!(!any_set_in(&words, 0, 63));
-        assert!(!any_set_in(&words, 65, 129));
-        set_bit(&mut words, 129);
-        assert!(any_set_in(&words, 65, 129));
-        assert!(any_set_in(&words, 129, 129));
-        assert!(!any_set_in(&words, 65, 128));
-        assert!(get_bit(&words, 64) && get_bit(&words, 129) && !get_bit(&words, 0));
-    }
-
-    #[test]
-    fn bitset_range_sets_cover_word_boundaries() {
-        let mut words = vec![0u64; 3];
-        set_range(&mut words, 3, 3);
-        assert_eq!(words[0], 1 << 3);
-        words.fill(0);
-        set_range(&mut words, 60, 70);
-        for bit in 0..192 {
-            assert_eq!(get_bit(&words, bit), (60..=70).contains(&bit), "bit {bit}");
-        }
-        words.fill(0);
-        set_range(&mut words, 10, 140);
-        for bit in 0..192 {
-            assert_eq!(get_bit(&words, bit), (10..=140).contains(&bit), "bit {bit}");
-        }
-    }
 }

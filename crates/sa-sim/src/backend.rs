@@ -1,0 +1,344 @@
+//! The dataflow-generic array backend abstraction.
+//!
+//! [`ArrayBackend`] is the surface the tile loops of
+//! [`Simulator`](crate::Simulator) and the [`ArrayPool`](crate::ArrayPool)
+//! program against: lifecycle (reset, fast-path knob, statistics) plus
+//! [`ArrayBackend::execute_tile`], which runs one array-sized tile end to
+//! end on the backend's own feeder/collector schedules. The two concrete
+//! backends are the weight-stationary [`SystolicArray`] and the
+//! output-stationary [`OutputStationaryArray`]; [`TileEngine`] is the
+//! enum that lets one pool hold both and dispatches by the
+//! [`Dataflow`] recorded in the [`ArrayConfig`].
+//!
+//! The **tile operand contract** is per-dataflow, because each dataflow
+//! maps different GEMM dimensions onto the PE grid:
+//!
+//! * weight-stationary: `A_sub` is `T x R` (the streamed dimension times
+//!   the array rows), `B_sub` is `R x C` (the resident weights); the tile
+//!   produces the `T x C` partial product.
+//! * output-stationary: `A_sub` is `R x N` (one matrix row per array row,
+//!   the reduction streamed), `B_sub` is `N x C`; the tile produces the
+//!   full `R x C` result block.
+//!
+//! In both cases `execute_tile` computes exactly `A_sub x B_sub`.
+
+use crate::array::SystolicArray;
+use crate::config::{ArrayConfig, Dataflow};
+use crate::dataflow::{InputFeeder, OutputCollector};
+use crate::error::SimError;
+use crate::os_array::OutputStationaryArray;
+use crate::os_dataflow::{OsCollector, OsNorthFeeder, OsWestFeeder};
+use crate::sim::TileResult;
+use crate::stats::RunStats;
+use gemm::Matrix;
+
+/// What every array backend offers the dataflow-generic tile loops:
+/// lifecycle management plus whole-tile execution on the backend's own
+/// input/output schedules.
+pub trait ArrayBackend {
+    /// The array configuration (including its [`Dataflow`]).
+    fn config(&self) -> ArrayConfig;
+
+    /// Statistics accumulated since construction or the last
+    /// [`ArrayBackend::reset_for_tile`].
+    fn stats(&self) -> RunStats;
+
+    /// Whether the backend's fast-path kernel is enabled.
+    fn fast_path(&self) -> bool;
+
+    /// Enables or disables the fast-path kernel; outputs and [`RunStats`]
+    /// are bit-identical either way.
+    fn set_fast_path(&mut self, enabled: bool);
+
+    /// Prepares the backend for a fresh tile without reallocating.
+    fn reset_for_tile(&mut self);
+
+    /// Runs one array-sized tile end to end (`A_sub x B_sub`, shapes per
+    /// the dataflow's operand contract — see the module docs) and returns
+    /// the tile output with its statistics (`tiles == 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the operands do not fit
+    /// the dataflow's tile contract for this array.
+    fn execute_tile(&mut self, a_sub: &Matrix<i32>, b_sub: &Matrix<i32>)
+        -> Result<TileResult, SimError>;
+}
+
+impl ArrayBackend for SystolicArray {
+    fn config(&self) -> ArrayConfig {
+        SystolicArray::config(self)
+    }
+
+    fn stats(&self) -> RunStats {
+        SystolicArray::stats(self)
+    }
+
+    fn fast_path(&self) -> bool {
+        SystolicArray::fast_path(self)
+    }
+
+    fn set_fast_path(&mut self, enabled: bool) {
+        SystolicArray::set_fast_path(self, enabled);
+    }
+
+    fn reset_for_tile(&mut self) {
+        SystolicArray::reset_for_tile(self);
+    }
+
+    /// The weight-stationary tile flow: preload `B_sub` as the stationary
+    /// weights, stream `A_sub` west-to-east on the feeder schedule and
+    /// collect the south edge.
+    fn execute_tile(
+        &mut self,
+        a_sub: &Matrix<i32>,
+        b_sub: &Matrix<i32>,
+    ) -> Result<TileResult, SimError> {
+        let config = SystolicArray::config(self);
+        SystolicArray::reset_for_tile(self);
+        self.load_weights(b_sub)?;
+        let feeder = InputFeeder::new(a_sub, config)?;
+        let t = a_sub.rows();
+        let mut collector = OutputCollector::new(config, t);
+        self.run_cycles(&feeder, 0, config.compute_cycles(t as u64), &mut collector)?;
+        let output = collector.into_output()?;
+        let mut stats = SystolicArray::stats(self);
+        stats.tiles = 1;
+        Ok(TileResult { output, stats })
+    }
+}
+
+impl ArrayBackend for OutputStationaryArray {
+    fn config(&self) -> ArrayConfig {
+        OutputStationaryArray::config(self)
+    }
+
+    fn stats(&self) -> RunStats {
+        OutputStationaryArray::stats(self)
+    }
+
+    fn fast_path(&self) -> bool {
+        OutputStationaryArray::fast_path(self)
+    }
+
+    fn set_fast_path(&mut self, enabled: bool) {
+        OutputStationaryArray::set_fast_path(self, enabled);
+    }
+
+    fn reset_for_tile(&mut self) {
+        OutputStationaryArray::reset_for_tile(self);
+    }
+
+    /// The output-stationary tile flow: stream `A_sub` west and `B_sub`
+    /// north on the skewed feeder schedules, accumulate in place and drain
+    /// the resident accumulators on the collector schedule.
+    fn execute_tile(
+        &mut self,
+        a_sub: &Matrix<i32>,
+        b_sub: &Matrix<i32>,
+    ) -> Result<TileResult, SimError> {
+        let config = OutputStationaryArray::config(self);
+        OutputStationaryArray::reset_for_tile(self);
+        let west = OsWestFeeder::new(a_sub, config)?;
+        let north = OsNorthFeeder::new(b_sub, config)?;
+        let n = west.stream_length();
+        let mut collector = OsCollector::new(config, n);
+        self.run_cycles(&west, &north, 0, config.os_tile_cycles(n), &mut collector)?;
+        let output = collector.into_output()?;
+        let mut stats = OutputStationaryArray::stats(self);
+        stats.tiles = 1;
+        Ok(TileResult { output, stats })
+    }
+}
+
+/// A concrete array backend of either dataflow — the unit the
+/// [`ArrayPool`](crate::ArrayPool) checks out and in.
+///
+/// The variants are boxed so the enum stays pointer-sized regardless of
+/// how much SoA state each engine carries.
+#[derive(Debug, Clone)]
+pub enum TileEngine {
+    /// A weight-stationary array.
+    Ws(Box<SystolicArray>),
+    /// An output-stationary array.
+    Os(Box<OutputStationaryArray>),
+}
+
+impl TileEngine {
+    /// Constructs the backend the configuration's [`Dataflow`] asks for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: ArrayConfig) -> Result<Self, SimError> {
+        match config.dataflow {
+            Dataflow::WeightStationary => Ok(Self::Ws(Box::new(SystolicArray::new(config)?))),
+            Dataflow::OutputStationary => {
+                Ok(Self::Os(Box::new(OutputStationaryArray::new(config)?)))
+            }
+        }
+    }
+
+    /// The engine's dataflow.
+    #[must_use]
+    pub fn dataflow(&self) -> Dataflow {
+        match self {
+            Self::Ws(_) => Dataflow::WeightStationary,
+            Self::Os(_) => Dataflow::OutputStationary,
+        }
+    }
+
+    fn backend(&self) -> &dyn ArrayBackend {
+        match self {
+            Self::Ws(array) => array.as_ref(),
+            Self::Os(array) => array.as_ref(),
+        }
+    }
+
+    fn backend_mut(&mut self) -> &mut dyn ArrayBackend {
+        match self {
+            Self::Ws(array) => array.as_mut(),
+            Self::Os(array) => array.as_mut(),
+        }
+    }
+
+    /// The array configuration (including its [`Dataflow`]).
+    #[must_use]
+    pub fn config(&self) -> ArrayConfig {
+        self.backend().config()
+    }
+
+    /// Statistics accumulated since the last reset.
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        self.backend().stats()
+    }
+
+    /// Whether the engine's fast-path kernel is enabled.
+    #[must_use]
+    pub fn fast_path(&self) -> bool {
+        self.backend().fast_path()
+    }
+
+    /// Enables or disables the engine's fast-path kernel.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.backend_mut().set_fast_path(enabled);
+    }
+
+    /// Prepares the engine for a fresh tile without reallocating.
+    pub fn reset_for_tile(&mut self) {
+        self.backend_mut().reset_for_tile();
+    }
+
+    /// Runs one array-sized tile end to end — see
+    /// [`ArrayBackend::execute_tile`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ArrayBackend::execute_tile`].
+    pub fn execute_tile(
+        &mut self,
+        a_sub: &Matrix<i32>,
+        b_sub: &Matrix<i32>,
+    ) -> Result<TileResult, SimError> {
+        self.backend_mut().execute_tile(a_sub, b_sub)
+    }
+}
+
+impl ArrayBackend for TileEngine {
+    fn config(&self) -> ArrayConfig {
+        TileEngine::config(self)
+    }
+
+    fn stats(&self) -> RunStats {
+        TileEngine::stats(self)
+    }
+
+    fn fast_path(&self) -> bool {
+        TileEngine::fast_path(self)
+    }
+
+    fn set_fast_path(&mut self, enabled: bool) {
+        TileEngine::set_fast_path(self, enabled);
+    }
+
+    fn reset_for_tile(&mut self) {
+        TileEngine::reset_for_tile(self);
+    }
+
+    fn execute_tile(
+        &mut self,
+        a_sub: &Matrix<i32>,
+        b_sub: &Matrix<i32>,
+    ) -> Result<TileResult, SimError> {
+        TileEngine::execute_tile(self, a_sub, b_sub)
+    }
+}
+
+impl From<SystolicArray> for TileEngine {
+    fn from(array: SystolicArray) -> Self {
+        Self::Ws(Box::new(array))
+    }
+}
+
+impl From<OutputStationaryArray> for TileEngine {
+    fn from(array: OutputStationaryArray) -> Self {
+        Self::Os(Box::new(array))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm::{multiply, rng::SplitMix64, Matrix};
+
+    #[test]
+    fn engine_dispatches_by_dataflow_and_computes_the_same_product() {
+        let mut rng = SplitMix64::new(41);
+        // Both dataflows multiply the same 4x6 by 6x4 product, each on its
+        // own tile shape: WS tiles (T=4) x (R=6) x (C=4) directly; OS pads
+        // the 4 output rows onto a 6-row array.
+        let a = Matrix::random(4, 6, &mut rng, -9, 9);
+        let b = Matrix::random(6, 4, &mut rng, -9, 9);
+        let expected = multiply(&a, &b).unwrap();
+
+        let ws_config = ArrayConfig::new(6, 4).with_collapse_depth(2);
+        let mut ws = TileEngine::new(ws_config).unwrap();
+        assert_eq!(ws.dataflow(), Dataflow::WeightStationary);
+        assert_eq!(ws.config(), ws_config);
+        let ws_tile = ws.execute_tile(&a, &b).unwrap();
+        assert_eq!(ws_tile.output, expected);
+        assert_eq!(ws_tile.stats.tiles, 1);
+
+        let os_config = ArrayConfig::new(4, 4)
+            .with_collapse_depth(2)
+            .with_dataflow(Dataflow::OutputStationary);
+        let mut os = TileEngine::new(os_config).unwrap();
+        assert_eq!(os.dataflow(), Dataflow::OutputStationary);
+        let os_tile = os.execute_tile(&a, &b).unwrap();
+        assert_eq!(os_tile.output, expected);
+        assert_eq!(os_tile.stats.tiles, 1);
+        assert_eq!(os_tile.stats.load_cycles, 0);
+        assert_eq!(
+            os_tile.stats.total_cycles(),
+            os_config.os_tile_cycles(6)
+        );
+    }
+
+    #[test]
+    fn engine_lifecycle_delegates_to_the_backend() {
+        let config = ArrayConfig::new(4, 4)
+            .with_dataflow(Dataflow::OutputStationary);
+        let mut engine = TileEngine::new(config).unwrap();
+        assert!(engine.fast_path());
+        engine.set_fast_path(false);
+        assert!(!engine.fast_path());
+        engine.reset_for_tile();
+        assert_eq!(engine.stats(), RunStats::default());
+        // The From conversions wrap raw engines for pool checkin.
+        let raw = SystolicArray::new(ArrayConfig::new(2, 2)).unwrap();
+        assert_eq!(TileEngine::from(raw).dataflow(), Dataflow::WeightStationary);
+        let raw = OutputStationaryArray::new(config).unwrap();
+        assert_eq!(TileEngine::from(raw).dataflow(), Dataflow::OutputStationary);
+    }
+}

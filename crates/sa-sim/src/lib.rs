@@ -16,11 +16,16 @@
 //!
 //! # Modules
 //!
-//! * [`config`] — array geometry and pipeline configuration;
+//! * [`config`] — array geometry, pipeline and [`Dataflow`] configuration;
 //! * [`pe`] — the configurable processing element;
 //! * [`carry_save`] — redundant carry-save arithmetic;
-//! * [`mod@array`] — the register-level array model;
-//! * [`dataflow`] — input skewing and output collection schedules;
+//! * [`mod@array`] — the register-level weight-stationary array model;
+//! * [`dataflow`] — weight-stationary input skewing and output collection
+//!   schedules;
+//! * [`os_array`] / [`os_dataflow`] — the output-stationary array model
+//!   and its schedules;
+//! * [`backend`] — the dataflow-generic [`ArrayBackend`] trait and the
+//!   pooled [`TileEngine`];
 //! * [`sim`] — whole-GEMM simulation with tiling, verification and
 //!   statistics;
 //! * [`stats`] — run statistics.
@@ -50,22 +55,29 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod backend;
 pub mod carry_save;
 pub mod config;
 pub mod dataflow;
 pub mod error;
 pub mod memory;
+pub mod os_array;
+pub mod os_dataflow;
 pub mod pe;
 pub mod sim;
+mod soa;
 pub mod stats;
 pub mod trace;
 
 pub use array::SystolicArray;
+pub use backend::{ArrayBackend, TileEngine};
 pub use carry_save::CarrySaveValue;
-pub use config::ArrayConfig;
+pub use config::{ArrayConfig, Dataflow};
 pub use dataflow::{InputFeeder, OutputCollector};
 pub use error::SimError;
 pub use memory::{traffic_for_gemm, TrafficReport};
+pub use os_array::OutputStationaryArray;
+pub use os_dataflow::{OsCollector, OsNorthFeeder, OsWestFeeder};
 pub use pe::ProcessingElement;
 pub use sim::{ArrayPool, GemmResult, LatencyCheck, Simulator, TileResult};
 pub use stats::RunStats;

@@ -1,8 +1,7 @@
 //! Whole-GEMM simulation: tiles, verification and statistics aggregation.
 
-use crate::array::SystolicArray;
-use crate::config::ArrayConfig;
-use crate::dataflow::{InputFeeder, OutputCollector};
+use crate::backend::TileEngine;
+use crate::config::{ArrayConfig, Dataflow};
 use crate::error::SimError;
 use crate::stats::RunStats;
 use gemm::{multiply, tiled_multiply_with, GemmDims, GemmError, Matrix, ParallelExecutor, Tile, TileGrid};
@@ -15,20 +14,23 @@ use std::sync::{Mutex, PoisonError};
 /// supported thread count.
 const MAX_POOLED_ARRAYS: usize = 32;
 
-/// A checkout/checkin pool of [`SystolicArray`] instances.
+/// A checkout/checkin pool of [`TileEngine`] instances (array backends of
+/// either dataflow).
 ///
-/// Constructing a `SystolicArray` initializes several flat state buffers
+/// Constructing an array backend initializes several flat state buffers
 /// (`vec![0; ..]` for weights, registers and validity bitsets); doing that
 /// once per simulated tile is measurable churn in tile-parallel sweeps and
 /// across `/v1/simulate` requests. The pool instead recycles arrays:
 /// [`ArrayPool::acquire`] hands out a reset array of the requested
 /// configuration (constructing one only when none is pooled) and
 /// [`ArrayPool::release`] checks it back in for the next caller. Arrays of
-/// different configurations can share one pool; `acquire` matches on the
-/// exact [`ArrayConfig`].
+/// different configurations — including different **dataflows**, which are
+/// part of [`ArrayConfig`] — can share one pool; `acquire` matches on the
+/// exact [`ArrayConfig`], so a weight-stationary array is never handed to
+/// an output-stationary request or vice versa.
 ///
 /// Pooling is purely an allocation optimization: a pooled array is reset
-/// via [`SystolicArray::reset_for_tile`] on release, which is
+/// via its backend's `reset_for_tile` on release, which is
 /// property-tested to behave exactly like a freshly constructed array.
 ///
 /// # Examples
@@ -48,7 +50,7 @@ const MAX_POOLED_ARRAYS: usize = 32;
 /// ```
 #[derive(Debug)]
 pub struct ArrayPool {
-    slots: Mutex<Vec<SystolicArray>>,
+    slots: Mutex<Vec<TileEngine>>,
     /// When set, the pool is pinned to one configuration and a checkin of
     /// any other configuration is a caller bug (debug-asserted).
     pinned: Option<ArrayConfig>,
@@ -119,27 +121,31 @@ impl ArrayPool {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
-    pub fn acquire(&self, config: ArrayConfig) -> Result<SystolicArray, SimError> {
+    pub fn acquire(&self, config: ArrayConfig) -> Result<TileEngine, SimError> {
         {
             let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(position) = slots.iter().position(|a| a.config() == config) {
                 return Ok(slots.swap_remove(position));
             }
         }
-        SystolicArray::new(config)
+        TileEngine::new(config)
     }
 
     /// Checks an array back in after resetting it for the next tile. A
-    /// pool already holding 32 arrays drops the checkin instead.
+    /// pool already holding 32 arrays drops the checkin instead. Raw
+    /// engines ([`SystolicArray`](crate::SystolicArray),
+    /// [`OutputStationaryArray`](crate::OutputStationaryArray)) convert
+    /// into [`TileEngine`] on the way in.
     ///
-    /// Besides [`SystolicArray::reset_for_tile`], the checkin clears every
+    /// Besides the backend's `reset_for_tile`, the checkin clears every
     /// piece of residual host-side state a previous user may have left on
     /// the array — today that is the fast-path flag, which
     /// `reset_for_tile` deliberately preserves for its own caller — so the
     /// next checkout always observes factory defaults. When the pool was
     /// built with [`ArrayPool::for_config`], a checkin of a mismatched
     /// configuration is debug-asserted.
-    pub fn release(&self, mut array: SystolicArray) {
+    pub fn release(&self, array: impl Into<TileEngine>) {
+        let mut array = array.into();
         if let Some(pinned) = self.pinned {
             debug_assert_eq!(
                 array.config(),
@@ -202,7 +208,7 @@ impl LatencyCheck {
 /// Cycle-accurate simulator of one systolic-array configuration.
 ///
 /// By default the simulator is **serial**: tiles execute one after another
-/// on the calling thread, on one [`SystolicArray`] reused across all tiles
+/// on the calling thread, on one [`SystolicArray`](crate::SystolicArray) reused across all tiles
 /// (reset between tiles, which is property-tested equivalent to a fresh
 /// array). The [`Simulator::threads`] builder fans independent tiles of a
 /// tiled GEMM out across worker threads, each checking arrays out of a
@@ -295,10 +301,12 @@ impl Simulator {
         self.config
     }
 
-    /// Simulates one tile: `A_sub` (`T x R`) times `B_sub` (`R x C`), both
-    /// already padded to the array size.
+    /// Simulates one tile: `A_sub` times `B_sub`, already padded to the
+    /// dataflow's tile shape (weight-stationary: `T x R` times `R x C`;
+    /// output-stationary: `R x N` times `N x C` — see
+    /// [`crate::backend`] for the per-dataflow operand contract).
     ///
-    /// The backing [`SystolicArray`] is drawn from a thread-local
+    /// The backing [`TileEngine`] is drawn from a thread-local
     /// [`ArrayPool`], so repeated single-tile simulations (benchmarks,
     /// tests, service requests outside a pooled GEMM) reuse state buffers
     /// instead of reinitializing them per call; pooling is
@@ -345,38 +353,29 @@ impl Simulator {
             static TILE_POOL: ArrayPool = ArrayPool::bounded(4);
         }
         TILE_POOL.with(|pool| {
-            let mut array = pool.acquire(self.config)?;
-            let result = self.run_tile_with(&mut array, a_sub, b_sub, fast_path);
-            pool.release(array);
+            let mut engine = pool.acquire(self.config)?;
+            let result = self.run_tile_with(&mut engine, a_sub, b_sub, fast_path);
+            pool.release(engine);
             result
         })
     }
 
-    /// The tile kernel every path funnels through: resets the given array
-    /// for a fresh tile, streams `A_sub` through it via the multi-cycle
-    /// [`SystolicArray::run_cycles`] entry point and collects the south
-    /// edge. West staging, output harvesting and the per-cycle error
-    /// checks are all hoisted inside `run_cycles`, and the caller's array
-    /// is reused across tiles, so the per-cycle hot loop performs no heap
+    /// The tile kernel every path funnels through: sets the fast-path knob
+    /// and delegates to the engine's dataflow-specific
+    /// [`execute_tile`](crate::ArrayBackend::execute_tile), which resets
+    /// the array, runs the tile on its own feeder/collector schedules and
+    /// returns output plus statistics. The caller's engine is reused
+    /// across tiles, so the per-cycle hot loop performs no heap
     /// allocation.
     fn run_tile_with(
         &self,
-        array: &mut SystolicArray,
+        engine: &mut TileEngine,
         a_sub: &Matrix<i32>,
         b_sub: &Matrix<i32>,
         fast_path: bool,
     ) -> Result<TileResult, SimError> {
-        array.reset_for_tile();
-        array.set_fast_path(fast_path);
-        array.load_weights(b_sub)?;
-        let feeder = InputFeeder::new(a_sub, self.config)?;
-        let t = a_sub.rows();
-        let mut collector = OutputCollector::new(self.config, t);
-        array.run_cycles(&feeder, 0, self.config.compute_cycles(t as u64), &mut collector)?;
-        let output = collector.into_output()?;
-        let mut stats = array.stats();
-        stats.tiles = 1;
-        Ok(TileResult { output, stats })
+        engine.set_fast_path(fast_path);
+        engine.execute_tile(a_sub, b_sub)
     }
 
     /// Simulates a complete GEMM `A (T x N)` times `B (N x M)`, tiling it
@@ -395,7 +394,7 @@ impl Simulator {
         self.run_gemm_pooled(&ArrayPool::for_config(self.config), a, b)
     }
 
-    /// [`Simulator::run_gemm`] drawing its [`SystolicArray`] instances from
+    /// [`Simulator::run_gemm`] drawing its [`SystolicArray`](crate::SystolicArray) instances from
     /// a caller-owned [`ArrayPool`], so long-lived hosts (the tile-parallel
     /// sweeps, the `/v1/simulate` service route) reuse array state buffers
     /// across whole GEMMs instead of reinitializing them per run.
@@ -419,14 +418,17 @@ impl Simulator {
     }
 
     /// Serial tiled GEMM: one array is checked out once and reused across
-    /// every tile via [`SystolicArray::reset_for_tile`].
+    /// every tile via its backend's `reset_for_tile`.
     fn run_gemm_serial(
         &self,
         pool: &ArrayPool,
         a: &Matrix<i32>,
         b: &Matrix<i32>,
     ) -> Result<GemmResult, SimError> {
-        let mut array = pool.acquire(self.config)?;
+        if self.config.dataflow == Dataflow::OutputStationary {
+            return self.run_gemm_serial_os(pool, a, b);
+        }
+        let mut engine = pool.acquire(self.config)?;
         let mut stats = RunStats::default();
         let output = tiled_multiply_with::<SimError, _>(
             a,
@@ -434,12 +436,101 @@ impl Simulator {
             self.config.rows,
             self.config.cols,
             |_, a_sub, b_sub| {
-                let tile = self.run_tile_with(&mut array, a_sub, b_sub, true)?;
+                let tile = self.run_tile_with(&mut engine, a_sub, b_sub, true)?;
                 stats += tile.stats;
                 Ok(tile.output)
             },
         )?;
-        pool.release(array);
+        pool.release(engine);
+        Ok(GemmResult {
+            output,
+            stats,
+            grid_dims: GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64),
+        })
+    }
+
+    /// The output-stationary tile grid of a `T x N x M` GEMM: the **output
+    /// space** is tiled `ceil(T/R) x ceil(M/C)` (each tile reduces the full
+    /// `N` into its resident accumulators — no cross-tile accumulation),
+    /// unlike the weight-stationary grid, which tiles the reduction
+    /// dimension onto the array rows and accumulates vertically adjacent
+    /// tiles.
+    fn os_grid(&self, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<Vec<(usize, usize)>, SimError> {
+        if a.cols() != b.rows() {
+            return Err(SimError::from(GemmError::IncompatibleDimensions {
+                left_cols: a.cols(),
+                right_rows: b.rows(),
+            }));
+        }
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let mut grid = Vec::with_capacity(a.rows().div_ceil(rows) * b.cols().div_ceil(cols));
+        for ti in 0..a.rows().div_ceil(rows) {
+            for mi in 0..b.cols().div_ceil(cols) {
+                grid.push((ti, mi));
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Extracts the zero-padded operands of output-stationary tile
+    /// `(ti, mi)`: `A_sub` is the array-rows-sized band of `A` rows,
+    /// `B_sub` the array-cols-sized band of `B` columns, both carrying the
+    /// full reduction dimension.
+    fn os_tile_operands(
+        &self,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+        ti: usize,
+        mi: usize,
+    ) -> (Matrix<i32>, Matrix<i32>) {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        (
+            a.padded_block(ti * rows, 0, rows, a.cols()),
+            b.padded_block(0, mi * cols, b.rows(), cols),
+        )
+    }
+
+    /// Copies the valid region of an output-stationary tile result into
+    /// place. Tiles own disjoint output blocks, so this is a plain copy —
+    /// no accumulation.
+    fn os_place_tile(
+        &self,
+        output: &mut Matrix<i64>,
+        tile: &Matrix<i64>,
+        ti: usize,
+        mi: usize,
+    ) {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let row0 = ti * rows;
+        let col0 = mi * cols;
+        for r in 0..rows.min(output.rows() - row0) {
+            for c in 0..cols.min(output.cols() - col0) {
+                output[(row0 + r, col0 + c)] = tile[(r, c)];
+            }
+        }
+    }
+
+    /// Serial output-stationary GEMM over the output-space tile grid.
+    fn run_gemm_serial_os(
+        &self,
+        pool: &ArrayPool,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+    ) -> Result<GemmResult, SimError> {
+        let grid = self.os_grid(a, b)?;
+        let mut engine = pool.acquire(self.config)?;
+        let mut stats = RunStats::default();
+        let mut output = Matrix::<i64>::zeros(a.rows(), b.cols());
+        for &(ti, mi) in &grid {
+            let (a_sub, b_sub) = self.os_tile_operands(a, b, ti, mi);
+            let tile = self.run_tile_with(&mut engine, &a_sub, &b_sub, true)?;
+            stats += tile.stats;
+            self.os_place_tile(&mut output, &tile.output, ti, mi);
+        }
+        pool.release(engine);
         Ok(GemmResult {
             output,
             stats,
@@ -458,6 +549,9 @@ impl Simulator {
         a: &Matrix<i32>,
         b: &Matrix<i32>,
     ) -> Result<GemmResult, SimError> {
+        if self.config.dataflow == Dataflow::OutputStationary {
+            return self.run_gemm_parallel_os(pool, a, b);
+        }
         let dims = GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64);
         if a.cols() != b.rows() {
             return Err(SimError::from(GemmError::IncompatibleDimensions {
@@ -471,9 +565,9 @@ impl Simulator {
         let results = executor.try_run(tiles, |tile| {
             let (a_sub, b_sub) =
                 tile.padded_operands(a, b, self.config.rows, self.config.cols);
-            let mut array = pool.acquire(self.config)?;
-            let result = self.run_tile_with(&mut array, &a_sub, &b_sub, true);
-            pool.release(array);
+            let mut engine = pool.acquire(self.config)?;
+            let result = self.run_tile_with(&mut engine, &a_sub, &b_sub, true);
+            pool.release(engine);
             result.map(|result| (tile, result))
         })?;
         let stats: RunStats = results.iter().map(|(_, tile)| tile.stats).sum();
@@ -485,6 +579,38 @@ impl Simulator {
             output,
             stats,
             grid_dims: dims,
+        })
+    }
+
+    /// Tile-parallel output-stationary GEMM: the output-space tiles are
+    /// independent (each owns a disjoint output block and reduces the full
+    /// `N` locally), so workers place their blocks without any cross-tile
+    /// accumulation; the per-tile statistics sum is order-independent, so
+    /// the result is bit-identical to the serial run.
+    fn run_gemm_parallel_os(
+        &self,
+        pool: &ArrayPool,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+    ) -> Result<GemmResult, SimError> {
+        let grid = self.os_grid(a, b)?;
+        let executor = ParallelExecutor::new(self.threads);
+        let results = executor.try_run(grid, |(ti, mi)| {
+            let (a_sub, b_sub) = self.os_tile_operands(a, b, ti, mi);
+            let mut engine = pool.acquire(self.config)?;
+            let result = self.run_tile_with(&mut engine, &a_sub, &b_sub, true);
+            pool.release(engine);
+            result.map(|result| (ti, mi, result))
+        })?;
+        let stats: RunStats = results.iter().map(|(_, _, tile)| tile.stats).sum();
+        let mut output = Matrix::<i64>::zeros(a.rows(), b.cols());
+        for (ti, mi, partial) in &results {
+            self.os_place_tile(&mut output, &partial.output, *ti, *mi);
+        }
+        Ok(GemmResult {
+            output,
+            stats,
+            grid_dims: GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64),
         })
     }
 
@@ -518,16 +644,28 @@ impl Simulator {
     }
 
     /// Cross-checks the simulated cycle count of a whole GEMM against the
-    /// analytical tiled-latency model `L(k) * ceil(N/R) * ceil(M/C)`
-    /// (Equations 2 and 4 of the paper).
+    /// analytical tiled-latency model: for the weight-stationary dataflow
+    /// `L(k) * ceil(N/R) * ceil(M/C)` (Equations 2 and 4 of the paper),
+    /// for the output-stationary dataflow the stream-and-drain tile cost
+    /// [`ArrayConfig::os_tile_cycles`] times the `ceil(T/R) * ceil(M/C)`
+    /// output-space grid.
     ///
     /// # Errors
     ///
     /// Propagates simulation errors.
     pub fn latency_check(&self, dims: GemmDims, a: &Matrix<i32>, b: &Matrix<i32>) -> Result<LatencyCheck, SimError> {
         let result = self.run_gemm(a, b)?;
-        let grid = TileGrid::new(dims, self.config.rows, self.config.cols)?;
-        let analytical = self.config.tile_latency(dims.t) * grid.tile_count();
+        let analytical = match self.config.dataflow {
+            Dataflow::WeightStationary => {
+                let grid = TileGrid::new(dims, self.config.rows, self.config.cols)?;
+                self.config.tile_latency(dims.t) * grid.tile_count()
+            }
+            Dataflow::OutputStationary => {
+                let tiles = dims.t.div_ceil(u64::from(self.config.rows))
+                    * dims.m.div_ceil(u64::from(self.config.cols));
+                self.config.os_tile_cycles(dims.n) * tiles
+            }
+        };
         Ok(LatencyCheck {
             simulated_cycles: result.stats.total_cycles(),
             analytical_cycles: analytical,
@@ -538,6 +676,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::array::SystolicArray;
     use gemm::rng::SplitMix64;
 
     fn random_pair(t: usize, n: usize, m: usize, seed: u64) -> (Matrix<i32>, Matrix<i32>) {
@@ -707,6 +846,79 @@ mod tests {
         assert_eq!(pool.len(), 0);
         // Invalid configurations are rejected, not pooled.
         assert!(pool.acquire(ArrayConfig::new(0, 4)).is_err());
+    }
+
+    #[test]
+    fn pool_keys_checkouts_by_dataflow() {
+        // Satellite regression: a pooled WS array must never satisfy an OS
+        // tile request (and vice versa), even for identical geometry.
+        let pool = ArrayPool::new();
+        let ws = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        let os = ws.with_dataflow(Dataflow::OutputStationary);
+        pool.release(SystolicArray::new(ws).unwrap());
+        assert_eq!(pool.len(), 1);
+        // The OS request constructs a fresh OS engine, leaving the pooled
+        // WS array untouched.
+        let engine = pool.acquire(os).unwrap();
+        assert_eq!(engine.dataflow(), Dataflow::OutputStationary);
+        assert_eq!(engine.config(), os);
+        assert_eq!(pool.len(), 1);
+        pool.release(engine);
+        assert_eq!(pool.len(), 2);
+        // Each dataflow gets its own engine back.
+        assert_eq!(pool.acquire(ws).unwrap().dataflow(), Dataflow::WeightStationary);
+        assert_eq!(pool.acquire(os).unwrap().dataflow(), Dataflow::OutputStationary);
+        assert_eq!(pool.len(), 0);
+    }
+
+    #[test]
+    fn os_gemm_matches_the_reference_and_the_analytical_model() {
+        let (a, b) = random_pair(7, 20, 13, 31);
+        let dims = GemmDims::new(13, 20, 7);
+        for k in [1, 2, 4] {
+            let config = ArrayConfig::new(8, 8)
+                .with_collapse_depth(k)
+                .with_dataflow(Dataflow::OutputStationary);
+            let sim = Simulator::new(config).unwrap();
+            let result = sim.run_gemm_verified(&a, &b).unwrap();
+            // Output-space grid: ceil(7/8) x ceil(13/8) = 1 x 2 tiles.
+            assert_eq!(result.stats.tiles, 2, "k = {k}");
+            assert_eq!(result.stats.load_cycles, 0, "k = {k}");
+            let check = sim.latency_check(dims, &a, &b).unwrap();
+            assert!(
+                check.matches(),
+                "k = {k}: simulated {} != analytical {}",
+                check.simulated_cycles,
+                check.analytical_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn os_parallel_gemm_is_bit_identical_to_serial() {
+        let (a, b) = random_pair(19, 12, 21, 33);
+        for k in [1, 3] {
+            let config = ArrayConfig::new(6, 6)
+                .with_collapse_depth(k)
+                .with_dataflow(Dataflow::OutputStationary);
+            let serial = Simulator::new(config).unwrap();
+            let reference = serial.run_gemm(&a, &b).unwrap();
+            assert_eq!(reference.output, multiply(&a, &b).unwrap());
+            for threads in [0, 2, 5] {
+                let result = serial.threads(threads).run_gemm(&a, &b).unwrap();
+                assert_eq!(result, reference, "k = {k}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn os_gemm_rejects_mismatched_operands() {
+        let a = Matrix::<i32>::zeros(2, 5);
+        let b = Matrix::<i32>::zeros(4, 3);
+        let config = ArrayConfig::new(4, 4).with_dataflow(Dataflow::OutputStationary);
+        let sim = Simulator::new(config).unwrap();
+        assert!(sim.run_gemm(&a, &b).is_err());
+        assert!(sim.threads(3).run_gemm(&a, &b).is_err());
     }
 
     #[test]

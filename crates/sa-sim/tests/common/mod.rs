@@ -1,0 +1,25 @@
+//! Reusable array-of-structs reference models for the differential test
+//! suites.
+//!
+//! Each dataflow backend in the simulator ships with a deliberately naive
+//! reference implementation here: per-PE state in dense vectors, `Vec<bool>`
+//! validity, and a `step` that scans every processing element every cycle.
+//! The references share nothing with the structure-of-arrays production
+//! kernels except the [`ArrayConfig`](sa_sim::ArrayConfig) geometry and the
+//! [`RunStats`](sa_sim::RunStats) accounting contract, which is what makes
+//! them useful oracles: the equivalence suites drive them cycle for cycle
+//! against the real backends and assert bit-identical outputs and
+//! statistics.
+//!
+//! * [`ws`] — the weight-stationary reference ([`ws::LegacyArray`]), a
+//!   faithful reimplementation of the pre-SoA-refactor cycle kernel;
+//! * [`os`] — the output-stationary reference ([`os::LegacyOsArray`]),
+//!   operand shift registers on both edges and resident accumulators.
+//!
+//! Every test binary that declares `mod common;` compiles the whole module,
+//! but typically uses only one reference, hence the blanket `dead_code`
+//! allowance.
+#![allow(dead_code)]
+
+pub mod os;
+pub mod ws;

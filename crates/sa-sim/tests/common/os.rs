@@ -1,0 +1,146 @@
+//! The output-stationary array-of-structs reference: operand shift
+//! registers on both edges in full-size register files with `Vec<bool>`
+//! validity, per-PE resident accumulators, and a `step` that scans every
+//! processing element every cycle.
+//!
+//! It mirrors [`ws::LegacyArray`](super::ws::LegacyArray)'s deliberately
+//! naive style for the output-stationary dataflow: `A` operands travel
+//! east through one register per collapsed column block (only block-last
+//! columns clock), `B` operands travel south through one register per
+//! collapsed row block (only block-last rows clock), and PE `(i, j)`
+//! multiplies whatever the two streams present this cycle, accumulating in
+//! place when — and only when — both operands are valid. Statistics follow
+//! the shared per-cycle contract: `compute_cycles`, `pe_cycles`, and the
+//! clocked/gated register split count identically to the production
+//! backends, and `load_cycles` stays zero because the output-stationary
+//! dataflow has no weight preload.
+
+use sa_sim::{ArrayConfig, RunStats};
+
+/// The naive output-stationary array model.
+pub struct LegacyOsArray {
+    config: ArrayConfig,
+    h_regs: Vec<i32>,
+    h_valid: Vec<bool>,
+    v_regs: Vec<i32>,
+    v_valid: Vec<bool>,
+    acc: Vec<i64>,
+    stats: RunStats,
+}
+
+impl LegacyOsArray {
+    pub fn new(config: ArrayConfig) -> Self {
+        let n = (config.rows * config.cols) as usize;
+        Self {
+            config,
+            h_regs: vec![0; n],
+            h_valid: vec![false; n],
+            v_regs: vec![0; n],
+            v_valid: vec![false; n],
+            acc: vec![0; n],
+            stats: RunStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The resident `rows x cols` accumulator file, row-major.
+    pub fn accumulators(&self) -> &[i64] {
+        &self.acc
+    }
+
+    fn index(&self, row: usize, col: usize) -> usize {
+        row * self.config.cols as usize + col
+    }
+
+    /// One cycle of the naive per-PE scan: `west_inputs` carries one `A`
+    /// operand slot per array row, `north_inputs` one `B` operand slot per
+    /// array column (`None` = no operand on that lane this cycle).
+    pub fn step(&mut self, west_inputs: &[Option<i32>], north_inputs: &[Option<i32>]) {
+        let rows = self.config.rows as usize;
+        let cols = self.config.cols as usize;
+        let k = self.config.collapse_depth as usize;
+        let row_blocks = self.config.row_blocks() as usize;
+        let col_blocks = self.config.col_blocks() as usize;
+        assert_eq!(west_inputs.len(), rows);
+        assert_eq!(north_inputs.len(), cols);
+
+        // The A operand visible to every (row, column block) this cycle.
+        let mut a_ops = vec![0i32; rows * col_blocks];
+        let mut a_valid = vec![false; rows * col_blocks];
+        for row in 0..rows {
+            for cb in 0..col_blocks {
+                let (value, valid) = if cb == 0 {
+                    (west_inputs[row].unwrap_or(0), west_inputs[row].is_some())
+                } else {
+                    let prev_last_col = cb * k - 1;
+                    let idx = self.index(row, prev_last_col);
+                    (self.h_regs[idx], self.h_valid[idx])
+                };
+                a_ops[row * col_blocks + cb] = value;
+                a_valid[row * col_blocks + cb] = valid;
+            }
+        }
+
+        // The B operand visible to every (row block, column) this cycle.
+        let mut b_ops = vec![0i32; row_blocks * cols];
+        let mut b_valid = vec![false; row_blocks * cols];
+        for rb in 0..row_blocks {
+            for col in 0..cols {
+                let (value, valid) = if rb == 0 {
+                    (north_inputs[col].unwrap_or(0), north_inputs[col].is_some())
+                } else {
+                    let prev_last_row = rb * k - 1;
+                    let idx = self.index(prev_last_row, col);
+                    (self.v_regs[idx], self.v_valid[idx])
+                };
+                b_ops[rb * cols + col] = value;
+                b_valid[rb * cols + col] = valid;
+            }
+        }
+
+        // Every PE multiplies its two visible operands and accumulates in
+        // place when both are valid.
+        for row in 0..rows {
+            let rb = row / k;
+            for col in 0..cols {
+                let cb = col / k;
+                let a_idx = row * col_blocks + cb;
+                let b_idx = rb * cols + col;
+                if a_valid[a_idx] && b_valid[b_idx] {
+                    let idx = self.index(row, col);
+                    self.acc[idx] += i64::from(a_ops[a_idx]) * i64::from(b_ops[b_idx]);
+                    self.stats.macs += 1;
+                }
+            }
+        }
+
+        // Propagation: only block-last-column / block-last-row registers
+        // clock, exactly as in the weight-stationary reference.
+        for row in 0..rows {
+            for cb in 0..col_blocks {
+                let last_col = ((cb + 1) * k).min(cols) - 1;
+                let idx = self.index(row, last_col);
+                self.h_regs[idx] = a_ops[row * col_blocks + cb];
+                self.h_valid[idx] = a_valid[row * col_blocks + cb];
+            }
+        }
+        for rb in 0..row_blocks {
+            for col in 0..cols {
+                let last_row = ((rb + 1) * k).min(rows) - 1;
+                let idx = self.index(last_row, col);
+                self.v_regs[idx] = b_ops[rb * cols + col];
+                self.v_valid[idx] = b_valid[rb * cols + col];
+            }
+        }
+
+        self.stats.compute_cycles += 1;
+        self.stats.pe_cycles += (rows * cols) as u64;
+        let clocked = (rows * col_blocks + cols * row_blocks) as u64;
+        let total_regs = 2 * (rows * cols) as u64;
+        self.stats.clocked_register_events += clocked;
+        self.stats.gated_register_events += total_regs - clocked;
+    }
+}

@@ -1,0 +1,294 @@
+//! Differential suite locking the output-stationary backend to its naive
+//! reference and to the dataflow-independent GEMM oracle.
+//!
+//! `common::os::LegacyOsArray` is the array-of-structs reference for the
+//! output-stationary dataflow: full-size operand register files with
+//! `Vec<bool>` validity, resident per-PE accumulators, and a per-cycle scan
+//! of every processing element. The tests drive it cycle for cycle against
+//! [`OutputStationaryArray`] (both with and without the block-frontier fast
+//! path) across randomized geometries, collapse depths, reduction lengths
+//! and operand sparsity — including streams with mid-stream holes and
+//! word-boundary geometries wider than 64 lanes — asserting bit-identical
+//! accumulator files and [`RunStats`](sa_sim::RunStats) every cycle. On top
+//! of the reference, every full tile is checked against the
+//! dataflow-independent oracle: [`multiply`] of the same operands, which
+//! both the weight-stationary and output-stationary backends must
+//! reproduce exactly.
+
+use gemm::rng::SplitMix64;
+use gemm::{multiply, Matrix};
+use proptest::prelude::*;
+use sa_sim::{
+    ArrayConfig, Dataflow, OsCollector, OsNorthFeeder, OsWestFeeder, OutputStationaryArray,
+    Simulator,
+};
+
+mod common;
+use common::os::LegacyOsArray;
+
+/// The scheduled west edge for one cycle in `Option` form: row `i` carries
+/// `A[i][n]` at cycle `n + floor(i / k)`, minus the stream indices dropped
+/// by `a_mask` (bit `n % 64` set = index `n` dropped on every row).
+fn west_options(a: &Matrix<i32>, config: ArrayConfig, cycle: u64, a_mask: u64) -> Vec<Option<i32>> {
+    let k = u64::from(config.collapse_depth);
+    (0..config.rows as usize)
+        .map(|row| {
+            let skew = row as u64 / k;
+            let n = cycle.checked_sub(skew)?;
+            if n >= a.cols() as u64 || a_mask & (1 << (n % 64)) != 0 {
+                return None;
+            }
+            Some(a.row(row)[n as usize])
+        })
+        .collect()
+}
+
+/// The scheduled north edge for one cycle in `Option` form: column `j`
+/// carries `B[n][j]` at cycle `n + floor(j / k)`, minus the stream indices
+/// dropped by `b_mask`.
+fn north_options(
+    b: &Matrix<i32>,
+    config: ArrayConfig,
+    cycle: u64,
+    b_mask: u64,
+) -> Vec<Option<i32>> {
+    let k = u64::from(config.collapse_depth);
+    (0..config.cols as usize)
+        .map(|col| {
+            let skew = col as u64 / k;
+            let n = cycle.checked_sub(skew)?;
+            if n >= b.rows() as u64 || b_mask & (1 << (n % 64)) != 0 {
+                return None;
+            }
+            Some(b[(n as usize, col)])
+        })
+        .collect()
+}
+
+/// Streams one random `R x N` by `N x C` tile through the reference and
+/// both modes of the output-stationary engine, asserting bit-identical
+/// accumulator files and statistics **every cycle**. `zero_fraction`
+/// controls operand sparsity (the fast path must not confuse *zero-valued*
+/// with *invalid* operands); `a_mask` / `b_mask` drop stream indices
+/// wholesale, the mid-stream-hole shape that forces the sparse fallback.
+/// With no holes, the settled accumulators are also checked against the
+/// dataflow-independent oracle `multiply(a, b)`.
+#[allow(clippy::too_many_arguments)]
+fn assert_os_equivalent(
+    rows: u32,
+    cols: u32,
+    k: u32,
+    n: usize,
+    seed: u64,
+    zero_fraction: u32,
+    a_mask: u64,
+    b_mask: u64,
+) {
+    let config = ArrayConfig::new(rows, cols)
+        .with_collapse_depth(k)
+        .with_dataflow(Dataflow::OutputStationary);
+    let mut rng = SplitMix64::new(seed);
+    let sparse = |rng: &mut SplitMix64, low: i32, high: i32| {
+        let value = rng.next_i32_in(low, high);
+        if rng.next_i32_in(0, 99) < zero_fraction as i32 {
+            0
+        } else {
+            value
+        }
+    };
+    let a = Matrix::from_fn(rows as usize, n, |_, _| sparse(&mut rng, -60, 60));
+    let b = Matrix::from_fn(n, cols as usize, |_, _| sparse(&mut rng, -60, 60));
+
+    let mut reference = LegacyOsArray::new(config);
+    let mut fast = OutputStationaryArray::new(config).unwrap();
+    let mut naive = OutputStationaryArray::new(config).unwrap();
+    naive.set_fast_path(false);
+
+    // Run well past the last scheduled operand so fill, steady state and
+    // fully-drained cycles are all compared.
+    for cycle in 0..config.os_tile_cycles(n as u64) + 2 {
+        let west = west_options(&a, config, cycle, a_mask);
+        let north = north_options(&b, config, cycle, b_mask);
+        reference.step(&west, &north);
+        fast.step(&west, &north).unwrap();
+        naive.step(&west, &north).unwrap();
+        assert_eq!(
+            fast.accumulators(),
+            reference.accumulators(),
+            "fast path diverged: {rows}x{cols} k={k} n={n} cycle={cycle}"
+        );
+        assert_eq!(
+            naive.accumulators(),
+            reference.accumulators(),
+            "naive scan diverged: {rows}x{cols} k={k} n={n} cycle={cycle}"
+        );
+        assert_eq!(
+            fast.stats(),
+            reference.stats(),
+            "fast stats diverged: {rows}x{cols} k={k} n={n} cycle={cycle}"
+        );
+        assert_eq!(
+            naive.stats(),
+            reference.stats(),
+            "naive stats diverged: {rows}x{cols} k={k} n={n} cycle={cycle}"
+        );
+    }
+
+    if a_mask == 0 && b_mask == 0 {
+        let oracle = multiply(&a, &b).unwrap();
+        for row in 0..rows as usize {
+            for col in 0..cols as usize {
+                assert_eq!(
+                    reference.accumulators()[row * cols as usize + col],
+                    oracle[(row, col)],
+                    "oracle diverged: {rows}x{cols} k={k} n={n} at ({row}, {col})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn os_engine_matches_the_reference_on_fixed_geometries() {
+    // Word-boundary geometries the random sweep is unlikely to hit: more
+    // than 64 rows/columns (multi-word ring validity segments) and blocks
+    // that straddle a word boundary.
+    for (rows, cols, k, n, seed) in [
+        (1u32, 1u32, 1u32, 3usize, 1u64),
+        (1, 8, 1, 2, 2),
+        (8, 1, 1, 2, 3),
+        (65, 65, 1, 3, 4),
+        (70, 66, 4, 2, 5),
+        (66, 70, 33, 3, 6),
+        (96, 8, 8, 4, 7),
+        (8, 96, 8, 5, 8),
+    ] {
+        assert_os_equivalent(rows, cols, k, n, seed, 30, 0, 0);
+    }
+}
+
+#[test]
+fn holey_os_streams_match_on_word_boundary_geometries() {
+    // Sparse-fallback coverage: dropped stream indices on either or both
+    // edges, on geometries with multi-word validity segments.
+    for (rows, cols, k, n, seed, a_mask, b_mask) in [
+        (65u32, 65u32, 1u32, 4usize, 21u64, 0b1010u64, 0u64),
+        (70, 66, 4, 3, 22, 0, 0b0110),
+        (96, 8, 8, 5, 23, u64::MAX << 1, 0b1),
+        (8, 96, 8, 4, 24, 0b1001, 0b0110),
+    ] {
+        assert_os_equivalent(rows, cols, k, n, seed, 30, a_mask, b_mask);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The output-stationary engine (fast path and naive scan) is
+    /// cycle-for-cycle identical — accumulators and statistics — to the
+    /// array-of-structs reference across randomized geometries, collapse
+    /// depths, reduction lengths and operand sparsity, and the settled
+    /// accumulators equal the GEMM oracle.
+    #[test]
+    fn os_engine_matches_the_reference(
+        rows in 1u32..=12,
+        cols in 1u32..=12,
+        k in 1u32..=6,
+        n in 1usize..=10,
+        seed in any::<u64>(),
+        zero_fraction in 0u32..=90,
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        assert_os_equivalent(rows, cols, k, n, seed, zero_fraction, 0, 0);
+    }
+
+    /// Streams with randomly dropped indices — on either edge, forcing
+    /// unpaired operands and the sparse frontier fallback — still match
+    /// the reference cycle for cycle.
+    #[test]
+    fn os_engine_matches_the_reference_with_holes(
+        rows in 1u32..=12,
+        cols in 1u32..=12,
+        k in 1u32..=6,
+        n in 1usize..=10,
+        seed in any::<u64>(),
+        a_mask in any::<u64>(),
+        b_mask in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        assert_os_equivalent(rows, cols, k, n, seed, 40, a_mask, b_mask);
+    }
+
+    /// `run_cycles` — feeder-driven staging, the collector drain and the
+    /// trailing dead-cycle fold, optionally split into chunked calls — is
+    /// bit-identical to stepping the reference every cycle: same statistics,
+    /// and a drained output equal to the GEMM oracle.
+    #[test]
+    fn os_run_cycles_equals_repeated_reference_steps(
+        rows in 1u32..=10,
+        cols in 1u32..=10,
+        k in 1u32..=5,
+        n in 1usize..=8,
+        chunks in 1u64..=3,
+        extra in 0u64..=200,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        let config = ArrayConfig::new(rows, cols)
+            .with_collapse_depth(k)
+            .with_dataflow(Dataflow::OutputStationary);
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::random(rows as usize, n, &mut rng, -50, 50);
+        let b = Matrix::random(n, cols as usize, &mut rng, -50, 50);
+        let cycles = config.os_tile_cycles(n as u64) + extra;
+
+        // Reference: the literal per-cycle loop over the same schedule.
+        let mut reference = LegacyOsArray::new(config);
+        for cycle in 0..cycles {
+            let west = west_options(&a, config, cycle, 0);
+            let north = north_options(&b, config, cycle, 0);
+            reference.step(&west, &north);
+        }
+
+        let mut engine = OutputStationaryArray::new(config).unwrap();
+        let west = OsWestFeeder::new(&a, config).unwrap();
+        let north = OsNorthFeeder::new(&b, config).unwrap();
+        let mut collector = OsCollector::new(config, n as u64);
+        let per_chunk = (cycles / chunks).max(1);
+        let mut done = 0;
+        while done < cycles {
+            let step = per_chunk.min(cycles - done);
+            engine.run_cycles(&west, &north, done, step, &mut collector).unwrap();
+            done += step;
+        }
+        prop_assert_eq!(engine.stats(), reference.stats());
+        prop_assert!(collector.is_complete());
+        prop_assert_eq!(collector.into_output().unwrap(), multiply(&a, &b).unwrap());
+    }
+
+    /// The dataflow-independent oracle: the same GEMM simulated on a
+    /// weight-stationary and an output-stationary array of the same
+    /// geometry produces the identical, reference-exact product.
+    #[test]
+    fn both_dataflows_reproduce_the_same_gemm(
+        t in 1usize..=9,
+        n in 1usize..=9,
+        m in 1usize..=9,
+        rows in 1u32..=8,
+        cols in 1u32..=8,
+        k in 1u32..=4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= rows && k <= cols);
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::random(t, n, &mut rng, -40, 40);
+        let b = Matrix::random(n, m, &mut rng, -40, 40);
+        let oracle = multiply(&a, &b).unwrap();
+        let base = ArrayConfig::new(rows, cols).with_collapse_depth(k);
+        for dataflow in Dataflow::ALL {
+            let simulator = Simulator::new(base.with_dataflow(dataflow)).unwrap();
+            let run = simulator.run_gemm(&a, &b).unwrap();
+            prop_assert_eq!(&run.output, &oracle);
+        }
+    }
+}

@@ -20,7 +20,7 @@
 
 use crate::http::{HttpRequest, HttpResponse, ServerConfig};
 use crate::metrics::Metrics;
-use arrayflex::sa_sim::ArrayPool;
+use arrayflex::sa_sim::{ArrayPool, Dataflow};
 use arrayflex::{
     ArrayFlexModel, CacheOutcome, EvaluationSweep, NetworkComparison, ParallelExecutor, PlanCache,
     PlanKind,
@@ -354,6 +354,28 @@ fn decode_mapping(value: &Value) -> Result<DepthwiseMapping, ApiError> {
     Ok(decode_optional::<DepthwiseMapping>(value, "mapping")?.unwrap_or_default())
 }
 
+/// Decodes the optional `dataflow` field of a simulate request:
+/// `"weight_stationary"` (the default) or `"output_stationary"`.
+fn decode_dataflow(value: &Value) -> Result<Dataflow, ApiError> {
+    Ok(decode_optional::<Dataflow>(value, "dataflow")?.unwrap_or_default())
+}
+
+/// Decodes the optional `dataflows` field of a sweep request: a non-empty
+/// list of dataflow names, defaulting to the paper's weight-stationary
+/// architecture.
+fn decode_dataflows(value: &Value) -> Result<Vec<Dataflow>, ApiError> {
+    match decode_optional::<Vec<Dataflow>>(value, "dataflows")? {
+        None => Ok(vec![Dataflow::WeightStationary]),
+        Some(dataflows) if dataflows.is_empty() => Err(ApiError::bad_request(
+            "`dataflows` must list at least one dataflow",
+        )),
+        Some(dataflows) if dataflows.len() > Dataflow::ALL.len() => Err(ApiError::bad_request(
+            format!("`dataflows` must list at most {} dataflows", Dataflow::ALL.len()),
+        )),
+        Some(dataflows) => Ok(dataflows),
+    }
+}
+
 /// Decodes the optional `design` field of a plan request:
 /// `"arrayflex"` (default), `"conventional"`, or `{"fixed": k}`.
 fn decode_plan_kind(value: &Value) -> Result<PlanKind, ApiError> {
@@ -442,6 +464,7 @@ fn sweep(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
         .map(NetworkSpec::resolve)
         .collect::<Result<Vec<_>, _>>()?;
     let mapping = decode_mapping(value)?;
+    let dataflows = decode_dataflows(value)?;
     let threads = decode_optional::<usize>(value, "threads")?.unwrap_or(1);
     if threads > MAX_SWEEP_THREADS {
         return Err(ApiError::bad_request(format!(
@@ -459,25 +482,32 @@ fn sweep(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
         threads
     };
 
-    // Fan the (size x network x pipeline choice) plan jobs out through the
-    // executor, serving each one from the shared plan cache. Re-pairing in
-    // submission order reproduces `EvaluationSweep::run` byte for byte.
+    // Fan the (size x network x dataflow x pipeline choice) plan jobs out
+    // through the executor, serving each one from the shared plan cache.
+    // Re-pairing in submission order reproduces `EvaluationSweep::run`
+    // byte for byte.
     let executor = ParallelExecutor::new(threads);
-    let mut jobs = Vec::with_capacity(sizes.len() * networks.len() * 2);
+    let mut jobs = Vec::with_capacity(sizes.len() * networks.len() * dataflows.len() * 2);
     for &size in &sizes {
         for network in &networks {
-            jobs.push((size, network, PlanKind::Conventional));
-            jobs.push((size, network, PlanKind::ArrayFlex));
+            for &dataflow in &dataflows {
+                jobs.push((size, network, dataflow, PlanKind::Conventional));
+                jobs.push((size, network, dataflow, PlanKind::ArrayFlex));
+            }
         }
     }
-    let plans = executor.try_run(jobs, |(size, network, kind)| {
-        let model = ArrayFlexModel::new(size, size)?;
-        model.plan_cached(&state.cache, network, mapping, kind)
+    let plans = executor.try_run(jobs, |(size, network, dataflow, kind)| {
+        let model = ArrayFlexModel::new(size, size)?.with_dataflow(dataflow);
+        model
+            .plan_cached(&state.cache, network, mapping, kind)
+            .map(|plan| (dataflow, plan))
     })?;
     let mut comparisons = Vec::with_capacity(plans.len() / 2);
     let mut plans = plans.into_iter();
-    while let (Some(conventional), Some(proposed)) = (plans.next(), plans.next()) {
-        comparisons.push(NetworkComparison::from_plans(
+    while let (Some((dataflow, conventional)), Some((_, proposed))) = (plans.next(), plans.next())
+    {
+        comparisons.push(NetworkComparison::from_plans_for(
+            dataflow,
             (*conventional).clone(),
             (*proposed).clone(),
         ));
@@ -490,9 +520,14 @@ fn sweep(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
 /// The `EvaluationSweep` a sweep request is equivalent to (used by tests to
 /// assert byte-identical responses).
 #[must_use]
-pub fn equivalent_sweep(sizes: &[u32], mapping: DepthwiseMapping) -> EvaluationSweep {
+pub fn equivalent_sweep(
+    sizes: &[u32],
+    dataflows: &[Dataflow],
+    mapping: DepthwiseMapping,
+) -> EvaluationSweep {
     EvaluationSweep {
         array_sizes: sizes.to_vec(),
+        dataflows: dataflows.to_vec(),
         mapping,
         threads: 1,
     }
@@ -511,6 +546,8 @@ pub struct SimulateResponse {
     pub cols: u32,
     /// Pipeline collapsing depth.
     pub k: u32,
+    /// Dataflow the array executed.
+    pub dataflow: Dataflow,
     /// Streaming dimension of the random GEMM.
     pub t: u64,
     /// Reduction dimension of the random GEMM.
@@ -541,6 +578,7 @@ fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
     let n: u64 = decode(value, "n")?;
     let m: u64 = decode(value, "m")?;
     let seed = decode_optional::<u64>(value, "seed")?.unwrap_or(0);
+    let dataflow = decode_dataflow(value)?;
     if rows == 0 || cols == 0 || rows > MAX_SIM_EDGE || cols > MAX_SIM_EDGE {
         return Err(ApiError::bad_request(format!(
             "simulated array {rows}x{cols} outside the supported 1..={MAX_SIM_EDGE} range"
@@ -555,7 +593,7 @@ fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
             "GEMM of {macs} MACs exceeds the cycle-accurate limit of {MAX_SIM_MACS}"
         )));
     }
-    let model = ArrayFlexModel::new(rows, cols)?;
+    let model = ArrayFlexModel::new(rows, cols)?.with_dataflow(dataflow);
     let mut rng = SplitMix64::new(seed);
     let a = Matrix::random(t as usize, n as usize, &mut rng, -64, 63);
     let b = Matrix::random(n as usize, m as usize, &mut rng, -64, 63);
@@ -564,6 +602,7 @@ fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
         rows,
         cols,
         k,
+        dataflow,
         t,
         n,
         m,
@@ -717,9 +756,13 @@ mod tests {
         let response = handle(&state, &request);
         assert_eq!(response.status, 200);
         let networks = vec![cnn::models::resnet34(), cnn::models::mobilenet_v1()];
-        let direct = equivalent_sweep(&[32, 64], DepthwiseMapping::default())
-            .run(&networks)
-            .unwrap();
+        let direct = equivalent_sweep(
+            &[32, 64],
+            &[Dataflow::WeightStationary],
+            DepthwiseMapping::default(),
+        )
+        .run(&networks)
+        .unwrap();
         assert_eq!(response.body, serde_json::to_string(&direct).unwrap().into_bytes());
         // The sweep populated the plan cache: 2 sizes x 2 networks x 2 kinds.
         assert_eq!(state.cache().len(), 8);
@@ -734,6 +777,53 @@ mod tests {
     }
 
     #[test]
+    fn sweep_returns_per_dataflow_results_for_the_same_request() {
+        let state = state();
+        let request = post(
+            "/v1/sweep",
+            r#"{"array_sizes":[32],"networks":["resnet34"],"dataflows":["weight_stationary","output_stationary"]}"#,
+        );
+        let response = handle(&state, &request);
+        assert_eq!(response.status, 200);
+        // Byte-identical to the library sweep with the same dataflow grid.
+        let direct = equivalent_sweep(
+            &[32],
+            &[Dataflow::WeightStationary, Dataflow::OutputStationary],
+            DepthwiseMapping::default(),
+        )
+        .run(&[cnn::models::resnet34()])
+        .unwrap();
+        assert_eq!(response.body, serde_json::to_string(&direct).unwrap().into_bytes());
+        // Both architectures are reported for the one (size, network) pair,
+        // and they genuinely differ in modeled latency.
+        let decoded: Vec<NetworkComparison> =
+            serde_json::from_str(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].dataflow, Dataflow::WeightStationary);
+        assert_eq!(decoded[1].dataflow, Dataflow::OutputStationary);
+        assert_ne!(
+            decoded[0].conventional.total_time(),
+            decoded[1].conventional.total_time()
+        );
+        // The plan cache keys by dataflow: 1 size x 1 network x 2 dataflows
+        // x 2 kinds.
+        assert_eq!(state.cache().len(), 4);
+        // Omitting `dataflows` is the weight-stationary sweep, so its two
+        // plans are pure cache hits from the grid above.
+        let hits_before = state.cache().hits();
+        let ws_only = handle(
+            &state,
+            &post("/v1/sweep", r#"{"array_sizes":[32],"networks":["resnet34"]}"#),
+        );
+        assert_eq!(ws_only.status, 200);
+        assert_eq!(state.cache().hits(), hits_before + 2);
+        let ws_decoded: Vec<NetworkComparison> =
+            serde_json::from_str(std::str::from_utf8(&ws_only.body).unwrap()).unwrap();
+        assert_eq!(ws_decoded.len(), 1);
+        assert_eq!(ws_decoded[0], decoded[0]);
+    }
+
+    #[test]
     fn sweep_rejects_out_of_range_requests() {
         let state = state();
         for (body, needle) in [
@@ -745,6 +835,14 @@ mod tests {
             (
                 r#"{"array_sizes":[16],"networks":["resnet34"],"threads":99}"#,
                 "`threads`",
+            ),
+            (
+                r#"{"array_sizes":[16],"networks":["resnet34"],"dataflows":[]}"#,
+                "`dataflows`",
+            ),
+            (
+                r#"{"array_sizes":[16],"networks":["resnet34"],"dataflows":["sideways"]}"#,
+                "invalid field `dataflows`",
             ),
         ] {
             let response = handle(&state, &post("/v1/sweep", body));
@@ -803,6 +901,36 @@ mod tests {
         );
         assert_eq!(again.body, response.body);
         assert_eq!(state.sim_pool().len(), 1);
+    }
+
+    #[test]
+    fn simulate_supports_the_output_stationary_dataflow() {
+        let state = state();
+        let response = handle(
+            &state,
+            &post(
+                "/v1/simulate",
+                r#"{"rows":8,"cols":8,"k":2,"t":6,"n":20,"m":10,"seed":5,"dataflow":"output_stationary"}"#,
+            ),
+        );
+        assert_eq!(response.status, 200);
+        let decoded: SimulateResponse =
+            serde_json::from_str(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(decoded.dataflow, Dataflow::OutputStationary);
+        assert!(decoded.cycles_match);
+        assert!(decoded.functionally_correct);
+        // An invalid dataflow name is a structured 400.
+        let bad = handle(
+            &state,
+            &post(
+                "/v1/simulate",
+                r#"{"rows":8,"cols":8,"k":2,"t":6,"n":20,"m":10,"dataflow":"sideways"}"#,
+            ),
+        );
+        assert_eq!(bad.status, 400);
+        assert!(String::from_utf8(bad.body)
+            .unwrap()
+            .contains("invalid field `dataflow`"));
     }
 
     #[test]

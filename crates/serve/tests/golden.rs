@@ -1,35 +1,36 @@
-//! Golden-file test: the canonical `/v1/plan` response is committed to the
-//! repository and must never drift.
+//! Golden-file tests: canonical `/v1/plan` and `/v1/sweep` responses are
+//! committed to the repository and must never drift.
 //!
-//! The CI smoke test curls a live server with the same request
+//! The CI smoke test curls a live server with the same plan request
 //! (`scripts/serve_smoke.sh`) and compares against the same file, so the
-//! golden pins the over-the-wire contract: the exact bytes of planning
-//! ResNet-34 on a 128x128 array with the paper's default calibration.
+//! goldens pin the over-the-wire contract: the exact bytes of planning
+//! ResNet-34 on a 128x128 array with the paper's default calibration, and
+//! of sweeping one (network x size) pair across both array dataflows.
 //!
 //! Regenerate intentionally with:
 //! `BLESS_GOLDEN=1 cargo test -p arrayflex-serve --test golden`
 
+use arrayflex::sa_sim::Dataflow;
+use arrayflex_serve::api::equivalent_sweep;
 use arrayflex_serve::client;
 use arrayflex_serve::http::{serve, ServerConfig};
+use cnn::DepthwiseMapping;
 use std::path::PathBuf;
 
 /// The request body `scripts/serve_smoke.sh` sends (keep in sync).
 const GOLDEN_REQUEST: &str = r#"{"network":"resnet34","rows":128,"cols":128}"#;
 
-fn golden_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/plan_resnet34_128x128.json")
+/// One (network x size) pair swept across both dataflows.
+const GOLDEN_SWEEP_REQUEST: &str = r#"{"array_sizes":[64],"networks":["mobilenet_v1"],"dataflows":["weight_stationary","output_stationary"]}"#;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}"))
 }
 
-#[test]
-fn plan_response_matches_the_committed_golden_file() {
-    let handle = serve(ServerConfig::default()).expect("bind loopback");
-    let response = client::post_json(handle.addr(), "/v1/plan", GOLDEN_REQUEST).unwrap();
-    handle.shutdown();
-    assert_eq!(response.status, 200);
-
-    let path = golden_path();
+fn assert_matches_golden(name: &str, body: &[u8]) {
+    let path = golden_path(name);
     if std::env::var_os("BLESS_GOLDEN").is_some() {
-        std::fs::write(&path, &response.body).expect("write golden file");
+        std::fs::write(&path, body).expect("write golden file");
         return;
     }
     let golden = std::fs::read(&path).unwrap_or_else(|e| {
@@ -39,9 +40,42 @@ fn plan_response_matches_the_committed_golden_file() {
         )
     });
     assert!(
-        response.body == golden,
-        "/v1/plan response drifted from {} — if the change is intentional, \
+        body == golden,
+        "response drifted from {} — if the change is intentional, \
          regenerate with BLESS_GOLDEN=1 and commit the diff",
         path.display()
     );
+}
+
+#[test]
+fn plan_response_matches_the_committed_golden_file() {
+    let handle = serve(ServerConfig::default()).expect("bind loopback");
+    let response = client::post_json(handle.addr(), "/v1/plan", GOLDEN_REQUEST).unwrap();
+    handle.shutdown();
+    assert_eq!(response.status, 200);
+    assert_matches_golden("plan_resnet34_128x128.json", &response.body);
+}
+
+#[test]
+fn sweep_response_matches_the_committed_golden_file_and_the_library() {
+    let handle = serve(ServerConfig::default()).expect("bind loopback");
+    let response = client::post_json(handle.addr(), "/v1/sweep", GOLDEN_SWEEP_REQUEST).unwrap();
+    handle.shutdown();
+    assert_eq!(response.status, 200);
+
+    // Byte-identical to the direct library sweep of the same grid — the
+    // same contract the `/v1/plan` golden pins for planning.
+    let direct = equivalent_sweep(
+        &[64],
+        &[Dataflow::WeightStationary, Dataflow::OutputStationary],
+        DepthwiseMapping::default(),
+    )
+    .run(&[cnn::models::mobilenet_v1()])
+    .unwrap();
+    assert_eq!(
+        response.body,
+        serde_json::to_string(&direct).unwrap().into_bytes()
+    );
+
+    assert_matches_golden("sweep_mobilenet_64_dataflows.json", &response.body);
 }

@@ -1,5 +1,6 @@
 //! Integration tests of the HTTP service over real loopback sockets.
 
+use arrayflex::sa_sim::Dataflow;
 use arrayflex::{ArrayFlexModel, EvaluationSweep};
 use arrayflex_serve::client::{self, read_response};
 use arrayflex_serve::http::{serve, ServerConfig};
@@ -78,6 +79,7 @@ fn sweep_and_simulate_over_the_wire() {
     assert_eq!(sweep.status, 200);
     let direct = EvaluationSweep {
         array_sizes: vec![32],
+        dataflows: vec![Dataflow::WeightStationary],
         mapping: DepthwiseMapping::default(),
         threads: 1,
     }
@@ -202,6 +204,7 @@ fn sweep_thread_autodetection_is_capped() {
     assert_eq!(response.status, 200);
     let direct = EvaluationSweep {
         array_sizes: vec![16],
+        dataflows: vec![Dataflow::WeightStationary],
         mapping: DepthwiseMapping::default(),
         threads: 1,
     }

@@ -7,7 +7,7 @@ use cnn::DepthwiseMapping;
 use gemm::rng::SplitMix64;
 use gemm::{multiply, tiled_multiply, GemmDims, Matrix};
 use proptest::prelude::*;
-use sa_sim::{ArrayConfig, Simulator};
+use sa_sim::{ArrayConfig, Dataflow, Simulator};
 
 /// Strategy for small GEMM dimensions that keep the cycle-accurate
 /// simulator fast while still exercising tiling and skew.
@@ -120,6 +120,7 @@ proptest! {
         };
         let sweep = EvaluationSweep {
             array_sizes: sizes,
+            dataflows: vec![Dataflow::WeightStationary],
             mapping,
             threads: 1,
         };
