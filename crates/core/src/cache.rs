@@ -473,6 +473,7 @@ impl PlanCacheBuilder {
             clock: self
                 .clock
                 .unwrap_or_else(|| Arc::new(MonotonicClock::default())),
+            generation: AtomicU64::new(0),
         }
     }
 }
@@ -513,6 +514,11 @@ pub struct PlanCache {
     per_shard_bytes: Option<usize>,
     ttl: Option<Duration>,
     clock: Arc<dyn CacheClock>,
+    /// Monotone counter advanced whenever any shard's entry set changes
+    /// (insert, eviction, expiration). Caches derived from this one — the
+    /// serving layer's rendered-response memo — validate against it
+    /// without locking any shard.
+    generation: AtomicU64,
 }
 
 /// Magic bytes opening a snapshot file.
@@ -562,19 +568,38 @@ impl PlanCache {
         self.shard(hash).lock().expect("plan cache shard poisoned")
     }
 
+    /// Runs `f` under the lock of the shard `hash` selects, then folds any
+    /// entry-set mutations `f` caused into the cache-wide [`generation`]
+    /// counter (after the lock is released, so readers of the generation
+    /// never block on a shard).
+    ///
+    /// [`generation`]: PlanCache::generation
+    fn with_shard<R>(&self, hash: u64, f: impl FnOnce(&mut Shard) -> R) -> R {
+        let mut shard = self.lock_shard(hash);
+        let before = shard.mutations;
+        let result = f(&mut shard);
+        let delta = shard.mutations - before;
+        drop(shard);
+        if delta > 0 {
+            self.generation.fetch_add(delta, Ordering::SeqCst);
+        }
+        result
+    }
+
     /// Looks up a plan, updating its recency and the hit/miss counters. An
     /// entry whose age reached the TTL is dropped and reported as a miss
     /// (and counted as an expiration).
     #[must_use]
     pub fn get(&self, key: &PlanKey) -> Option<Arc<NetworkPlan>> {
         let now = self.clock.now();
-        let mut shard = self.lock_shard(key.hash());
-        let found = shard.probe(key.canonical(), now, self.ttl);
-        match &found {
-            Some(_) => shard.hits += 1,
-            None => shard.misses += 1,
-        }
-        found
+        self.with_shard(key.hash(), |shard| {
+            let found = shard.probe(key.canonical(), now, self.ttl);
+            match &found {
+                Some(_) => shard.hits += 1,
+                None => shard.misses += 1,
+            }
+            found
+        })
     }
 
     /// Inserts a plan, evicting least-recently-used entries of the key's
@@ -582,14 +607,46 @@ impl PlanCache {
     pub fn insert(&self, key: &PlanKey, plan: Arc<NetworkPlan>) {
         let cost = estimated_entry_bytes(key, &plan);
         let now = self.clock.now();
-        self.lock_shard(key.hash()).insert(
-            key.canonical().to_owned(),
-            plan,
-            cost,
-            now,
-            self.per_shard_capacity,
-            self.per_shard_bytes,
-        );
+        self.with_shard(key.hash(), |shard| {
+            shard.insert(
+                key.canonical().to_owned(),
+                plan,
+                cost,
+                now,
+                self.per_shard_capacity,
+                self.per_shard_bytes,
+            );
+        });
+    }
+
+    /// Monotone counter advanced whenever the resident entry set changes
+    /// (insert, eviction, expiration or [`clear`](Self::clear) — not on
+    /// plain lookups). An unchanged generation guarantees the entry set is
+    /// unchanged, which is what lets the serving layer's rendered-response
+    /// memo (`crates/serve/src/rendered.rs`) serve bytes derived from a
+    /// cached plan without re-deriving the plan key on every request, and
+    /// lets its snapshot saver thread skip rewriting an unchanged
+    /// snapshot.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// The current reading of the cache's clock. Derived caches age their
+    /// entries against this reading (not wall time), so a test-injected
+    /// [`ManualClock`] expires them in lockstep with the plans they were
+    /// rendered from.
+    #[must_use]
+    pub fn clock_now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    /// Tallies a hit that was served from a cache derived from this one
+    /// (the serving layer's rendered-response memo). The serve was still
+    /// a hit on the cached plan — its rendered form — so the hit/miss
+    /// accounting must see it, even though no shard probe ran.
+    pub fn note_derived_hit(&self, hash: u64) {
+        self.lock_shard(hash).hits += 1;
     }
 
     /// Returns the cached plan for `key`, or computes it with `compute`
@@ -632,9 +689,14 @@ impl PlanCache {
     ) -> Result<(Arc<NetworkPlan>, CacheOutcome), E> {
         {
             let now = self.clock.now();
-            let mut shard = self.lock_shard(key.hash());
-            if let Some(plan) = shard.probe(key.canonical(), now, self.ttl) {
-                shard.hits += 1;
+            let hit = self.with_shard(key.hash(), |shard| {
+                let found = shard.probe(key.canonical(), now, self.ttl);
+                if found.is_some() {
+                    shard.hits += 1;
+                }
+                found
+            });
+            if let Some(plan) = hit {
                 return Ok((plan, CacheOutcome::Hit));
             }
         }
@@ -648,23 +710,24 @@ impl PlanCache {
         // Cost the entry outside the lock too (it serializes the plan).
         let cost = estimated_entry_bytes(key, &plan);
         let now = self.clock.now();
-        let mut shard = self.lock_shard(key.hash());
-        if let Some(existing) = shard.probe(key.canonical(), now, self.ttl) {
-            // Insert race: another thread cached this key while we were
-            // computing. Serve the winner's entry — as a hit.
-            shard.hits += 1;
-            return Ok((existing, CacheOutcome::Hit));
-        }
-        shard.misses += 1;
-        shard.insert(
-            key.canonical().to_owned(),
-            Arc::clone(&plan),
-            cost,
-            now,
-            self.per_shard_capacity,
-            self.per_shard_bytes,
-        );
-        Ok((plan, CacheOutcome::Miss))
+        self.with_shard(key.hash(), |shard| {
+            if let Some(existing) = shard.probe(key.canonical(), now, self.ttl) {
+                // Insert race: another thread cached this key while we were
+                // computing. Serve the winner's entry — as a hit.
+                shard.hits += 1;
+                return Ok((existing, CacheOutcome::Hit));
+            }
+            shard.misses += 1;
+            shard.insert(
+                key.canonical().to_owned(),
+                Arc::clone(&plan),
+                cost,
+                now,
+                self.per_shard_capacity,
+                self.per_shard_bytes,
+            );
+            Ok((plan, CacheOutcome::Miss))
+        })
     }
 
     /// Number of plans currently cached (across all shards). Entries past
@@ -762,20 +825,9 @@ impl PlanCache {
         }
     }
 
-    /// A counter that changes whenever the resident entry set changes
-    /// (insert, eviction or expiration — not on plain lookups). The
-    /// snapshot saver thread of `arrayflex-serve` polls this to skip
-    /// rewriting an unchanged snapshot.
-    #[must_use]
-    pub fn generation(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("plan cache shard poisoned").mutations)
-            .sum()
-    }
-
     /// Drops every cached plan (the hit/miss counters are kept).
     pub fn clear(&self) {
+        let mut cleared = 0;
         for shard in &self.shards {
             let mut shard = shard.lock().expect("plan cache shard poisoned");
             let dropped = shard.entries.len() as u64;
@@ -783,7 +835,11 @@ impl PlanCache {
             shard.bytes = 0;
             if dropped > 0 {
                 shard.mutations += 1;
+                cleared += 1;
             }
+        }
+        if cleared > 0 {
+            self.generation.fetch_add(cleared, Ordering::SeqCst);
         }
     }
 

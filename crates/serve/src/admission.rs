@@ -1,0 +1,364 @@
+//! Batch admission in front of the request handlers.
+//!
+//! Two amortization mechanisms sit between the event loops and the
+//! handler worker pool — the serving-layer analogue of the paper's thesis
+//! that *utilization*, not peak compute, decides delivered throughput:
+//!
+//! * **Singleflight**: concurrent identical requests (same path, same
+//!   body) to a coalescable route (`/v1/plan`, `/v1/sweep`,
+//!   `/v1/simulate`) collapse onto one in-flight computation. The first
+//!   request becomes the *leader* and computes; later identical requests
+//!   park as *waiters* and receive the leader's response — the body is an
+//!   [`Arc`], so fan-out copies nothing. Because every handler is a pure
+//!   function of the request body over deterministic state, the coalesced
+//!   response is byte-identical to what each waiter would have computed
+//!   itself (asserted by the golden tests).
+//! * **Gather window**: when [`crate::http::ServerConfig::gather_window`]
+//!   is non-zero, the first `/v1/simulate` request of an array
+//!   configuration waits up to that long for same-configuration requests
+//!   (same `rows`/`cols`/`k`/`dataflow`, any operands), then the whole
+//!   group runs as one batch through `ParallelExecutor` sharing the
+//!   pooled simulator arrays. Off (zero) by default so sequential callers
+//!   never pay the window as latency.
+//!
+//! Responses travel back to their event loop as [`Completion`]s through
+//! the loop's mailbox; request metrics and log lines are recorded here,
+//! per original request, with each request's own end-to-end latency.
+
+use crate::api::{self, AppState, SimRequest};
+use crate::conn::ParsedRequest;
+use crate::event_loop::{LoopMsg, Mailbox};
+use crate::http::{self, HttpRequest, HttpResponse};
+use arrayflex::ParallelExecutor;
+use arrayflex::sa_sim::Dataflow;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A response shared between a singleflight leader and its waiters.
+#[derive(Debug, Clone)]
+pub(crate) struct SharedResponse {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The response body, shared across every coalesced delivery.
+    pub body: Arc<Vec<u8>>,
+}
+
+impl From<HttpResponse> for SharedResponse {
+    fn from(response: HttpResponse) -> Self {
+        Self {
+            status: response.status,
+            content_type: response.content_type,
+            body: Arc::new(response.body),
+        }
+    }
+}
+
+/// One parsed request travelling from an event loop to the worker pool.
+#[derive(Debug)]
+pub(crate) struct Job {
+    /// Index of the event loop that owns the connection.
+    pub loop_id: usize,
+    /// The connection's poller token on that loop.
+    pub token: usize,
+    /// The connection slot's generation when the request was parsed; a
+    /// completion whose generation no longer matches is dropped (the
+    /// connection died and the slot may have been reused).
+    pub generation: u64,
+    /// Position of this request in the connection's pipeline; responses
+    /// are written strictly in `seq` order.
+    pub seq: u64,
+    /// The parsed request.
+    pub request: ParsedRequest,
+    /// When the request finished parsing (latency is measured from here).
+    pub started: Instant,
+}
+
+/// One finished response travelling back to its event loop.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    /// The connection's poller token.
+    pub token: usize,
+    /// Slot generation the response belongs to.
+    pub generation: u64,
+    /// Pipeline position the response answers.
+    pub seq: u64,
+    /// The response.
+    pub response: SharedResponse,
+    /// Whether the connection must close after this response.
+    pub close_after: bool,
+}
+
+/// The delivery address and accounting context of one parked request.
+#[derive(Debug)]
+struct Waiter {
+    loop_id: usize,
+    token: usize,
+    generation: u64,
+    seq: u64,
+    close_after: bool,
+    route: &'static str,
+    started: Instant,
+    /// `true` for requests that coalesced onto another computation (the
+    /// leader itself is delivered with `coalesced: false`).
+    coalesced: bool,
+}
+
+/// Identity of one in-flight coalescable computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FlightKey {
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Array geometry a `/v1/simulate` request runs on: `(rows, cols, k,
+/// dataflow)`. Requests sharing one can share a pooled-array batch.
+type BatchKey = (u32, u32, u32, Dataflow);
+
+/// One gather-bucket member: the flight it leads plus the decoded
+/// request the batch leader will run.
+type GatherEntry = (FlightKey, Waiter, SimRequest);
+
+/// The singleflight table and simulate gather buckets.
+#[derive(Debug)]
+pub(crate) struct Admission {
+    /// In-flight computations: key -> waiters parked behind the leader.
+    flights: Mutex<HashMap<FlightKey, Vec<Waiter>>>,
+    /// Open gather buckets: batch key -> flights waiting for the batch
+    /// leader to run them.
+    gather: Mutex<HashMap<BatchKey, Vec<GatherEntry>>>,
+    window: Duration,
+}
+
+/// Outcome of entering the singleflight table.
+enum Entered {
+    /// This request leads the computation; the waiter is handed back.
+    Lead(Waiter),
+    /// An identical computation is already in flight; the waiter was
+    /// parked behind its leader.
+    Coalesced,
+}
+
+impl Admission {
+    pub(crate) fn new(window: Duration) -> Self {
+        Self {
+            flights: Mutex::new(HashMap::new()),
+            gather: Mutex::new(HashMap::new()),
+            window,
+        }
+    }
+
+    fn enter(&self, key: FlightKey, waiter: Waiter) -> Entered {
+        let mut flights = self.flights.lock().expect("flight table poisoned");
+        match flights.entry(key) {
+            Entry::Occupied(mut entry) => {
+                entry.get_mut().push(waiter);
+                Entered::Coalesced
+            }
+            Entry::Vacant(entry) => {
+                entry.insert(Vec::new());
+                Entered::Lead(waiter)
+            }
+        }
+    }
+
+    /// Closes one flight, returning the waiters its leader must deliver
+    /// the shared response to.
+    fn complete(&self, key: &FlightKey) -> Vec<Waiter> {
+        self.flights
+            .lock()
+            .expect("flight table poisoned")
+            .remove(key)
+            .unwrap_or_default()
+    }
+
+    /// Parks one flight into its gather bucket. `true` when this call
+    /// opened the bucket (the caller becomes the batch leader and must
+    /// sleep the window, then [`Admission::take_batch`]).
+    fn join_gather(&self, batch_key: BatchKey, item: GatherEntry) -> bool {
+        let mut gather = self.gather.lock().expect("gather table poisoned");
+        match gather.entry(batch_key) {
+            Entry::Occupied(mut entry) => {
+                entry.get_mut().push(item);
+                false
+            }
+            Entry::Vacant(entry) => {
+                entry.insert(vec![item]);
+                true
+            }
+        }
+    }
+
+    /// Takes the gathered batch (leader's own flight included).
+    fn take_batch(&self, batch_key: BatchKey) -> Vec<GatherEntry> {
+        self.gather
+            .lock()
+            .expect("gather table poisoned")
+            .remove(&batch_key)
+            .unwrap_or_default()
+    }
+}
+
+/// Routes whose POSTs may coalesce (pure functions of the request body).
+fn coalescable(method: &str, route: &str) -> bool {
+    method == "POST" && matches!(route, "/v1/plan" | "/v1/sweep" | "/v1/simulate")
+}
+
+fn waiter_of(job: &Job, route: &'static str) -> Waiter {
+    Waiter {
+        loop_id: job.loop_id,
+        token: job.token,
+        generation: job.generation,
+        seq: job.seq,
+        close_after: job.request.close_after,
+        route,
+        started: job.started,
+        coalesced: false,
+    }
+}
+
+/// Runs one job end to end: admission, computation, delivery. Called by
+/// the handler worker threads.
+pub(crate) fn handle_job(
+    state: &AppState,
+    admission: &Admission,
+    sinks: &[Arc<Mailbox>],
+    job: Job,
+) {
+    let route = api::route_label(&job.request.path);
+    let waiter = waiter_of(&job, route);
+    let request = HttpRequest {
+        method: job.request.method,
+        path: job.request.path,
+        body: job.request.body,
+    };
+
+    if !coalescable(&request.method, route) {
+        let (response, trace) = api::handle_traced(state, &request);
+        deliver(state, sinks, waiter, &response.into(), trace);
+        return;
+    }
+
+    let key = FlightKey {
+        path: request.path.clone(),
+        body: request.body.clone(),
+    };
+    let leader = match admission.enter(key.clone(), waiter) {
+        // An identical computation is in flight; its leader delivers.
+        Entered::Coalesced => return,
+        Entered::Lead(waiter) => waiter,
+    };
+
+    // Gather window: batch same-configuration simulate requests. Bodies
+    // that fail to decode fall through to the plain handler path so error
+    // responses stay byte-identical to the unbatched server.
+    if route == "/v1/simulate" && !admission.window.is_zero() {
+        if let Some(sim) = try_decode_sim(&request.body) {
+            if admission.join_gather(sim.batch_key(), (key, leader, sim)) {
+                std::thread::sleep(admission.window);
+                run_batch(state, admission, sinks, admission.take_batch(sim.batch_key()));
+            }
+            // Not the batch leader: the leader runs (and delivers) this
+            // flight when its window closes.
+            return;
+        }
+    }
+
+    let (response, trace) = api::handle_traced(state, &request);
+    settle(state, admission, sinks, &key, leader, response.into(), trace);
+}
+
+/// Decodes a simulate body the way the handler would; `None` routes the
+/// request down the plain (unbatched) path.
+fn try_decode_sim(body: &[u8]) -> Option<SimRequest> {
+    let text = std::str::from_utf8(body).ok()?;
+    let value = serde_json::from_str(text).ok()?;
+    api::decode_simulate(&value).ok()
+}
+
+/// Runs one gathered simulate batch through `ParallelExecutor`, then
+/// settles every member flight.
+fn run_batch(
+    state: &AppState,
+    admission: &Admission,
+    sinks: &[Arc<Mailbox>],
+    batch: Vec<(FlightKey, Waiter, SimRequest)>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    state.metrics().note_sim_batch(batch.len() as u64);
+    let mut addresses = Vec::with_capacity(batch.len());
+    let mut sims = Vec::with_capacity(batch.len());
+    for (key, waiter, sim) in batch {
+        addresses.push((key, waiter));
+        sims.push(sim);
+    }
+    let threads = sims
+        .len()
+        .min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+    let responses = ParallelExecutor::new(threads).run(sims, |sim| api::simulate_response(state, sim));
+    for ((key, waiter), response) in addresses.into_iter().zip(responses) {
+        settle(
+            state,
+            admission,
+            sinks,
+            &key,
+            waiter,
+            response.into(),
+            api::RequestTrace::default(),
+        );
+    }
+}
+
+/// Closes a flight and delivers the shared response to its leader and
+/// every coalesced waiter.
+fn settle(
+    state: &AppState,
+    admission: &Admission,
+    sinks: &[Arc<Mailbox>],
+    key: &FlightKey,
+    leader: Waiter,
+    response: SharedResponse,
+    trace: api::RequestTrace,
+) {
+    let waiters = admission.complete(key);
+    deliver(state, sinks, leader, &response, trace);
+    for mut waiter in waiters {
+        waiter.coalesced = true;
+        // Coalesced requests never consulted the cache themselves.
+        deliver(state, sinks, waiter, &response, api::RequestTrace::default());
+    }
+}
+
+/// Records one request's metrics/log line and mails its completion back
+/// to the owning event loop.
+fn deliver(
+    state: &AppState,
+    sinks: &[Arc<Mailbox>],
+    waiter: Waiter,
+    response: &SharedResponse,
+    trace: api::RequestTrace,
+) {
+    let latency = waiter.started.elapsed();
+    state.metrics().observe(waiter.route, response.status, latency);
+    if waiter.coalesced {
+        state.metrics().note_coalesced(waiter.route);
+    }
+    if state.log_requests() {
+        println!(
+            "{}",
+            http::log_line(waiter.route, response.status, latency, trace)
+        );
+    }
+    sinks[waiter.loop_id].push(LoopMsg::Complete(Completion {
+        token: waiter.token,
+        generation: waiter.generation,
+        seq: waiter.seq,
+        response: response.clone(),
+        close_after: waiter.close_after,
+    }));
+}

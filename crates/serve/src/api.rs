@@ -20,6 +20,7 @@
 
 use crate::http::{HttpRequest, HttpResponse, ServerConfig};
 use crate::metrics::Metrics;
+use crate::rendered::RenderedCache;
 use arrayflex::sa_sim::{ArrayPool, Dataflow};
 use arrayflex::{
     ArrayFlexModel, CacheOutcome, EvaluationSweep, NetworkComparison, ParallelExecutor, PlanCache,
@@ -54,6 +55,9 @@ pub struct AppState {
     accepted: AtomicU64,
     sim_pool: ArrayPool,
     log_requests: bool,
+    /// Rendered-response memo: full `/v1/plan` 200 bodies keyed by raw
+    /// request bytes, kept coherent with `cache` (see `crate::rendered`).
+    rendered: RenderedCache,
     /// Per-route running estimates (largest response seen so far) used to
     /// pre-size JSON response buffers: `[/v1/plan, /v1/sweep,
     /// /v1/simulate]`. Serialization appends into a
@@ -94,6 +98,7 @@ impl AppState {
             accepted: AtomicU64::new(0),
             sim_pool: ArrayPool::new(),
             log_requests: config.log_requests,
+            rendered: RenderedCache::default(),
             body_estimates: [
                 AtomicUsize::new(0),
                 AtomicUsize::new(0),
@@ -208,7 +213,25 @@ pub fn handle_traced(state: &AppState, request: &HttpRequest) -> (HttpResponse, 
         ("GET", "/metrics") => {
             HttpResponse::text(state.metrics.render_prometheus(&state.cache).into_bytes())
         }
-        ("POST", "/v1/plan") => with_json_body(request, |value| plan(state, value, &mut trace)),
+        ("POST", "/v1/plan") => {
+            if let Some((body, hit_trace)) = rendered_plan(state, &request.body) {
+                trace = hit_trace;
+                HttpResponse::json(body.as_slice().to_vec())
+            } else {
+                let response = with_json_body(request, |value| plan(state, value, &mut trace));
+                if response.status == 200 {
+                    if let Some((_, key_hash)) = trace.cache {
+                        state.rendered.store(
+                            &state.cache,
+                            &request.body,
+                            key_hash,
+                            std::sync::Arc::new(response.body.clone()),
+                        );
+                    }
+                }
+                response
+            }
+        }
         ("POST", "/v1/sweep") => with_json_body(request, |value| sweep(state, value)),
         ("POST", "/v1/simulate") => with_json_body(request, |value| simulate(state, value)),
         (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/sweep" | "/v1/simulate") => {
@@ -217,6 +240,29 @@ pub fn handle_traced(state: &AppState, request: &HttpRequest) -> (HttpResponse, 
         (_, path) => HttpResponse::error(404, &format!("no route for {path}")),
     };
     (response, trace)
+}
+
+/// Serves `/v1/plan` from the rendered-response memo when a coherent
+/// entry exists for this exact request body (see [`crate::rendered`] for
+/// the coherence rules). Returns the shared response bytes and the trace
+/// of the hit; `None` falls through to the full planning path.
+///
+/// The event loop calls this inline — a memo hit never crosses into the
+/// worker pool — and [`handle_traced`] calls it too, so the legacy
+/// thread-per-connection path and direct API tests stay byte-identical
+/// with the fast path.
+pub(crate) fn rendered_plan(
+    state: &AppState,
+    request_body: &[u8],
+) -> Option<(std::sync::Arc<Vec<u8>>, RequestTrace)> {
+    let (body, key_hash) = state.rendered.lookup(&state.cache, request_body)?;
+    state.metrics.note_rendered_hit();
+    Some((
+        body,
+        RequestTrace {
+            cache: Some((CacheOutcome::Hit, key_hash)),
+        },
+    ))
 }
 
 /// Parses the body as JSON (rejecting invalid UTF-8 and malformed JSON
@@ -235,12 +281,12 @@ fn with_json_body(
     };
     match handler(&value) {
         Ok(response) => response,
-        Err(ApiError { status, message }) => HttpResponse::error(status, &message),
+        Err(e) => e.into_response(),
     }
 }
 
 /// A handler-level failure: an HTTP status and a human-readable message.
-struct ApiError {
+pub(crate) struct ApiError {
     status: u16,
     message: String,
 }
@@ -251,6 +297,11 @@ impl ApiError {
             status: 400,
             message: message.into(),
         }
+    }
+
+    /// The structured error response this failure renders to.
+    pub(crate) fn into_response(self) -> HttpResponse {
+        HttpResponse::error(self.status, &self.message)
     }
 }
 
@@ -570,7 +621,34 @@ pub struct SimulateResponse {
     pub tiles: u64,
 }
 
-fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
+/// One fully decoded and validated `/v1/simulate` request. Extracted from
+/// the handler so the admission layer's gather window can decode requests
+/// up front, group them by [`SimRequest::batch_key`] and run a whole batch
+/// through `ParallelExecutor` — while the plain handler path stays the
+/// composition of the same two steps, keeping responses byte-identical
+/// whether a request was batched or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct SimRequest {
+    rows: u32,
+    cols: u32,
+    k: u32,
+    t: u64,
+    n: u64,
+    m: u64,
+    seed: u64,
+    dataflow: Dataflow,
+}
+
+impl SimRequest {
+    /// Requests sharing this key simulate the same array configuration,
+    /// so one batch can reuse one pooled-array working set.
+    pub(crate) fn batch_key(self) -> (u32, u32, u32, Dataflow) {
+        (self.rows, self.cols, self.k, self.dataflow)
+    }
+}
+
+/// Decodes and validates one simulate request body.
+pub(crate) fn decode_simulate(value: &Value) -> Result<SimRequest, ApiError> {
     let rows: u32 = decode(value, "rows")?;
     let cols: u32 = decode(value, "cols")?;
     let k: u32 = decode(value, "k")?;
@@ -593,20 +671,34 @@ fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
             "GEMM of {macs} MACs exceeds the cycle-accurate limit of {MAX_SIM_MACS}"
         )));
     }
-    let model = ArrayFlexModel::new(rows, cols)?.with_dataflow(dataflow);
-    let mut rng = SplitMix64::new(seed);
-    let a = Matrix::random(t as usize, n as usize, &mut rng, -64, 63);
-    let b = Matrix::random(n as usize, m as usize, &mut rng, -64, 63);
-    let result = model.simulate_gemm_pooled(state.sim_pool(), &a, &b, k, 1)?;
-    let response = SimulateResponse {
+    Ok(SimRequest {
         rows,
         cols,
         k,
-        dataflow,
         t,
         n,
         m,
         seed,
+        dataflow,
+    })
+}
+
+/// Runs one validated simulate request to its success response.
+pub(crate) fn run_simulate(state: &AppState, req: SimRequest) -> Result<HttpResponse, ApiError> {
+    let model = ArrayFlexModel::new(req.rows, req.cols)?.with_dataflow(req.dataflow);
+    let mut rng = SplitMix64::new(req.seed);
+    let a = Matrix::random(req.t as usize, req.n as usize, &mut rng, -64, 63);
+    let b = Matrix::random(req.n as usize, req.m as usize, &mut rng, -64, 63);
+    let result = model.simulate_gemm_pooled(state.sim_pool(), &a, &b, req.k, 1)?;
+    let response = SimulateResponse {
+        rows: req.rows,
+        cols: req.cols,
+        k: req.k,
+        dataflow: req.dataflow,
+        t: req.t,
+        n: req.n,
+        m: req.m,
+        seed: req.seed,
         simulated_cycles: result.stats.total_cycles(),
         predicted_cycles: result.predicted.cycles,
         cycles_match: result.cycles_match(),
@@ -617,6 +709,16 @@ fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
     Ok(HttpResponse::json(
         state.sized_json_body(BodyRoute::Simulate, &response),
     ))
+}
+
+/// [`run_simulate`] with errors rendered to their wire responses (the
+/// shape batch workers need).
+pub(crate) fn simulate_response(state: &AppState, req: SimRequest) -> HttpResponse {
+    run_simulate(state, req).unwrap_or_else(ApiError::into_response)
+}
+
+fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
+    run_simulate(state, decode_simulate(value)?)
 }
 
 #[cfg(test)]

@@ -8,14 +8,32 @@
 //!     [--requests N] [--sim-requests N] [--clients N] [--network NAME]
 //!     [--rows N] [--cols N] [--zipf S] [--zipf-pool N] [--seed N]
 //!     [--cache N] [--cache-ttl SECS] [--cache-bytes BYTES] [--json]
+//!     [--keep-alive] [--pipeline N] [--legacy-serve]
+//!     [--bench OUT.json [--quick]]
+//!     [--compare OLD.json NEW.json [--max-regression FACTOR]]
 //! ```
 //!
 //! Without `--addr`, an in-process server is spawned on an ephemeral
 //! loopback port (with `--server-threads N` workers), so the default
 //! invocation measures the full client-to-server round trip on one
 //! machine with zero setup. `--json` emits one document with a `plan` and
-//! a `simulate` report, each carrying RPS and p50/p90/p99/max latency;
-//! in-process runs also report the server's plan-cache counters.
+//! a `simulate` report, each carrying RPS, p50/p90/p99/max request
+//! latency and separate connection-setup percentiles; in-process runs
+//! also report the server's plan-cache counters.
+//!
+//! `--keep-alive` reuses one connection per client; `--pipeline N` also
+//! writes up to `N` requests back to back before reading responses.
+//! `--legacy-serve` runs the in-process server on the legacy
+//! thread-per-connection path instead of the event loop.
+//!
+//! `--bench OUT.json` ignores the ad-hoc load flags and runs the fixed
+//! serving benchmark matrix (close / keep-alive / pipelined, per
+//! endpoint) against an in-process event-loop server, writing the
+//! committed-baseline document (`BENCH_serve.json` format). `--compare
+//! OLD NEW` gates a fresh report against a committed baseline exactly
+//! like `bench_baseline --compare`: non-zero exit if any bench regressed
+//! beyond `--max-regression` (default 2.5x on this noisy end-to-end
+//! path) or disappeared.
 //!
 //! `--zipf S` replaces the fixed `/v1/plan` body with a pool of
 //! `--zipf-pool` distinct synthetic networks whose popularity follows
@@ -25,8 +43,12 @@
 //! in-process server's plan cache so eviction and expiry behaviour shows
 //! up in the reported counters.
 
+use arrayflex_serve::client::PersistentClient;
 use arrayflex_serve::http::{serve, ServerConfig};
-use arrayflex_serve::loadgen::{run, CacheReport, CombinedReport, LoadgenConfig, ZipfWorkload};
+use arrayflex_serve::loadgen::{
+    bench_suite, compare_serve_reports, run, validate_serve_report, CacheReport, CombinedReport,
+    ConnectionMode, LoadgenConfig, ServeBenchReport, ZipfWorkload,
+};
 use std::net::SocketAddr;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,6 +67,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cache_ttl: Option<u64> = None;
     let mut cache_bytes: Option<usize> = None;
     let mut json = false;
+    let mut mode = ConnectionMode::Close;
+    let mut legacy = false;
+    let mut bench_out: Option<String> = None;
+    let mut quick = false;
+    let mut compare: Option<(String, String)> = None;
+    let mut max_regression = 2.5f64;
+    let mut smoke: Option<SocketAddr> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| {
@@ -67,17 +96,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--cache-ttl" => cache_ttl = Some(value_of("--cache-ttl")?.parse()?),
             "--cache-bytes" => cache_bytes = Some(value_of("--cache-bytes")?.parse()?),
             "--json" => json = true,
+            "--keep-alive" => mode = ConnectionMode::KeepAlive,
+            "--pipeline" => mode = ConnectionMode::Pipeline(value_of("--pipeline")?.parse()?),
+            "--legacy-serve" => legacy = true,
+            "--bench" => bench_out = Some(value_of("--bench")?),
+            "--quick" => quick = true,
+            "--compare" => {
+                let old = value_of("--compare")?;
+                let new = args.next().ok_or("--compare needs OLD.json NEW.json")?;
+                compare = Some((old, new));
+            }
+            "--max-regression" => {
+                max_regression = value_of("--max-regression")?.parse()?;
+                if !(max_regression.is_finite() && max_regression >= 1.0) {
+                    return Err("--max-regression factor must be >= 1.0".into());
+                }
+            }
+            "--keepalive-smoke" => smoke = Some(value_of("--keepalive-smoke")?.parse()?),
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--requests N] [--sim-requests N] \
                      [--clients N] [--server-threads N] [--network NAME] [--rows N] \
                      [--cols N] [--zipf S] [--zipf-pool N] [--seed N] [--cache N] \
-                     [--cache-ttl SECS] [--cache-bytes BYTES] [--json]"
+                     [--cache-ttl SECS] [--cache-bytes BYTES] [--json] [--keep-alive] \
+                     [--pipeline N] [--legacy-serve] [--bench OUT.json [--quick]] \
+                     [--compare OLD NEW [--max-regression FACTOR]] \
+                     [--keepalive-smoke HOST:PORT]"
                 );
                 return Ok(());
             }
             other => return Err(format!("unknown flag {other}").into()),
         }
+    }
+
+    // --compare gates two existing reports and touches no server at all.
+    if let Some((old_path, new_path)) = compare {
+        let old: ServeBenchReport = serde_json::from_str(&std::fs::read_to_string(&old_path)?)?;
+        let new: ServeBenchReport = serde_json::from_str(&std::fs::read_to_string(&new_path)?)?;
+        validate_serve_report(&old).map_err(|e| format!("{old_path}: {e}"))?;
+        validate_serve_report(&new).map_err(|e| format!("{new_path}: {e}"))?;
+        match compare_serve_reports(&old, &new, max_regression) {
+            Ok(table) => {
+                println!("{table}");
+                println!("serve bench comparison OK (max regression {max_regression}x)");
+                return Ok(());
+            }
+            Err(report) => return Err(format!("serve bench regression:\n{report}").into()),
+        }
+    }
+
+    // --keepalive-smoke exercises one persistent connection against a
+    // running server: two sequential requests, then a pipelined pair.
+    if let Some(addr) = smoke {
+        return keepalive_smoke(addr);
     }
 
     // Spawn an in-process server unless the caller points at a remote one.
@@ -86,6 +157,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => {
             let mut config = ServerConfig {
                 threads: server_threads,
+                legacy,
                 cache_ttl: cache_ttl.map(std::time::Duration::from_secs),
                 cache_max_bytes: cache_bytes,
                 ..ServerConfig::default()
@@ -100,7 +172,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let addr = addr.expect("an address is always set by now");
 
+    // --bench runs the fixed matrix and writes the baseline document.
+    if let Some(out_path) = bench_out {
+        let report = bench_suite(addr, quick);
+        validate_serve_report(&report)?;
+        std::fs::write(&out_path, serde_json::to_string_pretty(&report)? + "\n")?;
+        for bench in &report.benches {
+            println!(
+                "{:<20} {:>10.0} rps  p50 {:>6} us  p99 {:>7} us",
+                bench.name, bench.rps, bench.p50_us, bench.p99_us
+            );
+        }
+        if let Some(speedup) = report.keepalive_speedup() {
+            println!("keep-alive speedup over close mode: {speedup:.1}x");
+        }
+        if let Some(speedup) = report.reference_speedup() {
+            println!(
+                "keep-alive speedup over the committed {:.1}k/s close-mode reference: {speedup:.1}x",
+                arrayflex_serve::loadgen::REFERENCE_CLOSE_RPS / 1000.0
+            );
+        }
+        println!("wrote {out_path}");
+        if let Some(handle) = in_process {
+            handle.shutdown();
+        }
+        return Ok(());
+    }
+
     let mut plan_config = LoadgenConfig::plan_workload(addr, requests, clients);
+    plan_config.mode = mode;
     plan_config.body = Some(format!(
         r#"{{"network":"{network}","rows":{rows},"cols":{cols}}}"#
     ));
@@ -111,7 +211,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows,
         cols,
     });
-    let sim_config = LoadgenConfig::simulate_workload(addr, sim_requests, clients);
+    let mut sim_config = LoadgenConfig::simulate_workload(addr, sim_requests, clients);
+    sim_config.mode = mode;
     let report = CombinedReport {
         plan: run(&plan_config),
         simulate: run(&sim_config),
@@ -137,5 +238,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let total = requests + sim_requests;
         return Err(format!("{} of {total} requests failed", report.errors()).into());
     }
+    Ok(())
+}
+
+/// The keep-alive smoke check used by `scripts/serve_smoke.sh`: one
+/// persistent connection serving two sequential requests and then a
+/// pipelined pair, all of which must come back 200 and in order.
+fn keepalive_smoke(addr: SocketAddr) -> Result<(), Box<dyn std::error::Error>> {
+    let mut client = PersistentClient::connect(addr)?;
+    for _ in 0..2 {
+        let response = client.request("GET", "/healthz", None)?;
+        if response.status != 200 {
+            return Err(format!("sequential keep-alive request got {}", response.status).into());
+        }
+    }
+    client.send("GET", "/healthz", None)?;
+    client.send("GET", "/metrics", None)?;
+    let first = client.recv()?;
+    let second = client.recv()?;
+    if first.status != 200 || second.status != 200 {
+        return Err(format!(
+            "pipelined pair got {} and {}",
+            first.status, second.status
+        )
+        .into());
+    }
+    if !first.text()?.contains("\"status\":\"ok\"")
+        || !second.text()?.contains("arrayflex_serve_requests_total")
+    {
+        return Err("pipelined responses arrived out of order".into());
+    }
+    println!("keep-alive smoke OK: 2 sequential + 2 pipelined requests on one connection");
     Ok(())
 }

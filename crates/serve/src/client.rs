@@ -1,8 +1,11 @@
 //! A minimal blocking HTTP/1.1 client for loopback use.
 //!
 //! Just enough to drive the server from the load generator, the tests and
-//! the `serve_client` example: one request per connection, `Content-Length`
-//! framing, no TLS, no redirects.
+//! the `serve_client` example: `Content-Length` framing, no TLS, no
+//! redirects. [`get`]/[`post_json`] open one connection per request
+//! (`connection: close`); [`PersistentClient`] holds a keep-alive
+//! connection open across requests and supports pipelining via separate
+//! [`PersistentClient::send`] / [`PersistentClient::recv`] calls.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -70,6 +73,79 @@ fn request(
     }
     stream.flush()?;
     read_response(&mut BufReader::new(stream))
+}
+
+/// A keep-alive HTTP/1.1 connection.
+///
+/// Requests omit the `connection` header, so the server keeps the
+/// connection open between them. [`PersistentClient::send`] and
+/// [`PersistentClient::recv`] are separate so callers can pipeline:
+/// write several requests back to back, then read the responses in
+/// order.
+#[derive(Debug)]
+pub struct PersistentClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl PersistentClient {
+    /// Connects a new keep-alive client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection-setup errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_read_timeout(Some(Duration::from_secs(60)))?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Writes one request without reading its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<()> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "content-type: application/json\r\ncontent-length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.writer.write_all(body)?;
+        }
+        self.writer.flush()
+    }
+
+    /// Reads the next pipelined response off the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read and framing errors.
+    pub fn recv(&mut self) -> io::Result<ClientResponse> {
+        read_response(&mut self.reader)
+    }
+
+    /// One request/response round trip over the held connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol errors.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
 }
 
 /// Reads a complete response (status line, headers, `Content-Length`-framed

@@ -4,10 +4,13 @@
 //! hand-rolled `ParallelExecutor` — the serving layer implements the small
 //! subset of HTTP/1.1 the ArrayFlex API needs: request-line and header
 //! parsing, `Content-Length` bodies with a configurable size cap, and
-//! one-response-per-connection semantics (every response carries
-//! `Connection: close`, so clients never have to guess about framing).
+//! `Connection: keep-alive` with pipelining on the default event-loop
+//! path (`crate::event_loop`). This module owns the public surface —
+//! [`ServerConfig`], [`ServerHandle`], [`serve`] — plus the **legacy**
+//! blocking one-response-per-connection server kept behind
+//! [`ServerConfig::legacy`] (`--legacy-serve`) as an escape hatch.
 //!
-//! # Thread model
+//! # Thread model (legacy path)
 //!
 //! One **acceptor** thread blocks on [`TcpListener::accept`] and feeds
 //! accepted connections into an [`mpsc`] channel; a fixed pool of
@@ -16,9 +19,13 @@
 //! pokes the acceptor awake with a loopback connection, and then joins:
 //! the channel is dropped by the acceptor, workers first drain every
 //! connection that was already accepted, then exit — in-flight requests
-//! always receive their response.
+//! always receive their response. (The event-loop thread model is
+//! described in `crate::event_loop`.)
 
 use crate::api::{self, AppState};
+use crate::conn::{HeadFields, MAX_HEAD_BYTES, REJECT_DRAIN_BYTES};
+use crate::event_loop;
+use crate::poll;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -27,16 +34,6 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Hard cap on the request head (request line plus headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
-
-/// How much of an oversized request body is drained (and discarded) before
-/// the 413 response is written. Unread bytes left in the socket's receive
-/// buffer make `close()` send a TCP RST on common stacks, which would
-/// destroy the queued error response; draining a bounded amount lets
-/// reasonable oversized uploads finish and read the structured 413.
-const REJECT_DRAIN_BYTES: u64 = 8 * 1024 * 1024;
 
 /// Configuration of [`serve`].
 #[derive(Debug, Clone)]
@@ -68,6 +65,21 @@ pub struct ServerConfig {
     /// Emit one structured log line per served request on stdout
     /// (`ts=… route=… status=… latency_us=… cache=… key=…`).
     pub log_requests: bool,
+    /// Serve over the legacy blocking worker-pool server (one request per
+    /// connection, `Connection: close`) instead of the keep-alive event
+    /// loop. Escape hatch, exposed as `--legacy-serve`.
+    pub legacy: bool,
+    /// Event-loop threads on the default (non-legacy) path (`0`
+    /// auto-detects, minimum 1). [`ServerConfig::threads`] then sizes the
+    /// handler worker pool the loops hand parsed requests to.
+    pub event_loops: usize,
+    /// Gather window for `/v1/simulate` batch admission: the first
+    /// simulate request of a configuration waits up to this long for
+    /// same-configuration requests to arrive, then the whole group runs
+    /// as one pooled-array batch through `ParallelExecutor`.
+    /// `Duration::ZERO` (the default) disables gathering — sequential
+    /// callers never pay the window as added latency.
+    pub gather_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +95,9 @@ impl Default for ServerConfig {
             cache_snapshot: None,
             snapshot_interval: Duration::from_secs(1),
             log_requests: false,
+            legacy: false,
+            event_loops: 1,
+            gather_window: Duration::ZERO,
         }
     }
 }
@@ -92,8 +107,16 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
+    /// The legacy acceptor thread, when the legacy path is serving.
     acceptor: Option<JoinHandle<()>>,
+    /// Legacy workers, or event-loop + handler-worker threads.
     workers: Vec<JoinHandle<()>>,
+    /// Event-loop wakers (empty on the legacy path): a shutdown wakes
+    /// every loop so it observes the stop flag and begins draining.
+    wakers: Vec<poll::Waker>,
+    /// Whether shutdown must poke a blocking `accept()` awake with a
+    /// throwaway loopback connection (legacy path only).
+    legacy_poke: bool,
     saver: Option<JoinHandle<()>>,
     saver_stop: Arc<(Mutex<bool>, Condvar)>,
     snapshot_path: Option<PathBuf>,
@@ -138,39 +161,90 @@ impl ServerHandle {
     }
 
     /// Gracefully shuts the server down: stops accepting new connections,
-    /// serves everything already accepted to completion, then joins all
-    /// threads.
+    /// serves everything already accepted (and every request already in
+    /// flight on a kept-alive connection) to completion, flushes write
+    /// queues, then joins all threads.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Poke the acceptor out of its blocking accept() with a throwaway
-        // loopback connection; it observes the flag and exits.
-        let _ = TcpStream::connect(self.addr);
+        self.signal_stop();
         self.wait();
+    }
+
+    /// Sets the stop flag and wakes whichever serving path is blocked.
+    fn signal_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if self.legacy_poke {
+            // Poke the acceptor out of its blocking accept() with a
+            // throwaway loopback connection; it observes the flag and
+            // exits.
+            let _ = TcpStream::connect(self.addr);
+        }
+        for waker in &self.wakers {
+            waker.wake();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         // A dropped (not shut down, not waited) handle still stops the
-        // server so tests cannot leak acceptor threads.
-        if self.acceptor.is_some() {
-            self.stop.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(self.addr);
+        // server so tests cannot leak serving threads.
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.signal_stop();
             self.wait();
         }
     }
 }
 
-/// Binds the configured address and starts the acceptor and worker
-/// threads. Returns immediately with a [`ServerHandle`].
+/// Binds the configured address and starts the serving threads — the
+/// keep-alive event loop by default, the legacy blocking worker pool when
+/// [`ServerConfig::legacy`] is set. Returns immediately with a
+/// [`ServerHandle`].
 ///
 /// # Errors
 ///
-/// Returns an error if the address cannot be bound.
+/// Returns an error if the address cannot be bound (or, on the event
+/// path, the readiness poller cannot be created).
 pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(AppState::new(&config));
+    warm_start(&state, &config);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (acceptor, workers, wakers) = if config.legacy {
+        let (acceptor, workers) = spawn_legacy(listener, &state, &stop, &config);
+        (Some(acceptor), workers, Vec::new())
+    } else {
+        let parts = event_loop::start(listener, Arc::clone(&state), Arc::clone(&stop), &config)?;
+        (None, parts.threads, parts.wakers)
+    };
+
+    let (saver, saver_stop) = spawn_saver(&state, &config);
+    Ok(ServerHandle {
+        addr,
+        state,
+        stop,
+        acceptor,
+        workers,
+        wakers,
+        legacy_poke: config.legacy,
+        saver,
+        saver_stop,
+        snapshot_path: config.cache_snapshot,
+    })
+}
+
+/// Resolves a `0` thread count to the detected hardware parallelism.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Warm-starts the plan cache from the configured snapshot, if any.
+fn warm_start(state: &Arc<AppState>, config: &ServerConfig) {
     if let Some(path) = &config.cache_snapshot {
         match state.cache().load_snapshot(path) {
             Ok(n) => eprintln!(
@@ -186,20 +260,23 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             ),
         }
     }
-    let stop = Arc::new(AtomicBool::new(false));
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        config.threads
-    };
+}
 
+/// Spawns the legacy acceptor + blocking worker pool.
+fn spawn_legacy(
+    listener: TcpListener,
+    state: &Arc<AppState>,
+    stop: &Arc<AtomicBool>,
+    config: &ServerConfig,
+) -> (JoinHandle<()>, Vec<JoinHandle<()>>) {
+    let threads = resolve_threads(config.threads);
     let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
     let receiver = Arc::new(Mutex::new(receiver));
 
     let mut workers = Vec::with_capacity(threads);
     for index in 0..threads {
         let receiver = Arc::clone(&receiver);
-        let state = Arc::clone(&state);
+        let state = Arc::clone(state);
         let read_timeout = config.read_timeout;
         workers.push(
             std::thread::Builder::new()
@@ -218,8 +295,8 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     }
 
     let acceptor = {
-        let stop = Arc::clone(&stop);
-        let state = Arc::clone(&state);
+        let stop = Arc::clone(stop);
+        let state = Arc::clone(state);
         std::thread::Builder::new()
             .name("serve-acceptor".to_owned())
             .spawn(move || {
@@ -237,16 +314,23 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             })
             .expect("spawn acceptor thread")
     };
+    (acceptor, workers)
+}
 
-    // The snapshot saver: polls the cache generation every
-    // `snapshot_interval` and rewrites the snapshot (atomically) when the
-    // resident entry set changed. Periodic writes — not just the one at
-    // graceful shutdown — mean even a server killed with SIGKILL warm-starts
-    // from its last persisted state.
+/// Spawns the snapshot saver, when a snapshot path is configured: it
+/// polls the cache generation every `snapshot_interval` and rewrites the
+/// snapshot (atomically) when the resident entry set changed. Periodic
+/// writes — not just the one at graceful shutdown — mean even a server
+/// killed with SIGKILL warm-starts from its last persisted state.
+#[allow(clippy::type_complexity)]
+fn spawn_saver(
+    state: &Arc<AppState>,
+    config: &ServerConfig,
+) -> (Option<JoinHandle<()>>, Arc<(Mutex<bool>, Condvar)>) {
     let saver_stop = Arc::new((Mutex::new(false), Condvar::new()));
     let saver = config.cache_snapshot.as_ref().map(|path| {
         let path = path.clone();
-        let state = Arc::clone(&state);
+        let state = Arc::clone(state);
         let signal = Arc::clone(&saver_stop);
         let interval = config.snapshot_interval;
         std::thread::Builder::new()
@@ -277,17 +361,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             })
             .expect("spawn snapshot saver thread")
     });
-
-    Ok(ServerHandle {
-        addr,
-        state,
-        stop,
-        acceptor: Some(acceptor),
-        workers,
-        saver,
-        saver_stop,
-        snapshot_path: config.cache_snapshot,
-    })
+    (saver, saver_stop)
 }
 
 /// One parsed HTTP request.
@@ -362,8 +436,27 @@ fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         _ => "Unknown",
     }
+}
+
+/// Renders one response head. The `connection` header is always explicit
+/// so clients never have to apply HTTP-version defaulting rules.
+pub(crate) fn render_head(
+    status: u16,
+    content_type: &str,
+    content_length: usize,
+    keep_alive: bool,
+) -> String {
+    format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        content_length,
+        if keep_alive { "keep-alive" } else { "close" },
+    )
 }
 
 /// Outcome of reading one request off a connection.
@@ -404,16 +497,16 @@ fn serve_connection(stream: TcpStream, state: &AppState, read_timeout: Duration)
     let latency = started.elapsed();
     state.metrics().observe(route, response.status, latency);
     if state.log_requests() {
-        println!("{}", log_line(route, &response, latency, trace));
+        println!("{}", log_line(route, response.status, latency, trace));
     }
     write_response(stream, &response);
 }
 
 /// Formats one structured request log line:
 /// `ts=<unix-millis> route=… status=… latency_us=… cache=hit|miss|- key=<hex>|-`.
-fn log_line(
+pub(crate) fn log_line(
     route: &str,
-    response: &HttpResponse,
+    status: u16,
     latency: Duration,
     trace: api::RequestTrace,
 ) -> String {
@@ -425,8 +518,7 @@ fn log_line(
         None => ("-".to_owned(), "-".to_owned()),
     };
     format!(
-        "ts={ts} route={route} status={} latency_us={} cache={cache} key={key}",
-        response.status,
+        "ts={ts} route={route} status={status} latency_us={} cache={cache} key={key}",
         latency.as_micros()
     )
 }
@@ -438,19 +530,17 @@ fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutco
         HeadLine::Closed => return ReadOutcome::Disconnected,
         HeadLine::Reject(response) => return ReadOutcome::Reject(response),
     };
-    let mut parts = line.split(' ');
-    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return ReadOutcome::Reject(HttpResponse::error(400, "malformed request line"));
+    // The request line and every header run through the same validators
+    // as the event-loop parser (`crate::conn`), so the framing rules —
+    // Content-Length hygiene, the Transfer-Encoding 501 — cannot drift
+    // between the two paths.
+    let (method, path, _http10) = match crate::conn::parse_request_line(&line) {
+        Ok(parsed) => parsed,
+        Err(response) => return ReadOutcome::Reject(response),
     };
-    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
-        return ReadOutcome::Reject(HttpResponse::error(400, "malformed request line"));
-    }
-    let method = method.to_owned();
-    let path = path.to_owned();
 
     // --- headers ---
-    let mut content_length: Option<usize> = None;
+    let mut fields = HeadFields::default();
     let mut head_bytes = line.len();
     loop {
         let header = match read_head_line(reader) {
@@ -465,34 +555,13 @@ fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutco
         if head_bytes > MAX_HEAD_BYTES {
             return ReadOutcome::Reject(HttpResponse::error(431, "request head too large"));
         }
-        let Some((name, value)) = header.split_once(':') else {
-            return ReadOutcome::Reject(HttpResponse::error(400, "malformed header"));
-        };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            // RFC 9112 §6.3 hygiene: only plain decimal digit strings (no
-            // sign, no whitespace inside, no comma list — `usize::parse`
-            // alone would accept `+5`), and repeated Content-Length headers
-            // must all agree; conflicting values are a request-smuggling
-            // vector, not a recoverable ambiguity.
-            let raw = value.trim();
-            if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
-                return ReadOutcome::Reject(HttpResponse::error(400, "invalid content-length"));
-            }
-            let Ok(length) = raw.parse::<usize>() else {
-                return ReadOutcome::Reject(HttpResponse::error(400, "invalid content-length"));
-            };
-            if content_length.is_some_and(|previous| previous != length) {
-                return ReadOutcome::Reject(HttpResponse::error(
-                    400,
-                    "conflicting content-length headers",
-                ));
-            }
-            content_length = Some(length);
+        if let Err(response) = fields.header_line(&header) {
+            return ReadOutcome::Reject(response);
         }
     }
 
     // --- body ---
-    let length = content_length.unwrap_or(0);
+    let length = fields.content_length.unwrap_or(0);
     if length > max_body {
         // Best-effort bounded drain of the announced body so the client
         // can finish sending and receive the 413 instead of a reset.
@@ -551,13 +620,8 @@ fn read_head_line(reader: &mut BufReader<TcpStream>) -> HeadLine {
 }
 
 fn write_response(mut stream: TcpStream, response: &HttpResponse) {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        response.status,
-        reason(response.status),
-        response.content_type,
-        response.body.len()
-    );
+    // The legacy path never keeps connections alive.
+    let head = render_head(response.status, response.content_type, response.body.len(), false);
     let _ = stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(&response.body))
@@ -581,9 +645,21 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_every_emitted_status() {
-        for status in [200u16, 400, 404, 405, 413, 431, 500] {
+        for status in [200u16, 400, 404, 405, 413, 431, 500, 501] {
             assert_ne!(reason(status), "Unknown", "status {status}");
         }
         assert_eq!(reason(599), "Unknown");
+    }
+
+    #[test]
+    fn response_heads_are_explicit_about_connection_reuse() {
+        let head = render_head(200, "application/json", 42, true);
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+        assert!(head.contains("content-length: 42\r\n"), "{head}");
+        assert!(head.contains("connection: keep-alive\r\n"), "{head}");
+        assert!(head.ends_with("\r\n\r\n"), "{head}");
+        let head = render_head(501, "application/json", 0, false);
+        assert!(head.starts_with("HTTP/1.1 501 Not Implemented\r\n"), "{head}");
+        assert!(head.contains("connection: close\r\n"), "{head}");
     }
 }

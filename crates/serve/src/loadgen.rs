@@ -1,18 +1,52 @@
 //! A loopback load generator for the planning service.
 //!
-//! Hammers one endpoint from a configurable number of client threads
-//! (each issuing one request per connection, exactly like an external
-//! client) and reports sustained throughput and latency percentiles. The
-//! `loadgen` binary wraps [`run`]; the integration tests use it to assert
-//! the acceptance criterion of ≥ 1000 requests with zero errors.
+//! Hammers one endpoint from a configurable number of client threads and
+//! reports sustained throughput and latency percentiles, with connection
+//! setup and request service measured separately. Three connection modes
+//! ([`ConnectionMode`]) cover the serving spectrum: one connection per
+//! request (`close`, exactly like a cold external client), a persistent
+//! keep-alive connection per client, and pipelined keep-alive (`N`
+//! requests written back to back per batch). The `loadgen` binary wraps
+//! [`run`] and the serve benchmark suite ([`bench_suite`] /
+//! [`compare_serve_reports`]); the integration tests use it to assert the
+//! acceptance criterion of ≥ 1000 requests with zero errors.
 
-use crate::client;
+use crate::client::{self, ClientResponse, PersistentClient};
 use arrayflex::PlanCache;
 use gemm::rng::SplitMix64;
-use serde::Serialize;
-use std::net::SocketAddr;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How the load generator uses connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionMode {
+    /// One connection per request (`connection: close`), like a cold
+    /// external client. Connect and request latency are reported
+    /// separately.
+    Close,
+    /// One persistent keep-alive connection per client thread, one
+    /// request in flight at a time.
+    KeepAlive,
+    /// Persistent connections with up to this many requests written back
+    /// to back before reading the responses.
+    Pipeline(usize),
+}
+
+impl ConnectionMode {
+    /// A short stable label (`close`, `keepalive`, `pipeline8`) used in
+    /// reports and bench names.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Close => "close".to_owned(),
+            Self::KeepAlive => "keepalive".to_owned(),
+            Self::Pipeline(depth) => format!("pipeline{depth}"),
+        }
+    }
+}
 
 /// What to send, where, and how hard.
 #[derive(Debug, Clone)]
@@ -27,6 +61,8 @@ pub struct LoadgenConfig {
     pub requests: usize,
     /// Concurrent client threads.
     pub clients: usize,
+    /// How connections are used (default [`ConnectionMode::Close`]).
+    pub mode: ConnectionMode,
     /// When set, requests draw their body from a pool of distinct
     /// synthetic-network plan requests with zipfian popularity instead of
     /// repeating [`LoadgenConfig::body`] — so cache hit rates under
@@ -45,6 +81,7 @@ impl LoadgenConfig {
             body: Some(r#"{"network":"resnet34","rows":128,"cols":128}"#.to_owned()),
             requests,
             clients,
+            mode: ConnectionMode::Close,
             zipf: None,
         }
     }
@@ -60,6 +97,7 @@ impl LoadgenConfig {
             body: Some(r#"{"rows":16,"cols":16,"k":2,"t":8,"n":48,"m":24,"seed":7}"#.to_owned()),
             requests,
             clients,
+            mode: ConnectionMode::Close,
             zipf: None,
         }
     }
@@ -171,11 +209,19 @@ pub struct LoadgenReport {
     pub errors: usize,
     /// Client threads used.
     pub clients: usize,
+    /// Connection mode label (`close`, `keepalive`, `pipelineN`).
+    pub mode: String,
+    /// Connections opened over the run (one per request in `close` mode,
+    /// roughly one per client in the persistent modes).
+    pub connects: usize,
+    /// Persistent connections that had to be re-opened after an error.
+    pub reconnects: usize,
     /// Wall-clock duration of the whole run in seconds.
     pub elapsed_s: f64,
     /// Sustained requests per second.
     pub rps: f64,
-    /// Median request latency in microseconds.
+    /// Median request latency in microseconds (excluding connection
+    /// setup, which is reported separately below).
     pub p50_us: u64,
     /// 90th-percentile latency in microseconds.
     pub p90_us: u64,
@@ -183,6 +229,12 @@ pub struct LoadgenReport {
     pub p99_us: u64,
     /// Worst-case latency in microseconds.
     pub max_us: u64,
+    /// Median connection-setup latency in microseconds.
+    pub connect_p50_us: u64,
+    /// 99th-percentile connection-setup latency in microseconds.
+    pub connect_p99_us: u64,
+    /// Worst-case connection-setup latency in microseconds.
+    pub connect_max_us: u64,
 }
 
 impl LoadgenReport {
@@ -190,18 +242,25 @@ impl LoadgenReport {
     #[must_use]
     pub fn text(&self) -> String {
         format!(
-            "requests: {} ({} errors), clients: {}\n\
+            "requests: {} ({} errors), clients: {}, mode: {}\n\
              elapsed:  {:.3} s ({:.0} req/s)\n\
-             latency:  p50 {} us, p90 {} us, p99 {} us, max {} us",
+             latency:  p50 {} us, p90 {} us, p99 {} us, max {} us\n\
+             connect:  {} opened ({} reopened), p50 {} us, p99 {} us, max {} us",
             self.requests,
             self.errors,
             self.clients,
+            self.mode,
             self.elapsed_s,
             self.rps,
             self.p50_us,
             self.p90_us,
             self.p99_us,
-            self.max_us
+            self.max_us,
+            self.connects,
+            self.reconnects,
+            self.connect_p50_us,
+            self.connect_p99_us,
+            self.connect_max_us
         )
     }
 }
@@ -295,8 +354,205 @@ impl CombinedReport {
     }
 }
 
+/// Per-client-thread tallies, merged into the final report.
+#[derive(Debug, Default)]
+struct ClientStats {
+    latencies: Vec<u64>,
+    connect_latencies: Vec<u64>,
+    errors: usize,
+    connects: usize,
+    reconnects: usize,
+}
+
+impl ClientStats {
+    /// Opens (or re-opens) the persistent connection, recording the
+    /// connect latency; `false` when the connect itself failed.
+    fn ensure_connected(&mut self, conn: &mut Option<PersistentClient>, addr: SocketAddr) -> bool {
+        if conn.is_some() {
+            return true;
+        }
+        let started = Instant::now();
+        match PersistentClient::connect(addr) {
+            Ok(client) => {
+                self.connect_latencies.push(micros_since(started));
+                if self.connects > 0 {
+                    self.reconnects += 1;
+                }
+                self.connects += 1;
+                *conn = Some(client);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+fn micros_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// One full `connection: close` round trip with connect and request
+/// timed separately: `(connect_us, request_us, response)`.
+fn close_request(
+    addr: SocketAddr,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u64, u64, ClientResponse)> {
+    let connect_started = Instant::now();
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_nodelay(true)?;
+    let connect_us = micros_since(connect_started);
+
+    let request_started = Instant::now();
+    let method = if body.is_some() { "POST" } else { "GET" };
+    let mut head = format!("{method} {path} HTTP/1.1\r\nconnection: close\r\n");
+    if let Some(body) = body {
+        head.push_str(&format!(
+            "content-type: application/json\r\ncontent-length: {}\r\n",
+            body.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()?;
+    let response = client::read_response(&mut BufReader::new(stream))?;
+    Ok((connect_us, micros_since(request_started), response))
+}
+
+/// One client thread's worth of `close`-mode requests.
+fn run_close(
+    config: &LoadgenConfig,
+    stats: &mut ClientStats,
+    claim: &impl Fn() -> bool,
+    mut next_body: impl FnMut() -> Option<String>,
+) {
+    while claim() {
+        let body = next_body();
+        match close_request(config.addr, &config.path, body.as_deref()) {
+            Ok((connect_us, request_us, response)) => {
+                stats.connects += 1;
+                stats.connect_latencies.push(connect_us);
+                if response.status == 200 {
+                    stats.latencies.push(request_us);
+                } else {
+                    stats.errors += 1;
+                }
+            }
+            Err(_) => stats.errors += 1,
+        }
+    }
+}
+
+/// One client thread's worth of keep-alive requests (one in flight at a
+/// time; a transport error reconnects and retries the claimed request
+/// once).
+fn run_keepalive(
+    config: &LoadgenConfig,
+    stats: &mut ClientStats,
+    claim: &impl Fn() -> bool,
+    mut next_body: impl FnMut() -> Option<String>,
+) {
+    let mut conn: Option<PersistentClient> = None;
+    while claim() {
+        let body = next_body();
+        let method = if body.is_some() { "POST" } else { "GET" };
+        let mut served = false;
+        for _attempt in 0..2 {
+            if !stats.ensure_connected(&mut conn, config.addr) {
+                continue;
+            }
+            let started = Instant::now();
+            match conn
+                .as_mut()
+                .expect("ensure_connected leaves a client")
+                .request(method, &config.path, body.as_deref().map(str::as_bytes))
+            {
+                Ok(response) => {
+                    if response.status == 200 {
+                        stats.latencies.push(micros_since(started));
+                    } else {
+                        stats.errors += 1;
+                    }
+                    served = true;
+                    break;
+                }
+                // The connection died under us (server idle-close racing
+                // the write, mid-stream failure): reconnect and retry.
+                Err(_) => conn = None,
+            }
+        }
+        if !served {
+            stats.errors += 1;
+        }
+    }
+}
+
+/// One client thread's worth of pipelined keep-alive batches: claim up to
+/// `depth` requests, write them back to back, then read the responses in
+/// order. Per-request latency is measured from the batch's first write.
+fn run_pipelined(
+    config: &LoadgenConfig,
+    depth: usize,
+    stats: &mut ClientStats,
+    claim: &impl Fn() -> bool,
+    mut next_body: impl FnMut() -> Option<String>,
+) {
+    let depth = depth.max(1);
+    let mut conn: Option<PersistentClient> = None;
+    loop {
+        let mut bodies = Vec::with_capacity(depth);
+        while bodies.len() < depth && claim() {
+            bodies.push(next_body());
+        }
+        if bodies.is_empty() {
+            return;
+        }
+        if !stats.ensure_connected(&mut conn, config.addr)
+            && !stats.ensure_connected(&mut conn, config.addr)
+        {
+            stats.errors += bodies.len();
+            continue;
+        }
+        let client = conn.as_mut().expect("ensure_connected leaves a client");
+        let batch_started = Instant::now();
+        let mut wrote = true;
+        for body in &bodies {
+            let method = if body.is_some() { "POST" } else { "GET" };
+            if client
+                .send(method, &config.path, body.as_deref().map(str::as_bytes))
+                .is_err()
+            {
+                wrote = false;
+                break;
+            }
+        }
+        if !wrote {
+            stats.errors += bodies.len();
+            conn = None;
+            continue;
+        }
+        for read in 0..bodies.len() {
+            match client.recv() {
+                Ok(response) if response.status == 200 => {
+                    stats.latencies.push(micros_since(batch_started));
+                }
+                Ok(_) => stats.errors += 1,
+                Err(_) => {
+                    stats.errors += bodies.len() - read;
+                    conn = None;
+                    break;
+                }
+            }
+        }
+    }
+}
+
 /// Runs the load: `clients` threads share a global request budget and each
-/// issues sequential one-connection-per-request calls until it is spent.
+/// works through it in the configured [`ConnectionMode`].
 ///
 /// A `requests` count of zero skips the load entirely and returns an
 /// all-zero report (so callers can opt out of one endpoint of a combined
@@ -313,12 +569,18 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             requests: 0,
             errors: 0,
             clients: config.clients,
+            mode: config.mode.label(),
+            connects: 0,
+            reconnects: 0,
             elapsed_s: 0.0,
             rps: 0.0,
             p50_us: 0,
             p90_us: 0,
             p99_us: 0,
             max_us: 0,
+            connect_p50_us: 0,
+            connect_p99_us: 0,
+            connect_max_us: 0,
         };
     }
     // A zipfian workload pre-renders its body pool once; every client then
@@ -330,7 +592,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         .map(|z| (z.bodies(), ZipfSampler::new(z.pool, z.s), z.seed));
     let remaining = AtomicUsize::new(config.requests);
     let started = Instant::now();
-    let mut per_client: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+    let mut per_client: Vec<ClientStats> = std::thread::scope(|scope| {
         let remaining = &remaining;
         let zipf = &zipf;
         // The collect is load-bearing: every client thread must be spawned
@@ -343,37 +605,32 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
                     let mut rng = zipf
                         .as_ref()
                         .map(|(_, _, seed)| SplitMix64::new(seed.wrapping_add(client_index as u64)));
-                    let mut latencies = Vec::new();
-                    let mut errors = 0usize;
-                    loop {
-                        // Claim one unit of the shared budget.
-                        let claimed = remaining
+                    let claim = || {
+                        remaining
                             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
                                 n.checked_sub(1)
                             })
-                            .is_ok();
-                        if !claimed {
-                            break;
+                            .is_ok()
+                    };
+                    let next_body = || match (zipf, &mut rng) {
+                        (Some((bodies, sampler, _)), Some(rng)) => {
+                            Some(bodies[sampler.sample(rng)].clone())
                         }
-                        let body = match (zipf, &mut rng) {
-                            (Some((bodies, sampler, _)), Some(rng)) => {
-                                Some(&bodies[sampler.sample(rng)])
-                            }
-                            _ => config.body.as_ref(),
-                        };
-                        let request_started = Instant::now();
-                        let outcome = match body {
-                            Some(body) => client::post_json(config.addr, &config.path, body),
-                            None => client::get(config.addr, &config.path),
-                        };
-                        let micros = u64::try_from(request_started.elapsed().as_micros())
-                            .unwrap_or(u64::MAX);
-                        match outcome {
-                            Ok(response) if response.status == 200 => latencies.push(micros),
-                            _ => errors += 1,
+                        _ => config.body.clone(),
+                    };
+                    let mut stats = ClientStats::default();
+                    match config.mode {
+                        ConnectionMode::Close => {
+                            run_close(config, &mut stats, &claim, next_body);
+                        }
+                        ConnectionMode::KeepAlive => {
+                            run_keepalive(config, &mut stats, &claim, next_body);
+                        }
+                        ConnectionMode::Pipeline(depth) => {
+                            run_pipelined(config, depth, &mut stats, &claim, next_body);
                         }
                     }
-                    (latencies, errors)
+                    stats
                 })
             })
             .collect();
@@ -385,28 +642,366 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     let elapsed_s = started.elapsed().as_secs_f64();
 
     let mut latencies: Vec<u64> = Vec::with_capacity(config.requests);
+    let mut connect_latencies: Vec<u64> = Vec::new();
     let mut errors = 0usize;
-    for (client_latencies, client_errors) in &mut per_client {
-        latencies.append(client_latencies);
-        errors += *client_errors;
+    let mut connects = 0usize;
+    let mut reconnects = 0usize;
+    for stats in &mut per_client {
+        latencies.append(&mut stats.latencies);
+        connect_latencies.append(&mut stats.connect_latencies);
+        errors += stats.errors;
+        connects += stats.connects;
+        reconnects += stats.reconnects;
     }
     latencies.sort_unstable();
-    let percentile = |p: f64| -> u64 {
-        if latencies.is_empty() {
+    connect_latencies.sort_unstable();
+    let percentile = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
             return 0;
         }
-        let rank = ((latencies.len() as f64) * p).ceil() as usize;
-        latencies[rank.clamp(1, latencies.len()) - 1]
+        let rank = ((sorted.len() as f64) * p).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
     };
     LoadgenReport {
         requests: config.requests,
         errors,
         clients: config.clients,
+        mode: config.mode.label(),
+        connects,
+        reconnects,
         elapsed_s,
         rps: config.requests as f64 / elapsed_s.max(f64::MIN_POSITIVE),
-        p50_us: percentile(0.50),
-        p90_us: percentile(0.90),
-        p99_us: percentile(0.99),
+        p50_us: percentile(&latencies, 0.50),
+        p90_us: percentile(&latencies, 0.90),
+        p99_us: percentile(&latencies, 0.99),
         max_us: latencies.last().copied().unwrap_or(0),
+        connect_p50_us: percentile(&connect_latencies, 0.50),
+        connect_p99_us: percentile(&connect_latencies, 0.99),
+        connect_max_us: connect_latencies.last().copied().unwrap_or(0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serve benchmark suite
+// ---------------------------------------------------------------------------
+
+/// Schema version of [`ServeBenchReport`]; bump on breaking changes.
+pub const SERVE_BENCH_SCHEMA: u32 = 1;
+
+/// The committed close-mode reference: `/v1/plan` RPS of the original
+/// thread-per-connection server with one connection per request, measured
+/// on the reference container (`EXPERIMENTS.md` §"Serving layer"). The
+/// event-loop keep-alive path is gated on sustaining ≥10x this number.
+pub const REFERENCE_CLOSE_RPS: f64 = 4600.0;
+
+/// One serving benchmark: an endpoint driven in one connection mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchRecord {
+    /// Stable bench name (`plan_keepalive`, `simulate_close`, ...).
+    pub name: String,
+    /// Endpoint path the bench hits.
+    pub endpoint: String,
+    /// Connection mode label.
+    pub mode: String,
+    /// Requests issued.
+    pub requests: usize,
+    /// Client threads.
+    pub clients: usize,
+    /// Sustained requests per second (the compared quantity).
+    pub rps: f64,
+    /// Median request latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: u64,
+    /// Median connection-setup latency in microseconds.
+    pub connect_p50_us: u64,
+    /// Failed requests (must be zero for a valid baseline).
+    pub errors: usize,
+}
+
+/// The committed serving baseline (`BENCH_serve.json`): RPS and latency
+/// percentiles per endpoint and connection mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Schema version ([`SERVE_BENCH_SCHEMA`]).
+    pub schema: u32,
+    /// The benches, in matrix order.
+    pub benches: Vec<ServeBenchRecord>,
+}
+
+impl ServeBenchReport {
+    /// Looks a bench up by name.
+    #[must_use]
+    pub fn bench(&self, name: &str) -> Option<&ServeBenchRecord> {
+        self.benches.iter().find(|bench| bench.name == name)
+    }
+
+    /// The keep-alive speedup over this run's own close mode on `/v1/plan`
+    /// (`plan_keepalive.rps / plan_close.rps`). Informational: close mode
+    /// shares the rendered-response fast path, so this understates the
+    /// win over the original server — [`reference_speedup`] is the gated
+    /// ratio.
+    ///
+    /// [`reference_speedup`]: Self::reference_speedup
+    #[must_use]
+    pub fn keepalive_speedup(&self) -> Option<f64> {
+        let close = self.bench("plan_close")?.rps;
+        let keepalive = self.bench("plan_keepalive")?.rps;
+        if close > 0.0 {
+            Some(keepalive / close)
+        } else {
+            None
+        }
+    }
+
+    /// The keep-alive speedup over the committed close-mode reference
+    /// (`plan_keepalive.rps` / [`REFERENCE_CLOSE_RPS`]), the headline
+    /// ratio the baseline exists to defend (must stay ≥10x).
+    #[must_use]
+    pub fn reference_speedup(&self) -> Option<f64> {
+        Some(self.bench("plan_keepalive")?.rps / REFERENCE_CLOSE_RPS)
+    }
+}
+
+/// The benchmark matrix: `(name, endpoint-config, mode, full-requests,
+/// quick-requests)`. Request counts are scaled so every cell runs for a
+/// comparable wall-clock slice despite the ~10-50x RPS spread.
+fn bench_matrix(addr: SocketAddr, quick: bool) -> Vec<(String, LoadgenConfig)> {
+    let clients = 4;
+    let cell = |name: &str, mut config: LoadgenConfig, mode: ConnectionMode, full: usize, q: usize| {
+        config.requests = if quick { q } else { full };
+        config.mode = mode;
+        (name.to_owned(), config)
+    };
+    vec![
+        cell(
+            "plan_close",
+            LoadgenConfig::plan_workload(addr, 0, clients),
+            ConnectionMode::Close,
+            4000,
+            800,
+        ),
+        cell(
+            "plan_keepalive",
+            LoadgenConfig::plan_workload(addr, 0, clients),
+            ConnectionMode::KeepAlive,
+            20000,
+            3000,
+        ),
+        cell(
+            "plan_pipeline8",
+            LoadgenConfig::plan_workload(addr, 0, clients),
+            ConnectionMode::Pipeline(8),
+            30000,
+            4000,
+        ),
+        cell(
+            "simulate_close",
+            LoadgenConfig::simulate_workload(addr, 0, clients),
+            ConnectionMode::Close,
+            1500,
+            300,
+        ),
+        cell(
+            "simulate_keepalive",
+            LoadgenConfig::simulate_workload(addr, 0, clients),
+            ConnectionMode::KeepAlive,
+            3000,
+            600,
+        ),
+    ]
+}
+
+/// Runs the serving benchmark matrix against `addr` and returns the
+/// report. `quick` shrinks request counts ~5-7x for CI.
+#[must_use]
+pub fn bench_suite(addr: SocketAddr, quick: bool) -> ServeBenchReport {
+    let benches = bench_matrix(addr, quick)
+        .into_iter()
+        .map(|(name, config)| {
+            let report = run(&config);
+            ServeBenchRecord {
+                name,
+                endpoint: config.path,
+                mode: report.mode.clone(),
+                requests: report.requests,
+                clients: report.clients,
+                rps: report.rps,
+                p50_us: report.p50_us,
+                p99_us: report.p99_us,
+                connect_p50_us: report.connect_p50_us,
+                errors: report.errors,
+            }
+        })
+        .collect();
+    ServeBenchReport {
+        schema: SERVE_BENCH_SCHEMA,
+        benches,
+    }
+}
+
+/// Structural validation of a serve bench report: schema version, a
+/// non-empty matrix, zero errors and positive finite RPS everywhere.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_serve_report(report: &ServeBenchReport) -> Result<(), String> {
+    if report.schema != SERVE_BENCH_SCHEMA {
+        return Err(format!(
+            "schema {} does not match expected {SERVE_BENCH_SCHEMA}",
+            report.schema
+        ));
+    }
+    if report.benches.is_empty() {
+        return Err("report contains no benches".to_owned());
+    }
+    for bench in &report.benches {
+        if bench.errors > 0 {
+            return Err(format!("bench {} recorded {} errors", bench.name, bench.errors));
+        }
+        if !(bench.rps.is_finite() && bench.rps > 0.0) {
+            return Err(format!("bench {} has invalid rps {}", bench.name, bench.rps));
+        }
+        if bench.requests == 0 {
+            return Err(format!("bench {} issued no requests", bench.name));
+        }
+    }
+    Ok(())
+}
+
+/// Compares a current serve bench report against a committed baseline,
+/// mirroring `bench_baseline --compare`: every baseline bench must still
+/// exist and keep `new_rps * max_regression >= old_rps`.
+///
+/// # Errors
+///
+/// Returns the rendered table plus the list of violations when any bench
+/// regressed beyond `max_regression` or disappeared.
+pub fn compare_serve_reports(
+    old: &ServeBenchReport,
+    new: &ServeBenchReport,
+    max_regression: f64,
+) -> Result<String, String> {
+    let mut lines = vec![format!(
+        "{:<20} {:>12} {:>12} {:>8}",
+        "bench", "old rps", "new rps", "ratio"
+    )];
+    let mut violations = Vec::new();
+    for bench in &old.benches {
+        match new.bench(&bench.name) {
+            Some(candidate) => {
+                let ratio = candidate.rps / bench.rps.max(f64::MIN_POSITIVE);
+                lines.push(format!(
+                    "{:<20} {:>12.0} {:>12.0} {:>8.2}",
+                    bench.name, bench.rps, candidate.rps, ratio
+                ));
+                if candidate.rps * max_regression < bench.rps {
+                    violations.push(format!(
+                        "{}: {:.0} -> {:.0} rps ({:.2}x slowdown exceeds {max_regression}x)",
+                        bench.name,
+                        bench.rps,
+                        candidate.rps,
+                        bench.rps / candidate.rps.max(f64::MIN_POSITIVE)
+                    ));
+                }
+            }
+            None => violations.push(format!("{}: missing from the new report", bench.name)),
+        }
+    }
+    let table = lines.join("\n");
+    if violations.is_empty() {
+        Ok(table)
+    } else {
+        Err(format!("{table}\nregressions:\n  {}", violations.join("\n  ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, rps: f64) -> ServeBenchRecord {
+        ServeBenchRecord {
+            name: name.to_owned(),
+            endpoint: "/v1/plan".to_owned(),
+            mode: "close".to_owned(),
+            requests: 100,
+            clients: 4,
+            rps,
+            p50_us: 100,
+            p99_us: 200,
+            connect_p50_us: 30,
+            errors: 0,
+        }
+    }
+
+    fn report(benches: Vec<ServeBenchRecord>) -> ServeBenchReport {
+        ServeBenchReport {
+            schema: SERVE_BENCH_SCHEMA,
+            benches,
+        }
+    }
+
+    #[test]
+    fn mode_labels_are_stable() {
+        assert_eq!(ConnectionMode::Close.label(), "close");
+        assert_eq!(ConnectionMode::KeepAlive.label(), "keepalive");
+        assert_eq!(ConnectionMode::Pipeline(8).label(), "pipeline8");
+    }
+
+    #[test]
+    fn serve_reports_round_trip_through_json() {
+        let original = report(vec![record("plan_close", 4500.0)]);
+        let json = serde_json::to_string_pretty(&original).unwrap();
+        let decoded: ServeBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(decoded.schema, SERVE_BENCH_SCHEMA);
+        assert_eq!(decoded.benches.len(), 1);
+        assert_eq!(decoded.benches[0].name, "plan_close");
+        assert!((decoded.benches[0].rps - 4500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_schema_errors_and_failures() {
+        assert!(validate_serve_report(&report(vec![record("a", 100.0)])).is_ok());
+        let mut wrong_schema = report(vec![record("a", 100.0)]);
+        wrong_schema.schema += 1;
+        assert!(validate_serve_report(&wrong_schema).is_err());
+        assert!(validate_serve_report(&report(vec![])).is_err());
+        let mut failed = report(vec![record("a", 100.0)]);
+        failed.benches[0].errors = 1;
+        assert!(validate_serve_report(&failed).is_err());
+        let mut zero = report(vec![record("a", 0.0)]);
+        zero.benches[0].rps = 0.0;
+        assert!(validate_serve_report(&zero).is_err());
+    }
+
+    #[test]
+    fn comparison_passes_noise_and_fails_regressions() {
+        let old = report(vec![record("plan_close", 1000.0), record("plan_keepalive", 10000.0)]);
+        // 20% slower everywhere: inside the 2.5x gate.
+        let ok = report(vec![record("plan_close", 800.0), record("plan_keepalive", 8000.0)]);
+        assert!(compare_serve_reports(&old, &ok, 2.5).is_ok());
+        // 4x slower on one bench: a real regression.
+        let bad = report(vec![record("plan_close", 250.0), record("plan_keepalive", 8000.0)]);
+        let err = compare_serve_reports(&old, &bad, 2.5).unwrap_err();
+        assert!(err.contains("plan_close"), "{err}");
+        // A vanished bench is always a failure.
+        let missing = report(vec![record("plan_close", 1000.0)]);
+        let err = compare_serve_reports(&old, &missing, 2.5).unwrap_err();
+        assert!(err.contains("plan_keepalive"), "{err}");
+    }
+
+    #[test]
+    fn keepalive_speedup_reads_the_headline_ratio() {
+        let report = report(vec![
+            record("plan_close", 1000.0),
+            record("plan_keepalive", 12000.0),
+        ]);
+        let speedup = report.keepalive_speedup().unwrap();
+        assert!((speedup - 12.0).abs() < 1e-9);
+        let reference = report.reference_speedup().unwrap();
+        assert!((reference - 12000.0 / REFERENCE_CLOSE_RPS).abs() < 1e-9);
+        assert!(report.bench("nope").is_none());
     }
 }

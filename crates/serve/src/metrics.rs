@@ -31,7 +31,20 @@ pub struct Metrics {
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
+    open_connections: AtomicU64,
+    accept_queue: AtomicU64,
+    idle_closed: AtomicU64,
+    /// Singleflight-coalesced requests per coalescable route:
+    /// `[/v1/plan, /v1/sweep, /v1/simulate]`.
+    coalesced: [AtomicU64; COALESCE_ROUTES.len()],
+    sim_batches: AtomicU64,
+    sim_batched_requests: AtomicU64,
+    rendered_hits: AtomicU64,
 }
+
+/// The routes whose identical concurrent requests the admission layer may
+/// coalesce, in label order.
+pub const COALESCE_ROUTES: [&str; 3] = ["/v1/plan", "/v1/sweep", "/v1/simulate"];
 
 impl Metrics {
     /// Creates empty metrics.
@@ -71,6 +84,93 @@ impl Metrics {
     #[must_use]
     pub fn total_requests(&self) -> u64 {
         self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection opened by the event loop.
+    pub fn note_connection_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed by the event loop.
+    pub fn note_connection_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open on the event loops.
+    #[must_use]
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection queued from the acceptor toward an event loop.
+    pub fn note_accept_enqueued(&self) {
+        self.accept_queue.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a queued connection picked up by its event loop.
+    pub fn note_accept_dequeued(&self) {
+        self.accept_queue.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Accepted connections still waiting for their event loop.
+    #[must_use]
+    pub fn accept_queue_depth(&self) -> u64 {
+        self.accept_queue.load(Ordering::Relaxed)
+    }
+
+    /// Records a keep-alive connection closed by the idle deadline.
+    pub fn note_idle_closed(&self) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Keep-alive connections closed by the idle deadline so far.
+    #[must_use]
+    pub fn idle_closed(&self) -> u64 {
+        self.idle_closed.load(Ordering::Relaxed)
+    }
+
+    /// Records one request that was coalesced onto another in-flight
+    /// identical request (the leader itself is not counted).
+    pub fn note_coalesced(&self, route: &str) {
+        if let Some(index) = COALESCE_ROUTES.iter().position(|&r| r == route) {
+            self.coalesced[index].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Coalesced requests recorded for one route label.
+    #[must_use]
+    pub fn coalesced(&self, route: &str) -> u64 {
+        COALESCE_ROUTES
+            .iter()
+            .position(|&r| r == route)
+            .map_or(0, |index| self.coalesced[index].load(Ordering::Relaxed))
+    }
+
+    /// Records one `/v1/plan` request answered from the rendered-response
+    /// memo (no planning, no key canonicalization, no serialization).
+    pub fn note_rendered_hit(&self) {
+        self.rendered_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests answered from the rendered-response memo so far.
+    #[must_use]
+    pub fn rendered_hits(&self) -> u64 {
+        self.rendered_hits.load(Ordering::Relaxed)
+    }
+
+    /// Records one gather-window simulate batch of `size` requests.
+    pub fn note_sim_batch(&self, size: u64) {
+        self.sim_batches.fetch_add(1, Ordering::Relaxed);
+        self.sim_batched_requests.fetch_add(size, Ordering::Relaxed);
+    }
+
+    /// `(batches, batched_requests)` executed by the gather window.
+    #[must_use]
+    pub fn sim_batches(&self) -> (u64, u64) {
+        (
+            self.sim_batches.load(Ordering::Relaxed),
+            self.sim_batched_requests.load(Ordering::Relaxed),
+        )
     }
 
     /// Renders every metric in the Prometheus text exposition format.
@@ -142,6 +242,58 @@ impl Metrics {
         out.push_str("# TYPE arrayflex_serve_plan_cache_hit_rate gauge\n");
         let _ = writeln!(out, "arrayflex_serve_plan_cache_hit_rate {}", cache.hit_rate());
 
+        out.push_str("# HELP arrayflex_serve_open_connections Connections currently open on the event loops.\n");
+        out.push_str("# TYPE arrayflex_serve_open_connections gauge\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_open_connections {}",
+            self.open_connections.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP arrayflex_serve_accept_queue_depth Accepted connections awaiting their event loop.\n");
+        out.push_str("# TYPE arrayflex_serve_accept_queue_depth gauge\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_accept_queue_depth {}",
+            self.accept_queue.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP arrayflex_serve_idle_closed_total Keep-alive connections closed by the idle deadline.\n");
+        out.push_str("# TYPE arrayflex_serve_idle_closed_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_idle_closed_total {}",
+            self.idle_closed.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP arrayflex_serve_coalesced_requests_total Requests coalesced onto an identical in-flight computation, by route.\n");
+        out.push_str("# TYPE arrayflex_serve_coalesced_requests_total counter\n");
+        for (index, route) in COALESCE_ROUTES.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "arrayflex_serve_coalesced_requests_total{{route=\"{route}\"}} {}",
+                self.coalesced[index].load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# HELP arrayflex_serve_rendered_hits_total Plan requests answered from the rendered-response memo.\n");
+        out.push_str("# TYPE arrayflex_serve_rendered_hits_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_rendered_hits_total {}",
+            self.rendered_hits.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP arrayflex_serve_sim_batches_total Gather-window simulate batches executed.\n");
+        out.push_str("# TYPE arrayflex_serve_sim_batches_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_sim_batches_total {}",
+            self.sim_batches.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP arrayflex_serve_sim_batched_requests_total Simulate requests served through gather-window batches.\n");
+        out.push_str("# TYPE arrayflex_serve_sim_batched_requests_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_sim_batched_requests_total {}",
+            self.sim_batched_requests.load(Ordering::Relaxed)
+        );
+
         for (metric, help, pick) in SHARD_COUNTERS {
             let _ = writeln!(out, "# HELP arrayflex_serve_plan_cache_shard_{metric} {help}");
             let _ = writeln!(out, "# TYPE arrayflex_serve_plan_cache_shard_{metric} counter");
@@ -190,6 +342,36 @@ mod tests {
     }
 
     #[test]
+    fn serving_gauges_and_coalesce_counters_accumulate() {
+        let metrics = Metrics::new();
+        metrics.note_connection_opened();
+        metrics.note_connection_opened();
+        metrics.note_connection_closed();
+        assert_eq!(metrics.open_connections(), 1);
+        metrics.note_accept_enqueued();
+        assert_eq!(metrics.accept_queue_depth(), 1);
+        metrics.note_accept_dequeued();
+        assert_eq!(metrics.accept_queue_depth(), 0);
+        metrics.note_idle_closed();
+        assert_eq!(metrics.idle_closed(), 1);
+        metrics.note_coalesced("/v1/plan");
+        metrics.note_coalesced("/v1/plan");
+        metrics.note_coalesced("/v1/simulate");
+        metrics.note_coalesced("/healthz"); // not coalescable: ignored
+        assert_eq!(metrics.coalesced("/v1/plan"), 2);
+        assert_eq!(metrics.coalesced("/v1/simulate"), 1);
+        assert_eq!(metrics.coalesced("/healthz"), 0);
+        metrics.note_sim_batch(3);
+        metrics.note_sim_batch(1);
+        assert_eq!(metrics.sim_batches(), (2, 4));
+        let cache = PlanCache::new(4);
+        let text = metrics.render_prometheus(&cache);
+        assert!(text.contains("arrayflex_serve_open_connections 1"));
+        assert!(text.contains("arrayflex_serve_coalesced_requests_total{route=\"/v1/plan\"} 2"));
+        assert!(text.contains("arrayflex_serve_sim_batched_requests_total 4"));
+    }
+
+    #[test]
     fn prometheus_rendering_is_well_formed() {
         let metrics = Metrics::new();
         metrics.observe("/v1/plan", 200, Duration::from_micros(120));
@@ -217,6 +399,17 @@ mod tests {
             assert_eq!(count, shards, "family {family}");
         }
         assert!(text.contains("arrayflex_serve_plan_cache_shard_hits_total{shard=\"0\"} 0"));
+        assert!(text.contains("arrayflex_serve_open_connections 0"));
+        assert!(text.contains("arrayflex_serve_accept_queue_depth 0"));
+        assert!(text.contains("arrayflex_serve_idle_closed_total 0"));
+        assert!(text.contains("arrayflex_serve_sim_batches_total 0"));
+        assert!(text.contains("arrayflex_serve_sim_batched_requests_total 0"));
+        assert!(text.contains("arrayflex_serve_rendered_hits_total 0"));
+        for route in COALESCE_ROUTES {
+            assert!(text.contains(&format!(
+                "arrayflex_serve_coalesced_requests_total{{route=\"{route}\"}} 0"
+            )));
+        }
         // Every non-comment line is `name{labels} value` or `name value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');

@@ -1,0 +1,235 @@
+//! A bounded memo of fully rendered `/v1/plan` response bodies, keyed by
+//! the raw request body bytes.
+//!
+//! The plan cache already guarantees that a cached plan is byte-identical
+//! to recomputing it, but *serving* a cached plan still pays two costs
+//! that dwarf the actual lookup: canonicalizing the planning inputs into
+//! a [`PlanKey`](arrayflex::PlanKey) (which serializes the whole network)
+//! and serializing the plan back out as the response body — together
+//! ~150µs per request against a ~2µs shard probe. This memo removes both
+//! from the steady-state path: the first serve of a given request body
+//! stores the rendered 200 response, and every identical request after
+//! that is answered by hashing the (typically tens of bytes) body and
+//! cloning an `Arc`.
+//!
+//! Coherence with the authoritative [`PlanCache`] is by construction, not
+//! by trust:
+//!
+//! * **Byte identity** holds because planning is a pure function of the
+//!   request body and serialization is deterministic — the stored bytes
+//!   *are* a previous response to the identical request.
+//! * **Entry-set changes**: every entry records the plan cache's
+//!   [`generation`](PlanCache::generation) at store time; a lookup whose
+//!   generation no longer matches drops the entry and falls back to the
+//!   full path, so eviction and churn in the plan cache are never papered
+//!   over. (Steady-state hit traffic leaves the generation untouched,
+//!   which is exactly when the memo is allowed to answer.)
+//! * **TTL**: entries age against the plan cache's own clock
+//!   ([`PlanCache::clock_now`]) under the same TTL, so a test-injected
+//!   manual clock expires rendered responses in lockstep with the plans
+//!   they were rendered from.
+//! * **Accounting**: a memo hit is still a hit on the cached plan (its
+//!   rendered form), and is tallied into the plan cache's hit counter via
+//!   [`PlanCache::note_derived_hit`] — `/metrics` cannot tell the two
+//!   apart, which keeps the hit/miss arithmetic of the lifecycle tests
+//!   exact.
+
+use arrayflex::PlanCache;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Entries kept (LRU-evicted beyond this). Sized for serving workloads —
+/// a handful of hot request bodies — not as a second plan cache.
+const CAPACITY: usize = 64;
+
+/// Largest request body + rendered response this memo will hold. Inline
+/// networks can be arbitrarily large; such requests stay on the full
+/// path rather than letting one giant plan pin the memo's memory.
+const MAX_ENTRY_BYTES: usize = 256 * 1024;
+
+/// One rendered 200 response and the coherence stamps it was stored under.
+#[derive(Debug)]
+struct Entry {
+    body: Arc<Vec<u8>>,
+    /// Hash of the plan's canonical [`PlanKey`](arrayflex::PlanKey) — what
+    /// request logs and the derived-hit tally identify the plan by.
+    key_hash: u64,
+    /// Plan-cache generation this entry is valid for.
+    generation: u64,
+    /// Plan-cache clock reading at store time (ages against the TTL).
+    written_at: Duration,
+    /// Logical LRU clock reading of the last lookup that returned this.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Vec<u8>, Entry>,
+    clock: u64,
+}
+
+/// The memo. One per [`AppState`](crate::api::AppState); see the module
+/// docs for the coherence rules.
+#[derive(Debug, Default)]
+pub(crate) struct RenderedCache {
+    inner: Mutex<Inner>,
+}
+
+impl RenderedCache {
+    /// Returns the rendered response body and plan-key hash for
+    /// `request_body` if a coherent entry exists (see the module docs).
+    /// Tallies the derived hit into `cache`'s hit counter.
+    pub(crate) fn lookup(
+        &self,
+        cache: &PlanCache,
+        request_body: &[u8],
+    ) -> Option<(Arc<Vec<u8>>, u64)> {
+        let generation = cache.generation();
+        let mut inner = self.inner.lock().expect("rendered cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(entry) = inner.map.get_mut(request_body) {
+            let expired = cache
+                .ttl()
+                .is_some_and(|ttl| cache.clock_now().saturating_sub(entry.written_at) >= ttl);
+            if entry.generation == generation && !expired {
+                entry.last_used = clock;
+                let found = (Arc::clone(&entry.body), entry.key_hash);
+                drop(inner);
+                cache.note_derived_hit(found.1);
+                return Some(found);
+            }
+            // Stale (evicted-under, churned past, or expired): drop it and
+            // let the full path repopulate under the current stamps.
+            inner.map.remove(request_body);
+        }
+        None
+    }
+
+    /// Stores the rendered 200 response for `request_body`, stamped with
+    /// the plan cache's current generation and clock. Oversized entries
+    /// are skipped; beyond [`CAPACITY`] the least-recently-used entry is
+    /// evicted.
+    pub(crate) fn store(
+        &self,
+        cache: &PlanCache,
+        request_body: &[u8],
+        key_hash: u64,
+        body: Arc<Vec<u8>>,
+    ) {
+        if request_body.len() + body.len() > MAX_ENTRY_BYTES {
+            return;
+        }
+        let generation = cache.generation();
+        let written_at = cache.clock_now();
+        let mut inner = self.inner.lock().expect("rendered cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.insert(
+            request_body.to_vec(),
+            Entry {
+                body,
+                key_hash,
+                generation,
+                written_at,
+                last_used: clock,
+            },
+        );
+        while inner.map.len() > CAPACITY {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            inner.map.remove(&oldest);
+        }
+    }
+
+    /// Number of rendered responses currently held (for tests).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("rendered cache poisoned").map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(n: u8) -> Vec<u8> {
+        vec![n; 8]
+    }
+
+    #[test]
+    fn lookup_misses_until_stored_then_shares_the_arc() {
+        let cache = PlanCache::new(4);
+        let rendered = RenderedCache::default();
+        assert!(rendered.lookup(&cache, &body(1)).is_none());
+        let stored = Arc::new(b"response".to_vec());
+        rendered.store(&cache, &body(1), 7, Arc::clone(&stored));
+        let (found, hash) = rendered.lookup(&cache, &body(1)).unwrap();
+        assert!(Arc::ptr_eq(&found, &stored));
+        assert_eq!(hash, 7);
+        // The derived hit was tallied into the plan cache's counters.
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn a_generation_change_invalidates_entries() {
+        use arrayflex::{ArrayFlexModel, PlanKind};
+        use cnn::DepthwiseMapping;
+
+        let cache = PlanCache::new(4);
+        let rendered = RenderedCache::default();
+        rendered.store(&cache, &body(1), 7, Arc::new(b"response".to_vec()));
+        assert!(rendered.lookup(&cache, &body(1)).is_some());
+        // Any plan-cache insert bumps the generation; the memo entry is
+        // dropped on its next lookup rather than served stale.
+        let model = ArrayFlexModel::new(8, 8).unwrap();
+        let plan = model
+            .plan_cached(
+                &cache,
+                &cnn::models::resnet18(),
+                DepthwiseMapping::default(),
+                PlanKind::ArrayFlex,
+            )
+            .unwrap();
+        drop(plan);
+        assert!(rendered.lookup(&cache, &body(1)).is_none());
+        assert_eq!(rendered.len(), 0);
+    }
+
+    #[test]
+    fn entries_expire_on_the_plan_caches_clock() {
+        use arrayflex::ManualClock;
+
+        let clock = Arc::new(ManualClock::new());
+        let cache = PlanCache::builder()
+            .ttl(Duration::from_secs(60))
+            .clock(Arc::clone(&clock) as _)
+            .build();
+        let rendered = RenderedCache::default();
+        rendered.store(&cache, &body(1), 7, Arc::new(b"response".to_vec()));
+        assert!(rendered.lookup(&cache, &body(1)).is_some());
+        clock.advance(Duration::from_secs(60));
+        assert!(rendered.lookup(&cache, &body(1)).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used_and_oversize_is_skipped() {
+        let cache = PlanCache::new(4);
+        let rendered = RenderedCache::default();
+        for n in 0..=CAPACITY {
+            rendered.store(&cache, &body(n as u8), n as u64, Arc::new(vec![0; 16]));
+        }
+        assert_eq!(rendered.len(), CAPACITY);
+        // The first-stored (least recently used) entry is the one gone.
+        assert!(rendered.lookup(&cache, &body(0)).is_none());
+        rendered.store(&cache, &body(99), 99, Arc::new(vec![0; MAX_ENTRY_BYTES]));
+        assert!(rendered.lookup(&cache, &body(99)).is_none());
+    }
+}

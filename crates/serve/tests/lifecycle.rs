@@ -147,9 +147,11 @@ fn zipfian_load_hits_the_cache_and_reports_counters() {
     let report = run(&config);
     assert_eq!(report.errors, 0, "zipf load must be all-200");
     let cache = handle.state().cache();
-    // Every request was exactly one tallied lookup, and a pool of 8 keys
-    // under 120 requests guarantees repeats, i.e. hits.
-    assert_eq!(cache.hits() + cache.misses(), 120);
+    // Every request was exactly one tallied lookup — or coalesced onto an
+    // identical in-flight one — and a pool of 8 keys under 120 requests
+    // guarantees repeats, i.e. hits.
+    let coalesced = handle.state().metrics().coalesced("/v1/plan");
+    assert_eq!(cache.hits() + cache.misses() + coalesced, 120);
     assert!(cache.hits() > 0, "skewed keys must repeat");
     assert!(cache.len() <= 8, "at most one entry per pool rank");
     handle.shutdown();

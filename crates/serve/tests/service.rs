@@ -311,11 +311,13 @@ fn loadgen_sustains_one_thousand_requests_with_zero_errors() {
     assert!(report.p50_us <= report.p90_us);
     assert!(report.p90_us <= report.p99_us);
     assert!(report.p99_us <= report.max_us);
-    // Identical plans are served from the cache. The first few racing
+    // Identical plans are served from the cache or coalesced onto an
+    // identical in-flight request (singleflight). The first few racing
     // clients may each miss once (the plan is computed outside the shard
     // lock), but the steady state is all hits.
     let (hits, misses) = (handle.state().cache().hits(), handle.state().cache().misses());
-    assert_eq!(hits + misses, 1000);
+    let coalesced = handle.state().metrics().coalesced("/v1/plan");
+    assert_eq!(hits + misses + coalesced, 1000);
     assert!(misses <= 4, "expected at most one miss per client, got {misses}");
     assert_eq!(handle.state().cache().len(), 1);
     handle.shutdown();

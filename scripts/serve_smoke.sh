@@ -79,6 +79,16 @@ if ! grep -q '^arrayflex_serve_plan_cache_hits_total 1$' <<<"$METRICS"; then
 fi
 echo "/metrics reports the plan-cache hit"
 
+# Keep-alive smoke: one persistent connection serving two sequential
+# requests and then a pipelined pair, all 200 and in order (the loadgen
+# binary carries the raw-socket client the shell cannot express).
+LOADGEN_BIN="${LOADGEN_BIN:-target/release/loadgen}"
+if [[ ! -x "$LOADGEN_BIN" ]]; then
+    echo "loadgen binary not found at $LOADGEN_BIN (build with: cargo build --release -p arrayflex-serve)" >&2
+    exit 1
+fi
+"$LOADGEN_BIN" --keepalive-smoke "$ADDR"
+
 # The saver thread persists the cached plan (the server is killed with
 # SIGTERM, so the periodic snapshot — not a graceful-shutdown one — must
 # already be on disk).
