@@ -290,6 +290,61 @@ fn corrupt_snapshots_are_rejected_and_leave_the_cache_untouched() {
     assert_eq!(error.kind(), std::io::ErrorKind::NotFound);
 }
 
+/// Exhaustive corruption matrix: warm-start load is all-or-nothing for
+/// *every* proper-prefix truncation and every single-bit flip in the
+/// structural bytes (header and length prefixes). Each mutation must be
+/// rejected as `InvalidData` with the cache left completely empty — a
+/// partially-applied snapshot would serve a silently smaller cache and
+/// skew every hit-rate number downstream.
+#[test]
+fn snapshot_corruption_matrix_never_partially_warms() {
+    let temp = TempPath::new("matrix");
+    let m = model();
+    let mapping = DepthwiseMapping::default();
+    let nets: Vec<_> = (1..=2).map(|i| synthetic_cnn(i, 8, 16)).collect();
+    let cache = PlanCache::new(16);
+    for net in &nets {
+        m.plan_cached(&cache, net, mapping, PlanKind::ArrayFlex).unwrap();
+    }
+    cache.snapshot_to(&temp.0).unwrap();
+    let good = std::fs::read(&temp.0).unwrap();
+
+    let reject = |what: &str, bytes: &[u8]| {
+        std::fs::write(&temp.0, bytes).unwrap();
+        let warmed = PlanCache::new(16);
+        let error = warmed.load_snapshot(&temp.0).expect_err(what);
+        assert_eq!(error.kind(), std::io::ErrorKind::InvalidData, "{what}");
+        assert!(warmed.is_empty(), "{what} must not partially warm the cache");
+        assert_eq!(warmed.bytes(), 0, "{what} must not leak byte accounting");
+    };
+
+    // Every proper prefix is a truncation: the count promises records the
+    // bytes do not hold, so none may load — not even "just the first
+    // record", which fits intact in most of these prefixes.
+    for cut in 0..good.len() {
+        reject(&format!("truncated to {cut} bytes"), &good[..cut]);
+    }
+
+    // Every single-bit flip in the structural bytes: magic (0..4),
+    // version (4..8), record count (8..16), and the first record's key
+    // length prefix (16..20). (Payload bytes are not flipped — the format
+    // carries no checksum, so payload integrity is JSON parsing's job.)
+    for byte in 0..20 {
+        for bit in 0..8 {
+            let mut b = good.clone();
+            b[byte] ^= 1 << bit;
+            reject(&format!("bit {bit} of byte {byte} flipped"), &b);
+        }
+    }
+
+    // The unmutated bytes still load in full afterwards (the matrix
+    // tested the right file).
+    std::fs::write(&temp.0, &good).unwrap();
+    let warmed = PlanCache::new(16);
+    assert_eq!(warmed.load_snapshot(&temp.0).unwrap(), 2);
+    assert_eq!(warmed.len(), 2);
+}
+
 #[test]
 fn snapshot_respects_ttl_and_budget_on_both_ends() {
     let temp = TempPath::new("ttl");

@@ -33,6 +33,7 @@ use arrayflex::ParallelExecutor;
 use arrayflex::sa_sim::Dataflow;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -45,6 +46,10 @@ pub(crate) struct SharedResponse {
     pub content_type: &'static str,
     /// The response body, shared across every coalesced delivery.
     pub body: Arc<Vec<u8>>,
+    /// Extra response header lines (CRLF-terminated, e.g. `Retry-After`
+    /// on sheds, the stale flag on degraded memo hits); `""` for most
+    /// responses.
+    pub extra_headers: &'static str,
 }
 
 impl From<HttpResponse> for SharedResponse {
@@ -53,6 +58,7 @@ impl From<HttpResponse> for SharedResponse {
             status: response.status,
             content_type: response.content_type,
             body: Arc::new(response.body),
+            extra_headers: "",
         }
     }
 }
@@ -152,7 +158,11 @@ impl Admission {
     }
 
     fn enter(&self, key: FlightKey, waiter: Waiter) -> Entered {
-        let mut flights = self.flights.lock().expect("flight table poisoned");
+        // All four table locks are poison-tolerant: handlers run under
+        // `catch_unwind`, and a caught panic must not convert every later
+        // request into a second panic (the tables' invariants are
+        // per-entry and survive an unwound leader — `settle` still runs).
+        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
         match flights.entry(key) {
             Entry::Occupied(mut entry) => {
                 entry.get_mut().push(waiter);
@@ -170,7 +180,7 @@ impl Admission {
     fn complete(&self, key: &FlightKey) -> Vec<Waiter> {
         self.flights
             .lock()
-            .expect("flight table poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .remove(key)
             .unwrap_or_default()
     }
@@ -179,7 +189,7 @@ impl Admission {
     /// opened the bucket (the caller becomes the batch leader and must
     /// sleep the window, then [`Admission::take_batch`]).
     fn join_gather(&self, batch_key: BatchKey, item: GatherEntry) -> bool {
-        let mut gather = self.gather.lock().expect("gather table poisoned");
+        let mut gather = self.gather.lock().unwrap_or_else(|e| e.into_inner());
         match gather.entry(batch_key) {
             Entry::Occupied(mut entry) => {
                 entry.get_mut().push(item);
@@ -196,7 +206,7 @@ impl Admission {
     fn take_batch(&self, batch_key: BatchKey) -> Vec<GatherEntry> {
         self.gather
             .lock()
-            .expect("gather table poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .remove(&batch_key)
             .unwrap_or_default()
     }
@@ -230,6 +240,24 @@ pub(crate) fn handle_job(
 ) {
     let route = api::route_label(&job.request.path);
     let waiter = waiter_of(&job, route);
+
+    // Per-request deadline: work that queued past its deadline is dead on
+    // arrival — the client has given up or retried — so answer 503 now
+    // instead of burning a worker on a response nobody reads. Measured
+    // from parse completion, so queue time counts.
+    if let Some(deadline) = state.request_deadline() {
+        if job.started.elapsed() >= deadline {
+            state.metrics().note_deadline_expired();
+            let mut response = SharedResponse::from(HttpResponse::error(
+                503,
+                "request deadline expired before processing",
+            ));
+            response.extra_headers = http::RETRY_AFTER_HEADER;
+            deliver(state, sinks, waiter, &response, api::RequestTrace::default());
+            return;
+        }
+    }
+
     let request = HttpRequest {
         method: job.request.method,
         path: job.request.path,
@@ -237,7 +265,7 @@ pub(crate) fn handle_job(
     };
 
     if !coalescable(&request.method, route) {
-        let (response, trace) = api::handle_traced(state, &request);
+        let (response, trace) = guarded_handle(state, &request);
         deliver(state, sinks, waiter, &response.into(), trace);
         return;
     }
@@ -267,8 +295,25 @@ pub(crate) fn handle_job(
         }
     }
 
-    let (response, trace) = api::handle_traced(state, &request);
+    let (response, trace) = guarded_handle(state, &request);
     settle(state, admission, sinks, &key, leader, response.into(), trace);
+}
+
+/// Runs the handler under `catch_unwind`: a panicking handler must cost
+/// exactly one structured 500 — never the worker thread, and never (via
+/// singleflight) the waiters parked behind the leader, whose delivery
+/// depends on `settle` running after this returns.
+fn guarded_handle(
+    state: &AppState,
+    request: &HttpRequest,
+) -> (HttpResponse, api::RequestTrace) {
+    catch_unwind(AssertUnwindSafe(|| api::handle_traced(state, request))).unwrap_or_else(|_| {
+        state.metrics().note_panic();
+        (
+            HttpResponse::error(500, "internal error"),
+            api::RequestTrace::default(),
+        )
+    })
 }
 
 /// Decodes a simulate body the way the handler would; `None` routes the
@@ -300,7 +345,16 @@ fn run_batch(
     let threads = sims
         .len()
         .min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
-    let responses = ParallelExecutor::new(threads).run(sims, |sim| api::simulate_response(state, sim));
+    // Same isolation as `guarded_handle`, per batch member: one poisoned
+    // simulate body must not sink the other members' responses.
+    let responses = ParallelExecutor::new(threads).run(sims, |sim| {
+        catch_unwind(AssertUnwindSafe(|| api::simulate_response(state, sim))).unwrap_or_else(
+            |_| {
+                state.metrics().note_panic();
+                HttpResponse::error(500, "internal error")
+            },
+        )
+    });
     for ((key, waiter), response) in addresses.into_iter().zip(responses) {
         settle(
             state,

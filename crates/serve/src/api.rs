@@ -64,6 +64,12 @@ pub struct AppState {
     /// `String::with_capacity(estimate)` instead of growing an empty
     /// buffer through repeated reallocation on every request.
     body_estimates: [AtomicUsize; 3],
+    /// Per-request deadline (`ServerConfig::request_deadline`): queued
+    /// work older than this is answered 503 without computing.
+    request_deadline: Option<std::time::Duration>,
+    /// Test-only `POST /__test/panic` route proving panic isolation
+    /// (`ServerConfig::panic_route`).
+    panic_route: bool,
 }
 
 /// Index into [`AppState`]'s per-route response-size estimates.
@@ -104,6 +110,8 @@ impl AppState {
                 AtomicUsize::new(0),
                 AtomicUsize::new(0),
             ],
+            request_deadline: config.request_deadline,
+            panic_route: config.panic_route,
         }
     }
 
@@ -171,6 +179,22 @@ impl AppState {
     pub(crate) fn note_accepted(&self) {
         self.accepted.fetch_add(1, Ordering::SeqCst);
     }
+
+    /// The configured per-request deadline, if any.
+    #[must_use]
+    pub fn request_deadline(&self) -> Option<std::time::Duration> {
+        self.request_deadline
+    }
+
+    /// Looks up a rendered `/v1/plan` body for this exact request body
+    /// *ignoring coherence* (generation and TTL): the graceful-degradation
+    /// path the event loop uses under shed pressure. The body is still
+    /// byte-identical to a fresh computation — planning is a pure function
+    /// of the request — but may predate cache churn, so responses served
+    /// this way carry the stale flag header.
+    pub(crate) fn stale_rendered(&self, request_body: &[u8]) -> Option<std::sync::Arc<Vec<u8>>> {
+        self.rendered.lookup_stale(request_body)
+    }
 }
 
 /// The fixed label a request path maps to in the metrics (unknown paths
@@ -234,6 +258,12 @@ pub fn handle_traced(state: &AppState, request: &HttpRequest) -> (HttpResponse, 
         }
         ("POST", "/v1/sweep") => with_json_body(request, |value| sweep(state, value)),
         ("POST", "/v1/simulate") => with_json_body(request, |value| simulate(state, value)),
+        ("POST", "/__test/panic") if state.panic_route => {
+            // Fault-harness escape hatch (ServerConfig::panic_route, tests
+            // only): prove a handler panic is caught, answered with a
+            // structured 500, and leaves the worker alive.
+            panic!("test-injected handler panic")
+        }
         (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/sweep" | "/v1/simulate") => {
             HttpResponse::error(405, &format!("method {} not allowed here", request.method))
         }

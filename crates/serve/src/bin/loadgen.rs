@@ -42,13 +42,24 @@
 //! EXPERIMENTS.md). `--cache`, `--cache-ttl` and `--cache-bytes` shape the
 //! in-process server's plan cache so eviction and expiry behaviour shows
 //! up in the reported counters.
+//!
+//! `--chaos` runs the deterministic fault-injection harness instead of a
+//! throughput load: an in-process server armed with
+//! `FaultConfig::with_seed(--seed)` and a tiny worker queue, hammered by
+//! `--clients` misbehaving clients (slowloris drips, aborted pipelines,
+//! mid-body hangups, shed-retry loops honoring `Retry-After`) whose
+//! schedules also derive from `--seed`. Every 200 is verified
+//! byte-identical against the fault-free reference; non-zero exit on any
+//! mismatch, any server-side panic, or zero verified responses. The seed
+//! is printed so any run replays exactly (see EXPERIMENTS.md).
 
 use arrayflex_serve::client::PersistentClient;
 use arrayflex_serve::http::{serve, ServerConfig};
 use arrayflex_serve::loadgen::{
-    bench_suite, compare_serve_reports, run, validate_serve_report, CacheReport, CombinedReport,
-    ConnectionMode, LoadgenConfig, ServeBenchReport, ZipfWorkload,
+    bench_suite, chaos_run, compare_serve_reports, run, validate_serve_report, CacheReport,
+    ChaosConfig, CombinedReport, ConnectionMode, LoadgenConfig, ServeBenchReport, ZipfWorkload,
 };
+use arrayflex_serve::FaultConfig;
 use std::net::SocketAddr;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -74,6 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut compare: Option<(String, String)> = None;
     let mut max_regression = 2.5f64;
     let mut smoke: Option<SocketAddr> = None;
+    let mut chaos = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| {
@@ -113,6 +125,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             "--keepalive-smoke" => smoke = Some(value_of("--keepalive-smoke")?.parse()?),
+            "--chaos" => chaos = true,
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--requests N] [--sim-requests N] \
@@ -121,7 +134,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                      [--cache-ttl SECS] [--cache-bytes BYTES] [--json] [--keep-alive] \
                      [--pipeline N] [--legacy-serve] [--bench OUT.json [--quick]] \
                      [--compare OLD NEW [--max-regression FACTOR]] \
-                     [--keepalive-smoke HOST:PORT]"
+                     [--keepalive-smoke HOST:PORT] [--chaos]"
                 );
                 return Ok(());
             }
@@ -149,6 +162,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // running server: two sequential requests, then a pipelined pair.
     if let Some(addr) = smoke {
         return keepalive_smoke(addr);
+    }
+
+    // --chaos spawns its own fault-armed in-process server (--addr is
+    // not honored: the faults must be injected server-side).
+    if chaos {
+        return chaos_mode(seed, requests, clients, json);
     }
 
     // Spawn an in-process server unless the caller points at a remote one.
@@ -238,6 +257,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let total = requests + sim_requests;
         return Err(format!("{} of {total} requests failed", report.errors()).into());
     }
+    Ok(())
+}
+
+/// The chaos harness behind `loadgen --chaos` (used by
+/// `scripts/chaos_smoke.sh`): a fault-armed in-process server with a
+/// deliberately tiny worker queue, a seeded misbehaving client fleet, and
+/// a byte-identity check on every 200. Exits non-zero on any mismatch,
+/// any server-side panic, or a run that verified nothing.
+fn chaos_mode(
+    seed: u64,
+    requests: usize,
+    clients: usize,
+    json: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let config = ServerConfig {
+        // Two workers and a 4-deep queue saturate under the chaos fleet,
+        // so the shed, stale-serve, and retry paths all see real traffic.
+        threads: 2,
+        queue_limit: 4,
+        faults: Some(FaultConfig::with_seed(seed)),
+        ..ServerConfig::default()
+    };
+    let handle = serve(config)?;
+    println!("chaos seed: {seed}");
+    let report = chaos_run(&ChaosConfig {
+        addr: handle.addr(),
+        seed,
+        requests,
+        clients,
+    });
+    let panics = handle.state().metrics().panics();
+    let sheds = handle.state().metrics().total_sheds();
+    handle.shutdown();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!("{}", report.text());
+        println!("server: {sheds} sheds, {panics} panics");
+    }
+    if panics > 0 {
+        return Err(format!("server caught {panics} handler panics under chaos").into());
+    }
+    if report.mismatches > 0 {
+        return Err(format!(
+            "{} responses diverged from the fault-free reference (seed {seed})",
+            report.mismatches
+        )
+        .into());
+    }
+    if report.ok == 0 {
+        return Err(format!("chaos run verified no responses at all (seed {seed})").into());
+    }
+    println!(
+        "chaos OK: {} byte-identical 200s, {} sheds honored, seed {seed} replays this run",
+        report.ok, report.shed
+    );
     Ok(())
 }
 

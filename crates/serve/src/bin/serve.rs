@@ -25,6 +25,14 @@
 //! `--snapshot-interval-ms`); `--log` emits one structured log line per
 //! request on stdout.
 //!
+//! Overload and resilience knobs: `--queue-limit N` bounds the worker
+//! queue — beyond it requests are shed with a structured 503 +
+//! `Retry-After` (0 disables shedding); `--request-deadline-ms N` answers
+//! work that queued longer than N milliseconds with a 503 instead of
+//! computing a response nobody is waiting for; `--fault-seed N` arms the
+//! deterministic fault-injection plan (injected EINTR, short reads/writes,
+//! resets, spurious wakeups — for chaos testing only, never production).
+//!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the chosen address is
 //! printed on the first line of stdout (`listening on http://...`), which
 //! the CI smoke test parses.
@@ -71,12 +79,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
             "--log" => config.log_requests = true,
+            "--queue-limit" => config.queue_limit = value_of("--queue-limit")?.parse()?,
+            "--request-deadline-ms" => {
+                config.request_deadline = Some(std::time::Duration::from_millis(
+                    value_of("--request-deadline-ms")?.parse()?,
+                ));
+            }
+            "--fault-seed" => {
+                config.faults = Some(arrayflex_serve::FaultConfig::with_seed(
+                    value_of("--fault-seed")?.parse()?,
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: serve [--addr HOST:PORT] [--threads N] [--loops N] \
                      [--gather-window-us N] [--legacy-serve] [--cache N] \
                      [--max-body BYTES] [--cache-ttl SECS] [--cache-bytes BYTES] \
-                     [--cache-snapshot PATH] [--snapshot-interval-ms N] [--log]"
+                     [--cache-snapshot PATH] [--snapshot-interval-ms N] [--log] \
+                     [--queue-limit N] [--request-deadline-ms N] [--fault-seed N]"
                 );
                 return Ok(());
             }

@@ -18,6 +18,12 @@ pub struct ClientResponse {
     pub status: u16,
     /// The response body.
     pub body: Vec<u8>,
+    /// Parsed `Retry-After` header in seconds, when the server sent one
+    /// (load shedding and deadline-expired 503s do).
+    pub retry_after: Option<u64>,
+    /// Whether the server flagged this as a stale-but-coherent degraded
+    /// answer (`x-arrayflex-stale: 1`, served under shed pressure).
+    pub stale: bool,
 }
 
 impl ClientResponse {
@@ -168,6 +174,8 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
             )
         })?;
     let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
+    let mut stale = false;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -181,8 +189,13 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse::<u64>().ok();
+            } else if name.eq_ignore_ascii_case("x-arrayflex-stale") {
+                stale = value.trim() == "1";
             }
         }
     }
@@ -198,5 +211,10 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
             body
         }
     };
-    Ok(ClientResponse { status, body })
+    Ok(ClientResponse {
+        status,
+        body,
+        retry_after,
+        stale,
+    })
 }

@@ -673,6 +673,100 @@ impl WriteQueue {
 pub const MAX_IOV_SEGMENTS: usize = 32;
 
 // ---------------------------------------------------------------------------
+// FaultyStream — the stream-I/O fault shim
+// ---------------------------------------------------------------------------
+
+/// The event loop's stream-I/O shim: every read and write on a connection
+/// goes through one of these. With no [`FaultPlan`](crate::fault::FaultPlan)
+/// attached it is a zero-cost passthrough; with one, each operation first
+/// asks the plan whether to fail with `EINTR` / `WouldBlock` /
+/// `ECONNRESET` or truncate to a short transfer — the exact error surface
+/// real sockets produce, injected deterministically from a seed.
+///
+/// Short faults clamp the buffer and then perform the real operation, so
+/// injected faults can *reorder and fragment* traffic but never corrupt
+/// it: a 200 still carries the bytes the handler produced.
+pub struct FaultyStream<'a, S> {
+    inner: S,
+    plan: Option<&'a crate::fault::FaultPlan>,
+}
+
+impl<'a, S> FaultyStream<'a, S> {
+    /// Wraps `inner`; `plan` of `None` makes every call a passthrough.
+    pub fn new(inner: S, plan: Option<&'a crate::fault::FaultPlan>) -> Self {
+        Self { inner, plan }
+    }
+}
+
+fn fault_error(kind: std::io::ErrorKind) -> std::io::Error {
+    std::io::Error::new(kind, "injected fault")
+}
+
+impl<S: std::io::Read> std::io::Read for FaultyStream<'_, S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        use crate::fault::IoFault;
+        if let Some(plan) = self.plan {
+            match plan.on_read(buf.len()) {
+                IoFault::None => {}
+                IoFault::Eintr => return Err(fault_error(std::io::ErrorKind::Interrupted)),
+                IoFault::WouldBlock => return Err(fault_error(std::io::ErrorKind::WouldBlock)),
+                IoFault::Reset => return Err(fault_error(std::io::ErrorKind::ConnectionReset)),
+                IoFault::Short(n) => return self.inner.read(&mut buf[..n]),
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: std::io::Write> std::io::Write for FaultyStream<'_, S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        use crate::fault::IoFault;
+        if let Some(plan) = self.plan {
+            match plan.on_write(buf.len()) {
+                IoFault::None => {}
+                IoFault::Eintr => return Err(fault_error(std::io::ErrorKind::Interrupted)),
+                IoFault::WouldBlock => return Err(fault_error(std::io::ErrorKind::WouldBlock)),
+                IoFault::Reset => return Err(fault_error(std::io::ErrorKind::ConnectionReset)),
+                IoFault::Short(n) => return self.inner.write(&buf[..n.min(buf.len())]),
+            }
+        }
+        self.inner.write(buf)
+    }
+
+    fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+        use crate::fault::IoFault;
+        if let Some(plan) = self.plan {
+            let total: usize = bufs.iter().map(|b| b.len()).sum();
+            match plan.on_write(total) {
+                IoFault::None => {}
+                IoFault::Eintr => return Err(fault_error(std::io::ErrorKind::Interrupted)),
+                IoFault::WouldBlock => return Err(fault_error(std::io::ErrorKind::WouldBlock)),
+                IoFault::Reset => return Err(fault_error(std::io::ErrorKind::ConnectionReset)),
+                IoFault::Short(n) => {
+                    // A short vectored write lands entirely in the first
+                    // non-empty slice, like a socket running out of send
+                    // buffer mid-iovec.
+                    let first = bufs
+                        .iter()
+                        .find(|b| !b.is_empty())
+                        .map(|b| &b[..])
+                        .unwrap_or(&[]);
+                    if first.is_empty() {
+                        return Ok(0);
+                    }
+                    return self.inner.write(&first[..n.min(first.len())]);
+                }
+            }
+        }
+        self.inner.write_vectored(bufs)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // TimerWheel
 // ---------------------------------------------------------------------------
 

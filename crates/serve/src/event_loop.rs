@@ -33,16 +33,21 @@
 use crate::admission::{self, Admission, Completion, Job, SharedResponse};
 use crate::api::{self, AppState};
 use crate::conn::{
-    FlushProgress, Parsed, ParsedRequest, RecvBuffer, RequestParser, TimerWheel, WriteQueue,
-    TIMER_TICK_MS,
+    FaultyStream, FlushProgress, Parsed, ParsedRequest, RecvBuffer, RequestParser, TimerWheel,
+    WriteQueue, TIMER_TICK_MS,
 };
-use crate::http::{log_line, render_head, resolve_threads, HttpResponse, ServerConfig};
+use crate::fault::{FaultPlan, FaultyPoller};
+use crate::http::{
+    log_line, render_head, resolve_threads, HttpResponse, ServerConfig, RETRY_AFTER_HEADER,
+    STALE_HEADER,
+};
 use crate::poll::{self, Event, Interest, Poller};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -62,6 +67,12 @@ const LISTENER: usize = 0;
 const WAKE: usize = 1;
 /// First token available to connections; token = slot index + this.
 const CONN_BASE: usize = 2;
+
+/// How long the accept loop pauses after a persistent accept error
+/// (EMFILE-class fd exhaustion). Level-triggered readiness would refire
+/// the listener every poll otherwise — a hot spin that starves live
+/// connections exactly when the process is already resource-starved.
+const ACCEPT_BACKOFF_MS: u64 = 100;
 
 /// Messages other threads push at an event loop.
 #[derive(Debug)]
@@ -89,9 +100,13 @@ impl Mailbox {
 
     /// Enqueues a message, waking the loop only on the empty→non-empty
     /// transition (the loop drains the whole queue per wake).
+    ///
+    /// Poison-tolerant: a panic caught elsewhere (handlers run under
+    /// `catch_unwind`) must never wedge completion delivery — a wedged
+    /// mailbox is a deadlocked connection.
     pub(crate) fn push(&self, msg: LoopMsg) {
         let was_empty = {
-            let mut queue = self.queue.lock().expect("mailbox poisoned");
+            let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
             let was_empty = queue.is_empty();
             queue.push_back(msg);
             was_empty
@@ -102,7 +117,7 @@ impl Mailbox {
     }
 
     fn drain(&self) -> VecDeque<LoopMsg> {
-        std::mem::take(&mut *self.queue.lock().expect("mailbox poisoned"))
+        std::mem::take(&mut *self.queue.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -176,6 +191,16 @@ struct EventLoop {
     wheel: TimerWheel,
     idle_ms: u64,
     epoch: Instant,
+    /// Parsed requests sitting in the worker queue, shared with the
+    /// workers (which decrement on pickup); the shed decision reads it.
+    queue_depth: Arc<AtomicUsize>,
+    /// `ServerConfig::queue_limit`; `0` disables shedding.
+    queue_limit: usize,
+    /// Active fault-injection plan (`ServerConfig::faults`).
+    faults: Option<Arc<FaultPlan>>,
+    /// While `Some`, accepting is paused (listener deregistered) until
+    /// this `now_ms` deadline after a persistent accept error.
+    accept_resume_at: Option<u64>,
 }
 
 /// Spawns the event loops and the handler worker pool.
@@ -189,6 +214,14 @@ pub(crate) fn start(
     let nloops = resolve_threads(config.event_loops);
     let nworkers = resolve_threads(config.threads);
     let admission = Arc::new(Admission::new(config.gather_window));
+    let queue_depth = Arc::new(AtomicUsize::new(0));
+    let faults = config.faults.clone().map(|fc| {
+        let plan = Arc::new(FaultPlan::new(fc));
+        // Replayability contract: every chaotic run prints the seed that
+        // reproduces its exact fault schedule.
+        eprintln!("serve: fault injection active, seed {}", plan.seed());
+        plan
+    });
 
     let mut pollers = Vec::with_capacity(nloops);
     let mut mailboxes = Vec::with_capacity(nloops);
@@ -209,18 +242,33 @@ pub(crate) fn start(
         let admission = Arc::clone(&admission);
         let sinks = mailboxes.clone();
         let job_rx = Arc::clone(&job_rx);
+        let queue_depth = Arc::clone(&queue_depth);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("serve-worker-{worker}"))
                 .spawn(move || loop {
                     // Holding the lock only across `recv` keeps workers
                     // independent; the channel closing (all loops gone)
-                    // ends the worker.
-                    let job = match job_rx.lock().expect("job queue poisoned").recv() {
+                    // ends the worker. Poison-tolerant: a panic between
+                    // `recv` and the catch_unwind below must not take the
+                    // whole pool down with it.
+                    let job = match job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
                         Ok(job) => job,
                         Err(_) => break,
                     };
-                    admission::handle_job(&state, &admission, &sinks, job);
+                    queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    // Backstop panic isolation: `handle_job` guards the
+                    // handler calls itself (so waiters get structured
+                    // 500s), but if anything else in the admission path
+                    // panics the worker thread must survive — a dead
+                    // worker is permanently lost capacity.
+                    if catch_unwind(AssertUnwindSafe(|| {
+                        admission::handle_job(&state, &admission, &sinks, job);
+                    }))
+                    .is_err()
+                    {
+                        state.metrics().note_panic();
+                    }
                 })
                 .expect("spawn worker thread"),
         );
@@ -228,6 +276,10 @@ pub(crate) fn start(
 
     let mut listener = Some(listener);
     for (id, (poller, wake_rx)) in pollers.into_iter().enumerate() {
+        let poller: Box<dyn Poller> = match &faults {
+            Some(plan) => Box::new(FaultyPoller::new(poller, Arc::clone(plan))),
+            None => poller,
+        };
         let mut event_loop = EventLoop {
             id,
             poller,
@@ -246,6 +298,10 @@ pub(crate) fn start(
             wheel: TimerWheel::new(),
             idle_ms: idle_ms_of(config.read_timeout),
             epoch: Instant::now(),
+            queue_depth: Arc::clone(&queue_depth),
+            queue_limit: config.queue_limit,
+            faults: faults.clone(),
+            accept_resume_at: None,
         };
         event_loop
             .poller
@@ -304,6 +360,7 @@ impl EventLoop {
                     token => self.service(token - CONN_BASE),
                 }
             }
+            self.maybe_resume_accept();
             self.drain_mailbox();
             if !self.stopping && self.stop.load(Ordering::SeqCst) {
                 self.begin_drain();
@@ -317,14 +374,31 @@ impl EventLoop {
 
     /// Accepts every waiting connection and deals them round-robin across
     /// the loops (self included, via the mailbox for uniformity).
+    ///
+    /// Error classification matters here: EMFILE-class errors (fd
+    /// exhaustion, out of memory) persist across retries, and with a
+    /// level-triggered poller the listener stays readable the whole time —
+    /// naive "log and continue" hot-spins the loop at 100% CPU exactly
+    /// when the process is starved. Those errors pause accepting for
+    /// [`ACCEPT_BACKOFF_MS`] instead (the kernel queues the backlog).
+    /// Per-connection failures (the peer reset before we got to it) are
+    /// transient and just skip to the next pending connection.
     fn accept_ready(&mut self) {
+        if self.accept_resume_at.is_some() {
+            return;
+        }
         loop {
             let listener = match &self.listener {
                 Some(listener) => listener,
                 None => return,
             };
-            match listener.accept() {
-                Ok((stream, _)) => {
+            let injected = self.faults.as_ref().and_then(|plan| plan.on_accept());
+            let accepted = match injected {
+                Some(err) => Err(err),
+                None => listener.accept().map(|(stream, _)| stream),
+            };
+            match accepted {
+                Ok(stream) => {
                     self.state.note_accepted();
                     self.state.metrics().note_accept_enqueued();
                     let target = self.rr % self.mailboxes.len();
@@ -333,11 +407,59 @@ impl EventLoop {
                 }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
                 Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
-                // Transient per-connection accept failures (e.g. the peer
-                // reset before we got to it); keep accepting.
-                Err(_) => {}
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        io::ErrorKind::ConnectionAborted | io::ErrorKind::ConnectionReset
+                    ) => {}
+                // Anything else — EMFILE/ENFILE have no stable ErrorKind,
+                // so the persistent class is "not known-transient".
+                Err(err) => {
+                    self.pause_accept(&err);
+                    return;
+                }
             }
         }
+    }
+
+    /// Deregisters the listener and schedules a resume; see
+    /// [`EventLoop::accept_ready`].
+    fn pause_accept(&mut self, err: &io::Error) {
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        eprintln!(
+            "serve: accept failed ({err}); pausing accepts for {ACCEPT_BACKOFF_MS}ms"
+        );
+        let _ = self.poller.deregister(listener.as_raw_fd());
+        self.accept_resume_at = Some(self.now_ms() + ACCEPT_BACKOFF_MS);
+        self.state.metrics().note_accept_backoff();
+    }
+
+    /// Re-registers the listener once the accept backoff expires and
+    /// drains whatever backlog built up during the pause.
+    fn maybe_resume_accept(&mut self) {
+        let Some(resume_at) = self.accept_resume_at else {
+            return;
+        };
+        if self.now_ms() < resume_at {
+            return;
+        }
+        self.accept_resume_at = None;
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        if self
+            .poller
+            .register(listener.as_raw_fd(), LISTENER, Interest::READABLE)
+            .is_err()
+        {
+            // Registration itself failing is the same resource pressure;
+            // back off again rather than losing the listener for good.
+            self.accept_resume_at = Some(self.now_ms() + ACCEPT_BACKOFF_MS);
+            return;
+        }
+        self.accept_ready();
     }
 
     fn drain_mailbox(&mut self) {
@@ -460,8 +582,9 @@ impl EventLoop {
         if conn.wants_read() {
             let mut scratch = [0_u8; 16 * 1024];
             let mut read = 0;
+            let mut source = FaultyStream::new(&conn.stream, self.faults.as_deref());
             loop {
-                match conn.stream.read(&mut scratch) {
+                match source.read(&mut scratch) {
                     Ok(0) => {
                         conn.peer_closed = true;
                         break;
@@ -512,7 +635,40 @@ impl EventLoop {
                     // rendered /v1/plan memo hits — are answered on the
                     // loop thread: no worker handoff, no waker round
                     // trip. Everything else crosses to the worker pool.
-                    if let Some(response) = inline_response(&self.state, &request) {
+                    // The handler runs under `catch_unwind` so a panic on
+                    // the loop thread becomes a structured 500 instead of
+                    // taking the whole loop (and every connection on it)
+                    // down.
+                    let inline = catch_unwind(AssertUnwindSafe(|| {
+                        inline_response(&self.state, &request)
+                    }))
+                    .unwrap_or_else(|_| {
+                        self.state.metrics().note_panic();
+                        Some(SharedResponse::from(HttpResponse::error(
+                            500,
+                            "internal error",
+                        )))
+                    });
+                    if let Some(response) = inline {
+                        conn.pending.insert(
+                            seq,
+                            Delivery {
+                                response,
+                                close_after: request.close_after,
+                            },
+                        );
+                        continue;
+                    }
+                    // Load shedding: if the worker queue is over its
+                    // bound, answer now instead of queueing work we can't
+                    // serve in time. A rendered `/v1/plan` memo entry —
+                    // even a stale one — is preferred over a 503: the
+                    // bytes are a previous 200 for the identical request
+                    // (planning is pure), flagged via response header.
+                    if self.queue_limit != 0
+                        && self.queue_depth.load(Ordering::Relaxed) >= self.queue_limit
+                    {
+                        let response = shed_response(&self.state, &request);
                         conn.pending.insert(
                             seq,
                             Delivery {
@@ -531,6 +687,7 @@ impl EventLoop {
                         request,
                         started: Instant::now(),
                     };
+                    self.queue_depth.fetch_add(1, Ordering::Relaxed);
                     if self.job_tx.send(job).is_err() {
                         return true;
                     }
@@ -578,6 +735,7 @@ impl EventLoop {
                 delivery.response.content_type,
                 delivery.response.body.len(),
                 keep_alive,
+                delivery.response.extra_headers,
             );
             conn.writes.push(head.into_bytes());
             conn.writes.push_shared(Arc::clone(&delivery.response.body));
@@ -585,7 +743,7 @@ impl EventLoop {
 
         // --- flush ---
         if !conn.writes.is_empty() {
-            let mut sink = &conn.stream;
+            let mut sink = FaultyStream::new(&conn.stream, self.faults.as_deref());
             match conn.writes.flush_into_vectored(&mut sink) {
                 Ok(FlushProgress::Drained | FlushProgress::Partial) => {
                     conn.last_progress_ms = now;
@@ -727,6 +885,7 @@ fn inline_response(state: &AppState, request: &ParsedRequest) -> Option<SharedRe
                     status: 200,
                     content_type: "application/json",
                     body,
+                    extra_headers: "",
                 },
                 trace,
             )
@@ -740,4 +899,44 @@ fn inline_response(state: &AppState, request: &ParsedRequest) -> Option<SharedRe
         println!("{}", log_line(route, response.status, latency, trace));
     }
     Some(response)
+}
+
+/// Builds the overload answer for a request the worker queue cannot take:
+/// a stale-but-byte-coherent rendered `/v1/plan` memo hit when one exists
+/// (200, flagged with [`STALE_HEADER`]), otherwise a structured 503 with
+/// `Retry-After` so well-behaved clients back off instead of hammering.
+fn shed_response(state: &AppState, request: &ParsedRequest) -> SharedResponse {
+    let route = api::route_label(&request.path);
+    if (request.method.as_str(), request.path.as_str()) == ("POST", "/v1/plan") {
+        if let Some(body) = state.stale_rendered(&request.body) {
+            state.metrics().note_stale_served();
+            state.metrics().observe(route, 200, Duration::ZERO);
+            if state.log_requests() {
+                println!(
+                    "{}",
+                    log_line(route, 200, Duration::ZERO, api::RequestTrace::default())
+                );
+            }
+            return SharedResponse {
+                status: 200,
+                content_type: "application/json",
+                body,
+                extra_headers: STALE_HEADER,
+            };
+        }
+    }
+    state.metrics().note_shed(route);
+    state.metrics().observe(route, 503, Duration::ZERO);
+    if state.log_requests() {
+        println!(
+            "{}",
+            log_line(route, 503, Duration::ZERO, api::RequestTrace::default())
+        );
+    }
+    let mut response = SharedResponse::from(HttpResponse::error(
+        503,
+        "server overloaded, retry after backoff",
+    ));
+    response.extra_headers = RETRY_AFTER_HEADER;
+    response
 }

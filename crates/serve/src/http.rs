@@ -80,6 +80,29 @@ pub struct ServerConfig {
     /// `Duration::ZERO` (the default) disables gathering — sequential
     /// callers never pay the window as added latency.
     pub gather_window: Duration,
+    /// Bound on the worker job queue (parsed requests dispatched but not
+    /// yet picked up). At or beyond this depth new worker-bound requests
+    /// are **shed**: answered `503` + `Retry-After` on the loop thread
+    /// without running the computation (`/v1/plan` may instead be served
+    /// a stale rendered-memo body, flagged via the
+    /// `x-arrayflex-stale` header). `0` disables shedding (unbounded
+    /// queue). Exposed as `--queue-limit`.
+    pub queue_limit: usize,
+    /// Per-request deadline measured from dispatch: a request still
+    /// waiting in the worker queue past this is answered `503` +
+    /// `Retry-After` without running its computation. `None` disables
+    /// deadlines. Exposed as `--request-deadline-ms`.
+    pub request_deadline: Option<Duration>,
+    /// Deterministic fault injection (see [`crate::fault`]): when set,
+    /// every stream read/write, poll and accept consults the seeded
+    /// [`crate::fault::FaultPlan`]. The seed is printed at startup so a
+    /// chaotic run is replayable. Exposed as `--fault-seed`.
+    pub faults: Option<crate::fault::FaultConfig>,
+    /// Test-only escape hatch for the fault harness: when set,
+    /// `POST /__test/panic` panics inside the handler, proving
+    /// `catch_unwind` isolation answers a structured 500 and the worker
+    /// survives. Never enabled by the binaries.
+    pub panic_route: bool,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +121,10 @@ impl Default for ServerConfig {
             legacy: false,
             event_loops: 1,
             gather_window: Duration::ZERO,
+            queue_limit: 1024,
+            request_deadline: None,
+            faults: None,
+            panic_route: false,
         }
     }
 }
@@ -147,7 +174,7 @@ impl ServerHandle {
         }
         if let Some(saver) = self.saver.take() {
             let (stopped, wake) = &*self.saver_stop;
-            *stopped.lock().expect("saver stop flag poisoned") = true;
+            *stopped.lock().unwrap_or_else(|e| e.into_inner()) = true;
             wake.notify_all();
             let _ = saver.join();
         }
@@ -254,10 +281,16 @@ fn warm_start(state: &Arc<AppState>, config: &ServerConfig) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 // First run: nothing to warm from, the saver will create it.
             }
-            Err(e) => eprintln!(
-                "ignoring unusable plan-cache snapshot {}: {e}",
-                path.display()
-            ),
+            Err(e) => {
+                // All-or-nothing: `load_snapshot` validated the whole file
+                // before inserting anything, so a corrupt snapshot is a
+                // clean cold start — counted so operators can alert on it.
+                state.metrics().note_snapshot_rejected();
+                eprintln!(
+                    "ignoring unusable plan-cache snapshot {}: {e}",
+                    path.display()
+                );
+            }
         }
     }
 }
@@ -284,9 +317,23 @@ fn spawn_legacy(
                 .spawn(move || loop {
                     // Hold the receiver lock only for the pop; queued
                     // connections drain even after the sender is gone.
-                    let next = receiver.lock().expect("connection queue poisoned").recv();
+                    // Poison-tolerant, and the connection is served under
+                    // `catch_unwind`: a panicking handler costs one
+                    // connection, not a worker thread.
+                    let next = receiver
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .recv();
                     match next {
-                        Ok(stream) => serve_connection(stream, &state, read_timeout),
+                        Ok(stream) => {
+                            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                serve_connection(stream, &state, read_timeout);
+                            }))
+                            .is_err()
+                            {
+                                state.metrics().note_panic();
+                            }
+                        }
                         Err(_) => break,
                     }
                 })
@@ -338,11 +385,11 @@ fn spawn_saver(
             .spawn(move || {
                 let (stopped, wake) = &*signal;
                 let mut last_generation = state.cache().generation();
-                let mut guard = stopped.lock().expect("saver stop flag poisoned");
+                let mut guard = stopped.lock().unwrap_or_else(|e| e.into_inner());
                 while !*guard {
                     let (next, _) = wake
                         .wait_timeout(guard, interval)
-                        .expect("saver stop flag poisoned");
+                        .unwrap_or_else(|e| e.into_inner());
                     guard = next;
                     if *guard {
                         break; // the final write happens in wait()
@@ -437,25 +484,40 @@ fn reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
+/// Extra head lines carried by shed and deadline-expired 503s: the
+/// client should retry, with backoff, after this many seconds.
+pub(crate) const RETRY_AFTER_HEADER: &str = "retry-after: 1\r\n";
+
+/// Extra head line flagging a `/v1/plan` 200 served from the rendered
+/// memo *past* its coherence window under shed pressure. The body is
+/// still byte-identical to a fresh computation (planning is pure), but
+/// the client is told it skipped the queue.
+pub(crate) const STALE_HEADER: &str = "x-arrayflex-stale: 1\r\n";
+
 /// Renders one response head. The `connection` header is always explicit
-/// so clients never have to apply HTTP-version defaulting rules.
+/// so clients never have to apply HTTP-version defaulting rules. `extra`
+/// is zero or more complete `name: value\r\n` lines (e.g.
+/// [`RETRY_AFTER_HEADER`]) spliced in before the terminating CRLF.
 pub(crate) fn render_head(
     status: u16,
     content_type: &str,
     content_length: usize,
     keep_alive: bool,
+    extra: &str,
 ) -> String {
     format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n{}\r\n",
         status,
         reason(status),
         content_type,
         content_length,
         if keep_alive { "keep-alive" } else { "close" },
+        extra,
     )
 }
 
@@ -621,7 +683,7 @@ fn read_head_line(reader: &mut BufReader<TcpStream>) -> HeadLine {
 
 fn write_response(mut stream: TcpStream, response: &HttpResponse) {
     // The legacy path never keeps connections alive.
-    let head = render_head(response.status, response.content_type, response.body.len(), false);
+    let head = render_head(response.status, response.content_type, response.body.len(), false, "");
     let _ = stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(&response.body))
@@ -645,7 +707,7 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_every_emitted_status() {
-        for status in [200u16, 400, 404, 405, 413, 431, 500, 501] {
+        for status in [200u16, 400, 404, 405, 413, 431, 500, 501, 503] {
             assert_ne!(reason(status), "Unknown", "status {status}");
         }
         assert_eq!(reason(599), "Unknown");
@@ -653,13 +715,24 @@ mod tests {
 
     #[test]
     fn response_heads_are_explicit_about_connection_reuse() {
-        let head = render_head(200, "application/json", 42, true);
+        let head = render_head(200, "application/json", 42, true, "");
         assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
         assert!(head.contains("content-length: 42\r\n"), "{head}");
         assert!(head.contains("connection: keep-alive\r\n"), "{head}");
         assert!(head.ends_with("\r\n\r\n"), "{head}");
-        let head = render_head(501, "application/json", 0, false);
+        let head = render_head(501, "application/json", 0, false, "");
         assert!(head.starts_with("HTTP/1.1 501 Not Implemented\r\n"), "{head}");
         assert!(head.contains("connection: close\r\n"), "{head}");
+    }
+
+    #[test]
+    fn extra_head_lines_splice_in_before_the_terminator() {
+        let head = render_head(503, "application/json", 7, true, RETRY_AFTER_HEADER);
+        assert!(head.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{head}");
+        assert!(head.contains("\r\nretry-after: 1\r\n"), "{head}");
+        assert!(head.ends_with("retry-after: 1\r\n\r\n"), "{head}");
+        let head = render_head(200, "application/json", 7, true, STALE_HEADER);
+        assert!(head.contains("\r\nx-arrayflex-stale: 1\r\n"), "{head}");
+        assert!(head.ends_with("\r\n\r\n"), "{head}");
     }
 }

@@ -53,6 +53,7 @@ pub mod api;
 pub mod client;
 pub mod conn;
 mod event_loop;
+pub mod fault;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
@@ -60,8 +61,10 @@ pub mod poll;
 mod rendered;
 
 pub use api::{AppState, RequestTrace, SimulateResponse};
+pub use fault::{FaultConfig, FaultPlan};
 pub use http::{serve, HttpRequest, HttpResponse, ServerConfig, ServerHandle};
 pub use loadgen::{
-    CacheReport, CombinedReport, LoadgenConfig, LoadgenReport, ZipfSampler, ZipfWorkload,
+    CacheReport, ChaosConfig, ChaosReport, CombinedReport, LoadgenConfig, LoadgenReport,
+    ZipfSampler, ZipfWorkload,
 };
 pub use metrics::Metrics;

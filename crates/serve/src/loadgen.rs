@@ -11,7 +11,9 @@
 //! [`compare_serve_reports`]); the integration tests use it to assert the
 //! acceptance criterion of ≥ 1000 requests with zero errors.
 
+use crate::api::{self, AppState};
 use crate::client::{self, ClientResponse, PersistentClient};
+use crate::http::{HttpRequest, ServerConfig};
 use arrayflex::PlanCache;
 use gemm::rng::SplitMix64;
 use serde::{Deserialize, Serialize};
@@ -205,8 +207,13 @@ impl ZipfSampler {
 pub struct LoadgenReport {
     /// Requests issued.
     pub requests: usize,
-    /// Requests that failed (transport error or non-200 status).
+    /// Requests that failed (transport error or non-200 status other
+    /// than a shed).
     pub errors: usize,
+    /// Requests the server shed under overload (503 with `Retry-After`):
+    /// deliberate backpressure, tallied apart from errors so the
+    /// overload path is regression-gated alongside latency.
+    pub sheds: usize,
     /// Client threads used.
     pub clients: usize,
     /// Connection mode label (`close`, `keepalive`, `pipelineN`).
@@ -242,12 +249,13 @@ impl LoadgenReport {
     #[must_use]
     pub fn text(&self) -> String {
         format!(
-            "requests: {} ({} errors), clients: {}, mode: {}\n\
+            "requests: {} ({} errors, {} shed), clients: {}, mode: {}\n\
              elapsed:  {:.3} s ({:.0} req/s)\n\
              latency:  p50 {} us, p90 {} us, p99 {} us, max {} us\n\
              connect:  {} opened ({} reopened), p50 {} us, p99 {} us, max {} us",
             self.requests,
             self.errors,
+            self.sheds,
             self.clients,
             self.mode,
             self.elapsed_s,
@@ -360,8 +368,23 @@ struct ClientStats {
     latencies: Vec<u64>,
     connect_latencies: Vec<u64>,
     errors: usize,
+    sheds: usize,
     connects: usize,
     reconnects: usize,
+}
+
+impl ClientStats {
+    /// Tallies one decoded response: 200s record latency, shed 503s count
+    /// as deliberate backpressure, everything else is an error.
+    fn tally(&mut self, response: &ClientResponse, latency_us: u64) {
+        if response.status == 200 {
+            self.latencies.push(latency_us);
+        } else if response.status == 503 && response.retry_after.is_some() {
+            self.sheds += 1;
+        } else {
+            self.errors += 1;
+        }
+    }
 }
 
 impl ClientStats {
@@ -436,11 +459,7 @@ fn run_close(
             Ok((connect_us, request_us, response)) => {
                 stats.connects += 1;
                 stats.connect_latencies.push(connect_us);
-                if response.status == 200 {
-                    stats.latencies.push(request_us);
-                } else {
-                    stats.errors += 1;
-                }
+                stats.tally(&response, request_us);
             }
             Err(_) => stats.errors += 1,
         }
@@ -472,11 +491,7 @@ fn run_keepalive(
                 .request(method, &config.path, body.as_deref().map(str::as_bytes))
             {
                 Ok(response) => {
-                    if response.status == 200 {
-                        stats.latencies.push(micros_since(started));
-                    } else {
-                        stats.errors += 1;
-                    }
+                    stats.tally(&response, micros_since(started));
                     served = true;
                     break;
                 }
@@ -537,10 +552,9 @@ fn run_pipelined(
         }
         for read in 0..bodies.len() {
             match client.recv() {
-                Ok(response) if response.status == 200 => {
-                    stats.latencies.push(micros_since(batch_started));
+                Ok(response) => {
+                    stats.tally(&response, micros_since(batch_started));
                 }
-                Ok(_) => stats.errors += 1,
                 Err(_) => {
                     stats.errors += bodies.len() - read;
                     conn = None;
@@ -568,6 +582,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         return LoadgenReport {
             requests: 0,
             errors: 0,
+            sheds: 0,
             clients: config.clients,
             mode: config.mode.label(),
             connects: 0,
@@ -644,12 +659,14 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     let mut latencies: Vec<u64> = Vec::with_capacity(config.requests);
     let mut connect_latencies: Vec<u64> = Vec::new();
     let mut errors = 0usize;
+    let mut sheds = 0usize;
     let mut connects = 0usize;
     let mut reconnects = 0usize;
     for stats in &mut per_client {
         latencies.append(&mut stats.latencies);
         connect_latencies.append(&mut stats.connect_latencies);
         errors += stats.errors;
+        sheds += stats.sheds;
         connects += stats.connects;
         reconnects += stats.reconnects;
     }
@@ -665,6 +682,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     LoadgenReport {
         requests: config.requests,
         errors,
+        sheds,
         clients: config.clients,
         mode: config.mode.label(),
         connects,
@@ -695,7 +713,7 @@ pub const SERVE_BENCH_SCHEMA: u32 = 1;
 pub const REFERENCE_CLOSE_RPS: f64 = 4600.0;
 
 /// One serving benchmark: an endpoint driven in one connection mode.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ServeBenchRecord {
     /// Stable bench name (`plan_keepalive`, `simulate_close`, ...).
     pub name: String,
@@ -717,6 +735,46 @@ pub struct ServeBenchRecord {
     pub connect_p50_us: u64,
     /// Failed requests (must be zero for a valid baseline).
     pub errors: usize,
+    /// Requests shed under overload (503 + `Retry-After`). Should be
+    /// zero in the unsaturated baseline matrix; gated by shed *rate* in
+    /// the comparison so overload-path regressions fail CI.
+    pub sheds: usize,
+    /// `sheds / requests` — the compared overload quantity.
+    pub shed_rate: f64,
+}
+
+// Hand-written so baselines committed before the shed fields existed
+// still parse: absent `sheds`/`shed_rate` default to zero. (The vendored
+// derive has no `#[serde(default)]`.)
+impl Deserialize for ServeBenchRecord {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        fn field<T: Deserialize>(value: &serde::Value, name: &str) -> Result<T, serde::DeError> {
+            let field = value
+                .get(name)
+                .ok_or_else(|| serde::DeError::new(format!("missing field `{name}`")))?;
+            T::from_value(field)
+        }
+        fn optional<T: Deserialize + Default>(
+            value: &serde::Value,
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            value.get(name).map_or_else(|| Ok(T::default()), T::from_value)
+        }
+        Ok(Self {
+            name: field(value, "name")?,
+            endpoint: field(value, "endpoint")?,
+            mode: field(value, "mode")?,
+            requests: field(value, "requests")?,
+            clients: field(value, "clients")?,
+            rps: field(value, "rps")?,
+            p50_us: field(value, "p50_us")?,
+            p99_us: field(value, "p99_us")?,
+            connect_p50_us: field(value, "connect_p50_us")?,
+            errors: field(value, "errors")?,
+            sheds: optional(value, "sheds")?,
+            shed_rate: optional(value, "shed_rate")?,
+        })
+    }
 }
 
 /// The committed serving baseline (`BENCH_serve.json`): RPS and latency
@@ -831,6 +889,8 @@ pub fn bench_suite(addr: SocketAddr, quick: bool) -> ServeBenchReport {
                 p99_us: report.p99_us,
                 connect_p50_us: report.connect_p50_us,
                 errors: report.errors,
+                sheds: report.sheds,
+                shed_rate: report.sheds as f64 / (report.requests.max(1)) as f64,
             }
         })
         .collect();
@@ -870,22 +930,30 @@ pub fn validate_serve_report(report: &ServeBenchReport) -> Result<(), String> {
     Ok(())
 }
 
+/// Shed-rate slack the comparison tolerates: a candidate may shed at most
+/// this much more of its requests than the baseline did before it counts
+/// as an overload-path regression.
+pub const SHED_RATE_SLACK: f64 = 0.05;
+
 /// Compares a current serve bench report against a committed baseline,
 /// mirroring `bench_baseline --compare`: every baseline bench must still
-/// exist and keep `new_rps * max_regression >= old_rps`.
+/// exist, keep `new_rps * max_regression >= old_rps`, and keep its shed
+/// rate within [`SHED_RATE_SLACK`] of the baseline's — a server that got
+/// "faster" by shedding the work is a regression, not a win.
 ///
 /// # Errors
 ///
 /// Returns the rendered table plus the list of violations when any bench
-/// regressed beyond `max_regression` or disappeared.
+/// regressed beyond `max_regression`, shed beyond the slack, or
+/// disappeared.
 pub fn compare_serve_reports(
     old: &ServeBenchReport,
     new: &ServeBenchReport,
     max_regression: f64,
 ) -> Result<String, String> {
     let mut lines = vec![format!(
-        "{:<20} {:>12} {:>12} {:>8}",
-        "bench", "old rps", "new rps", "ratio"
+        "{:<20} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "bench", "old rps", "new rps", "ratio", "old shed", "new shed"
     )];
     let mut violations = Vec::new();
     for bench in &old.benches {
@@ -893,8 +961,13 @@ pub fn compare_serve_reports(
             Some(candidate) => {
                 let ratio = candidate.rps / bench.rps.max(f64::MIN_POSITIVE);
                 lines.push(format!(
-                    "{:<20} {:>12.0} {:>12.0} {:>8.2}",
-                    bench.name, bench.rps, candidate.rps, ratio
+                    "{:<20} {:>12.0} {:>12.0} {:>8.2} {:>9.1}% {:>9.1}%",
+                    bench.name,
+                    bench.rps,
+                    candidate.rps,
+                    ratio,
+                    bench.shed_rate * 100.0,
+                    candidate.shed_rate * 100.0
                 ));
                 if candidate.rps * max_regression < bench.rps {
                     violations.push(format!(
@@ -903,6 +976,15 @@ pub fn compare_serve_reports(
                         bench.rps,
                         candidate.rps,
                         bench.rps / candidate.rps.max(f64::MIN_POSITIVE)
+                    ));
+                }
+                if candidate.shed_rate > bench.shed_rate + SHED_RATE_SLACK {
+                    violations.push(format!(
+                        "{}: shed rate {:.1}% -> {:.1}% (exceeds baseline + {:.0}% slack)",
+                        bench.name,
+                        bench.shed_rate * 100.0,
+                        candidate.shed_rate * 100.0,
+                        SHED_RATE_SLACK * 100.0
                     ));
                 }
             }
@@ -915,6 +997,433 @@ pub fn compare_serve_reports(
     } else {
         Err(format!("{table}\nregressions:\n  {}", violations.join("\n  ")))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos mode
+// ---------------------------------------------------------------------------
+
+/// What a chaos run hits and with what client-side schedule seed.
+///
+/// The seed drives every client's misbehavior schedule (which requests
+/// drip, abort, or disconnect mid-body) through per-client
+/// `SplitMix64::new(seed + client)` streams, so a chaos run is replayable
+/// from its printed seed. Pair it with a server started with
+/// [`crate::FaultConfig::with_seed`] for deterministic faults on both
+/// sides of the socket.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Seed of the per-client misbehavior streams.
+    pub seed: u64,
+    /// Client iterations to run (each iteration is one behavior draw and
+    /// may send several requests, e.g. a pipelined burst).
+    pub requests: usize,
+    /// Concurrent chaos clients.
+    pub clients: usize,
+}
+
+/// Tallies of one chaos run. The invariant the run checks: every 200 the
+/// server returned carried the byte-identical body a fault-free server
+/// would have produced ([`ChaosReport::mismatches`] must be zero); sheds,
+/// disconnects, and aborts are expected traffic, not failures.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ChaosReport {
+    /// Requests actually written to the server.
+    pub attempts: usize,
+    /// 200 responses whose bodies matched the fault-free reference.
+    pub ok: usize,
+    /// Overload sheds observed (503 with `Retry-After`).
+    pub shed: usize,
+    /// Degraded stale-memo 200s observed (`x-arrayflex-stale: 1`).
+    pub stale: usize,
+    /// Shed requests retried after the jittered backoff.
+    pub retries: usize,
+    /// Transport-level drops (connect failures, resets mid-response —
+    /// expected under fault injection and client misbehavior).
+    pub disconnects: usize,
+    /// Requests the client deliberately abandoned (aborted pipelines,
+    /// half-sent slowloris heads, mid-body hangups).
+    pub aborts: usize,
+    /// 200 responses whose bodies differed from the fault-free
+    /// reference, plus unexpected statuses (500s): invariant violations.
+    pub mismatches: usize,
+}
+
+impl ChaosReport {
+    /// Whether the run upheld the chaos invariant: at least one verified
+    /// 200 and zero wrong bodies or unexpected statuses.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.mismatches == 0 && self.ok > 0
+    }
+
+    /// Renders the tallies as a small human-readable table.
+    #[must_use]
+    pub fn text(&self) -> String {
+        format!(
+            "attempts: {}, ok: {}, shed: {} ({} retried), stale: {}\n\
+             disconnects: {}, client aborts: {}, mismatches: {}",
+            self.attempts,
+            self.ok,
+            self.shed,
+            self.retries,
+            self.stale,
+            self.disconnects,
+            self.aborts,
+            self.mismatches
+        )
+    }
+}
+
+/// One chaos workload item: a request plus the body a fault-free server
+/// returns for it.
+struct ChaosItem {
+    path: &'static str,
+    body: String,
+    expected: Vec<u8>,
+}
+
+/// The chaos workload: a few `/v1/plan` bodies (exercising the rendered
+/// memo and its stale degraded path) and several distinct `/v1/simulate`
+/// bodies (distinct seeds defeat coalescing, so concurrent clients
+/// genuinely pressure the worker queue into shedding). Reference bodies
+/// come from [`api::handle`] against a fresh default server state — the
+/// true no-faults, no-concurrency answer.
+fn chaos_items() -> Vec<ChaosItem> {
+    let state = AppState::new(&ServerConfig::default());
+    let mut bodies: Vec<(&'static str, String)> = vec![
+        (
+            "/v1/plan",
+            r#"{"network":"resnet18","rows":64,"cols":64}"#.to_owned(),
+        ),
+        (
+            "/v1/plan",
+            r#"{"network":"resnet34","rows":128,"cols":128}"#.to_owned(),
+        ),
+        (
+            "/v1/plan",
+            r#"{"network":"resnet18","rows":32,"cols":32}"#.to_owned(),
+        ),
+    ];
+    for seed in 1..=4u32 {
+        bodies.push((
+            "/v1/simulate",
+            format!(r#"{{"rows":16,"cols":16,"k":2,"t":8,"n":48,"m":24,"seed":{seed}}}"#),
+        ));
+    }
+    bodies
+        .into_iter()
+        .map(|(path, body)| {
+            let response = api::handle(
+                &state,
+                &HttpRequest {
+                    method: "POST".to_owned(),
+                    path: path.to_owned(),
+                    body: body.clone().into_bytes(),
+                },
+            );
+            assert_eq!(response.status, 200, "chaos workload item must be valid");
+            ChaosItem {
+                path,
+                body,
+                expected: response.body,
+            }
+        })
+        .collect()
+}
+
+/// Records one decoded response against its reference body.
+fn chaos_verify(report: &mut ChaosReport, item: &ChaosItem, response: &ClientResponse) {
+    if response.status == 200 {
+        if response.stale {
+            report.stale += 1;
+        }
+        // The core invariant: a 200 under faults is byte-identical to the
+        // fault-free answer. Stale degraded responses included — planning
+        // purity means the memo'd bytes are that same answer.
+        if response.body == item.expected {
+            report.ok += 1;
+        } else {
+            report.mismatches += 1;
+        }
+    } else if response.status == 503 && response.retry_after.is_some() {
+        report.shed += 1;
+    } else {
+        // Well-formed requests may be served or shed, never anything
+        // else; a 500 here is a caught handler panic leaking out.
+        report.mismatches += 1;
+    }
+}
+
+/// One well-behaved request with shed-retry: on a 503 the client honors
+/// `Retry-After` (capped for test pacing) under jittered exponential
+/// backoff, up to 3 retries.
+fn chaos_request_with_retry(
+    addr: SocketAddr,
+    item: &ChaosItem,
+    conn: &mut Option<PersistentClient>,
+    rng: &mut SplitMix64,
+    report: &mut ChaosReport,
+) {
+    for attempt in 0u32..4 {
+        if conn.is_none() {
+            match PersistentClient::connect(addr) {
+                Ok(client) => *conn = Some(client),
+                Err(_) => {
+                    report.disconnects += 1;
+                    return;
+                }
+            }
+        }
+        let client = conn.as_mut().expect("connected above");
+        report.attempts += 1;
+        match client.request("POST", item.path, Some(item.body.as_bytes())) {
+            Ok(response) => {
+                let shed = response.status == 503 && response.retry_after.is_some();
+                chaos_verify(report, item, &response);
+                if !shed || attempt == 3 {
+                    return;
+                }
+                report.retries += 1;
+                // Honor Retry-After (seconds), capped so saturated runs
+                // still finish; exponential base with a little jitter
+                // decorrelates the retrying clients.
+                let cap = response.retry_after.unwrap_or(1).saturating_mul(1000).min(50);
+                let backoff = (2u64 << attempt).min(cap) + rng.next_u64() % 3;
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            Err(_) => {
+                report.disconnects += 1;
+                *conn = None;
+                return;
+            }
+        }
+    }
+}
+
+/// A pipelined burst: `depth` requests written back to back, responses
+/// verified in order.
+fn chaos_pipelined_burst(
+    addr: SocketAddr,
+    items: &[ChaosItem],
+    conn: &mut Option<PersistentClient>,
+    rng: &mut SplitMix64,
+    report: &mut ChaosReport,
+) {
+    if conn.is_none() {
+        match PersistentClient::connect(addr) {
+            Ok(client) => *conn = Some(client),
+            Err(_) => {
+                report.disconnects += 1;
+                return;
+            }
+        }
+    }
+    let client = conn.as_mut().expect("connected above");
+    let mut sent = Vec::with_capacity(4);
+    for _ in 0..4 {
+        let index = (rng.next_u64() as usize) % items.len();
+        let item = &items[index];
+        if client
+            .send("POST", item.path, Some(item.body.as_bytes()))
+            .is_err()
+        {
+            report.disconnects += 1;
+            *conn = None;
+            return;
+        }
+        report.attempts += 1;
+        sent.push(index);
+    }
+    for index in sent {
+        match client.recv() {
+            Ok(response) => chaos_verify(report, &items[index], &response),
+            Err(_) => {
+                report.disconnects += 1;
+                *conn = None;
+                return;
+            }
+        }
+    }
+}
+
+/// An aborted pipeline: three requests written on a throwaway connection,
+/// one response read, then the connection dropped with two answers owed —
+/// the server must clean up the dead slot without disturbing others.
+fn chaos_aborted_pipeline(
+    addr: SocketAddr,
+    items: &[ChaosItem],
+    rng: &mut SplitMix64,
+    report: &mut ChaosReport,
+) {
+    let Ok(mut throwaway) = PersistentClient::connect(addr) else {
+        report.disconnects += 1;
+        return;
+    };
+    let mut sent = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let index = (rng.next_u64() as usize) % items.len();
+        let item = &items[index];
+        if throwaway
+            .send("POST", item.path, Some(item.body.as_bytes()))
+            .is_err()
+        {
+            break;
+        }
+        report.attempts += 1;
+        sent.push(index);
+    }
+    if let Some(&first) = sent.first() {
+        match throwaway.recv() {
+            Ok(response) => chaos_verify(report, &items[first], &response),
+            Err(_) => report.disconnects += 1,
+        }
+    }
+    report.aborts += 1;
+}
+
+/// A slowloris drip: the request head written in three chunks with sleeps
+/// between them, then a coin flip between completing the request (the
+/// parser must reassemble it correctly) and abandoning it mid-head (the
+/// idle deadline must reap it without a worker ever seeing it).
+fn chaos_slowloris(
+    addr: SocketAddr,
+    item: &ChaosItem,
+    rng: &mut SplitMix64,
+    report: &mut ChaosReport,
+) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        report.disconnects += 1;
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let head = format!(
+        "POST {} HTTP/1.1\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        item.path,
+        item.body.len()
+    );
+    let bytes = head.as_bytes();
+    let third = bytes.len() / 3;
+    for chunk in [&bytes[..third], &bytes[third..2 * third], &bytes[2 * third..]] {
+        if stream.write_all(chunk).is_err() {
+            report.disconnects += 1;
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1 + rng.next_u64() % 2));
+    }
+    if rng.next_bool(0.5) {
+        report.attempts += 1;
+        if stream.write_all(item.body.as_bytes()).is_err() {
+            report.disconnects += 1;
+            return;
+        }
+        match client::read_response(&mut BufReader::new(stream)) {
+            Ok(response) => chaos_verify(report, item, &response),
+            Err(_) => report.disconnects += 1,
+        }
+    } else {
+        report.aborts += 1;
+    }
+}
+
+/// A mid-body hangup: head plus half the body, then the socket dropped.
+/// The parser is left mid-request; the server must discard it without
+/// dispatching a truncated body.
+fn chaos_midbody_disconnect(addr: SocketAddr, item: &ChaosItem, report: &mut ChaosReport) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        report.disconnects += 1;
+        return;
+    };
+    let head = format!(
+        "POST {} HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        item.path,
+        item.body.len()
+    );
+    let half = item.body.len() / 2;
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(&item.body.as_bytes()[..half]);
+    report.aborts += 1;
+}
+
+/// One chaos client's schedule, driven by its own seeded stream.
+fn chaos_client(
+    addr: SocketAddr,
+    items: &[ChaosItem],
+    mut rng: SplitMix64,
+    claim: &impl Fn() -> bool,
+) -> ChaosReport {
+    let mut report = ChaosReport::default();
+    let mut conn: Option<PersistentClient> = None;
+    while claim() {
+        let index = (rng.next_u64() as usize) % items.len();
+        match rng.next_u64() % 8 {
+            // Half the schedule is well-behaved traffic — the point is
+            // proving correct answers *under* chaos, so there must be
+            // plenty of verified requests interleaved with the abuse.
+            0..=3 => chaos_request_with_retry(addr, &items[index], &mut conn, &mut rng, &mut report),
+            4 => chaos_pipelined_burst(addr, items, &mut conn, &mut rng, &mut report),
+            5 => chaos_aborted_pipeline(addr, items, &mut rng, &mut report),
+            6 => chaos_slowloris(addr, &items[index], &mut rng, &mut report),
+            _ => chaos_midbody_disconnect(addr, &items[index], &mut report),
+        }
+    }
+    report
+}
+
+/// Runs the chaos workload: `clients` misbehaving clients share an
+/// iteration budget and hammer the server with a deterministic mix of
+/// honest requests, pipelined bursts, aborted pipelines, slowloris drips,
+/// and mid-body hangups, verifying every 200 against the fault-free
+/// reference.
+///
+/// # Panics
+///
+/// Panics if `clients` is zero or a chaos client thread panics.
+#[must_use]
+pub fn chaos_run(config: &ChaosConfig) -> ChaosReport {
+    assert!(config.clients > 0, "chaos needs at least one client");
+    let items = chaos_items();
+    let remaining = AtomicUsize::new(config.requests);
+    let reports: Vec<ChaosReport> = std::thread::scope(|scope| {
+        let remaining = &remaining;
+        let items = &items;
+        #[allow(clippy::needless_collect)] // spawn-all-then-join, as in `run`
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client_index| {
+                let rng = SplitMix64::new(config.seed.wrapping_add(client_index as u64));
+                scope.spawn(move || {
+                    let claim = || {
+                        remaining
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                                n.checked_sub(1)
+                            })
+                            .is_ok()
+                    };
+                    chaos_client(config.addr, items, rng, &claim)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("chaos client panicked"))
+            .collect()
+    });
+    let mut total = ChaosReport::default();
+    for report in reports {
+        total.attempts += report.attempts;
+        total.ok += report.ok;
+        total.shed += report.shed;
+        total.stale += report.stale;
+        total.retries += report.retries;
+        total.disconnects += report.disconnects;
+        total.aborts += report.aborts;
+        total.mismatches += report.mismatches;
+    }
+    total
 }
 
 #[cfg(test)]
@@ -933,6 +1442,8 @@ mod tests {
             p99_us: 200,
             connect_p50_us: 30,
             errors: 0,
+            sheds: 0,
+            shed_rate: 0.0,
         }
     }
 
@@ -990,6 +1501,43 @@ mod tests {
         let missing = report(vec![record("plan_close", 1000.0)]);
         let err = compare_serve_reports(&old, &missing, 2.5).unwrap_err();
         assert!(err.contains("plan_keepalive"), "{err}");
+    }
+
+    #[test]
+    fn comparison_gates_shed_rate_alongside_rps() {
+        let old = report(vec![record("plan_keepalive", 10000.0)]);
+        // Shedding within the slack passes (noise / trivial overload).
+        let mut ok = report(vec![record("plan_keepalive", 10000.0)]);
+        ok.benches[0].sheds = 400;
+        ok.benches[0].shed_rate = 0.04;
+        assert!(compare_serve_reports(&old, &ok, 2.5).is_ok());
+        // A server that "kept" its RPS by shedding 20% of requests fails.
+        let mut bad = report(vec![record("plan_keepalive", 10000.0)]);
+        bad.benches[0].sheds = 2000;
+        bad.benches[0].shed_rate = 0.20;
+        let err = compare_serve_reports(&old, &bad, 2.5).unwrap_err();
+        assert!(err.contains("shed rate"), "{err}");
+    }
+
+    #[test]
+    fn baselines_without_shed_fields_still_parse() {
+        // Committed BENCH_serve.json files predate the shed fields; they
+        // must decode with zero defaults rather than erroring.
+        let legacy = r#"{"schema":1,"benches":[{"name":"plan_close",
+            "endpoint":"/v1/plan","mode":"close","requests":100,
+            "clients":4,"rps":4500.0,"p50_us":100,"p99_us":200,
+            "connect_p50_us":30,"errors":0}]}"#;
+        let decoded: ServeBenchReport = serde_json::from_str(legacy).unwrap();
+        assert_eq!(decoded.benches[0].sheds, 0);
+        assert!(decoded.benches[0].shed_rate.abs() < 1e-12);
+        // And the new fields round-trip when present.
+        let mut with = report(vec![record("plan_close", 4500.0)]);
+        with.benches[0].sheds = 7;
+        with.benches[0].shed_rate = 0.07;
+        let json = serde_json::to_string(&with).unwrap();
+        let back: ServeBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.benches[0].sheds, 7);
+        assert!((back.benches[0].shed_rate - 0.07).abs() < 1e-12);
     }
 
     #[test]

@@ -40,6 +40,20 @@ pub struct Metrics {
     sim_batches: AtomicU64,
     sim_batched_requests: AtomicU64,
     rendered_hits: AtomicU64,
+    sheds: Mutex<BTreeMap<String, u64>>,
+    panics: AtomicU64,
+    deadline_expired: AtomicU64,
+    stale_served: AtomicU64,
+    accept_backoffs: AtomicU64,
+    snapshot_rejected: AtomicU64,
+}
+
+/// Locks a metrics mutex, recovering the data if a panicking thread
+/// poisoned it: counters have no cross-key invariants, so the inner map
+/// is always safe to keep using and losing all metrics over one caught
+/// panic would be worse.
+fn lock_counters<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// The routes whose identical concurrent requests the admission layer may
@@ -56,7 +70,7 @@ impl Metrics {
     /// Records one served request.
     pub fn observe(&self, route: &str, status: u16, latency: Duration) {
         {
-            let mut requests = self.requests.lock().expect("metrics poisoned");
+            let mut requests = lock_counters(&self.requests);
             *requests.entry((route.to_owned(), status)).or_insert(0) += 1;
         }
         let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
@@ -72,9 +86,7 @@ impl Metrics {
     /// Total number of requests recorded for one (route, status) pair.
     #[must_use]
     pub fn requests(&self, route: &str, status: u16) -> u64 {
-        self.requests
-            .lock()
-            .expect("metrics poisoned")
+        lock_counters(&self.requests)
             .get(&(route.to_owned(), status))
             .copied()
             .unwrap_or(0)
@@ -173,13 +185,91 @@ impl Metrics {
         )
     }
 
+    /// Records one request shed by admission control (answered 503
+    /// without running its computation), by route.
+    pub fn note_shed(&self, route: &str) {
+        *lock_counters(&self.sheds).entry(route.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Requests shed for one route label.
+    #[must_use]
+    pub fn sheds(&self, route: &str) -> u64 {
+        lock_counters(&self.sheds).get(route).copied().unwrap_or(0)
+    }
+
+    /// Requests shed across all routes.
+    #[must_use]
+    pub fn total_sheds(&self) -> u64 {
+        lock_counters(&self.sheds).values().sum()
+    }
+
+    /// Records one handler panic caught and converted into a structured
+    /// 500 (the worker survived).
+    pub fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler panics caught so far.
+    #[must_use]
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Records one request answered 503 because its deadline expired
+    /// before a worker picked it up.
+    pub fn note_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests expired by the per-request deadline so far.
+    #[must_use]
+    pub fn deadline_expired(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Records one `/v1/plan` request served a stale rendered-memo body
+    /// under shed pressure (flagged to the client via response header).
+    pub fn note_stale_served(&self) {
+        self.stale_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stale rendered bodies served under shed pressure so far.
+    #[must_use]
+    pub fn stale_served(&self) -> u64 {
+        self.stale_served.load(Ordering::Relaxed)
+    }
+
+    /// Records the accept loop backing off after a persistent accept
+    /// error (EMFILE-class fd exhaustion).
+    pub fn note_accept_backoff(&self) {
+        self.accept_backoffs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accept-loop backoffs so far.
+    #[must_use]
+    pub fn accept_backoffs(&self) -> u64 {
+        self.accept_backoffs.load(Ordering::Relaxed)
+    }
+
+    /// Records one plan-cache snapshot rejected at warm start (corrupt or
+    /// unreadable; the server came up cold instead).
+    pub fn note_snapshot_rejected(&self) {
+        self.snapshot_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots rejected at warm start so far.
+    #[must_use]
+    pub fn snapshot_rejected(&self) -> u64 {
+        self.snapshot_rejected.load(Ordering::Relaxed)
+    }
+
     /// Renders every metric in the Prometheus text exposition format.
     #[must_use]
     pub fn render_prometheus(&self, cache: &PlanCache) -> String {
         let mut out = String::new();
         out.push_str("# HELP arrayflex_serve_requests_total Requests served, by route and status.\n");
         out.push_str("# TYPE arrayflex_serve_requests_total counter\n");
-        for ((route, status), count) in self.requests.lock().expect("metrics poisoned").iter() {
+        for ((route, status), count) in lock_counters(&self.requests).iter() {
             let _ = writeln!(
                 out,
                 "arrayflex_serve_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}"
@@ -293,6 +383,46 @@ impl Metrics {
             "arrayflex_serve_sim_batched_requests_total {}",
             self.sim_batched_requests.load(Ordering::Relaxed)
         );
+        out.push_str("# HELP arrayflex_serve_shed_total Requests shed by admission control (503 without computation), by route.\n");
+        out.push_str("# TYPE arrayflex_serve_shed_total counter\n");
+        for (route, count) in lock_counters(&self.sheds).iter() {
+            let _ = writeln!(out, "arrayflex_serve_shed_total{{route=\"{route}\"}} {count}");
+        }
+        out.push_str("# HELP arrayflex_serve_panics_total Handler panics caught and answered with a structured 500.\n");
+        out.push_str("# TYPE arrayflex_serve_panics_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_panics_total {}",
+            self.panics.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP arrayflex_serve_deadline_expired_total Requests answered 503 because their deadline expired in the queue.\n");
+        out.push_str("# TYPE arrayflex_serve_deadline_expired_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_deadline_expired_total {}",
+            self.deadline_expired.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP arrayflex_serve_stale_served_total Plan requests served a stale rendered body under shed pressure.\n");
+        out.push_str("# TYPE arrayflex_serve_stale_served_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_stale_served_total {}",
+            self.stale_served.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP arrayflex_serve_accept_backoff_total Accept-loop backoffs after EMFILE-class accept errors.\n");
+        out.push_str("# TYPE arrayflex_serve_accept_backoff_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_accept_backoff_total {}",
+            self.accept_backoffs.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP arrayflex_serve_snapshot_rejected_total Plan-cache snapshots rejected at warm start (server came up cold).\n");
+        out.push_str("# TYPE arrayflex_serve_snapshot_rejected_total counter\n");
+        let _ = writeln!(
+            out,
+            "arrayflex_serve_snapshot_rejected_total {}",
+            self.snapshot_rejected.load(Ordering::Relaxed)
+        );
 
         for (metric, help, pick) in SHARD_COUNTERS {
             let _ = writeln!(out, "# HELP arrayflex_serve_plan_cache_shard_{metric} {help}");
@@ -364,11 +494,35 @@ mod tests {
         metrics.note_sim_batch(3);
         metrics.note_sim_batch(1);
         assert_eq!(metrics.sim_batches(), (2, 4));
+        metrics.note_shed("/v1/plan");
+        metrics.note_shed("/v1/plan");
+        metrics.note_shed("/v1/simulate");
+        assert_eq!(metrics.sheds("/v1/plan"), 2);
+        assert_eq!(metrics.sheds("/v1/simulate"), 1);
+        assert_eq!(metrics.sheds("/healthz"), 0);
+        assert_eq!(metrics.total_sheds(), 3);
+        metrics.note_panic();
+        assert_eq!(metrics.panics(), 1);
+        metrics.note_deadline_expired();
+        assert_eq!(metrics.deadline_expired(), 1);
+        metrics.note_stale_served();
+        assert_eq!(metrics.stale_served(), 1);
+        metrics.note_accept_backoff();
+        assert_eq!(metrics.accept_backoffs(), 1);
+        metrics.note_snapshot_rejected();
+        assert_eq!(metrics.snapshot_rejected(), 1);
         let cache = PlanCache::new(4);
         let text = metrics.render_prometheus(&cache);
         assert!(text.contains("arrayflex_serve_open_connections 1"));
         assert!(text.contains("arrayflex_serve_coalesced_requests_total{route=\"/v1/plan\"} 2"));
         assert!(text.contains("arrayflex_serve_sim_batched_requests_total 4"));
+        assert!(text.contains("arrayflex_serve_shed_total{route=\"/v1/plan\"} 2"));
+        assert!(text.contains("arrayflex_serve_shed_total{route=\"/v1/simulate\"} 1"));
+        assert!(text.contains("arrayflex_serve_panics_total 1"));
+        assert!(text.contains("arrayflex_serve_deadline_expired_total 1"));
+        assert!(text.contains("arrayflex_serve_stale_served_total 1"));
+        assert!(text.contains("arrayflex_serve_accept_backoff_total 1"));
+        assert!(text.contains("arrayflex_serve_snapshot_rejected_total 1"));
     }
 
     #[test]
@@ -405,6 +559,11 @@ mod tests {
         assert!(text.contains("arrayflex_serve_sim_batches_total 0"));
         assert!(text.contains("arrayflex_serve_sim_batched_requests_total 0"));
         assert!(text.contains("arrayflex_serve_rendered_hits_total 0"));
+        assert!(text.contains("arrayflex_serve_panics_total 0"));
+        assert!(text.contains("arrayflex_serve_deadline_expired_total 0"));
+        assert!(text.contains("arrayflex_serve_stale_served_total 0"));
+        assert!(text.contains("arrayflex_serve_accept_backoff_total 0"));
+        assert!(text.contains("arrayflex_serve_snapshot_rejected_total 0"));
         for route in COALESCE_ROUTES {
             assert!(text.contains(&format!(
                 "arrayflex_serve_coalesced_requests_total{{route=\"{route}\"}} 0"

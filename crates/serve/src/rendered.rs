@@ -86,7 +86,10 @@ impl RenderedCache {
         request_body: &[u8],
     ) -> Option<(Arc<Vec<u8>>, u64)> {
         let generation = cache.generation();
-        let mut inner = self.inner.lock().expect("rendered cache poisoned");
+        // Poison-tolerant: a caught handler panic elsewhere must not turn
+        // every later memo lookup into a second panic (the map's
+        // per-entry invariants hold regardless).
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.clock += 1;
         let clock = inner.clock;
         if let Some(entry) = inner.map.get_mut(request_body) {
@@ -123,7 +126,7 @@ impl RenderedCache {
         }
         let generation = cache.generation();
         let written_at = cache.clock_now();
-        let mut inner = self.inner.lock().expect("rendered cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.clock += 1;
         let clock = inner.clock;
         inner.map.insert(
@@ -147,6 +150,24 @@ impl RenderedCache {
             };
             inner.map.remove(&oldest);
         }
+    }
+
+    /// Returns the rendered response body for `request_body` **ignoring
+    /// coherence** — generation mismatches and TTL expiry are tolerated
+    /// and the entry is left in place. The graceful-degradation path: a
+    /// server shedding load may answer `/v1/plan` from here (flagged via
+    /// response header) instead of queueing or 503ing. Byte identity
+    /// still holds — the stored bytes are a previous 200 for the
+    /// identical request and planning is pure — but the entry may predate
+    /// plan-cache churn, so the coherent [`RenderedCache::lookup`] must
+    /// stay the only path that tallies cache hits.
+    pub(crate) fn lookup_stale(&self, request_body: &[u8]) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner.map.get_mut(request_body)?;
+        entry.last_used = clock;
+        Some(Arc::clone(&entry.body))
     }
 
     /// Number of rendered responses currently held (for tests).
@@ -217,6 +238,41 @@ mod tests {
         assert!(rendered.lookup(&cache, &body(1)).is_some());
         clock.advance(Duration::from_secs(60));
         assert!(rendered.lookup(&cache, &body(1)).is_none());
+    }
+
+    #[test]
+    fn stale_lookup_survives_generation_changes_and_expiry() {
+        use arrayflex::{ArrayFlexModel, ManualClock, PlanKind};
+        use cnn::DepthwiseMapping;
+
+        let clock = Arc::new(ManualClock::new());
+        let cache = PlanCache::builder()
+            .ttl(Duration::from_secs(60))
+            .clock(Arc::clone(&clock) as _)
+            .build();
+        let rendered = RenderedCache::default();
+        let stored = Arc::new(b"response".to_vec());
+        rendered.store(&cache, &body(1), 7, Arc::clone(&stored));
+
+        // Bump the generation (plan insert) and blow the TTL: the
+        // coherent path refuses, the stale path still serves the same
+        // bytes and leaves the entry in place.
+        let model = ArrayFlexModel::new(8, 8).unwrap();
+        model
+            .plan_cached(
+                &cache,
+                &cnn::models::resnet18(),
+                DepthwiseMapping::default(),
+                PlanKind::ArrayFlex,
+            )
+            .unwrap();
+        clock.advance(Duration::from_secs(120));
+        let stale = rendered.lookup_stale(&body(1)).expect("stale entry serves");
+        assert!(Arc::ptr_eq(&stale, &stored));
+        assert_eq!(rendered.len(), 1, "stale lookup must not remove the entry");
+        // The coherent lookup still refuses (and drops) it afterwards.
+        assert!(rendered.lookup(&cache, &body(1)).is_none());
+        assert!(rendered.lookup_stale(&body(1)).is_none());
     }
 
     #[test]
