@@ -247,6 +247,29 @@ impl EvaluationSweep {
         networks: &[Network],
         executor: &ParallelExecutor,
     ) -> Result<Vec<NetworkComparison>, ArrayFlexError> {
+        self.run_cancellable_with(networks, executor, &gemm::CancelToken::new())
+    }
+
+    /// [`EvaluationSweep::run_with`] polling a
+    /// [`CancelToken`](gemm::CancelToken) between planning jobs: when the
+    /// token fires (explicitly or through its deadline) the sweep stops at
+    /// the next job boundary instead of running the whole grid.
+    ///
+    /// An uncancelled run is identical to [`EvaluationSweep::run_with`],
+    /// and the executor holds no state across runs, so it is immediately
+    /// reusable after a cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayFlexError::Cancelled`] (carrying the completed/total
+    /// job counts) when the token fired before the sweep finished,
+    /// otherwise the same errors as [`EvaluationSweep::run_with`].
+    pub fn run_cancellable_with(
+        &self,
+        networks: &[Network],
+        executor: &ParallelExecutor,
+        token: &gemm::CancelToken,
+    ) -> Result<Vec<NetworkComparison>, ArrayFlexError> {
         let grid = self.array_sizes.len() * networks.len() * self.dataflows.len();
         let mut jobs = Vec::with_capacity(grid * 2);
         for &size in &self.array_sizes {
@@ -260,7 +283,7 @@ impl EvaluationSweep {
                 }
             }
         }
-        let plans = executor.try_run(jobs, |(size, index, dataflow, arrayflex)| {
+        let plans = executor.try_run_cancellable(jobs, token, |(size, index, dataflow, arrayflex)| {
             let model = ArrayFlexModel::new(size, size)?.with_dataflow(dataflow);
             let network = &networks[index];
             if arrayflex {
@@ -429,6 +452,41 @@ mod tests {
             .run_with(&networks, &ParallelExecutor::new(3))
             .unwrap();
         assert_eq!(pooled, serial);
+    }
+
+    #[test]
+    fn a_cancelled_sweep_stops_early_and_an_uncancelled_one_is_unchanged() {
+        use gemm::{CancelToken, ParallelExecutor};
+        let networks = vec![resnet34()];
+        let sweep = EvaluationSweep::date23();
+        let reference = sweep.run(&networks).unwrap();
+
+        let fresh = CancelToken::new();
+        let executor = ParallelExecutor::new(2);
+        let uncancelled = sweep
+            .run_cancellable_with(&networks, &executor, &fresh)
+            .unwrap();
+        assert_eq!(uncancelled, reference);
+
+        let fired = CancelToken::new();
+        fired.cancel("client gave up");
+        let err = sweep
+            .run_cancellable_with(&networks, &executor, &fired)
+            .unwrap_err();
+        match err {
+            ArrayFlexError::Cancelled(c) => {
+                assert_eq!(c.completed, 0);
+                assert_eq!(c.total, 2 * reference.len());
+                assert_eq!(c.reason, "client gave up");
+            }
+            other => panic!("expected a cancellation, got {other:?}"),
+        }
+        // The executor carries no state across runs: the same one
+        // immediately completes a fresh sweep with identical results.
+        let after = sweep
+            .run_cancellable_with(&networks, &executor, &CancelToken::new())
+            .unwrap();
+        assert_eq!(after, reference);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Error type of the ArrayFlex core crate.
 
-use gemm::GemmError;
+use gemm::{Cancelled, GemmError};
 use hw_model::HwModelError;
 use sa_sim::SimError;
 use std::error::Error;
@@ -17,6 +17,9 @@ pub enum ArrayFlexError {
     Gemm(GemmError),
     /// An error propagated from the cycle-accurate simulator.
     Sim(SimError),
+    /// A cancellable run (an evaluation sweep, a cancellable simulation)
+    /// observed its [`gemm::CancelToken`] and stopped at an item boundary.
+    Cancelled(Cancelled),
     /// The requested configuration is inconsistent (for example an empty
     /// set of selectable pipeline depths).
     InvalidConfiguration {
@@ -31,6 +34,7 @@ impl fmt::Display for ArrayFlexError {
             Self::HwModel(e) => write!(f, "hardware model error: {e}"),
             Self::Gemm(e) => write!(f, "matrix error: {e}"),
             Self::Sim(e) => write!(f, "simulator error: {e}"),
+            Self::Cancelled(c) => write!(f, "run {c}"),
             Self::InvalidConfiguration { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
@@ -44,6 +48,7 @@ impl Error for ArrayFlexError {
             Self::HwModel(e) => Some(e),
             Self::Gemm(e) => Some(e),
             Self::Sim(e) => Some(e),
+            Self::Cancelled(c) => Some(c),
             Self::InvalidConfiguration { .. } => None,
         }
     }
@@ -63,7 +68,19 @@ impl From<GemmError> for ArrayFlexError {
 
 impl From<SimError> for ArrayFlexError {
     fn from(e: SimError) -> Self {
+        // A cancelled simulation surfaces as a cancellation, not a
+        // simulator fault — callers branch on `Cancelled` to report
+        // partial progress regardless of which layer observed the token.
+        if let SimError::Cancelled(c) = e {
+            return Self::Cancelled(c);
+        }
         Self::Sim(e)
+    }
+}
+
+impl From<Cancelled> for ArrayFlexError {
+    fn from(c: Cancelled) -> Self {
+        Self::Cancelled(c)
     }
 }
 
@@ -83,6 +100,17 @@ mod tests {
         }
         .into();
         assert!(e.source().is_some());
+        let e: ArrayFlexError = SimError::Cancelled(gemm::Cancelled {
+            reason: "client disconnected".to_owned(),
+            completed: 1,
+            total: 4,
+        })
+        .into();
+        assert!(
+            matches!(e, ArrayFlexError::Cancelled(_)),
+            "sim cancellations normalize to ArrayFlexError::Cancelled: {e:?}"
+        );
+        assert!(e.to_string().contains("1/4"));
         let e = ArrayFlexError::InvalidConfiguration {
             reason: "no depths".to_owned(),
         };

@@ -127,6 +127,41 @@ impl ArrayFlexModel {
             functionally_correct,
         })
     }
+
+    /// [`ArrayFlexModel::simulate_gemm_pooled`] polling a
+    /// [`CancelToken`](gemm::CancelToken) between tiles, so a serving layer
+    /// can stop an abandoned or deadline-expired simulation within one tile
+    /// boundary. Pooled arrays are checked back in inside each tile job, so
+    /// cancellation never leaks pool slots; an uncancelled run is
+    /// bit-identical to the plain pooled call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayFlexError::Cancelled`] when the token fired before
+    /// every tile completed, otherwise the same errors as
+    /// [`ArrayFlexModel::simulate_gemm_pooled`].
+    pub fn simulate_gemm_cancellable(
+        &self,
+        pool: &ArrayPool,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+        k: u32,
+        threads: usize,
+        token: &gemm::CancelToken,
+    ) -> Result<SimulatedExecution, ArrayFlexError> {
+        let dims = GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64);
+        let predicted = self.execute_arrayflex(dims, k)?;
+        let simulator = Simulator::new(self.array_config(k))?.threads(threads);
+        let run = simulator.run_gemm_cancellable(pool, a, b, token)?;
+        let reference = multiply(a, b)?;
+        let functionally_correct = run.output == reference;
+        Ok(SimulatedExecution {
+            output: run.output,
+            stats: run.stats,
+            predicted,
+            functionally_correct,
+        })
+    }
 }
 
 #[cfg(test)]

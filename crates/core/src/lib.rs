@@ -82,6 +82,10 @@ pub use executor::SimulatedExecution;
 /// assert_eq!(doubled, vec![0, 2, 4, 6, 8, 10]);
 /// ```
 pub use gemm::ParallelExecutor;
+/// Re-exported cooperative-cancellation handle: evaluation sweeps and
+/// cancellable simulations poll it between job items, so long runs stop
+/// within one item boundary of a cancel or a passed deadline.
+pub use gemm::{CancelToken, Cancelled};
 pub use model::{ArrayFlexModel, LayerExecution};
 pub use objective::Objective;
 pub use optimizer::PipelineChoice;

@@ -1,0 +1,223 @@
+//! Cooperative cancellation for long-running fan-out work.
+//!
+//! A [`CancelToken`] is a cheap cloneable handle (an `Arc` around an
+//! atomic flag plus a reason slot) that a caller hands to
+//! [`ParallelExecutor::run_cancellable`](crate::ParallelExecutor::run_cancellable)
+//! or to any loop willing to poll it. Cancellation is **cooperative**:
+//! nothing is interrupted mid-computation; the executor checks the token
+//! between job items, so an in-flight item always finishes and work stops
+//! within one job-item boundary. That boundary is what keeps cancellation
+//! safe around pooled resources — an item that checked out a pooled array
+//! checks it back in before the token is ever consulted again.
+//!
+//! A token can also be armed with a **deadline**: [`CancelToken::is_cancelled`]
+//! reports `true` once the deadline has passed even if nobody called
+//! [`CancelToken::cancel`], which lets a server enforce a request deadline
+//! in the middle of a handler without a watchdog thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The error produced when a cancellable run observes its token.
+///
+/// Carries the human-readable reason plus how far the run got, so callers
+/// can surface partial progress ("cancelled after 3/24 items").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Why the run was cancelled (e.g. `"request deadline expired"`).
+    pub reason: String,
+    /// Job items fully completed before cancellation was observed.
+    pub completed: usize,
+    /// Total job items the run was asked to process.
+    pub total: usize,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cancelled after {}/{} items: {}",
+            self.completed, self.total, self.reason
+        )
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    reason: Mutex<Option<String>>,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cooperative-cancellation handle.
+///
+/// Clones share state: cancelling any clone cancels them all. The token
+/// never cancels anything by itself — work must poll
+/// [`CancelToken::is_cancelled`] at its item boundaries (the executor's
+/// cancellable entry points do this).
+///
+/// # Examples
+///
+/// ```
+/// use gemm::{CancelToken, ParallelExecutor};
+///
+/// let token = CancelToken::new();
+/// token.cancel("operator pressed stop");
+/// let err = ParallelExecutor::serial()
+///     .run_cancellable((0u32..8).collect(), &token, |x| x)
+///     .unwrap_err();
+/// assert_eq!(err.completed, 0);
+/// assert_eq!(err.reason, "operator pressed stop");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// Creates a token that only cancels when [`CancelToken::cancel`] is
+    /// called.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// Creates a token that additionally reports cancelled once `deadline`
+    /// has passed.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::build(Some(deadline))
+    }
+
+    /// Creates a token with an optional deadline (`None` behaves like
+    /// [`CancelToken::new`]).
+    #[must_use]
+    pub fn with_deadline_opt(deadline: Option<Instant>) -> Self {
+        Self::build(deadline)
+    }
+
+    fn build(deadline: Option<Instant>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                reason: Mutex::new(None),
+                deadline,
+            }),
+        }
+    }
+
+    /// Requests cancellation with a reason. The first reason wins; later
+    /// calls are no-ops so concurrent cancellers don't race on the text.
+    pub fn cancel(&self, reason: &str) {
+        {
+            let mut slot = self
+                .inner
+                .reason
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(reason.to_owned());
+            }
+        }
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether work observing this token should stop: either
+    /// [`CancelToken::cancel`] was called or the armed deadline has passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+            || self
+                .inner
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// Whether [`CancelToken::cancel`] was called explicitly (a passed
+    /// deadline alone does not set this).
+    #[must_use]
+    pub fn cancel_requested(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+    }
+
+    /// The cancellation reason, if the token is cancelled: the explicit
+    /// reason when one was given, otherwise the deadline explanation.
+    #[must_use]
+    pub fn reason(&self) -> Option<String> {
+        let explicit = self
+            .inner
+            .reason
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        if self.inner.flag.load(Ordering::Acquire) {
+            return explicit.or_else(|| Some("cancelled".to_owned()));
+        }
+        if self
+            .inner
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            return Some("request deadline expired".to_owned());
+        }
+        None
+    }
+
+    /// Builds the [`Cancelled`] error for a run that stopped at
+    /// `completed` of `total` items.
+    #[must_use]
+    pub fn cancelled_error(&self, completed: usize, total: usize) -> Cancelled {
+        Cancelled {
+            reason: self.reason().unwrap_or_else(|| "cancelled".to_owned()),
+            completed,
+            total,
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn clones_share_cancellation_state() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(token.reason().is_none());
+        clone.cancel("first");
+        token.cancel("second"); // first reason wins
+        assert!(token.is_cancelled());
+        assert!(token.cancel_requested());
+        assert_eq!(token.reason().as_deref(), Some("first"));
+    }
+
+    #[test]
+    fn a_passed_deadline_cancels_without_an_explicit_request() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.is_cancelled());
+        assert!(!token.cancel_requested());
+        assert_eq!(token.reason().as_deref(), Some("request deadline expired"));
+        let future = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+        assert!(future.reason().is_none());
+    }
+
+    #[test]
+    fn cancelled_error_carries_progress() {
+        let token = CancelToken::new();
+        token.cancel("stop");
+        let err = token.cancelled_error(3, 24);
+        assert_eq!(err.to_string(), "cancelled after 3/24 items: stop");
+    }
+}

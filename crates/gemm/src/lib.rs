@@ -17,7 +17,10 @@
 //! * [`parallel`] — the hand-rolled sharded thread runner
 //!   ([`ParallelExecutor`]) the simulator and the evaluation sweeps use to
 //!   fan independent work units across cores with deterministic result
-//!   ordering.
+//!   ordering;
+//! * [`cancel`] — the cooperative [`CancelToken`] the executor's
+//!   cancellable entry points poll between job items, so long sweeps can
+//!   be stopped (by a caller, or a deadline) within one item boundary.
 //!
 //! # Quick example
 //!
@@ -36,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod error;
 pub mod im2col;
 pub mod matrix;
@@ -46,6 +50,7 @@ pub mod rng;
 pub mod tiling;
 pub mod workload;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use error::GemmError;
 pub use parallel::ParallelExecutor;
 pub use im2col::{ConvShape, ConvWeights, Tensor3};
@@ -69,5 +74,7 @@ mod tests {
         assert_send_sync::<GemmError>();
         assert_send_sync::<WorkloadGenerator>();
         assert_send_sync::<ParallelExecutor>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<Cancelled>();
     }
 }

@@ -17,6 +17,7 @@
 //! [`ParallelExecutor`]; `arrayflex` re-exports it as
 //! `arrayflex::ParallelExecutor`.
 
+use crate::cancel::{CancelToken, Cancelled};
 use std::sync::{mpsc, Mutex};
 use std::thread;
 
@@ -152,6 +153,119 @@ impl ParallelExecutor {
     {
         self.run(items, f).into_iter().collect()
     }
+
+    /// Like [`ParallelExecutor::run`], but checks `token` between job
+    /// items and stops cooperatively once it reports cancelled.
+    ///
+    /// Cancellation is observed at item boundaries only: items already
+    /// running when the token fires complete normally, so the run stops
+    /// within one job-item boundary and never abandons an item midway. If
+    /// every item finished before cancellation was observed the completed
+    /// results are returned — the work is done, so a late cancellation is
+    /// moot. The executor itself holds no state across runs; after a
+    /// cancelled run it is immediately reusable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] (with the reason and completed/total item
+    /// counts) when the token fired before every item completed.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics on a worker thread, the panic is propagated to the
+    /// caller when the thread scope joins.
+    pub fn run_cancellable<T, R, F>(
+        &self,
+        items: Vec<T>,
+        token: &CancelToken,
+        f: F,
+    ) -> Result<Vec<R>, Cancelled>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let jobs = items.len();
+        if self.is_serial() || jobs <= 1 {
+            let mut results = Vec::with_capacity(jobs);
+            for item in items {
+                if token.is_cancelled() {
+                    return Err(token.cancelled_error(results.len(), jobs));
+                }
+                results.push(f(item));
+            }
+            return Ok(results);
+        }
+        let queue = Mutex::new(items.into_iter().enumerate());
+        let (sender, receiver) = mpsc::channel::<(usize, R)>();
+        let workers = self.threads.min(jobs);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        let mut completed = 0usize;
+        thread::scope(|scope| {
+            let queue = &queue;
+            let f = &f;
+            for _ in 0..workers {
+                let sender = sender.clone();
+                scope.spawn(move || loop {
+                    // The token check sits before the pop: a fired token
+                    // stops every worker at its next item boundary while
+                    // in-flight items run to completion.
+                    if token.is_cancelled() {
+                        break;
+                    }
+                    let job = queue.lock().expect("job queue poisoned").next();
+                    let Some((index, item)) = job else { break };
+                    if sender.send((index, f(item))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(sender);
+            for (index, result) in receiver {
+                slots[index] = Some(result);
+                completed += 1;
+            }
+        });
+        if completed == jobs {
+            // Every item finished — a cancellation that landed after the
+            // last pop changes nothing, so return the full result set.
+            return Ok(slots
+                .into_iter()
+                .map(|slot| slot.expect("all slots are filled when completed == jobs"))
+                .collect());
+        }
+        Err(token.cancelled_error(completed, jobs))
+    }
+
+    /// Like [`ParallelExecutor::try_run`], but checks `token` between job
+    /// items. Cancellation wins over item errors: if the token fired
+    /// before every item completed, the [`Cancelled`] error (converted via
+    /// `E: From<Cancelled>`) is returned even when some completed item
+    /// also failed — the partial error set under cancellation is not
+    /// deterministic, the cancellation itself is.
+    ///
+    /// # Errors
+    ///
+    /// Returns the converted [`Cancelled`] error when the token fired
+    /// early, otherwise the error of the lowest-indexed failing item.
+    pub fn try_run_cancellable<T, R, E, F>(
+        &self,
+        items: Vec<T>,
+        token: &CancelToken,
+        f: F,
+    ) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send + From<Cancelled>,
+        F: Fn(T) -> Result<R, E> + Sync,
+    {
+        self.run_cancellable(items, token, f)
+            .map_err(E::from)?
+            .into_iter()
+            .collect()
+    }
 }
 
 impl Default for ParallelExecutor {
@@ -228,6 +342,122 @@ mod tests {
 
         let ok: Result<Vec<u32>, String> = executor.try_run((0u32..10).collect(), Ok);
         assert_eq!(ok.unwrap(), (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn an_uncancelled_run_matches_run_exactly() {
+        let token = CancelToken::new();
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 4] {
+            let executor = ParallelExecutor::new(threads);
+            let plain = executor.run(items.clone(), |x| x * 7);
+            let cancellable = executor
+                .run_cancellable(items.clone(), &token, |x| x * 7)
+                .expect("token never fired");
+            assert_eq!(plain, cancellable, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn a_pre_cancelled_run_does_no_work_and_the_executor_stays_usable() {
+        let token = CancelToken::new();
+        token.cancel("stop before start");
+        let ran = AtomicUsize::new(0);
+        for threads in [1, 4] {
+            let executor = ParallelExecutor::new(threads);
+            let err = executor
+                .run_cancellable((0u32..32).collect(), &token, |x| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+                .unwrap_err();
+            assert_eq!(err.completed, 0, "threads = {threads}");
+            assert_eq!(err.total, 32);
+            assert_eq!(err.reason, "stop before start");
+            // Cancellation leaves no state behind: the same executor
+            // immediately runs fresh work to completion.
+            let fresh = executor.run((0u32..8).collect(), |x| x + 1);
+            assert_eq!(fresh, (1..9).collect::<Vec<u32>>());
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no item ran after pre-cancel");
+    }
+
+    #[test]
+    fn cancelling_mid_run_stops_within_one_item_boundary() {
+        // The 10th completed item fires the token; every worker must stop
+        // at its next boundary, so far fewer than all 500 items run.
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let completed = AtomicUsize::new(0);
+            let executor = ParallelExecutor::new(threads);
+            let err = executor
+                .run_cancellable((0u32..500).collect(), &token, |x| {
+                    if completed.fetch_add(1, Ordering::Relaxed) + 1 == 10 {
+                        token.cancel("tenth item pulled the cord");
+                    }
+                    x
+                })
+                .unwrap_err();
+            let ran = completed.load(Ordering::Relaxed);
+            assert!(ran >= 10, "threads = {threads}: {ran} items ran");
+            // At most one in-flight item per worker finishes after the
+            // cancel; everything else must be left unpopped.
+            assert!(
+                ran <= 10 + threads,
+                "threads = {threads}: {ran} items ran past the cancel"
+            );
+            assert_eq!(err.total, 500);
+            assert!(err.completed <= 10 + threads);
+        }
+    }
+
+    #[test]
+    fn try_run_cancellable_reports_cancellation_over_item_errors() {
+        #[derive(Debug, PartialEq)]
+        enum TestError {
+            Item(u32),
+            Cancelled(String),
+        }
+        impl From<Cancelled> for TestError {
+            fn from(c: Cancelled) -> Self {
+                Self::Cancelled(c.reason)
+            }
+        }
+        let token = CancelToken::new();
+        token.cancel("cancelled wins");
+        let result: Result<Vec<u32>, TestError> = ParallelExecutor::new(4)
+            .try_run_cancellable((0u32..50).collect(), &token, |x| Err(TestError::Item(x)));
+        assert_eq!(
+            result.unwrap_err(),
+            TestError::Cancelled("cancelled wins".to_owned())
+        );
+
+        // Without cancellation the behavior is exactly try_run's.
+        let fresh = CancelToken::new();
+        let result: Result<Vec<u32>, TestError> = ParallelExecutor::new(4)
+            .try_run_cancellable((0u32..50).collect(), &fresh, |x| {
+                if x == 3 {
+                    Err(TestError::Item(x))
+                } else {
+                    Ok(x)
+                }
+            });
+        assert_eq!(result.unwrap_err(), TestError::Item(3));
+    }
+
+    #[test]
+    fn a_run_that_finishes_before_observing_the_token_returns_its_results() {
+        // Serial path: cancel after the last item has been pushed — there
+        // is no further boundary check, so the full result comes back.
+        let token = CancelToken::new();
+        let items: Vec<u32> = (0..4).collect();
+        let result = ParallelExecutor::serial().run_cancellable(items, &token, |x| {
+            if x == 3 {
+                token.cancel("too late");
+            }
+            x
+        });
+        assert_eq!(result.expect("work was already done"), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Error types for the systolic-array simulator.
 
-use gemm::GemmError;
+use gemm::{Cancelled, GemmError};
 use std::error::Error;
 use std::fmt;
 
@@ -22,6 +22,9 @@ pub enum SimError {
     },
     /// An underlying matrix/GEMM error.
     Gemm(GemmError),
+    /// A cancellable simulation observed its [`gemm::CancelToken`] and
+    /// stopped at a tile boundary.
+    Cancelled(Cancelled),
     /// The simulated output did not match the reference GEMM (only produced
     /// when verification is enabled).
     VerificationFailed {
@@ -42,6 +45,7 @@ impl fmt::Display for SimError {
             Self::InvalidConfig { reason } => write!(f, "invalid array configuration: {reason}"),
             Self::DimensionMismatch { reason } => write!(f, "dimension mismatch: {reason}"),
             Self::Gemm(e) => write!(f, "matrix error: {e}"),
+            Self::Cancelled(c) => write!(f, "simulation {c}"),
             Self::VerificationFailed {
                 row,
                 col,
@@ -59,6 +63,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Gemm(e) => Some(e),
+            Self::Cancelled(c) => Some(c),
             _ => None,
         }
     }
@@ -67,6 +72,12 @@ impl Error for SimError {
 impl From<GemmError> for SimError {
     fn from(e: GemmError) -> Self {
         Self::Gemm(e)
+    }
+}
+
+impl From<Cancelled> for SimError {
+    fn from(c: Cancelled) -> Self {
+        Self::Cancelled(c)
     }
 }
 
@@ -89,6 +100,14 @@ mod tests {
         assert!(e.to_string().contains("(1, 2)"));
         let e: SimError = GemmError::EmptyMatrix.into();
         assert!(e.to_string().contains("matrix error"));
+        assert!(Error::source(&e).is_some());
+        let e: SimError = Cancelled {
+            reason: "deadline".to_owned(),
+            completed: 2,
+            total: 9,
+        }
+        .into();
+        assert!(e.to_string().contains("2/9"), "{e}");
         assert!(Error::source(&e).is_some());
     }
 

@@ -4,7 +4,10 @@ use crate::backend::TileEngine;
 use crate::config::{ArrayConfig, Dataflow};
 use crate::error::SimError;
 use crate::stats::RunStats;
-use gemm::{multiply, tiled_multiply_with, GemmDims, GemmError, Matrix, ParallelExecutor, Tile, TileGrid};
+use gemm::{
+    multiply, tiled_multiply_with, CancelToken, GemmDims, GemmError, Matrix, ParallelExecutor,
+    Tile, TileGrid,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::{Mutex, PoisonError};
 
@@ -414,7 +417,37 @@ impl Simulator {
         if self.threads == 1 {
             return self.run_gemm_serial(pool, a, b);
         }
-        self.run_gemm_parallel(pool, a, b)
+        self.run_gemm_parallel(pool, a, b, &CancelToken::new())
+    }
+
+    /// [`Simulator::run_gemm_pooled`] polling a [`CancelToken`] between
+    /// tiles: when the token fires (explicitly or through its deadline),
+    /// the simulation stops at the next tile boundary with
+    /// [`SimError::Cancelled`].
+    ///
+    /// Tiles check their array out of `pool` and back in inside each tile
+    /// job, so cancellation — which is only ever observed **between**
+    /// tiles — cannot leak a pooled array, and the pool and simulator are
+    /// immediately reusable afterwards. An uncancelled run is bit-identical
+    /// to [`Simulator::run_gemm_pooled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Cancelled`] when the token fired before every
+    /// tile completed, otherwise the same errors as
+    /// [`Simulator::run_gemm_pooled`].
+    pub fn run_gemm_cancellable(
+        &self,
+        pool: &ArrayPool,
+        a: &Matrix<i32>,
+        b: &Matrix<i32>,
+        token: &CancelToken,
+    ) -> Result<GemmResult, SimError> {
+        // The fan-out path is used even with one thread: a serial executor
+        // runs the identical tile loop inline, with the token checked
+        // before each tile, and per-tile pool checkout degenerates to
+        // reusing the one pooled array.
+        self.run_gemm_parallel(pool, a, b, token)
     }
 
     /// Serial tiled GEMM: one array is checked out once and reused across
@@ -548,9 +581,10 @@ impl Simulator {
         pool: &ArrayPool,
         a: &Matrix<i32>,
         b: &Matrix<i32>,
+        token: &CancelToken,
     ) -> Result<GemmResult, SimError> {
         if self.config.dataflow == Dataflow::OutputStationary {
-            return self.run_gemm_parallel_os(pool, a, b);
+            return self.run_gemm_parallel_os(pool, a, b, token);
         }
         let dims = GemmDims::new(b.cols() as u64, a.cols() as u64, a.rows() as u64);
         if a.cols() != b.rows() {
@@ -562,7 +596,7 @@ impl Simulator {
         let grid = TileGrid::new(dims, self.config.rows, self.config.cols)?;
         let tiles: Vec<Tile> = grid.iter().collect();
         let executor = ParallelExecutor::new(self.threads);
-        let results = executor.try_run(tiles, |tile| {
+        let results = executor.try_run_cancellable(tiles, token, |tile| {
             let (a_sub, b_sub) =
                 tile.padded_operands(a, b, self.config.rows, self.config.cols);
             let mut engine = pool.acquire(self.config)?;
@@ -592,10 +626,11 @@ impl Simulator {
         pool: &ArrayPool,
         a: &Matrix<i32>,
         b: &Matrix<i32>,
+        token: &CancelToken,
     ) -> Result<GemmResult, SimError> {
         let grid = self.os_grid(a, b)?;
         let executor = ParallelExecutor::new(self.threads);
-        let results = executor.try_run(grid, |(ti, mi)| {
+        let results = executor.try_run_cancellable(grid, token, |(ti, mi)| {
             let (a_sub, b_sub) = self.os_tile_operands(a, b, ti, mi);
             let mut engine = pool.acquire(self.config)?;
             let result = self.run_tile_with(&mut engine, &a_sub, &b_sub, true);

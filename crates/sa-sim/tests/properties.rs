@@ -1,9 +1,10 @@
 //! Property-based tests of the cycle-accurate simulator.
 
 use gemm::rng::SplitMix64;
-use gemm::{multiply, Matrix};
+use gemm::{multiply, CancelToken, Matrix, ParallelExecutor};
 use proptest::prelude::*;
-use sa_sim::{ArrayConfig, CarrySaveValue, Simulator};
+use sa_sim::{ArrayConfig, ArrayPool, CarrySaveValue, SimError, Simulator};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -102,5 +103,85 @@ proptest! {
         let second = simulator.run_gemm(&a, &b).unwrap();
         prop_assert_eq!(first.output, second.output);
         prop_assert_eq!(first.stats, second.stats);
+    }
+
+    /// Cooperative cancellation never leaks a pooled array and never
+    /// poisons the executor: wherever the token fires, every checked-out
+    /// array goes back into the pool, and the same pool and simulator
+    /// then reproduce the uncancelled result bit for bit.
+    #[test]
+    fn cancellation_leaves_the_pool_whole_and_the_simulator_reusable(
+        threads in 1usize..=3,
+        n in 8usize..=16,
+        m in 8usize..=16,
+        t in 1usize..=6,
+        cancel_at in 0usize..24,
+        seed in any::<u64>(),
+    ) {
+        let config = ArrayConfig::new(4, 4).with_collapse_depth(2);
+        let mut rng = SplitMix64::new(seed);
+        let a = Matrix::random(t, n, &mut rng, -100, 100);
+        let b = Matrix::random(n, m, &mut rng, -100, 100);
+        let pool = ArrayPool::bounded(threads);
+        let simulator = Simulator::new(config).unwrap().threads(threads);
+
+        // Uncancelled reference run: exact, and it seeds the pool.
+        let reference = simulator
+            .run_gemm_cancellable(&pool, &a, &b, &CancelToken::new())
+            .unwrap();
+        prop_assert_eq!(&reference.output, &multiply(&a, &b).unwrap());
+        let checked_in = pool.len();
+        prop_assert!(checked_in >= 1 && checked_in <= threads);
+
+        // Fire the token at a drawn item index mid fan-out while every
+        // item checks an array out of the pool and back in — the same
+        // shape as a simulator tile job. Indices past the item count
+        // simply never fire, covering the uncancelled path too.
+        let token = CancelToken::new();
+        let invocations = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..16).collect();
+        let outcome: Result<Vec<()>, SimError> = ParallelExecutor::new(threads)
+            .try_run_cancellable(items, &token, |_| {
+                if invocations.fetch_add(1, Ordering::SeqCst) == cancel_at {
+                    token.cancel("property harness fired");
+                }
+                let engine = pool.acquire(config)?;
+                pool.release(engine);
+                Ok(())
+            });
+        match outcome {
+            Err(SimError::Cancelled(cancelled)) => {
+                prop_assert_eq!(cancelled.reason.as_str(), "property harness fired");
+                prop_assert_eq!(cancelled.total, 16);
+                prop_assert!(cancelled.completed < cancelled.total);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {}", other),
+            Ok(_) => {}
+        }
+        // However far the run got, nothing leaked: the pool may have
+        // grown toward its bound (a late-starting worker constructs a
+        // fresh array) but every checkout came back.
+        prop_assert!(pool.len() >= checked_in && pool.len() <= threads);
+
+        // A token cancelled before the run stops the simulator at zero
+        // items without touching the pool.
+        let stopped = CancelToken::new();
+        stopped.cancel("stop before start");
+        match simulator.run_gemm_cancellable(&pool, &a, &b, &stopped) {
+            Err(SimError::Cancelled(cancelled)) => {
+                prop_assert_eq!(cancelled.completed, 0);
+                prop_assert_eq!(cancelled.reason.as_str(), "stop before start");
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {}", other),
+            Ok(_) => prop_assert!(false, "a pre-cancelled token must stop the run"),
+        }
+
+        // Same pool, same simulator, fresh token: bit-identical to the
+        // uncancelled reference, so cancellation poisoned nothing.
+        let rerun = simulator
+            .run_gemm_cancellable(&pool, &a, &b, &CancelToken::new())
+            .unwrap();
+        prop_assert_eq!(rerun.output, reference.output);
+        prop_assert_eq!(rerun.stats, reference.stats);
     }
 }

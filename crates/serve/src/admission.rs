@@ -24,6 +24,17 @@
 //! Responses travel back to their event loop as [`Completion`]s through
 //! the loop's mailbox; request metrics and log lines are recorded here,
 //! per original request, with each request's own end-to-end latency.
+//!
+//! **Cancellation.** Every job carries a per-request [`CancelToken`]
+//! armed with the request deadline; the event loop fires it when the
+//! client's connection closes. A coalescable computation runs under a
+//! separate *compute* token registered with its flight: a disconnecting
+//! client only detaches from the flight, and the compute token fires
+//! only when the **last** waiting client (leader included) is gone —
+//! work with a live audience is never abandoned. The handler observes
+//! its token between job items, so an abandoned computation stops within
+//! one item and answers a structured 503 (dropped by the slot-generation
+//! guard if nobody is left to read it).
 
 use crate::api::{self, AppState, SimRequest};
 use crate::conn::ParsedRequest;
@@ -31,11 +42,15 @@ use crate::event_loop::{LoopMsg, Mailbox};
 use crate::http::{self, HttpRequest, HttpResponse};
 use arrayflex::ParallelExecutor;
 use arrayflex::sa_sim::Dataflow;
+use gemm::CancelToken;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Reason a compute token carries when every waiting client disconnected.
+pub(crate) const DISCONNECT_REASON: &str = "every waiting client disconnected";
 
 /// A response shared between a singleflight leader and its waiters.
 #[derive(Debug, Clone)]
@@ -81,6 +96,10 @@ pub(crate) struct Job {
     pub request: ParsedRequest,
     /// When the request finished parsing (latency is measured from here).
     pub started: Instant,
+    /// The request's cancellation token: armed with the request deadline
+    /// at dispatch, fired by the event loop if the connection closes
+    /// while the request is queued or computing.
+    pub cancel: CancelToken,
 }
 
 /// One finished response travelling back to its event loop.
@@ -124,15 +143,30 @@ struct FlightKey {
 /// dataflow)`. Requests sharing one can share a pooled-array batch.
 type BatchKey = (u32, u32, u32, Dataflow);
 
-/// One gather-bucket member: the flight it leads plus the decoded
-/// request the batch leader will run.
-type GatherEntry = (FlightKey, Waiter, SimRequest);
+/// One gather-bucket member: the flight it leads, the decoded request
+/// the batch leader will run, and the flight's compute token.
+type GatherEntry = (FlightKey, Waiter, SimRequest, CancelToken);
+
+/// One in-flight coalescable computation: its audience and the token its
+/// computation observes.
+#[derive(Debug)]
+struct Flight {
+    /// Waiters parked behind the leader.
+    waiters: Vec<Waiter>,
+    /// Token the computation runs under; fired (with
+    /// [`DISCONNECT_REASON`]) once the last waiting client disconnects.
+    compute: CancelToken,
+    /// The leader's delivery address: `(loop_id, token, generation)`.
+    leader: (usize, usize, u64),
+    /// Whether the leader's own connection has closed.
+    leader_gone: bool,
+}
 
 /// The singleflight table and simulate gather buckets.
 #[derive(Debug)]
 pub(crate) struct Admission {
-    /// In-flight computations: key -> waiters parked behind the leader.
-    flights: Mutex<HashMap<FlightKey, Vec<Waiter>>>,
+    /// In-flight computations: key -> the flight behind the leader.
+    flights: Mutex<HashMap<FlightKey, Flight>>,
     /// Open gather buckets: batch key -> flights waiting for the batch
     /// leader to run them.
     gather: Mutex<HashMap<BatchKey, Vec<GatherEntry>>>,
@@ -157,7 +191,7 @@ impl Admission {
         }
     }
 
-    fn enter(&self, key: FlightKey, waiter: Waiter) -> Entered {
+    fn enter(&self, key: FlightKey, waiter: Waiter, compute: &CancelToken) -> Entered {
         // All four table locks are poison-tolerant: handlers run under
         // `catch_unwind`, and a caught panic must not convert every later
         // request into a second panic (the tables' invariants are
@@ -165,11 +199,16 @@ impl Admission {
         let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
         match flights.entry(key) {
             Entry::Occupied(mut entry) => {
-                entry.get_mut().push(waiter);
+                entry.get_mut().waiters.push(waiter);
                 Entered::Coalesced
             }
             Entry::Vacant(entry) => {
-                entry.insert(Vec::new());
+                entry.insert(Flight {
+                    waiters: Vec::new(),
+                    compute: compute.clone(),
+                    leader: (waiter.loop_id, waiter.token, waiter.generation),
+                    leader_gone: false,
+                });
                 Entered::Lead(waiter)
             }
         }
@@ -182,7 +221,33 @@ impl Admission {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(key)
+            .map(|flight| flight.waiters)
             .unwrap_or_default()
+    }
+
+    /// Detaches one closed connection from every in-flight computation.
+    /// Called by the owning event loop when a connection dies with
+    /// requests outstanding. A flight whose last waiting client (leader
+    /// included) is gone has its compute token fired: nobody is left to
+    /// read the response, so the handler stops at its next job-item
+    /// check instead of finishing work it cannot deliver.
+    pub(crate) fn disconnected(&self, loop_id: usize, token: usize, generation: u64) {
+        let address = (loop_id, token, generation);
+        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+        for flight in flights.values_mut() {
+            if flight.leader == address {
+                flight.leader_gone = true;
+            }
+            flight
+                .waiters
+                .retain(|w| (w.loop_id, w.token, w.generation) != address);
+            if flight.leader_gone
+                && flight.waiters.is_empty()
+                && !flight.compute.cancel_requested()
+            {
+                flight.compute.cancel(DISCONNECT_REASON);
+            }
+        }
     }
 
     /// Parks one flight into its gather bucket. `true` when this call
@@ -241,6 +306,15 @@ pub(crate) fn handle_job(
     let route = api::route_label(&job.request.path);
     let waiter = waiter_of(&job, route);
 
+    // The connection died while this job sat in the queue: nobody can
+    // read the response, so don't spend a worker computing it. (A
+    // deadline-expired token without a disconnect falls through to the
+    // deadline branch below for its 503 accounting.)
+    if job.cancel.cancel_requested() {
+        state.metrics().note_cancelled("disconnect");
+        return;
+    }
+
     // Per-request deadline: work that queued past its deadline is dead on
     // arrival — the client has given up or retried — so answer 503 now
     // instead of burning a worker on a response nobody reads. Measured
@@ -258,6 +332,7 @@ pub(crate) fn handle_job(
         }
     }
 
+    let tenant = job.request.tenant;
     let request = HttpRequest {
         method: job.request.method,
         path: job.request.path,
@@ -265,16 +340,27 @@ pub(crate) fn handle_job(
     };
 
     if !coalescable(&request.method, route) {
-        let (response, trace) = guarded_handle(state, &request);
-        deliver(state, sinks, waiter, &response.into(), trace);
+        let (response, trace) = guarded_handle(state, &request, &job.cancel, tenant.as_deref());
+        let response = finish(state, &job.cancel, response);
+        deliver(state, sinks, waiter, &response, trace);
         return;
     }
 
+    // The computation's own token, distinct from the leader's
+    // per-connection token: a leader disconnecting must not abandon work
+    // other coalesced clients still wait for, so only
+    // `Admission::disconnected` — observing the whole audience — fires
+    // it. The deadline is the leader's; waiters that coalesced later
+    // inherit it (conservative: they queued no earlier than the leader
+    // plus the coalescing window).
+    let compute = CancelToken::with_deadline_opt(
+        state.request_deadline().map(|deadline| job.started + deadline),
+    );
     let key = FlightKey {
         path: request.path.clone(),
         body: request.body.clone(),
     };
-    let leader = match admission.enter(key.clone(), waiter) {
+    let leader = match admission.enter(key.clone(), waiter, &compute) {
         // An identical computation is in flight; its leader delivers.
         Entered::Coalesced => return,
         Entered::Lead(waiter) => waiter,
@@ -285,7 +371,7 @@ pub(crate) fn handle_job(
     // responses stay byte-identical to the unbatched server.
     if route == "/v1/simulate" && !admission.window.is_zero() {
         if let Some(sim) = try_decode_sim(&request.body) {
-            if admission.join_gather(sim.batch_key(), (key, leader, sim)) {
+            if admission.join_gather(sim.batch_key(), (key, leader, sim, compute)) {
                 std::thread::sleep(admission.window);
                 run_batch(state, admission, sinks, admission.take_batch(sim.batch_key()));
             }
@@ -295,8 +381,9 @@ pub(crate) fn handle_job(
         }
     }
 
-    let (response, trace) = guarded_handle(state, &request);
-    settle(state, admission, sinks, &key, leader, response.into(), trace);
+    let (response, trace) = guarded_handle(state, &request, &compute, tenant.as_deref());
+    let response = finish(state, &compute, response);
+    settle(state, admission, sinks, &key, leader, response, trace);
 }
 
 /// Runs the handler under `catch_unwind`: a panicking handler must cost
@@ -306,14 +393,40 @@ pub(crate) fn handle_job(
 fn guarded_handle(
     state: &AppState,
     request: &HttpRequest,
+    cancel: &CancelToken,
+    tenant: Option<&str>,
 ) -> (HttpResponse, api::RequestTrace) {
-    catch_unwind(AssertUnwindSafe(|| api::handle_traced(state, request))).unwrap_or_else(|_| {
+    catch_unwind(AssertUnwindSafe(|| {
+        api::handle_request(state, request, cancel, tenant)
+    }))
+    .unwrap_or_else(|_| {
         state.metrics().note_panic();
         (
             HttpResponse::error(500, "internal error"),
             api::RequestTrace::default(),
         )
     })
+}
+
+/// Post-handler accounting shared by every computation path: backoff
+/// hints (`Retry-After`) on 429/503, and the cancellation counter when a
+/// 503 came from the request's token firing (cause `"disconnect"` when a
+/// closed connection fired it, `"deadline"` when the armed deadline
+/// passed mid-handler).
+fn finish(state: &AppState, token: &CancelToken, response: HttpResponse) -> SharedResponse {
+    let mut shared = SharedResponse::from(response);
+    if matches!(shared.status, 429 | 503) {
+        shared.extra_headers = http::RETRY_AFTER_HEADER;
+    }
+    if shared.status == 503 && token.is_cancelled() {
+        let cause = if token.cancel_requested() {
+            "disconnect"
+        } else {
+            "deadline"
+        };
+        state.metrics().note_cancelled(cause);
+    }
+    shared
 }
 
 /// Decodes a simulate body the way the handler would; `None` routes the
@@ -330,7 +443,7 @@ fn run_batch(
     state: &AppState,
     admission: &Admission,
     sinks: &[Arc<Mailbox>],
-    batch: Vec<(FlightKey, Waiter, SimRequest)>,
+    batch: Vec<GatherEntry>,
 ) {
     if batch.is_empty() {
         return;
@@ -338,22 +451,27 @@ fn run_batch(
     state.metrics().note_sim_batch(batch.len() as u64);
     let mut addresses = Vec::with_capacity(batch.len());
     let mut sims = Vec::with_capacity(batch.len());
-    for (key, waiter, sim) in batch {
+    for (key, waiter, sim, token) in batch {
         addresses.push((key, waiter));
-        sims.push(sim);
+        sims.push((sim, token));
     }
     let threads = sims
         .len()
         .min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
     // Same isolation as `guarded_handle`, per batch member: one poisoned
-    // simulate body must not sink the other members' responses.
-    let responses = ParallelExecutor::new(threads).run(sims, |sim| {
-        catch_unwind(AssertUnwindSafe(|| api::simulate_response(state, sim))).unwrap_or_else(
-            |_| {
-                state.metrics().note_panic();
-                HttpResponse::error(500, "internal error")
-            },
-        )
+    // simulate body must not sink the other members' responses. Each
+    // member runs under its own flight's compute token, so a batch entry
+    // whose whole audience disconnected settles as a (dropped) 503
+    // without stalling the rest of the batch.
+    let responses = ParallelExecutor::new(threads).run(sims, |(sim, token)| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let response = api::simulate_response(state, sim, &token);
+            finish(state, &token, response)
+        }))
+        .unwrap_or_else(|_| {
+            state.metrics().note_panic();
+            SharedResponse::from(HttpResponse::error(500, "internal error"))
+        })
     });
     for ((key, waiter), response) in addresses.into_iter().zip(responses) {
         settle(
@@ -362,7 +480,7 @@ fn run_batch(
             sinks,
             &key,
             waiter,
-            response.into(),
+            response,
             api::RequestTrace::default(),
         );
     }
@@ -415,4 +533,92 @@ fn deliver(
         response: response.clone(),
         close_after: waiter.close_after,
     }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn waiter(loop_id: usize, token: usize) -> Waiter {
+        Waiter {
+            loop_id,
+            token,
+            generation: 1,
+            seq: 0,
+            close_after: false,
+            route: "/v1/sweep",
+            started: Instant::now(),
+            coalesced: false,
+        }
+    }
+
+    fn key() -> FlightKey {
+        FlightKey {
+            path: "/v1/sweep".to_owned(),
+            body: b"{}".to_vec(),
+        }
+    }
+
+    #[test]
+    fn compute_token_fires_only_when_the_last_waiter_disconnects() {
+        let admission = Admission::new(Duration::ZERO);
+        let compute = CancelToken::new();
+        let lead = admission.enter(key(), waiter(0, 7), &compute);
+        assert!(matches!(lead, Entered::Lead(_)));
+        let coalesced = admission.enter(key(), waiter(0, 9), &CancelToken::new());
+        assert!(matches!(coalesced, Entered::Coalesced));
+
+        // The leader disconnects; a coalesced waiter still listens.
+        admission.disconnected(0, 7, 1);
+        assert!(!compute.is_cancelled(), "cancelled with a live waiter");
+
+        // An unrelated connection closing changes nothing.
+        admission.disconnected(0, 99, 1);
+        assert!(!compute.is_cancelled());
+
+        // The last waiter disconnects: the computation is abandoned.
+        admission.disconnected(0, 9, 1);
+        assert!(compute.cancel_requested());
+        assert_eq!(compute.reason().as_deref(), Some(DISCONNECT_REASON));
+
+        // The flight still settles normally for the (dropped) delivery.
+        assert_eq!(admission.complete(&key()).len(), 0);
+    }
+
+    #[test]
+    fn a_disconnected_waiter_detaches_without_cancelling() {
+        let admission = Admission::new(Duration::ZERO);
+        let compute = CancelToken::new();
+        assert!(matches!(
+            admission.enter(key(), waiter(0, 7), &compute),
+            Entered::Lead(_)
+        ));
+        assert!(matches!(
+            admission.enter(key(), waiter(0, 9), &CancelToken::new()),
+            Entered::Coalesced
+        ));
+        // The waiter leaves; the leader still wants the response.
+        admission.disconnected(0, 9, 1);
+        assert!(!compute.is_cancelled());
+        assert_eq!(admission.complete(&key()).len(), 0);
+    }
+
+    #[test]
+    fn cancelled_503s_carry_retry_after_and_count_by_cause() {
+        let config = crate::http::ServerConfig::default();
+        let state = AppState::new(&config);
+        let token = CancelToken::new();
+        token.cancel(DISCONNECT_REASON);
+        let shared = finish(
+            &state,
+            &token,
+            HttpResponse::error(503, "run cancelled after 0/4 items"),
+        );
+        assert_eq!(shared.extra_headers, http::RETRY_AFTER_HEADER);
+        assert_eq!(state.metrics().cancelled("disconnect"), 1);
+        // A plain 200 through the same path records nothing.
+        let ok = finish(&state, &CancelToken::new(), HttpResponse::json(b"{}".to_vec()));
+        assert_eq!(ok.extra_headers, "");
+        assert_eq!(state.metrics().total_cancelled(), 1);
+    }
 }

@@ -1,6 +1,6 @@
 //! The JSON API of the planning/simulation service.
 //!
-//! Five routes:
+//! Routes:
 //!
 //! * `POST /v1/plan` — plan one network on one array geometry; the
 //!   response body is **byte-identical** to
@@ -11,14 +11,23 @@
 //!   `serde_json::to_string(&EvaluationSweep {..}.run(&networks))`;
 //! * `POST /v1/simulate` — a size-capped cycle-accurate cross-check of one
 //!   random GEMM against the analytical model;
+//! * `POST /v1/jobs`, `GET /v1/jobs/{id}[/result]`, `DELETE
+//!   /v1/jobs/{id}` — asynchronous, cancellable, checkpointed sweep jobs
+//!   (see the `jobs` module); a completed job's result is byte-identical to
+//!   the equivalent `/v1/sweep` response;
 //! * `GET /healthz` — liveness;
 //! * `GET /metrics` — Prometheus text format (see [`crate::metrics`]).
 //!
 //! Handlers are pure functions from a parsed [`HttpRequest`] to an
 //! [`HttpResponse`] over shared [`AppState`], so the whole API surface is
-//! testable without sockets.
+//! testable without sockets. Long-running handlers (sweep, simulate)
+//! observe a per-request [`CancelToken`] between job items: the serving
+//! layer arms it with the request deadline and fires it when every
+//! waiting client disconnects, and a cancelled handler answers a
+//! structured `503` reporting partial progress instead of computing on.
 
 use crate::http::{HttpRequest, HttpResponse, ServerConfig};
+use crate::jobs::{JobEntry, JobStore, TenantQuota};
 use crate::metrics::Metrics;
 use crate::rendered::RenderedCache;
 use arrayflex::sa_sim::{ArrayPool, Dataflow};
@@ -28,9 +37,10 @@ use arrayflex::{
 };
 use cnn::{DepthwiseMapping, Network};
 use gemm::rng::SplitMix64;
-use gemm::Matrix;
+use gemm::{CancelToken, Matrix};
 use serde::{Deserialize, Serialize, Value};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Maximum array edge length accepted by `/v1/plan` and `/v1/sweep`.
 pub const MAX_ARRAY_EDGE: u32 = 4096;
@@ -70,6 +80,15 @@ pub struct AppState {
     /// Test-only `POST /__test/panic` route proving panic isolation
     /// (`ServerConfig::panic_route`).
     panic_route: bool,
+    /// The `/v1/jobs` store (see [`crate::jobs`]). Job execution needs an
+    /// owned `Arc<AppState>`, so submissions only work on states built
+    /// through [`AppState::shared`].
+    jobs: JobStore,
+    /// Per-tenant token-bucket admission, when `ServerConfig::tenant_rate`
+    /// is set.
+    tenant_quota: Option<TenantQuota>,
+    /// Cap on concurrently running jobs per tenant (`0` = uncapped).
+    tenant_max_jobs: usize,
 }
 
 /// Index into [`AppState`]'s per-route response-size estimates.
@@ -112,7 +131,24 @@ impl AppState {
             ],
             request_deadline: config.request_deadline,
             panic_route: config.panic_route,
+            jobs: JobStore::new(config.job_dir.clone()),
+            tenant_quota: config
+                .tenant_rate
+                .map(|rate| TenantQuota::new(rate, config.tenant_burst)),
+            tenant_max_jobs: config.tenant_max_jobs,
         }
+    }
+
+    /// Builds the state wrapped in the `Arc` the `/v1/jobs` runner threads
+    /// need, and resumes any incomplete jobs checkpointed in
+    /// `ServerConfig::job_dir`. States built with [`AppState::new`] alone
+    /// answer job submissions with a `503` (every other route works).
+    #[must_use]
+    pub fn shared(config: &ServerConfig) -> Arc<Self> {
+        let state = Arc::new(Self::new(config));
+        state.jobs.attach(&state);
+        state.jobs.resume(&state);
+        state
     }
 
     /// Serializes one JSON response body into a buffer pre-sized from the
@@ -195,6 +231,16 @@ impl AppState {
     pub(crate) fn stale_rendered(&self, request_body: &[u8]) -> Option<std::sync::Arc<Vec<u8>>> {
         self.rendered.lookup_stale(request_body)
     }
+
+    /// The `/v1/jobs` store.
+    pub(crate) fn jobs(&self) -> &JobStore {
+        &self.jobs
+    }
+
+    /// The per-tenant request admission layer, when configured.
+    pub(crate) fn tenant_quota(&self) -> Option<&TenantQuota> {
+        self.tenant_quota.as_ref()
+    }
 }
 
 /// The fixed label a request path maps to in the metrics (unknown paths
@@ -207,6 +253,8 @@ pub fn route_label(path: &str) -> &'static str {
         "/v1/plan" => "/v1/plan",
         "/v1/sweep" => "/v1/sweep",
         "/v1/simulate" => "/v1/simulate",
+        "/v1/jobs" => "/v1/jobs",
+        _ if path.starts_with("/v1/jobs/") => "/v1/jobs",
         _ => "other",
     }
 }
@@ -228,9 +276,29 @@ pub fn handle(state: &AppState, request: &HttpRequest) -> HttpResponse {
 }
 
 /// [`handle`], also reporting the [`RequestTrace`] the connection loop
-/// feeds into per-request log lines.
+/// feeds into per-request log lines. The request runs under a fresh
+/// cancel token armed with the configured per-request deadline; the
+/// event-loop path calls `handle_request` directly with the token it
+/// can also fire on client disconnect.
 #[must_use]
 pub fn handle_traced(state: &AppState, request: &HttpRequest) -> (HttpResponse, RequestTrace) {
+    let cancel = CancelToken::with_deadline_opt(
+        state
+            .request_deadline
+            .map(|deadline| std::time::Instant::now() + deadline),
+    );
+    handle_request(state, request, &cancel, None)
+}
+
+/// [`handle_traced`] with the caller-owned cancellation token and the
+/// request's tenant (from the `x-arrayflex-tenant` header; `None` means
+/// anonymous).
+pub(crate) fn handle_request(
+    state: &AppState,
+    request: &HttpRequest,
+    cancel: &CancelToken,
+    tenant: Option<&str>,
+) -> (HttpResponse, RequestTrace) {
     let mut trace = RequestTrace::default();
     let response = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => HttpResponse::json(&b"{\"status\":\"ok\"}"[..]),
@@ -256,15 +324,23 @@ pub fn handle_traced(state: &AppState, request: &HttpRequest) -> (HttpResponse, 
                 response
             }
         }
-        ("POST", "/v1/sweep") => with_json_body(request, |value| sweep(state, value)),
-        ("POST", "/v1/simulate") => with_json_body(request, |value| simulate(state, value)),
+        ("POST", "/v1/sweep") => with_json_body(request, |value| sweep(state, value, cancel)),
+        ("POST", "/v1/simulate") => {
+            with_json_body(request, |value| simulate(state, value, cancel))
+        }
+        ("POST", "/v1/jobs") => jobs_submit(state, request, tenant),
+        ("GET", path) if path.starts_with("/v1/jobs/") => jobs_get(state, path),
+        ("DELETE", path) if path.starts_with("/v1/jobs/") => jobs_delete(state, path),
         ("POST", "/__test/panic") if state.panic_route => {
             // Fault-harness escape hatch (ServerConfig::panic_route, tests
             // only): prove a handler panic is caught, answered with a
             // structured 500, and leaves the worker alive.
             panic!("test-injected handler panic")
         }
-        (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/sweep" | "/v1/simulate") => {
+        (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/sweep" | "/v1/simulate" | "/v1/jobs") => {
+            HttpResponse::error(405, &format!("method {} not allowed here", request.method))
+        }
+        (_, path) if path.starts_with("/v1/jobs/") => {
             HttpResponse::error(405, &format!("method {} not allowed here", request.method))
         }
         (_, path) => HttpResponse::error(404, &format!("no route for {path}")),
@@ -337,6 +413,17 @@ impl ApiError {
 
 impl From<arrayflex::ArrayFlexError> for ApiError {
     fn from(e: arrayflex::ArrayFlexError) -> Self {
+        // A cancelled run is a server-side abandonment (deadline passed,
+        // every waiter disconnected), not a client error: a structured
+        // 503 reporting the partial progress — "run cancelled after k/n
+        // items: <reason>" — so a retrying client knows the request was
+        // valid and how far it got.
+        if matches!(e, arrayflex::ArrayFlexError::Cancelled(_)) {
+            return Self {
+                status: 503,
+                message: e.to_string(),
+            };
+        }
         // Library-level rejections of a well-formed request (bad depth,
         // zero dimension, ...) are client errors, not server faults.
         ApiError::bad_request(e.to_string())
@@ -512,7 +599,29 @@ fn plan(
 // POST /v1/sweep
 // ---------------------------------------------------------------------------
 
-fn sweep(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
+/// One fully decoded and validated sweep request: the shared shape of
+/// `POST /v1/sweep` (synchronous) and `POST /v1/jobs` (asynchronous,
+/// checkpointed). The sweep decomposes into `sizes × networks ×
+/// dataflows` **points**, each producing one [`NetworkComparison`]; both
+/// paths serialize points independently and join the fragments, so their
+/// bodies are byte-identical for the same request.
+pub(crate) struct SweepSpec {
+    sizes: Vec<u32>,
+    networks: Vec<Network>,
+    mapping: DepthwiseMapping,
+    dataflows: Vec<Dataflow>,
+    threads: usize,
+}
+
+impl SweepSpec {
+    /// Number of `(size, network, dataflow)` points the sweep covers.
+    pub(crate) fn points(&self) -> usize {
+        self.sizes.len() * self.networks.len() * self.dataflows.len()
+    }
+}
+
+/// Decodes and validates one sweep request body.
+pub(crate) fn decode_sweep(value: &Value) -> Result<SweepSpec, ApiError> {
     let sizes: Vec<u32> = decode(value, "array_sizes")?;
     if sizes.is_empty() || sizes.len() > MAX_SWEEP_SIZES {
         return Err(ApiError::bad_request(format!(
@@ -562,25 +671,73 @@ fn sweep(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
     } else {
         threads
     };
+    Ok(SweepSpec {
+        sizes,
+        networks,
+        mapping,
+        dataflows,
+        threads,
+    })
+}
 
+/// [`decode_sweep`] from raw request text: the shape the `/v1/jobs`
+/// runner re-derives a resumed job's point list from.
+pub(crate) fn decode_sweep_text(text: &str) -> Result<SweepSpec, String> {
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| format!("malformed JSON body: {e}"))?;
+    decode_sweep(&value).map_err(|e| e.message)
+}
+
+/// Computes one sweep point — the `index`-th `(size, network, dataflow)`
+/// triple in sweep order — and serializes its [`NetworkComparison`] to
+/// the exact fragment a full sweep response would contain at that
+/// position. Joining the fragments with `,` inside `[` `]` reproduces
+/// `serde_json::to_string(&Vec<NetworkComparison>)` byte for byte, which
+/// is what makes a resumed job's result identical to an uninterrupted
+/// run.
+pub(crate) fn sweep_point_fragment(
+    state: &AppState,
+    spec: &SweepSpec,
+    index: usize,
+) -> Result<String, arrayflex::ArrayFlexError> {
+    let per_size = spec.networks.len() * spec.dataflows.len();
+    let size = spec.sizes[index / per_size];
+    let network = &spec.networks[(index % per_size) / spec.dataflows.len()];
+    let dataflow = spec.dataflows[index % spec.dataflows.len()];
+    let model = ArrayFlexModel::new(size, size)?.with_dataflow(dataflow);
+    let conventional =
+        model.plan_cached(&state.cache, network, spec.mapping, PlanKind::Conventional)?;
+    let proposed = model.plan_cached(&state.cache, network, spec.mapping, PlanKind::ArrayFlex)?;
+    let comparison = NetworkComparison::from_plans_for(
+        dataflow,
+        (*conventional).clone(),
+        (*proposed).clone(),
+    );
+    Ok(serde_json::to_string(&comparison).expect("comparisons serialize to JSON"))
+}
+
+fn sweep(state: &AppState, value: &Value, cancel: &CancelToken) -> Result<HttpResponse, ApiError> {
+    let spec = decode_sweep(value)?;
     // Fan the (size x network x dataflow x pipeline choice) plan jobs out
     // through the executor, serving each one from the shared plan cache.
     // Re-pairing in submission order reproduces `EvaluationSweep::run`
-    // byte for byte.
-    let executor = ParallelExecutor::new(threads);
-    let mut jobs = Vec::with_capacity(sizes.len() * networks.len() * dataflows.len() * 2);
-    for &size in &sizes {
-        for network in &networks {
-            for &dataflow in &dataflows {
+    // byte for byte. The cancel token is observed between plan jobs, so
+    // an abandoned sweep stops within one job item.
+    let executor = ParallelExecutor::new(spec.threads);
+    let mut jobs =
+        Vec::with_capacity(spec.sizes.len() * spec.networks.len() * spec.dataflows.len() * 2);
+    for &size in &spec.sizes {
+        for network in &spec.networks {
+            for &dataflow in &spec.dataflows {
                 jobs.push((size, network, dataflow, PlanKind::Conventional));
                 jobs.push((size, network, dataflow, PlanKind::ArrayFlex));
             }
         }
     }
-    let plans = executor.try_run(jobs, |(size, network, dataflow, kind)| {
+    let plans = executor.try_run_cancellable(jobs, cancel, |(size, network, dataflow, kind)| {
         let model = ArrayFlexModel::new(size, size)?.with_dataflow(dataflow);
         model
-            .plan_cached(&state.cache, network, mapping, kind)
+            .plan_cached(&state.cache, network, spec.mapping, kind)
             .map(|plan| (dataflow, plan))
     })?;
     let mut comparisons = Vec::with_capacity(plans.len() / 2);
@@ -596,6 +753,112 @@ fn sweep(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
     Ok(HttpResponse::json(
         state.sized_json_body(BodyRoute::Sweep, &comparisons),
     ))
+}
+
+// ---------------------------------------------------------------------------
+// /v1/jobs
+// ---------------------------------------------------------------------------
+
+/// The status document of one job, also used (with a 202) as the
+/// submission response.
+fn job_status_response(entry: &JobEntry) -> HttpResponse {
+    let (status, completed, total, error) = entry.snapshot();
+    let mut fields = vec![
+        ("id".to_owned(), Value::Str(entry.id().to_owned())),
+        ("tenant".to_owned(), Value::Str(entry.tenant().to_owned())),
+        ("status".to_owned(), Value::Str(status.as_str().to_owned())),
+        ("points".to_owned(), Value::UInt(total as u64)),
+        ("completed".to_owned(), Value::UInt(completed as u64)),
+    ];
+    if !error.is_empty() {
+        fields.push(("error".to_owned(), Value::Str(error)));
+    }
+    let body = serde_json::to_string(&Value::Object(fields)).expect("status serializes to JSON");
+    HttpResponse::json(body.into_bytes())
+}
+
+/// `POST /v1/jobs`: validates the sweep body, admits it against the
+/// tenant's active-job cap, and spawns the checkpointed runner. Answers
+/// `202 Accepted` with the job's status document.
+fn jobs_submit(state: &AppState, request: &HttpRequest, tenant: Option<&str>) -> HttpResponse {
+    let tenant = tenant.unwrap_or("anonymous");
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return HttpResponse::error(400, "request body is not valid UTF-8"),
+    };
+    let value: Value = match serde_json::from_str(text) {
+        Ok(value) => value,
+        Err(e) => return HttpResponse::error(400, &format!("malformed JSON body: {e}")),
+    };
+    let spec = match decode_sweep(&value) {
+        Ok(spec) => spec,
+        Err(e) => return e.into_response(),
+    };
+    let cap = state.tenant_max_jobs;
+    if cap != 0 && state.jobs.active_for(tenant) >= cap {
+        state.metrics.note_tenant_shed(tenant);
+        return HttpResponse::error(
+            429,
+            &format!("tenant {tenant} already has {cap} active jobs; retry after one completes"),
+        );
+    }
+    match state.jobs.submit(tenant, text.to_owned(), spec.points()) {
+        Ok(entry) => {
+            state.metrics.note_job_submitted();
+            state.metrics.note_job_started(tenant);
+            let mut response = job_status_response(&entry);
+            response.status = 202;
+            response
+        }
+        Err(message) => HttpResponse::error(503, message),
+    }
+}
+
+/// `GET /v1/jobs/{id}` (status document) and `GET /v1/jobs/{id}/result`
+/// (the completed sweep body, byte-identical to `/v1/sweep`; `409` while
+/// the job is running or after cancellation, `500` after a failure).
+fn jobs_get(state: &AppState, path: &str) -> HttpResponse {
+    let rest = &path["/v1/jobs/".len()..];
+    let (id, want_result) = match rest.strip_suffix("/result") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let Some(entry) = state.jobs.get(id) else {
+        return HttpResponse::error(404, &format!("no job {id}"));
+    };
+    if !want_result {
+        return job_status_response(&entry);
+    }
+    match entry.result() {
+        Some(body) => HttpResponse::json(body),
+        None => {
+            let (status, completed, total, error) = entry.snapshot();
+            match status.as_str() {
+                "running" => HttpResponse::error(
+                    409,
+                    &format!("job {id} still running ({completed}/{total} points)"),
+                ),
+                "cancelled" => HttpResponse::error(
+                    409,
+                    &format!("job {id} was cancelled after {completed}/{total} points"),
+                ),
+                _ => HttpResponse::error(500, &format!("job {id} failed: {error}")),
+            }
+        }
+    }
+}
+
+/// `DELETE /v1/jobs/{id}`: cooperative cancellation. The job's token
+/// fires immediately; its runner acknowledges at the next point boundary
+/// and checkpoints the terminal state. Deleting a terminal job is a
+/// no-op returning its current status.
+fn jobs_delete(state: &AppState, path: &str) -> HttpResponse {
+    let id = &path["/v1/jobs/".len()..];
+    let Some(entry) = state.jobs.get(id) else {
+        return HttpResponse::error(404, &format!("no job {id}"));
+    };
+    entry.cancel_by_client();
+    job_status_response(&entry)
 }
 
 /// The `EvaluationSweep` a sweep request is equivalent to (used by tests to
@@ -713,13 +976,20 @@ pub(crate) fn decode_simulate(value: &Value) -> Result<SimRequest, ApiError> {
     })
 }
 
-/// Runs one validated simulate request to its success response.
-pub(crate) fn run_simulate(state: &AppState, req: SimRequest) -> Result<HttpResponse, ApiError> {
+/// Runs one validated simulate request to its success response. The
+/// cancel token is observed between simulated tiles, so an abandoned
+/// simulation stops within one tile (and its pooled array is still
+/// checked back in).
+pub(crate) fn run_simulate(
+    state: &AppState,
+    req: SimRequest,
+    cancel: &CancelToken,
+) -> Result<HttpResponse, ApiError> {
     let model = ArrayFlexModel::new(req.rows, req.cols)?.with_dataflow(req.dataflow);
     let mut rng = SplitMix64::new(req.seed);
     let a = Matrix::random(req.t as usize, req.n as usize, &mut rng, -64, 63);
     let b = Matrix::random(req.n as usize, req.m as usize, &mut rng, -64, 63);
-    let result = model.simulate_gemm_pooled(state.sim_pool(), &a, &b, req.k, 1)?;
+    let result = model.simulate_gemm_cancellable(state.sim_pool(), &a, &b, req.k, 1, cancel)?;
     let response = SimulateResponse {
         rows: req.rows,
         cols: req.cols,
@@ -743,12 +1013,16 @@ pub(crate) fn run_simulate(state: &AppState, req: SimRequest) -> Result<HttpResp
 
 /// [`run_simulate`] with errors rendered to their wire responses (the
 /// shape batch workers need).
-pub(crate) fn simulate_response(state: &AppState, req: SimRequest) -> HttpResponse {
-    run_simulate(state, req).unwrap_or_else(ApiError::into_response)
+pub(crate) fn simulate_response(
+    state: &AppState,
+    req: SimRequest,
+    cancel: &CancelToken,
+) -> HttpResponse {
+    run_simulate(state, req, cancel).unwrap_or_else(ApiError::into_response)
 }
 
-fn simulate(state: &AppState, value: &Value) -> Result<HttpResponse, ApiError> {
-    run_simulate(state, decode_simulate(value)?)
+fn simulate(state: &AppState, value: &Value, cancel: &CancelToken) -> Result<HttpResponse, ApiError> {
+    run_simulate(state, decode_simulate(value)?, cancel)
 }
 
 #[cfg(test)]
@@ -1108,6 +1382,223 @@ mod tests {
         );
         assert_eq!(response.status, 400);
         assert!(String::from_utf8(response.body).unwrap().contains("UTF-8"));
+    }
+
+    fn request(method: &str, path: &str) -> HttpRequest {
+        HttpRequest {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            body: Vec::new(),
+        }
+    }
+
+    fn temp_job_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "af-api-jobs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Polls a job's status document until it leaves `running`.
+    fn await_terminal(state: &AppState, id: &str) -> Value {
+        for _ in 0..2000 {
+            let response = handle(state, &get(&format!("/v1/jobs/{id}")));
+            assert_eq!(response.status, 200);
+            let value: Value =
+                serde_json::from_str(std::str::from_utf8(&response.body).unwrap()).unwrap();
+            let status = match value.get("status") {
+                Some(Value::Str(s)) => s.clone(),
+                other => panic!("bad status field: {other:?}"),
+            };
+            if status != "running" {
+                return value;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("job {id} never left running")
+    }
+
+    fn field_str(value: &Value, field: &str) -> String {
+        match value.get(field) {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("bad `{field}` field: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_cancelled_sweep_answers_a_structured_503_with_partial_progress() {
+        let state = state();
+        let token = CancelToken::new();
+        token.cancel("test cancellation");
+        let request = post("/v1/sweep", r#"{"array_sizes":[16],"networks":["resnet18"]}"#);
+        let (response, _) = handle_request(&state, &request, &token, None);
+        assert_eq!(response.status, 503);
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.contains("cancelled after 0/2 items"), "{text}");
+        assert!(text.contains("test cancellation"), "{text}");
+        assert!(text.starts_with("{\"error\":{"), "unstructured: {text}");
+        // The executor and cache remain usable after the cancelled run.
+        let ok = handle(&state, &request);
+        assert_eq!(ok.status, 200);
+        // A simulate under a pre-fired token also stops — and still
+        // checks its pooled array state back in (nothing was taken).
+        let (sim, _) = handle_request(
+            &state,
+            &post("/v1/simulate", r#"{"rows":8,"cols":8,"k":2,"t":6,"n":20,"m":10}"#),
+            &token,
+            None,
+        );
+        assert_eq!(sim.status, 503);
+    }
+
+    #[test]
+    fn a_job_result_is_byte_identical_to_the_synchronous_sweep() {
+        let dir = temp_job_dir("roundtrip");
+        let config = ServerConfig {
+            job_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let state = AppState::shared(&config);
+        let body = r#"{"array_sizes":[16,32],"networks":["resnet18"]}"#;
+        let submit = handle(&state, &post("/v1/jobs", body));
+        assert_eq!(submit.status, 202, "{:?}", String::from_utf8(submit.body));
+        let value: Value =
+            serde_json::from_str(std::str::from_utf8(&submit.body).unwrap()).unwrap();
+        let id = field_str(&value, "id");
+        assert_eq!(field_str(&value, "tenant"), "anonymous");
+        assert_eq!(state.metrics().jobs_submitted(), 1);
+
+        let terminal = await_terminal(&state, &id);
+        assert_eq!(field_str(&terminal, "status"), "completed");
+        // Join the runner: the final checkpoint and counters land before
+        // the assertions below read them.
+        state.jobs().shutdown();
+        let result = handle(&state, &get(&format!("/v1/jobs/{id}/result")));
+        assert_eq!(result.status, 200);
+        let sweep = handle(&state, &post("/v1/sweep", body));
+        assert_eq!(sweep.status, 200);
+        assert_eq!(result.body, sweep.body, "job result differs from the synchronous sweep");
+        assert_eq!(state.metrics().jobs_completed(), 1);
+        assert_eq!(state.metrics().tenant_active_jobs("anonymous"), 0);
+
+        // The terminal checkpoint survives on disk with completed status.
+        let text = std::fs::read_to_string(dir.join(format!("{id}.json"))).unwrap();
+        assert!(text.contains("\"completed\""), "{text}");
+        // Unknown ids are 404; wrong methods on the collection are 405.
+        assert_eq!(handle(&state, &get("/v1/jobs/nope")).status, 404);
+        assert_eq!(handle(&state, &request("PUT", "/v1/jobs")).status, 405);
+        assert_eq!(handle(&state, &request("PUT", &format!("/v1/jobs/{id}"))).status, 405);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_running_checkpoint_resumes_and_completes_byte_identically() {
+        let dir = temp_job_dir("resume");
+        let body = r#"{"array_sizes":[16],"networks":["resnet18","mobilenet_v1"]}"#;
+        // Reference run on a throwaway state.
+        let reference = state();
+        let sweep = handle(&reference, &post("/v1/sweep", body));
+        assert_eq!(sweep.status, 200);
+        // Handwrite the checkpoint a killed server would have left: one of
+        // the two points completed, status still running.
+        let spec = decode_sweep_text(body).unwrap();
+        assert_eq!(spec.points(), 2);
+        let first = sweep_point_fragment(&reference, &spec, 0).unwrap();
+        let checkpoint = format!(
+            r#"{{"id":"resumejob","tenant":"acme","status":"running","total":2,"request":{},"fragments":[{}],"error":""}}"#,
+            serde_json::to_string(body).unwrap(),
+            serde_json::to_string(&first).unwrap(),
+        );
+        std::fs::write(dir.join("resumejob.json"), checkpoint).unwrap();
+
+        let config = ServerConfig {
+            job_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let state = AppState::shared(&config);
+        assert_eq!(state.metrics().jobs_resumed(), 1);
+        let terminal = await_terminal(&state, "resumejob");
+        assert_eq!(field_str(&terminal, "status"), "completed");
+        state.jobs().shutdown();
+        let result = handle(&state, &get("/v1/jobs/resumejob/result"));
+        assert_eq!(result.status, 200);
+        assert_eq!(
+            result.body, sweep.body,
+            "resumed job result differs from an uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deleting_a_job_cancels_it_cooperatively() {
+        let dir = temp_job_dir("delete");
+        let config = ServerConfig {
+            job_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let state = AppState::shared(&config);
+        // Enough points that the DELETE almost always lands mid-run.
+        let body = r#"{"array_sizes":[64,128,256,512,1024,2048,4096,33],"networks":["resnet50","vgg16","resnet34","convnext_tiny"]}"#;
+        let submit = handle(&state, &post("/v1/jobs", body));
+        assert_eq!(submit.status, 202);
+        let value: Value =
+            serde_json::from_str(std::str::from_utf8(&submit.body).unwrap()).unwrap();
+        let id = field_str(&value, "id");
+        let deleted = handle(&state, &request("DELETE", &format!("/v1/jobs/{id}")));
+        assert_eq!(deleted.status, 200);
+        let terminal = await_terminal(&state, &id);
+        let status = field_str(&terminal, "status");
+        state.jobs().shutdown();
+        // The job may have completed before the DELETE landed; both
+        // outcomes must be coherent, and a cancelled job has no result.
+        if status == "cancelled" {
+            let result = handle(&state, &get(&format!("/v1/jobs/{id}/result")));
+            assert_eq!(result.status, 409);
+            assert_eq!(state.metrics().jobs_cancelled(), 1);
+            assert_eq!(state.metrics().cancelled("job"), 1);
+        } else {
+            assert_eq!(status, "completed");
+        }
+        assert_eq!(state.metrics().tenant_active_jobs("anonymous"), 0);
+        // Deleting a terminal job is an idempotent no-op.
+        let again = handle(&state, &request("DELETE", &format!("/v1/jobs/{id}")));
+        assert_eq!(again.status, 200);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn job_submission_enforces_the_tenant_active_job_cap() {
+        let dir = temp_job_dir("cap");
+        let config = ServerConfig {
+            job_dir: Some(dir.clone()),
+            tenant_max_jobs: 1,
+            ..ServerConfig::default()
+        };
+        let state = AppState::shared(&config);
+        let body = r#"{"array_sizes":[64,128,256,512,1024,2048,4096,33],"networks":["resnet50","vgg16","resnet34","convnext_tiny"]}"#;
+        let first = handle(&state, &post("/v1/jobs", body));
+        assert_eq!(first.status, 202);
+        let second = handle(&state, &post("/v1/jobs", body));
+        if second.status == 429 {
+            assert_eq!(state.metrics().tenant_sheds("anonymous"), 1);
+        } else {
+            // The first job finished before the second submit: no shed.
+            assert_eq!(second.status, 202);
+        }
+        // A malformed job body is rejected up front, not accepted-then-failed.
+        let bad = handle(&state, &post("/v1/jobs", r#"{"array_sizes":[]}"#));
+        assert_eq!(bad.status, 400);
+        // Unattached states (AppState::new, no Arc) refuse submissions.
+        let plain = AppState::new(&ServerConfig::default());
+        let refused = handle(&plain, &post("/v1/jobs", r#"{"array_sizes":[16],"networks":["resnet18"]}"#));
+        assert_eq!(refused.status, 503);
+        // Join the runners (any still-running job checkpoints as
+        // `running` and would resume on a restart) before cleanup.
+        state.jobs().shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

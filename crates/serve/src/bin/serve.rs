@@ -33,6 +33,14 @@
 //! deterministic fault-injection plan (injected EINTR, short reads/writes,
 //! resets, spurious wakeups — for chaos testing only, never production).
 //!
+//! Jobs and tenants: `--job-dir PATH` makes `/v1/jobs` crash-safe — every
+//! completed sweep point checkpoints to PATH, and a restart with the same
+//! PATH resumes incomplete jobs (the final result is byte-identical to an
+//! uninterrupted run); `--tenant-rate N` admits at most N requests/second
+//! per `x-arrayflex-tenant` value (burst `--tenant-burst`, excess answered
+//! 429 + `Retry-After`); `--tenant-max-jobs N` caps concurrently running
+//! jobs per tenant (0 = uncapped).
+//!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the chosen address is
 //! printed on the first line of stdout (`listening on http://...`), which
 //! the CI smoke test parses.
@@ -90,13 +98,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     value_of("--fault-seed")?.parse()?,
                 ));
             }
+            "--job-dir" => config.job_dir = Some(value_of("--job-dir")?.into()),
+            "--tenant-rate" => config.tenant_rate = Some(value_of("--tenant-rate")?.parse()?),
+            "--tenant-burst" => config.tenant_burst = value_of("--tenant-burst")?.parse()?,
+            "--tenant-max-jobs" => {
+                config.tenant_max_jobs = value_of("--tenant-max-jobs")?.parse()?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: serve [--addr HOST:PORT] [--threads N] [--loops N] \
                      [--gather-window-us N] [--legacy-serve] [--cache N] \
                      [--max-body BYTES] [--cache-ttl SECS] [--cache-bytes BYTES] \
                      [--cache-snapshot PATH] [--snapshot-interval-ms N] [--log] \
-                     [--queue-limit N] [--request-deadline-ms N] [--fault-seed N]"
+                     [--queue-limit N] [--request-deadline-ms N] [--fault-seed N] \
+                     [--job-dir PATH] [--tenant-rate N] [--tenant-burst N] \
+                     [--tenant-max-jobs N]"
                 );
                 return Ok(());
             }
@@ -106,7 +122,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut handle = serve(config)?;
     println!("listening on http://{}", handle.addr());
     println!(
-        "routes: GET /healthz | GET /metrics | POST /v1/plan | POST /v1/sweep | POST /v1/simulate"
+        "routes: GET /healthz | GET /metrics | POST /v1/plan | POST /v1/sweep | \
+         POST /v1/simulate | POST /v1/jobs | GET /v1/jobs/{{id}}[/result] | \
+         DELETE /v1/jobs/{{id}}"
     );
     handle.wait();
     Ok(())

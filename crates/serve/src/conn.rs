@@ -71,7 +71,15 @@ pub struct HeadFields {
     pub connection_close: bool,
     /// `true` once a `Connection: keep-alive` token was seen.
     pub connection_keep_alive: bool,
+    /// The validated `x-arrayflex-tenant` value, when one was sent (the
+    /// key the per-tenant quota and job accounting layers use).
+    pub tenant: Option<String>,
 }
+
+/// Longest accepted `x-arrayflex-tenant` value. Tenant names become
+/// Prometheus label values and quota-map keys, so unbounded
+/// client-chosen strings are rejected up front.
+pub const MAX_TENANT_BYTES: usize = 64;
 
 impl HeadFields {
     /// Validates one header line (without its line terminator).
@@ -123,6 +131,21 @@ impl HeadFields {
                     self.connection_keep_alive = true;
                 }
             }
+        } else if name.eq_ignore_ascii_case("x-arrayflex-tenant") {
+            // Tenant names feed metric labels and quota keys: bound the
+            // length and restrict to printable ASCII without quotes or
+            // backslashes (which would need escaping in Prometheus label
+            // values).
+            let raw = value.trim();
+            if raw.is_empty()
+                || raw.len() > MAX_TENANT_BYTES
+                || !raw
+                    .bytes()
+                    .all(|b| (0x21..=0x7e).contains(&b) && b != b'"' && b != b'\\')
+            {
+                return Err(HttpResponse::error(400, "invalid x-arrayflex-tenant"));
+            }
+            self.tenant = Some(raw.to_owned());
         }
         Ok(())
     }
@@ -222,6 +245,8 @@ pub struct ParsedRequest {
     pub body: Vec<u8>,
     /// Whether the connection must close after this request's response.
     pub close_after: bool,
+    /// The `x-arrayflex-tenant` value, when the request carried one.
+    pub tenant: Option<String>,
 }
 
 /// Outcome of one [`RequestParser::next_request`] call.
@@ -254,6 +279,7 @@ enum ParseState {
         path: String,
         close_after: bool,
         length: usize,
+        tenant: Option<String>,
     },
     /// A reject was emitted; discard `remaining` announced body bytes,
     /// then the connection closes. No further requests are parsed.
@@ -342,6 +368,7 @@ impl RequestParser {
                                 path,
                                 close_after,
                                 length,
+                                tenant: fields.tenant,
                             };
                         }
                         HeadScan::NeedMore(scanned_now) => {
@@ -362,6 +389,7 @@ impl RequestParser {
                     path,
                     close_after,
                     length,
+                    tenant,
                 } => {
                     if buffer.len() < *length {
                         return Parsed::NeedMore;
@@ -372,6 +400,7 @@ impl RequestParser {
                         path: std::mem::take(path),
                         body,
                         close_after: *close_after,
+                        tenant: tenant.take(),
                     };
                     let length = *length;
                     buffer.consume(length);

@@ -42,6 +42,7 @@ use crate::http::{
     STALE_HEADER,
 };
 use crate::poll::{self, Event, Interest, Poller};
+use gemm::CancelToken;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
@@ -162,6 +163,11 @@ struct Conn {
     /// Milliseconds-since-epoch of the last byte moved in either
     /// direction; the idle deadline measures from here.
     last_progress_ms: u64,
+    /// Cancellation tokens of the connection's in-flight requests, keyed
+    /// by sequence. Fired (and the admission layer notified) if the
+    /// connection closes before the response lands, so abandoned compute
+    /// stops at its next job-item boundary.
+    cancels: BTreeMap<u64, CancelToken>,
 }
 
 /// A connection slot; the generation guards stale completions after the
@@ -196,6 +202,9 @@ struct EventLoop {
     queue_depth: Arc<AtomicUsize>,
     /// `ServerConfig::queue_limit`; `0` disables shedding.
     queue_limit: usize,
+    /// The admission layer, shared with the workers; the loop notifies it
+    /// when a connection with in-flight requests closes.
+    admission: Arc<Admission>,
     /// Active fault-injection plan (`ServerConfig::faults`).
     faults: Option<Arc<FaultPlan>>,
     /// While `Some`, accepting is paused (listener deregistered) until
@@ -300,6 +309,7 @@ pub(crate) fn start(
             epoch: Instant::now(),
             queue_depth: Arc::clone(&queue_depth),
             queue_limit: config.queue_limit,
+            admission: Arc::clone(&admission),
             faults: faults.clone(),
             accept_resume_at: None,
         };
@@ -507,6 +517,7 @@ impl EventLoop {
             paused: false,
             interest: Interest::READABLE,
             last_progress_ms: now,
+            cancels: BTreeMap::new(),
         };
         let token = index + CONN_BASE;
         if self
@@ -542,6 +553,7 @@ impl EventLoop {
             return;
         };
         conn.in_flight = conn.in_flight.saturating_sub(1);
+        conn.cancels.remove(&completion.seq);
         if completion.close_after {
             conn.close_pending = true;
         }
@@ -631,6 +643,46 @@ impl EventLoop {
                     if request.close_after {
                         conn.close_pending = true;
                     }
+                    // Per-tenant admission: spend one token from the
+                    // tenant's bucket before any compute — including the
+                    // inline memo fast path, so a hot cached request
+                    // cannot bypass the quota. Probes stay exempt: an
+                    // over-quota tenant must not look unhealthy to a
+                    // load balancer.
+                    if let Some(quota) = self.state.tenant_quota() {
+                        if !matches!(request.path.as_str(), "/healthz" | "/metrics") {
+                            let tenant = request.tenant.as_deref().unwrap_or("anonymous");
+                            if !quota.admit(tenant) {
+                                let route = api::route_label(&request.path);
+                                self.state.metrics().note_tenant_shed(tenant);
+                                self.state.metrics().observe(route, 429, Duration::ZERO);
+                                if self.state.log_requests() {
+                                    println!(
+                                        "{}",
+                                        log_line(
+                                            route,
+                                            429,
+                                            Duration::ZERO,
+                                            api::RequestTrace::default(),
+                                        )
+                                    );
+                                }
+                                let mut response = SharedResponse::from(HttpResponse::error(
+                                    429,
+                                    "tenant request quota exceeded, retry after backoff",
+                                ));
+                                response.extra_headers = RETRY_AFTER_HEADER;
+                                conn.pending.insert(
+                                    seq,
+                                    Delivery {
+                                        response,
+                                        close_after: request.close_after,
+                                    },
+                                );
+                                continue;
+                            }
+                        }
+                    }
                     // Requests that need no computation — /healthz and
                     // rendered /v1/plan memo hits — are answered on the
                     // loop thread: no worker handoff, no waker round
@@ -679,13 +731,25 @@ impl EventLoop {
                         continue;
                     }
                     conn.in_flight += 1;
+                    let started = Instant::now();
+                    // Arm the request's token with the deadline now, so
+                    // a long handler observes expiry mid-computation —
+                    // not only at dequeue — and the loop can fire it on
+                    // disconnect.
+                    let cancel = CancelToken::with_deadline_opt(
+                        self.state
+                            .request_deadline()
+                            .map(|deadline| started + deadline),
+                    );
+                    conn.cancels.insert(seq, cancel.clone());
                     let job = Job {
                         loop_id: self.id,
                         token,
                         generation,
                         seq,
                         request,
-                        started: Instant::now(),
+                        started,
+                        cancel,
                     };
                     self.queue_depth.fetch_add(1, Ordering::Relaxed);
                     if self.job_tx.send(job).is_err() {
@@ -838,10 +902,23 @@ impl EventLoop {
             return;
         };
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        let generation = slot.generation;
         slot.generation += 1;
         self.free.push(index);
         self.live -= 1;
         self.state.metrics().note_connection_closed();
+        // The connection died owing responses: fire each in-flight
+        // request's token (stops work only this client waited for) and
+        // let the admission layer decide about shared flights — a
+        // coalesced computation keeps running while any other client
+        // still waits on it.
+        if !conn.cancels.is_empty() {
+            for cancel in conn.cancels.values() {
+                cancel.cancel(admission::DISCONNECT_REASON);
+            }
+            self.admission
+                .disconnected(self.id, index + CONN_BASE, generation);
+        }
     }
 }
 

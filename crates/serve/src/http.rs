@@ -90,9 +90,33 @@ pub struct ServerConfig {
     pub queue_limit: usize,
     /// Per-request deadline measured from dispatch: a request still
     /// waiting in the worker queue past this is answered `503` +
-    /// `Retry-After` without running its computation. `None` disables
-    /// deadlines. Exposed as `--request-deadline-ms`.
+    /// `Retry-After` without running its computation, and a request whose
+    /// handler is still running past it is cancelled cooperatively at the
+    /// next job-item boundary (a structured `503` reporting partial
+    /// progress). `None` disables deadlines. Exposed as
+    /// `--request-deadline-ms`.
     pub request_deadline: Option<Duration>,
+    /// Directory for the crash-safe `/v1/jobs` store: every completed
+    /// sweep point of a running job is checkpointed here (atomic
+    /// tmp+rename+sync, like the plan-cache snapshot), and a restart with
+    /// the same directory resumes incomplete jobs from their last
+    /// checkpoint. `None` keeps jobs in memory only (still cancellable,
+    /// not crash-safe). Exposed as `--job-dir`.
+    pub job_dir: Option<PathBuf>,
+    /// Per-tenant token-bucket admission rate in requests per second,
+    /// keyed by the `x-arrayflex-tenant` header (requests without the
+    /// header share the `"anonymous"` bucket). Beyond the bucket a request
+    /// is answered `429` + `Retry-After` on the loop thread. `None`
+    /// disables tenant rate admission. Exposed as `--tenant-rate`.
+    pub tenant_rate: Option<f64>,
+    /// Burst capacity of each tenant token bucket (maximum tokens a
+    /// bucket holds). Only meaningful with
+    /// [`ServerConfig::tenant_rate`]. Exposed as `--tenant-burst`.
+    pub tenant_burst: f64,
+    /// Maximum concurrently active (queued or running) `/v1/jobs` jobs per
+    /// tenant; submissions beyond it are answered `429` + `Retry-After`.
+    /// `0` disables the cap. Exposed as `--tenant-max-jobs`.
+    pub tenant_max_jobs: usize,
     /// Deterministic fault injection (see [`crate::fault`]): when set,
     /// every stream read/write, poll and accept consults the seeded
     /// [`crate::fault::FaultPlan`]. The seed is printed at startup so a
@@ -123,6 +147,10 @@ impl Default for ServerConfig {
             gather_window: Duration::ZERO,
             queue_limit: 1024,
             request_deadline: None,
+            job_dir: None,
+            tenant_rate: None,
+            tenant_burst: 8.0,
+            tenant_max_jobs: 16,
             faults: None,
             panic_route: false,
         }
@@ -178,6 +206,12 @@ impl ServerHandle {
             wake.notify_all();
             let _ = saver.join();
         }
+        // Stop the job runners: fire their tokens (reason: shutdown) and
+        // join. Interrupted jobs keep `running` status in their
+        // checkpoints, so the next start with the same --job-dir resumes
+        // them — a graceful stop and a SIGKILL converge on the same
+        // recovery path.
+        self.state.jobs().shutdown();
         // One final snapshot after the workers have drained, so plans
         // cached by the very last requests survive the restart too.
         if let Some(path) = &self.snapshot_path {
@@ -234,7 +268,9 @@ impl Drop for ServerHandle {
 pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(AppState::new(&config));
+    // `shared` (not `new`): the `/v1/jobs` runner threads need the `Arc`,
+    // and incomplete jobs checkpointed in `job_dir` resume right here.
+    let state = AppState::shared(&config);
     warm_start(&state, &config);
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -477,10 +513,13 @@ impl HttpResponse {
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -707,7 +746,7 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_every_emitted_status() {
-        for status in [200u16, 400, 404, 405, 413, 431, 500, 501, 503] {
+        for status in [200u16, 202, 400, 404, 405, 409, 413, 429, 431, 500, 501, 503] {
             assert_ne!(reason(status), "Unknown", "status {status}");
         }
         assert_eq!(reason(599), "Unknown");

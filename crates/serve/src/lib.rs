@@ -55,6 +55,7 @@ pub mod conn;
 mod event_loop;
 pub mod fault;
 pub mod http;
+mod jobs;
 pub mod loadgen;
 pub mod metrics;
 pub mod poll;

@@ -1044,8 +1044,12 @@ pub struct ChaosReport {
     /// expected under fault injection and client misbehavior).
     pub disconnects: usize,
     /// Requests the client deliberately abandoned (aborted pipelines,
-    /// half-sent slowloris heads, mid-body hangups).
+    /// half-sent slowloris heads, mid-body hangups, vanished job
+    /// submitters).
     pub aborts: usize,
+    /// Async jobs submitted whose 202 the client actually read (vanished
+    /// submitters that never read theirs count as aborts instead).
+    pub jobs_submitted: usize,
     /// 200 responses whose bodies differed from the fault-free
     /// reference, plus unexpected statuses (500s): invariant violations.
     pub mismatches: usize,
@@ -1064,7 +1068,7 @@ impl ChaosReport {
     pub fn text(&self) -> String {
         format!(
             "attempts: {}, ok: {}, shed: {} ({} retried), stale: {}\n\
-             disconnects: {}, client aborts: {}, mismatches: {}",
+             disconnects: {}, client aborts: {}, jobs submitted: {}, mismatches: {}",
             self.attempts,
             self.ok,
             self.shed,
@@ -1072,6 +1076,7 @@ impl ChaosReport {
             self.stale,
             self.disconnects,
             self.aborts,
+            self.jobs_submitted,
             self.mismatches
         )
     }
@@ -1349,6 +1354,55 @@ fn chaos_midbody_disconnect(addr: SocketAddr, item: &ChaosItem, report: &mut Cha
     report.aborts += 1;
 }
 
+/// A vanishing tenant: submits an async `/v1/jobs` sweep under an
+/// `x-arrayflex-tenant` header on a throwaway connection, then
+/// disconnects — half the time without even reading the 202. Jobs are
+/// detached from their submitting connection, so the server runs the
+/// sweep to completion (or sheds the submit) regardless, and the orphaned
+/// job must not stop shutdown from draining.
+fn chaos_vanishing_tenant_job(
+    addr: SocketAddr,
+    rng: &mut SplitMix64,
+    report: &mut ChaosReport,
+) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        report.disconnects += 1;
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // A tiny sweep (2 points) so orphaned jobs finish in milliseconds;
+    // a handful of tenant names exercises the per-tenant bookkeeping.
+    let tenant = rng.next_u64() % 4;
+    let body = r#"{"array_sizes":[8,16],"networks":["mobilenet_v1"]}"#;
+    let head = format!(
+        "POST /v1/jobs HTTP/1.1\r\nhost: chaos\r\nx-arrayflex-tenant: chaos-{tenant}\r\n\
+         content-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    report.attempts += 1;
+    if stream.write_all(head.as_bytes()).is_err() || stream.write_all(body.as_bytes()).is_err() {
+        report.disconnects += 1;
+        return;
+    }
+    if rng.next_bool(0.5) {
+        // Read the submit response, then vanish without ever polling
+        // for the result.
+        match client::read_response(&mut BufReader::new(stream)) {
+            Ok(response) => match response.status {
+                202 => report.jobs_submitted += 1,
+                // Queue sheds and tenant caps are expected traffic.
+                429 | 503 => report.shed += 1,
+                _ => report.mismatches += 1,
+            },
+            Err(_) => report.disconnects += 1,
+        }
+    } else {
+        // Vanish with the 202 still unread in the socket.
+        report.aborts += 1;
+    }
+}
+
 /// One chaos client's schedule, driven by its own seeded stream.
 fn chaos_client(
     addr: SocketAddr,
@@ -1360,15 +1414,17 @@ fn chaos_client(
     let mut conn: Option<PersistentClient> = None;
     while claim() {
         let index = (rng.next_u64() as usize) % items.len();
-        match rng.next_u64() % 8 {
-            // Half the schedule is well-behaved traffic — the point is
-            // proving correct answers *under* chaos, so there must be
-            // plenty of verified requests interleaved with the abuse.
+        match rng.next_u64() % 9 {
+            // Nearly half the schedule is well-behaved traffic — the
+            // point is proving correct answers *under* chaos, so there
+            // must be plenty of verified requests interleaved with the
+            // abuse.
             0..=3 => chaos_request_with_retry(addr, &items[index], &mut conn, &mut rng, &mut report),
             4 => chaos_pipelined_burst(addr, items, &mut conn, &mut rng, &mut report),
             5 => chaos_aborted_pipeline(addr, items, &mut rng, &mut report),
             6 => chaos_slowloris(addr, &items[index], &mut rng, &mut report),
-            _ => chaos_midbody_disconnect(addr, &items[index], &mut report),
+            7 => chaos_midbody_disconnect(addr, &items[index], &mut report),
+            _ => chaos_vanishing_tenant_job(addr, &mut rng, &mut report),
         }
     }
     report
@@ -1377,8 +1433,8 @@ fn chaos_client(
 /// Runs the chaos workload: `clients` misbehaving clients share an
 /// iteration budget and hammer the server with a deterministic mix of
 /// honest requests, pipelined bursts, aborted pipelines, slowloris drips,
-/// and mid-body hangups, verifying every 200 against the fault-free
-/// reference.
+/// mid-body hangups, and vanishing tenant job submissions, verifying
+/// every 200 against the fault-free reference.
 ///
 /// # Panics
 ///
@@ -1421,6 +1477,7 @@ pub fn chaos_run(config: &ChaosConfig) -> ChaosReport {
         total.retries += report.retries;
         total.disconnects += report.disconnects;
         total.aborts += report.aborts;
+        total.jobs_submitted += report.jobs_submitted;
         total.mismatches += report.mismatches;
     }
     total

@@ -46,6 +46,14 @@ pub struct Metrics {
     stale_served: AtomicU64,
     accept_backoffs: AtomicU64,
     snapshot_rejected: AtomicU64,
+    cancelled: Mutex<BTreeMap<String, u64>>,
+    tenant_sheds: Mutex<BTreeMap<String, u64>>,
+    tenant_jobs: Mutex<BTreeMap<String, u64>>,
+    jobs_submitted: AtomicU64,
+    jobs_resumed: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_failed: AtomicU64,
 }
 
 /// Locks a metrics mutex, recovering the data if a panicking thread
@@ -263,6 +271,110 @@ impl Metrics {
         self.snapshot_rejected.load(Ordering::Relaxed)
     }
 
+    /// Records one computation stopped through its cancel token, by cause
+    /// (`deadline`, `disconnect`, `job`, `shutdown`).
+    pub fn note_cancelled(&self, cause: &str) {
+        *lock_counters(&self.cancelled).entry(cause.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Cancellations recorded for one cause label.
+    #[must_use]
+    pub fn cancelled(&self, cause: &str) -> u64 {
+        lock_counters(&self.cancelled).get(cause).copied().unwrap_or(0)
+    }
+
+    /// Cancellations recorded across all causes.
+    #[must_use]
+    pub fn total_cancelled(&self) -> u64 {
+        lock_counters(&self.cancelled).values().sum()
+    }
+
+    /// Records one request shed by the per-tenant token bucket (429).
+    pub fn note_tenant_shed(&self, tenant: &str) {
+        *lock_counters(&self.tenant_sheds).entry(tenant.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Requests shed by quota for one tenant label.
+    #[must_use]
+    pub fn tenant_sheds(&self, tenant: &str) -> u64 {
+        lock_counters(&self.tenant_sheds).get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Records a job entering the running set for `tenant` (gauge up).
+    pub fn note_job_started(&self, tenant: &str) {
+        *lock_counters(&self.tenant_jobs).entry(tenant.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Records a job leaving the running set for `tenant` (gauge down).
+    pub fn note_job_finished(&self, tenant: &str) {
+        let mut jobs = lock_counters(&self.tenant_jobs);
+        if let Some(count) = jobs.get_mut(tenant) {
+            *count = count.saturating_sub(1);
+        }
+    }
+
+    /// Jobs currently running or resumable for one tenant label.
+    #[must_use]
+    pub fn tenant_active_jobs(&self, tenant: &str) -> u64 {
+        lock_counters(&self.tenant_jobs).get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Records one job accepted through `POST /v1/jobs`.
+    pub fn note_job_submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs accepted so far.
+    #[must_use]
+    pub fn jobs_submitted(&self) -> u64 {
+        self.jobs_submitted.load(Ordering::Relaxed)
+    }
+
+    /// Records one incomplete job resumed from its checkpoint at warm
+    /// start.
+    pub fn note_job_resumed(&self) {
+        self.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs resumed from checkpoints so far.
+    #[must_use]
+    pub fn jobs_resumed(&self) -> u64 {
+        self.jobs_resumed.load(Ordering::Relaxed)
+    }
+
+    /// Records one job that ran to completion.
+    pub fn note_job_completed(&self) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs completed so far.
+    #[must_use]
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Records one job cancelled through `DELETE /v1/jobs/{id}`.
+    pub fn note_job_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs cancelled so far.
+    #[must_use]
+    pub fn jobs_cancelled(&self) -> u64 {
+        self.jobs_cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Records one job that stopped on an execution error.
+    pub fn note_job_failed(&self) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs failed so far.
+    #[must_use]
+    pub fn jobs_failed(&self) -> u64 {
+        self.jobs_failed.load(Ordering::Relaxed)
+    }
+
     /// Renders every metric in the Prometheus text exposition format.
     #[must_use]
     pub fn render_prometheus(&self, cache: &PlanCache) -> String {
@@ -423,6 +535,58 @@ impl Metrics {
             "arrayflex_serve_snapshot_rejected_total {}",
             self.snapshot_rejected.load(Ordering::Relaxed)
         );
+        out.push_str("# HELP arrayflex_serve_cancelled_total Computations stopped through their cancel token, by cause.\n");
+        out.push_str("# TYPE arrayflex_serve_cancelled_total counter\n");
+        for (cause, count) in lock_counters(&self.cancelled).iter() {
+            let _ = writeln!(out, "arrayflex_serve_cancelled_total{{cause=\"{cause}\"}} {count}");
+        }
+        out.push_str("# HELP arrayflex_serve_tenant_shed_total Requests shed by the per-tenant token bucket (429), by tenant.\n");
+        out.push_str("# TYPE arrayflex_serve_tenant_shed_total counter\n");
+        for (tenant, count) in lock_counters(&self.tenant_sheds).iter() {
+            let _ = writeln!(
+                out,
+                "arrayflex_serve_tenant_shed_total{{tenant=\"{tenant}\"}} {count}"
+            );
+        }
+        out.push_str("# HELP arrayflex_serve_tenant_active_jobs Jobs currently running or resumable, by tenant.\n");
+        out.push_str("# TYPE arrayflex_serve_tenant_active_jobs gauge\n");
+        for (tenant, count) in lock_counters(&self.tenant_jobs).iter() {
+            let _ = writeln!(
+                out,
+                "arrayflex_serve_tenant_active_jobs{{tenant=\"{tenant}\"}} {count}"
+            );
+        }
+        for (name, help, value) in [
+            (
+                "jobs_submitted_total",
+                "Jobs accepted through POST /v1/jobs.",
+                self.jobs_submitted.load(Ordering::Relaxed),
+            ),
+            (
+                "jobs_resumed_total",
+                "Incomplete jobs resumed from checkpoints at warm start.",
+                self.jobs_resumed.load(Ordering::Relaxed),
+            ),
+            (
+                "jobs_completed_total",
+                "Jobs that ran to completion.",
+                self.jobs_completed.load(Ordering::Relaxed),
+            ),
+            (
+                "jobs_cancelled_total",
+                "Jobs cancelled through DELETE /v1/jobs.",
+                self.jobs_cancelled.load(Ordering::Relaxed),
+            ),
+            (
+                "jobs_failed_total",
+                "Jobs that stopped on an execution error.",
+                self.jobs_failed.load(Ordering::Relaxed),
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP arrayflex_serve_{name} {help}");
+            let _ = writeln!(out, "# TYPE arrayflex_serve_{name} counter");
+            let _ = writeln!(out, "arrayflex_serve_{name} {value}");
+        }
 
         for (metric, help, pick) in SHARD_COUNTERS {
             let _ = writeln!(out, "# HELP arrayflex_serve_plan_cache_shard_{metric} {help}");
@@ -511,6 +675,33 @@ mod tests {
         assert_eq!(metrics.accept_backoffs(), 1);
         metrics.note_snapshot_rejected();
         assert_eq!(metrics.snapshot_rejected(), 1);
+        metrics.note_cancelled("deadline");
+        metrics.note_cancelled("disconnect");
+        metrics.note_cancelled("disconnect");
+        assert_eq!(metrics.cancelled("deadline"), 1);
+        assert_eq!(metrics.cancelled("disconnect"), 2);
+        assert_eq!(metrics.cancelled("job"), 0);
+        assert_eq!(metrics.total_cancelled(), 3);
+        metrics.note_tenant_shed("acme");
+        metrics.note_tenant_shed("acme");
+        assert_eq!(metrics.tenant_sheds("acme"), 2);
+        assert_eq!(metrics.tenant_sheds("other"), 0);
+        metrics.note_job_started("acme");
+        metrics.note_job_started("acme");
+        metrics.note_job_finished("acme");
+        metrics.note_job_finished("ghost"); // never started: stays at zero
+        assert_eq!(metrics.tenant_active_jobs("acme"), 1);
+        assert_eq!(metrics.tenant_active_jobs("ghost"), 0);
+        metrics.note_job_submitted();
+        metrics.note_job_resumed();
+        metrics.note_job_completed();
+        metrics.note_job_cancelled();
+        metrics.note_job_failed();
+        assert_eq!(metrics.jobs_submitted(), 1);
+        assert_eq!(metrics.jobs_resumed(), 1);
+        assert_eq!(metrics.jobs_completed(), 1);
+        assert_eq!(metrics.jobs_cancelled(), 1);
+        assert_eq!(metrics.jobs_failed(), 1);
         let cache = PlanCache::new(4);
         let text = metrics.render_prometheus(&cache);
         assert!(text.contains("arrayflex_serve_open_connections 1"));
@@ -523,6 +714,15 @@ mod tests {
         assert!(text.contains("arrayflex_serve_stale_served_total 1"));
         assert!(text.contains("arrayflex_serve_accept_backoff_total 1"));
         assert!(text.contains("arrayflex_serve_snapshot_rejected_total 1"));
+        assert!(text.contains("arrayflex_serve_cancelled_total{cause=\"deadline\"} 1"));
+        assert!(text.contains("arrayflex_serve_cancelled_total{cause=\"disconnect\"} 2"));
+        assert!(text.contains("arrayflex_serve_tenant_shed_total{tenant=\"acme\"} 2"));
+        assert!(text.contains("arrayflex_serve_tenant_active_jobs{tenant=\"acme\"} 1"));
+        assert!(text.contains("arrayflex_serve_jobs_submitted_total 1"));
+        assert!(text.contains("arrayflex_serve_jobs_resumed_total 1"));
+        assert!(text.contains("arrayflex_serve_jobs_completed_total 1"));
+        assert!(text.contains("arrayflex_serve_jobs_cancelled_total 1"));
+        assert!(text.contains("arrayflex_serve_jobs_failed_total 1"));
     }
 
     #[test]

@@ -108,6 +108,46 @@ fn seeded_fault_schedules_never_panic_and_every_200_is_byte_identical() {
 }
 
 #[test]
+fn vanished_job_submitters_leave_a_drainable_server() {
+    // The vanishing-tenant chaos arm submits async jobs and hangs up —
+    // sometimes without reading the 202. Jobs are detached from their
+    // submitting connection, so the server must run (or shed) every one
+    // and still drain cleanly at shutdown.
+    let handle = serve(ServerConfig {
+        threads: 2,
+        queue_limit: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let state = std::sync::Arc::clone(handle.state());
+    let report = chaos_run(&ChaosConfig {
+        addr: handle.addr(),
+        seed: 20230418,
+        requests: 120,
+        clients: 3,
+    });
+    assert!(report.passed(), "chaos invariant violated: {report:?}");
+    assert!(
+        state.metrics().jobs_submitted() > 0,
+        "the vanishing-tenant arm never reached the server: {report:?}"
+    );
+    assert_eq!(state.metrics().panics(), 0);
+    // Shutdown joining every orphaned job runner is the drain half of
+    // the invariant; afterwards each submitted job has settled.
+    handle.shutdown();
+    let settled = state.metrics().jobs_completed()
+        + state.metrics().jobs_cancelled()
+        + state.metrics().jobs_failed()
+        + state.metrics().cancelled("shutdown");
+    assert_eq!(
+        settled,
+        state.metrics().jobs_submitted(),
+        "every submitted job must settle by completion, cancellation, or shutdown"
+    );
+    assert_eq!(state.metrics().jobs_failed(), 0, "no chaos job may fail");
+}
+
+#[test]
 fn overload_sheds_with_a_structured_503_and_retry_after() {
     // One worker, a one-deep queue: concurrent distinct simulate requests
     // (distinct so singleflight cannot coalesce them) must overflow it.

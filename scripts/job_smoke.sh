@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the async jobs API, run by CI after the
+# build: start `serve` with a --job-dir, submit a 96-point sweep job,
+# SIGKILL the server mid-run (no graceful shutdown, no final
+# checkpoint), restart it on the same directory, and assert that the
+# job resumes from its last per-point checkpoint, completes, and that
+# the final result body is byte-identical to a synchronous /v1/sweep of
+# the same request — the crash-safety contract of the job store.
+#
+# Usage: scripts/job_smoke.sh [path-to-serve-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE_BIN="${1:-target/release/serve}"
+# 8 sizes x 6 networks x 2 dataflows = 96 sweep points, each one a
+# checkpoint (tmp + fsync + rename), so the SIGKILL lands mid-job.
+REQUEST='{"array_sizes":[32,64,128,256,512,1024,2048,4096],"networks":["resnet18","resnet34","resnet50","mobilenet_v1","convnext_tiny","vgg16"],"dataflows":["weight_stationary","output_stationary"]}'
+
+if [[ ! -x "$SERVE_BIN" ]]; then
+    echo "serve binary not found at $SERVE_BIN (build with: cargo build --release -p arrayflex-serve)" >&2
+    exit 1
+fi
+
+JOBDIR="$(mktemp -d)"
+LOG="$(mktemp)"
+RESULT="$(mktemp)"
+REFERENCE="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$JOBDIR"
+    rm -f "$LOG" "$RESULT" "$REFERENCE"
+}
+trap cleanup EXIT
+
+# Starts $SERVE_BIN on the job directory and waits for the address
+# announcement on the first stdout line, exported as $ADDR.
+start_server() {
+    : >"$LOG"
+    "$SERVE_BIN" --addr 127.0.0.1:0 --job-dir "$JOBDIR" >"$LOG" 2>&1 &
+    SERVER_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's#^listening on http://##p' "$LOG" | head -n 1)"
+        [[ -n "$ADDR" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$ADDR" ]]; then
+        echo "serve did not announce an address; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+}
+
+start_server
+echo "serve is listening on $ADDR (job dir $JOBDIR)"
+
+# Submit the job. The 202 is returned only after the initial running
+# checkpoint is on disk, so killing any time after this is recoverable.
+SUBMIT="$(curl -sS -X POST "http://$ADDR/v1/jobs" -d "$REQUEST")"
+JOB_ID="$(sed -n 's#.*"id":"\([0-9a-f]*\)".*#\1#p' <<<"$SUBMIT")"
+if [[ -z "$JOB_ID" ]]; then
+    echo "job submission returned no id: $SUBMIT" >&2
+    exit 1
+fi
+echo "submitted job $JOB_ID"
+
+# SIGKILL: no graceful shutdown, no token, no final checkpoint — the
+# only state that survives is whatever the per-point checkpoints
+# already persisted.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+CHECKPOINT="$JOBDIR/$JOB_ID.json"
+if [[ ! -s "$CHECKPOINT" ]]; then
+    echo "no checkpoint survived the kill at $CHECKPOINT" >&2
+    ls -la "$JOBDIR" >&2 || true
+    exit 1
+fi
+if ! grep -q '"status":"running"' "$CHECKPOINT"; then
+    echo "checkpoint is not resumable (job finished before the kill?):" >&2
+    head -c 300 "$CHECKPOINT" >&2
+    exit 1
+fi
+echo "server killed mid-job; running checkpoint on disk ($(wc -c <"$CHECKPOINT") bytes)"
+
+# Restart on the same directory: the job must resume from its last
+# completed point and run to completion.
+start_server
+echo "serve restarted on $ADDR"
+if ! grep -q "resuming job $JOB_ID from checkpoint" "$LOG"; then
+    echo "restarted serve did not report resuming job $JOB_ID; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+STATUS=""
+for _ in $(seq 1 300); do
+    STATUS="$(curl -sS "http://$ADDR/v1/jobs/$JOB_ID")"
+    grep -q '"status":"completed"' <<<"$STATUS" && break
+    if grep -q '"status":"failed"' <<<"$STATUS"; then
+        echo "resumed job failed: $STATUS" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! grep -q '"status":"completed"' <<<"$STATUS"; then
+    echo "resumed job never completed: $STATUS" >&2
+    exit 1
+fi
+echo "resumed job completed"
+
+# The crash-safety contract: the assembled result is byte-identical to
+# an uninterrupted synchronous sweep of the same request.
+curl -sS "http://$ADDR/v1/jobs/$JOB_ID/result" -o "$RESULT"
+curl -sS -X POST "http://$ADDR/v1/sweep" -d "$REQUEST" -o "$REFERENCE"
+if ! cmp -s "$RESULT" "$REFERENCE"; then
+    echo "resumed job result differs from the synchronous sweep:" >&2
+    cmp "$RESULT" "$REFERENCE" >&2 || true
+    exit 1
+fi
+echo "job result is byte-identical to the synchronous sweep ($(wc -c <"$RESULT") bytes)"
+
+# The resume is observable in /metrics.
+METRICS="$(curl -sS "http://$ADDR/metrics")"
+if ! grep -q '^arrayflex_serve_jobs_resumed_total 1$' <<<"$METRICS"; then
+    echo "expected one resumed job in /metrics:" >&2
+    grep jobs <<<"$METRICS" >&2 || true
+    exit 1
+fi
+echo "/metrics reports the resume (arrayflex_serve_jobs_resumed_total 1)"
+echo "job smoke test passed"
